@@ -1,0 +1,64 @@
+"""Figure 6 — CDF of the ratio of PDF objects on JavaScript chains.
+
+Paper: ~95 % of malicious documents have a ratio ≥ 0.2 (64 samples sit
+at exactly 1.0); ~90 % of benign documents stay below 0.2 and none
+exceed 0.6.
+"""
+
+from repro.analysis import PaperComparison, render_ascii_cdf
+from repro.analysis.stats import fraction_at_least, fraction_below
+from repro.core.chains import analyze_chains
+from repro.pdf.document import PDFDocument
+
+
+def _ratios(samples):
+    ratios = []
+    for sample in samples:
+        document = PDFDocument.from_bytes(sample.data)
+        ratios.append(analyze_chains(document).ratio)
+    return ratios
+
+
+def test_fig6_js_chain_ratio_cdf(benchmark, stats_dataset, emit):
+    benign_js = stats_dataset.benign_with_js
+    malicious = stats_dataset.malicious
+
+    def compute():
+        return _ratios(benign_js), _ratios(malicious)
+
+    benign_ratios, malicious_ratios = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    comparison = PaperComparison("Figure 6 — JS-chain object ratio")
+    comparison.add(
+        "malicious with ratio >= 0.2",
+        "~95%",
+        f"{fraction_at_least(malicious_ratios, 0.2) * 100:.1f}%",
+    )
+    comparison.add(
+        "benign with ratio < 0.2",
+        "~90%",
+        f"{fraction_below(benign_ratios, 0.2) * 100:.1f}%",
+    )
+    comparison.add(
+        "benign with ratio > 0.6",
+        "~0%",
+        f"{fraction_at_least(benign_ratios, 0.6 + 1e-9) * 100:.1f}%",
+    )
+    comparison.add(
+        "malicious at ratio == 1.0",
+        "64 / 7370 (0.87%)",
+        f"{sum(1 for r in malicious_ratios if r == 1.0)} / {len(malicious_ratios)}",
+    )
+    emit(comparison.render())
+    emit(
+        render_ascii_cdf(
+            [("benign", benign_ratios), ("malicious", malicious_ratios)],
+            x_label="ratio of objects on JS chains",
+        )
+    )
+
+    # Shape assertions: the separation the paper reports must hold.
+    assert fraction_at_least(malicious_ratios, 0.2) >= 0.90
+    assert fraction_below(benign_ratios, 0.2) >= 0.80
+    assert max(benign_ratios) <= 0.6
+    assert any(r == 1.0 for r in malicious_ratios)

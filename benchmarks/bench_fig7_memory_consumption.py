@@ -1,0 +1,62 @@
+"""Figure 7 — in-JS-context memory consumption, benign vs malicious.
+
+Paper (30 + 30 sampled documents): malicious mean ≈ 336.4 MB, minimum
+103 MB, maximum > 1700 MB; benign mean ≈ 7.1 MB, maximum 21 MB.
+"""
+
+from repro.analysis import PaperComparison, render_ascii_cdf, summarize
+from repro.corpus.benign import BenignKind
+
+
+def _in_js_memory_mb(pipeline, sample) -> float:
+    protected = pipeline.protect(sample.data, sample.name)
+    session = pipeline.session()
+    try:
+        report = session.open(protected, fire_close=False)
+        return report.outcome.handle.js_heap_bytes / (1024 * 1024)
+    finally:
+        session.close()
+
+
+def test_fig7_memory_consumption(benchmark, stats_dataset, pipeline, emit):
+    # 30 random benign-with-JS and 30 malicious samples, as in §V-B.
+    benign = [
+        s
+        for s in stats_dataset.benign_with_js
+        if s.kind in (BenignKind.REPORT_JS.value, BenignKind.MULTI_JS.value,
+                      BenignKind.FORM_JS.value, BenignKind.DATE_JS.value,
+                      BenignKind.PAGENAV_JS.value)
+    ][:30]
+    malicious = [
+        s
+        for s in stats_dataset.malicious
+        if not s.meta["expect_inert"] and not s.meta["expect_crash"]
+        and s.kind != "export_launch"
+    ][:30]
+
+    def measure():
+        benign_mb = [_in_js_memory_mb(pipeline, s) for s in benign]
+        malicious_mb = [_in_js_memory_mb(pipeline, s) for s in malicious]
+        return benign_mb, malicious_mb
+
+    benign_mb, malicious_mb = benchmark.pedantic(measure, rounds=1, iterations=1)
+    b, m = summarize(benign_mb), summarize(malicious_mb)
+
+    comparison = PaperComparison("Figure 7 — in-JS memory consumption (MB)")
+    comparison.add("malicious mean", "336.4", f"{m.mean:.1f}")
+    comparison.add("malicious min", "103", f"{m.minimum:.1f}")
+    comparison.add("malicious max", ">1700", f"{m.maximum:.1f}")
+    comparison.add("benign mean", "7.1", f"{b.mean:.1f}")
+    comparison.add("benign max", "21", f"{b.maximum:.1f}")
+    emit(comparison.render())
+    emit(
+        render_ascii_cdf(
+            [("benign", benign_mb), ("malicious", malicious_mb)],
+            x_label="in-JS memory (MB)",
+        )
+    )
+
+    # Shape: two disjoint bands separated by roughly an order of magnitude.
+    assert b.maximum < 40
+    assert m.minimum > 90
+    assert m.mean / max(b.mean, 0.1) > 10

@@ -1,0 +1,87 @@
+"""Figure 8 — reader memory as many copies of a document open at once.
+
+Paper: memory grows linearly with the number of simultaneously open
+copies, up to ~1.6 GB for the largest document; one document ([3])
+triggers an internal memory optimisation at the 15th copy (a visible
+drop), then growth resumes.  Conclusion: no context-free threshold
+works.
+"""
+
+from repro.analysis import PaperComparison, format_table
+from repro.corpus.sized import document_of_size
+from repro.pdf.builder import DocumentBuilder
+from repro.reader import Reader
+
+#: The four reference documents of Fig. 8 ([3], [5], [20], [29]) by size.
+REFERENCE_DOCS = (
+    ("symantec-report [3] (memopt)", 2 * 1024 * 1024, True),
+    ("ndss13-paper [5]", 512 * 1024, False),
+    ("js-api-ref [20]", 6 * 1024 * 1024, False),
+    ("pdf-reference [29]", 20 * 1024 * 1024, False),
+)
+
+COPIES = 20
+
+
+def _plain_doc(size: int, seed: int) -> bytes:
+    return document_of_size(size, scripts=0 if size > 1024 * 1024 else 1, seed=seed)
+
+
+def _memopt_doc(size: int, seed: int) -> bytes:
+    builder = DocumentBuilder()
+    builder.add_page("report")
+    builder.set_info(Title="MEMOPT Symantec report")
+    builder.pad_with_objects(4, payload=b"\x00" * (size // 8))
+    return builder.to_bytes()
+
+
+def test_fig8_context_free_memory(benchmark, emit):
+    def measure():
+        curves = {}
+        for label, size, memopt in REFERENCE_DOCS:
+            data = _memopt_doc(size, seed=size) if memopt else _plain_doc(size, size)
+            reader = Reader()
+            readings = []
+            for _copy in range(COPIES):
+                outcome = reader.open(data, f"{label}.pdf")
+                assert outcome.ok
+                readings.append(reader.memory_counters().private_usage / (1024 * 1024))
+            curves[label] = readings
+        return curves
+
+    curves = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = []
+    for copy in range(0, COPIES, 2):
+        rows.append(
+            [copy + 1] + [f"{curves[label][copy]:.0f}" for label, _s, _m in REFERENCE_DOCS]
+        )
+    emit(
+        format_table(
+            ["copies"] + [label for label, _s, _m in REFERENCE_DOCS],
+            rows,
+        )
+    )
+
+    comparison = PaperComparison("Figure 8 — context-free reader memory")
+    biggest = curves["pdf-reference [29]"]
+    comparison.add("largest doc at 20 copies (MB)", "~1600", f"{biggest[-1]:.0f}")
+    memopt_curve = curves["symantec-report [3] (memopt)"]
+    drop_at = next(
+        (i + 1 for i in range(1, COPIES) if memopt_curve[i] < memopt_curve[i - 1]),
+        None,
+    )
+    comparison.add("memopt drop at copy #", "15", str(drop_at))
+    emit(comparison.render())
+
+    # Linearity of the non-memopt curves.
+    for label, _size, memopt in REFERENCE_DOCS:
+        if memopt:
+            continue
+        readings = curves[label]
+        deltas = [b - a for a, b in zip(readings, readings[1:])]
+        assert max(deltas) - min(deltas) < 1.0, label
+    # The memopt anomaly reproduces at the 15th copy.
+    assert drop_at == 15
+    # The largest document's curve reaches the GB band.
+    assert biggest[-1] > 1000

@@ -1,0 +1,75 @@
+"""§IV / Table I — security analysis against the advanced adversaries.
+
+Regenerates the qualitative comparison as a measured matrix: each §IV
+attack is mounted against the full pipeline and the outcome recorded.
+"""
+
+from repro.analysis import format_table
+from repro.attacks import (
+    delayed_attack_document,
+    fake_message_attack_document,
+    patch_out_monitoring,
+    staged_attack_document,
+    structural_mimicry_document,
+)
+from repro.attacks.mimicry import replay_epilogue_attack_document
+from repro.attacks.staged import INSTALL_METHODS, trigger_event_for
+
+
+def _staged_outcome(pipeline, method):
+    protected = pipeline.protect(staged_attack_document(method=method), f"st-{method}.pdf")
+    session = pipeline.session()
+    try:
+        report = session.open(protected, fire_close=False)
+        session.reader.fire_event(report.outcome.handle, trigger_event_for(method))
+        return session.verdict_for(protected).malicious
+    finally:
+        session.close()
+
+
+def _patching_outcome(pipeline):
+    from repro.corpus.malicious import heap_spray_dropper
+
+    raw = heap_spray_dropper(seed=3).to_bytes()
+    protected = pipeline.protect(raw, "victim.pdf")
+    patched = patch_out_monitoring(protected.data)
+    session = pipeline.session()
+    try:
+        outcome = session.open_raw(patched, "patched.pdf")
+        # Defence holds when the patched script dies without a syscall.
+        neutralized = (
+            bool(outcome.handle.script_errors)
+            and not session.system.filesystem.executables()
+        )
+        return neutralized
+    finally:
+        session.close()
+
+
+def test_security_analysis_matrix(benchmark, pipeline, emit):
+    def run():
+        rows = []
+        report = pipeline.scan(fake_message_attack_document(), "mimic-msg.pdf")
+        rows.append(("mimicry: forged keyed message", report.verdict.malicious))
+        report = pipeline.scan(replay_epilogue_attack_document(), "mimic-replay.pdf")
+        rows.append(("mimicry: replayed epilogue", report.verdict.malicious))
+        report = pipeline.scan(structural_mimicry_document(), "mimic-struct.pdf")
+        rows.append(("mimicry: structural [8]", report.verdict.malicious))
+        rows.append(("runtime patching", _patching_outcome(pipeline)))
+        for method in sorted(INSTALL_METHODS):
+            rows.append((f"staged via {method}", _staged_outcome(pipeline, method)))
+        report = pipeline.scan(delayed_attack_document(), "delayed.pdf")
+        rows.append(("delayed: setTimeOut", report.verdict.malicious))
+        report = pipeline.scan(delayed_attack_document(use_interval=True), "interval.pdf")
+        rows.append(("delayed: setInterval", report.verdict.malicious))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["advanced attack (§IV)", "countermeasure held"],
+            [[name, "yes" if held else "NO"] for name, held in rows],
+        )
+    )
+    failures = [name for name, held in rows if not held]
+    assert not failures, f"countermeasures failed for: {failures}"

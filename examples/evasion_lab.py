@@ -1,0 +1,86 @@
+"""Evasion lab: mount the §IV advanced attacks and watch them fail.
+
+For each adversary the paper analyses — mimicry, runtime patching,
+staged installation, delayed execution — this script mounts the attack
+against the live pipeline and reports whether the countermeasure held.
+
+Run:  python examples/evasion_lab.py
+"""
+
+from repro.attacks import (
+    delayed_attack_document,
+    fake_message_attack_document,
+    patch_out_monitoring,
+    staged_attack_document,
+    structural_mimicry_document,
+)
+from repro.attacks.staged import INSTALL_METHODS, trigger_event_for
+from repro.core.pipeline import ProtectionPipeline
+from repro.corpus.malicious import heap_spray_dropper
+
+
+def show(label: str, held: bool, detail: str = "") -> None:
+    status = "DEFENDED" if held else "BYPASSED"
+    print(f"  [{status}] {label}" + (f" — {detail}" if detail else ""))
+
+
+def main() -> None:
+    pipeline = ProtectionPipeline(seed=1234)
+    print("=== Mimicry attacks (§IV-B) ===")
+
+    report = pipeline.scan(fake_message_attack_document(), "forged-leave.pdf")
+    show(
+        "forged 'leave' message with scraped/guessed key",
+        report.verdict.malicious,
+        f"fake messages seen: {report.fake_messages} (zero tolerance)",
+    )
+
+    protected = pipeline.protect(structural_mimicry_document(), "benign-looking.pdf")
+    report = pipeline.open_protected(protected)
+    show(
+        "structural mimicry against static features [8]",
+        report.verdict.malicious,
+        f"static F1..F5 = {protected.features.binary()} but runtime fired "
+        f"{report.verdict.features.fired_names()}",
+    )
+
+    print("\n=== Runtime patching attack (§IV-B) ===")
+    victim = pipeline.protect(heap_spray_dropper(seed=3).to_bytes(), "victim.pdf")
+    patched = patch_out_monitoring(victim.data)
+    session = pipeline.session()
+    outcome = session.open_raw(patched, "patched.pdf")
+    neutralized = bool(outcome.handle.script_errors) and not (
+        session.system.filesystem.executables()
+    )
+    show(
+        "patch out monitoring code, run orphaned payload",
+        neutralized,
+        "orphaned ciphertext failed to execute; no syscalls made",
+    )
+    session.close()
+
+    print("\n=== Staged attacks (Table IV) ===")
+    for method in sorted(INSTALL_METHODS):
+        protected = pipeline.protect(staged_attack_document(method=method), f"{method}.pdf")
+        session = pipeline.session()
+        open_report = session.open(protected, fire_close=False)
+        session.reader.fire_event(open_report.outcome.handle, trigger_event_for(method))
+        verdict = session.verdict_for(protected)
+        show(
+            f"stage-2 installed via {method}()",
+            verdict.malicious and verdict.features.any_in_js,
+            "wrapper re-instrumented the dynamic script",
+        )
+        session.close()
+
+    print("\n=== Delayed execution (§IV-B) ===")
+    for use_interval in (False, True):
+        name = "setInterval" if use_interval else "setTimeOut"
+        report = pipeline.scan(
+            delayed_attack_document(use_interval=use_interval), f"{name}.pdf"
+        )
+        show(f"bomb scheduled via app.{name}()", report.verdict.malicious)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Quickstart: protect a document, open it, read the verdict.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import open_protected, protect
+from repro.corpus.malicious import heap_spray_dropper
+from repro.pdf.builder import DocumentBuilder
+
+
+def build_benign_report() -> bytes:
+    """A perfectly ordinary document with a little JavaScript."""
+    builder = DocumentBuilder()
+    builder.add_page("Quarterly revenue: up and to the right.")
+    builder.add_page("Appendix")
+    builder.set_info(Title="Q3 Report", Author="Finance")
+    builder.add_javascript(
+        "var stamp = util.printf('Generated for %s', this.info.Title);"
+        "app.alert(stamp);"
+    )
+    return builder.to_bytes()
+
+
+def main() -> None:
+    # --- a benign document sails through -------------------------------
+    benign = protect(build_benign_report(), "q3-report.pdf")
+    report = open_protected(benign)
+    print("benign document :", report.verdict.summary())
+    print("  alerts shown  :", report.outcome.handle.alerts)
+
+    # --- a malicious heap-spray dropper is detected and confined -------
+    malicious_bytes = heap_spray_dropper(seed=7).to_bytes()
+    malicious = protect(malicious_bytes, "free-ebook.pdf")
+    report = open_protected(malicious)
+    print("malicious doc   :", report.verdict.summary())
+    print("  malscore      :", report.verdict.malscore)
+    for alert in report.alerts:
+        for action in alert.confinement_actions:
+            print("  confinement   :", action)
+    print("  quarantined   :", report.quarantined_files)
+
+    assert not open_protected(benign).verdict.malicious
+    assert report.verdict.malicious
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Reproduction of *Detecting Malicious Javascript in PDF through Document
+Instrumentation* (Liu, Wang, Stavrou — DSN 2014).
+
+The package is organised as the paper's system plus every substrate it
+depends on:
+
+``repro.pdf``
+    A from-scratch PDF object model, tokenizer, parser, filter suite,
+    writer, encryption handler and high-level builder.
+``repro.js``
+    A from-scratch JavaScript (ES3-ish subset) interpreter with the
+    Acrobat object model the paper's instrumentation relies on
+    (``eval``, ``SOAP``, ``app.setTimeOut``, ``Doc.addScript`` …).
+``repro.winapi``
+    A simulated Windows substrate: processes with memory counters, a
+    syscall table, IAT hooking with a trampoline DLL, filesystem,
+    network sockets and a Sandboxie-like sandbox.
+``repro.reader``
+    A single-threaded simulated PDF reader with a version-gated exploit
+    registry, heap-spray/NOP-sled control-flow-hijack model and trigger
+    (``/OpenAction``, ``/AA``) dispatch.
+``repro.core``
+    The paper's contribution: static features, JavaScript-chain
+    reconstruction, document instrumentation and de-instrumentation,
+    the SOAP channel, the context-aware runtime monitor, the malscore
+    detector (Eq. 1) and the confinement engine (Table III).
+``repro.corpus``
+    Seeded synthetic benign/malicious corpora standing in for the
+    paper's Contagio + crawled datasets.
+``repro.baselines``
+    The comparison systems of Table IX (N-grams, PJScan, PDFRate,
+    structural paths, MDScan, Wepawet-like, signature AV) built on a
+    from-scratch ML toolkit.
+``repro.attacks``
+    The Section IV adversaries (mimicry, runtime patching, staged,
+    delayed execution) used by the security analysis.
+
+Quickstart::
+
+    from repro import protect, open_protected
+    from repro.corpus import malicious
+
+    pdf_bytes = malicious.heap_spray_dropper(seed=7).to_bytes()
+    protected = protect(pdf_bytes)
+    report = open_protected(protected)
+    assert report.verdict.malicious
+"""
+
+from typing import Any
+
+_LAZY_EXPORTS = {
+    "OpenReport": ("repro.core.pipeline", "OpenReport"),
+    "ProtectedDocument": ("repro.core.pipeline", "ProtectedDocument"),
+    "ProtectionPipeline": ("repro.core.pipeline", "ProtectionPipeline"),
+    "open_protected": ("repro.core.pipeline", "open_protected"),
+    "protect": ("repro.core.pipeline", "protect"),
+    "DetectorConfig": ("repro.core.detector", "DetectorConfig"),
+    "Verdict": ("repro.core.detector", "Verdict"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    """Lazily resolve the public API (PEP 562)."""
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, attr)
+
+
+__all__ = [
+    "DetectorConfig",
+    "OpenReport",
+    "ProtectedDocument",
+    "ProtectionPipeline",
+    "Verdict",
+    "open_protected",
+    "protect",
+]
+
+__version__ = "1.0.0"

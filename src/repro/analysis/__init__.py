@@ -1,0 +1,17 @@
+"""Statistics and reporting helpers for the evaluation benchmarks."""
+
+from repro.analysis.stats import Summary, cdf, summarize
+from repro.analysis.report import (
+    PaperComparison,
+    format_table,
+    render_ascii_cdf,
+)
+
+__all__ = [
+    "PaperComparison",
+    "Summary",
+    "cdf",
+    "format_table",
+    "render_ascii_cdf",
+    "summarize",
+]

@@ -1,0 +1,83 @@
+"""Rendering helpers: paper-vs-measured tables and ASCII CDF plots."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.analysis.stats import cdf
+
+
+@dataclass
+class PaperComparison:
+    """One table/figure reproduction: paper values next to measured."""
+
+    title: str
+    columns: Tuple[str, ...] = ("metric", "paper", "measured")
+    rows: List[Tuple[str, str, str]] = field(default_factory=list)
+
+    def add(self, metric: str, paper: object, measured: object) -> None:
+        self.rows.append((metric, str(paper), str(measured)))
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[i]), max((len(r[i]) for r in self.rows), default=0))
+            for i in range(len(self.columns))
+        ]
+        line = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        bar = "-" * len(line)
+        body = [
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+            for row in self.rows
+        ]
+        return "\n".join([self.title, bar, line, bar, *body, bar])
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in text_rows), default=0))
+        for i in range(len(headers))
+    ]
+    out = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    out.append("-" * len(out[0]))
+    for row in text_rows:
+        out.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def render_ascii_cdf(
+    series: List[Tuple[str, Sequence[float]]],
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "value",
+) -> str:
+    """Plot one or more empirical CDFs as ASCII art (Fig. 6/7 style)."""
+    all_values = [v for _name, values in series for v in values]
+    if not all_values:
+        return "(no data)"
+    lo, hi = min(all_values), max(all_values)
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*o+x#"
+    for index, (_name, values) in enumerate(series):
+        xs, fracs = cdf(values)
+        marker = markers[index % len(markers)]
+        for x, frac in zip(xs, fracs):
+            col = int((x - lo) / (hi - lo) * (width - 1))
+            row = height - 1 - int(frac * (height - 1))
+            grid[row][col] = marker
+    lines = ["1.0 |" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append("    |" + "".join(row))
+    lines.append("0.0 |" + "".join(grid[-1]))
+    lines.append("    +" + "-" * width)
+    lines.append(f"     {lo:.3g}{' ' * (width - 16)}{hi:.3g}  ({x_label})")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]} = {name}" for i, (name, _v) in enumerate(series)
+    )
+    lines.append("     " + legend)
+    return "\n".join(lines)

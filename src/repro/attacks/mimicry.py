@@ -1,0 +1,113 @@
+"""Mimicry attacks (§IV-B).
+
+Two flavours:
+
+1. **Message mimicry** against *our* system: the attacker script sends
+   its own "leave" SOAP message, hoping the detector believes the JS
+   context ended before the infection operations run.  It cannot know
+   the real key (random, per-document, structure-randomised, shadowed
+   by planted fakes), so it either guesses or scrapes a *fake* key —
+   and the zero-tolerance rule turns the very attempt into a
+   conviction.
+
+2. **Structural mimicry** against the static baselines (Maiorca et
+   al. [8]): a malicious document reshaped to look structurally benign
+   (many inert objects → low JS-chain ratio, no obfuscation, benign
+   metadata).  Static methods lose it; the runtime features do not.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.corpus import js_snippets as js
+from repro.core.monitor_code import SOAP_URL
+from repro.pdf.builder import DocumentBuilder
+from repro.reader.exploits import CVE
+from repro.reader.payload import Payload
+
+
+def fake_message_attack_document(
+    seed: int = 99,
+    guessed_key: Optional[str] = None,
+    spray_mb: int = 150,
+) -> bytes:
+    """Malicious doc that forges a premature "leave" message.
+
+    ``guessed_key`` defaults to a plausible-looking but wrong key (what
+    memory scraping would recover: one of the planted fakes).
+    """
+    rng = random.Random(seed)
+    key = guessed_key or (
+        "".join(rng.choice("0123456789abcdef") for _ in range(24))
+        + ":"
+        + "".join(rng.choice("0123456789abcdef") for _ in range(24))
+    )
+    forged_leave = (
+        f'SOAP.request({{cURL: "{SOAP_URL}", '
+        f'oRequest: {{ctx: "leave", key: "{key}", seq: 1}}}});'
+    )
+    attack = "\n".join(
+        [
+            forged_leave,  # try to close the context before misbehaving
+            js.spray_script(
+                spray_mb,
+                Payload.dropper(),
+                rng=rng,
+                exploit_call=js.exploit_call_for(CVE.COLLAB_GET_ICON, rng),
+            ),
+        ]
+    )
+    builder = DocumentBuilder()
+    builder.add_page("")
+    builder.add_javascript(attack)
+    return builder.to_bytes()
+
+
+def replay_epilogue_attack_document(seed: int = 100, spray_mb: int = 150) -> bytes:
+    """Variant: the attacker searches for "our episode code" and calls
+    the wrapped SOAP endpoint with a structurally perfect but unkeyed
+    message before carrying out malicious operations."""
+    rng = random.Random(seed)
+    forged = (
+        f'SOAP.request({{cURL: "{SOAP_URL}", '
+        'oRequest: {ctx: "leave", seq: 1}});'
+    )
+    attack = forged + "\n" + js.spray_script(
+        spray_mb,
+        Payload.dropper(),
+        rng=rng,
+        exploit_call=js.exploit_call_for(CVE.MEDIA_NEW_PLAYER, rng),
+    )
+    builder = DocumentBuilder()
+    builder.add_page("")
+    builder.add_javascript(attack)
+    return builder.to_bytes()
+
+
+def structural_mimicry_document(
+    seed: int = 101,
+    spray_mb: int = 140,
+    benign_padding: int = 80,
+) -> bytes:
+    """Maiorca-style mimicry: structurally indistinguishable from a
+    benign report, but the script still sprays and exploits."""
+    rng = random.Random(seed)
+    builder = DocumentBuilder()
+    for page in range(6):
+        builder.add_page(f"Quarterly results, page {page + 1}", extra_objects=2)
+    builder.pad_with_objects(benign_padding, payload=b"chart data ")
+    builder.set_info(
+        Title="Quarterly Report FY2013",
+        Author="Finance Team",
+        Producer="Office Converter 11.0",
+    )
+    attack = js.spray_script(
+        spray_mb,
+        Payload.downloader(),
+        rng=rng,
+        exploit_call=js.exploit_call_for(CVE.COLLAB_GET_ICON, rng),
+    )
+    builder.add_javascript(attack, trigger="OpenAction")
+    return builder.to_bytes()

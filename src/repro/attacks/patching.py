@@ -1,0 +1,48 @@
+"""Runtime patching attack (§IV-B).
+
+The attacker splits malicious JavaScript across two scripts; the first
+locates the second in memory and patches out its context monitoring
+code so it runs unmonitored.  The countermeasure: the original script
+is stored *encrypted*, with the decryptor living inside the monitoring
+prologue — cutting out the monitoring code leaves only ciphertext,
+which cannot execute.
+
+We model a *successful* patch (the strongest attacker): the monitoring
+wrapper of the second script is surgically removed from the
+instrumented document, leaving the raw payload string behind.  The
+result demonstrates the defence: the orphaned ciphertext is not valid
+JavaScript and the attack chain dies.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.pdf.document import PDFDocument
+
+
+_EVAL_PAYLOAD_RE = re.compile(r"eval\((\w+dec)\((\".*?\")\)\);", re.DOTALL)
+
+
+def patch_out_monitoring(instrumented: bytes) -> bytes:
+    """Simulate the attacker's in-memory patch on a protected document.
+
+    Every instrumented action's code is replaced by just the encrypted
+    payload literal (monitoring prologue, decryptor and epilogue
+    stripped) — what the attacker hopes is "the original script".
+    """
+    document = PDFDocument.from_bytes(instrumented)
+    for action in document.iter_javascript_actions():
+        code = document.get_javascript_code(action)
+        match = _EVAL_PAYLOAD_RE.search(code)
+        if match is None:
+            continue
+        # The attacker keeps only the string that (it believes) holds
+        # the original script, executing it directly.
+        document.set_javascript_code(action, f"eval({match.group(2)});")
+    return document.to_bytes()
+
+
+def strip_encryption_keep_monitoring(instrumented: bytes) -> bytes:
+    """Control arm: keep the monitoring code intact (no patch)."""
+    return instrumented

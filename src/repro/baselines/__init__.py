@@ -1,0 +1,31 @@
+"""Comparison systems from Table IX, rebuilt from their papers' designs.
+
+Every baseline follows a common protocol (:class:`BaselineDetector`):
+``fit(samples)`` then ``predict(sample) -> bool`` (True = malicious).
+They are intentionally faithful to the *kind* of evidence each method
+uses — raw byte n-grams, lexical JS tokens, structural metadata,
+structural paths, or emulated execution — so the comparison reproduces
+each method's blind spots rather than its exact numbers.
+"""
+
+from repro.baselines.base import BaselineDetector, EvaluationResult, evaluate_detector
+from repro.baselines.ngram import MarkovNGramDetector
+from repro.baselines.pjscan import PJScanDetector
+from repro.baselines.pdfrate import PDFRateDetector
+from repro.baselines.structural import StructuralPathDetector
+from repro.baselines.mdscan import MDScanDetector
+from repro.baselines.wepawet import WepawetDetector
+from repro.baselines.antivirus import SignatureAVDetector
+
+__all__ = [
+    "BaselineDetector",
+    "EvaluationResult",
+    "MDScanDetector",
+    "MarkovNGramDetector",
+    "PDFRateDetector",
+    "PJScanDetector",
+    "SignatureAVDetector",
+    "StructuralPathDetector",
+    "WepawetDetector",
+    "evaluate_detector",
+]

@@ -1,0 +1,39 @@
+"""Signature-based anti-virus baseline (Table I's first row).
+
+Scans *raw* file bytes for known exploit signatures — the cheap
+pattern-matching real AV engines apply to mail gateways.  A single
+level of stream encoding (which 96 % of the malicious corpus uses,
+Table VI) hides every signature, reproducing the paper's point that
+"attackers can easily generate variants ... to defeat anti-virus
+software".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.baselines.base import BaselineDetector
+from repro.corpus.dataset import Sample
+
+DEFAULT_SIGNATURES: Tuple[bytes, ...] = (
+    b"Collab.getIcon",
+    b"Collab.collectEmailInfo",
+    b"media.newPlayer",
+    b"util.printf(\"%45000",
+    b"%u9090%u9090",
+    b"printSeps",
+    b".exe\", nLaunch",
+)
+
+
+class SignatureAVDetector(BaselineDetector):
+    name = "Signature AV"
+
+    def __init__(self, signatures: Tuple[bytes, ...] = DEFAULT_SIGNATURES) -> None:
+        self.signatures = signatures
+
+    def fit(self, samples: Sequence[Sample]) -> "SignatureAVDetector":
+        return self  # signatures ship with the engine
+
+    def predict(self, sample: Sample) -> bool:
+        return any(signature in sample.data for signature in self.signatures)

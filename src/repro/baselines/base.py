@@ -1,0 +1,88 @@
+"""Common protocol + evaluation harness for the baseline detectors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+from repro.corpus.dataset import Sample
+
+
+class BaselineDetector:
+    """fit-then-predict detector over raw samples."""
+
+    name = "baseline"
+
+    def fit(self, samples: Sequence[Sample]) -> "BaselineDetector":
+        raise NotImplementedError
+
+    def predict(self, sample: Sample) -> bool:
+        """True = malicious."""
+        raise NotImplementedError
+
+
+@dataclass
+class EvaluationResult:
+    """Confusion counts for one detector over one test set."""
+
+    name: str
+    true_positives: int = 0
+    false_positives: int = 0
+    true_negatives: int = 0
+    false_negatives: int = 0
+    errors: int = 0
+    misses: List[str] = field(default_factory=list)
+
+    @property
+    def tp_rate(self) -> float:
+        positives = self.true_positives + self.false_negatives
+        return self.true_positives / positives if positives else 0.0
+
+    @property
+    def fp_rate(self) -> float:
+        negatives = self.false_positives + self.true_negatives
+        return self.false_positives / negatives if negatives else 0.0
+
+    def row(self) -> str:
+        return (
+            f"{self.name:<24} FP {self.fp_rate * 100:5.1f}%   "
+            f"TP {self.tp_rate * 100:5.1f}%"
+        )
+
+
+def evaluate_detector(
+    detector: BaselineDetector,
+    test_samples: Iterable[Sample],
+    keep_misses: int = 8,
+) -> EvaluationResult:
+    """Score a fitted detector against labelled samples."""
+    result = EvaluationResult(name=detector.name)
+    for sample in test_samples:
+        try:
+            flagged = bool(detector.predict(sample))
+        except Exception:  # noqa: BLE001 - a crash on hostile input is a miss
+            result.errors += 1
+            flagged = False
+        if sample.malicious and flagged:
+            result.true_positives += 1
+        elif sample.malicious and not flagged:
+            result.false_negatives += 1
+            if len(result.misses) < keep_misses:
+                result.misses.append(sample.name)
+        elif not sample.malicious and flagged:
+            result.false_positives += 1
+        else:
+            result.true_negatives += 1
+    return result
+
+
+def train_test_split(
+    samples: Sequence[Sample], train_fraction: float = 0.6
+) -> tuple:
+    """Deterministic interleaved split (samples are already seeded)."""
+    train: List[Sample] = []
+    test: List[Sample] = []
+    threshold = int(round(train_fraction * 10))
+    for index, sample in enumerate(samples):
+        (train if index % 10 < threshold else test).append(sample)
+    return train, test

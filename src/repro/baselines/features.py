@@ -1,0 +1,167 @@
+"""Shared feature-extraction helpers for the baseline detectors."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.corpus.dataset import Sample
+from repro.pdf.document import PDFDocument
+from repro.pdf.objects import PDFArray, PDFDict, PDFName, PDFRef, PDFStream, PDFString
+from repro.pdf.parser import PDFParseError
+
+
+def parse_sample(sample: Sample) -> Optional[PDFDocument]:
+    try:
+        return PDFDocument.from_bytes(sample.data)
+    except (PDFParseError, Exception):  # noqa: BLE001 - hostile inputs
+        return None
+
+
+def extract_js_sources(document: PDFDocument) -> List[str]:
+    """Static JavaScript extraction the way MDScan/PJScan do it:
+    follow /JS entries of recognisable actions.  Code hidden elsewhere
+    (e.g. ``this.info.title``) is *not* recovered — that is precisely
+    the evasion the paper's instrumentation is immune to."""
+    sources: List[str] = []
+    for action in document.iter_javascript_actions():
+        code = document.get_javascript_code(action)
+        if code.strip():
+            sources.append(code)
+    return sources
+
+
+def structural_paths(document: PDFDocument, max_depth: int = 6) -> List[str]:
+    """Srndic-Laskov structural paths from the trailer downwards."""
+    paths: List[str] = []
+    seen_refs = set()
+
+    def walk(value: object, prefix: str, depth: int) -> None:
+        if depth > max_depth:
+            return
+        if isinstance(value, PDFRef):
+            if (prefix, value) in seen_refs:
+                return
+            seen_refs.add((prefix, value))
+            walk(document.resolve(value), prefix, depth)
+            return
+        if isinstance(value, PDFStream):
+            paths.append(prefix + "/<stream>")
+            walk(value.dictionary, prefix, depth)
+            return
+        if isinstance(value, PDFDict):
+            for key, item in value.items():
+                name = str(key) if isinstance(key, PDFName) else str(key)
+                child = f"{prefix}/{name}"
+                paths.append(child)
+                walk(item, child, depth + 1)
+            return
+        if isinstance(value, PDFArray):
+            for item in value:
+                walk(item, prefix, depth + 1)
+
+    walk(document.trailer.get("Root"), "", 0)
+    return paths
+
+
+def metadata_features(sample: Sample, document: Optional[PDFDocument]) -> np.ndarray:
+    """PDFRate-style metadata + structural counts."""
+    size = float(len(sample.data))
+    if document is None:
+        return np.array([size] + [0.0] * 11)
+    store = document.store
+    n_objects = float(len(store))
+    n_streams = 0.0
+    total_stream_bytes = 0.0
+    n_empty = 0.0
+    max_filters = 0.0
+    for entry in store:
+        value = entry.value
+        if isinstance(value, PDFStream):
+            n_streams += 1
+            total_stream_bytes += len(value.raw_data)
+            max_filters = max(max_filters, float(value.encoding_levels))
+        elif isinstance(value, PDFDict) and not value:
+            n_empty += 1
+    js_actions = float(len(list(document.iter_javascript_actions())))
+    n_pages = float(document.page_count)
+    info = document.info
+    title_len = 0.0
+    title = info.get("Title")
+    resolved_title = document.resolve(title) if title is not None else None
+    if isinstance(resolved_title, PDFString):
+        title_len = float(len(resolved_title))
+    header_at_start = 1.0 if document.header.at_start else 0.0
+    avg_stream = total_stream_bytes / n_streams if n_streams else 0.0
+    return np.array(
+        [
+            size,
+            n_objects,
+            n_streams,
+            avg_stream,
+            n_empty,
+            max_filters,
+            js_actions,
+            n_pages,
+            title_len,
+            header_at_start,
+            n_objects / (size / 1024.0 + 1.0),
+            js_actions / (n_pages + 1.0),
+        ]
+    )
+
+
+def js_lexical_histogram(sources: List[str]) -> np.ndarray:
+    """PJScan-style lexical token-class histogram over extracted JS."""
+    from repro.js.errors import JSSyntaxError
+    from repro.js.lexer import TokenType, tokenize
+
+    counts: Dict[str, float] = {
+        "number": 0.0,
+        "string": 0.0,
+        "identifier": 0.0,
+        "keyword": 0.0,
+        "operator": 0.0,
+        "long_string": 0.0,
+        "eval_like": 0.0,
+        "unescape_like": 0.0,
+        "fromcharcode": 0.0,
+        "loops": 0.0,
+        "plus_assign": 0.0,
+        "parse_failed": 0.0,
+    }
+    total_tokens = 1.0
+    for code in sources:
+        try:
+            tokens = tokenize(code)
+        except JSSyntaxError:
+            counts["parse_failed"] += 1.0
+            continue
+        for token in tokens:
+            total_tokens += 1.0
+            if token.type is TokenType.NUMBER:
+                counts["number"] += 1
+            elif token.type is TokenType.STRING:
+                counts["string"] += 1
+                if isinstance(token.value, str) and len(token.value) > 256:
+                    counts["long_string"] += 1
+            elif token.type is TokenType.IDENTIFIER:
+                counts["identifier"] += 1
+                lowered = str(token.value).lower()
+                if lowered == "eval":
+                    counts["eval_like"] += 1
+                elif lowered in ("unescape", "escape"):
+                    counts["unescape_like"] += 1
+                elif lowered == "fromcharcode":
+                    counts["fromcharcode"] += 1
+            elif token.type is TokenType.KEYWORD:
+                counts["keyword"] += 1
+                if token.value in ("for", "while", "do"):
+                    counts["loops"] += 1
+            elif token.type is TokenType.OPERATOR:
+                counts["operator"] += 1
+                if token.value == "+=":
+                    counts["plus_assign"] += 1
+    vector = np.array(list(counts.values()), dtype=float)
+    return vector / total_tokens

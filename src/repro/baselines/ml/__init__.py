@@ -1,0 +1,21 @@
+"""From-scratch machine-learning toolkit for the baselines.
+
+No scikit-learn in this environment, so the classifiers the baseline
+papers use are implemented directly on numpy: CART decision trees,
+bagged random forests, a Pegasos linear SVM, a one-class SVM
+(Schölkopf linear formulation) and a Markov-chain byte model.
+"""
+
+from repro.baselines.ml.decision_tree import DecisionTreeClassifier
+from repro.baselines.ml.forest import RandomForestClassifier
+from repro.baselines.ml.svm import LinearSVM
+from repro.baselines.ml.ocsvm import OneClassSVM
+from repro.baselines.ml.markov import MarkovByteModel
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "LinearSVM",
+    "MarkovByteModel",
+    "OneClassSVM",
+    "RandomForestClassifier",
+]

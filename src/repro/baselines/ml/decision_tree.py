@@ -1,0 +1,119 @@
+"""CART decision tree (gini impurity, binary splits on thresholds)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    prediction: float = 0.0
+    is_leaf: bool = False
+
+
+def _gini(labels: np.ndarray) -> float:
+    if labels.size == 0:
+        return 0.0
+    p = labels.mean()
+    return 2.0 * p * (1.0 - p)
+
+
+class DecisionTreeClassifier:
+    """Binary CART classifier.
+
+    ``max_features`` (when set) samples a feature subset per split —
+    that is what the random forest passes in.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_split: int = 4,
+        max_features: Optional[int] = None,
+        random_state: int = 0,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.random_state = random_state
+        self._root: Optional[_Node] = None
+        self._rng = np.random.default_rng(random_state)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise ValueError("X must be 2-D and aligned with y")
+        self._root = self._build(X, y, depth=0)
+        return self
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(prediction=float(y.mean()) if y.size else 0.0)
+        if (
+            depth >= self.max_depth
+            or y.size < self.min_samples_split
+            or _gini(y) == 0.0
+        ):
+            node.is_leaf = True
+            return node
+
+        n_features = X.shape[1]
+        if self.max_features is not None and self.max_features < n_features:
+            candidates = self._rng.choice(n_features, self.max_features, replace=False)
+        else:
+            candidates = np.arange(n_features)
+
+        best_gain = 1e-12
+        best: Optional[tuple] = None
+        parent_impurity = _gini(y)
+        for feature in candidates:
+            values = X[:, feature]
+            thresholds = np.unique(values)
+            if thresholds.size > 32:
+                thresholds = np.quantile(values, np.linspace(0.05, 0.95, 16))
+                thresholds = np.unique(thresholds)
+            for threshold in thresholds:
+                mask = values <= threshold
+                n_left = int(mask.sum())
+                if n_left == 0 or n_left == y.size:
+                    continue
+                impurity = (
+                    n_left * _gini(y[mask]) + (y.size - n_left) * _gini(y[~mask])
+                ) / y.size
+                gain = parent_impurity - impurity
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (int(feature), float(threshold), mask)
+        if best is None:
+            node.is_leaf = True
+            return node
+        feature, threshold, mask = best
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("fit() first")
+        X = np.asarray(X, dtype=float)
+        return np.array([self._score_row(row) for row in X])
+
+    def _score_row(self, row: np.ndarray) -> float:
+        node = self._root
+        assert node is not None
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+            assert node is not None
+        return node.prediction
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(X) >= 0.5).astype(int)

@@ -1,0 +1,51 @@
+"""Bagged random forest over the CART trees."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.baselines.ml.decision_tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier:
+    """Bootstrap-aggregated CART ensemble with √d feature sampling."""
+
+    def __init__(
+        self,
+        n_estimators: int = 25,
+        max_depth: int = 10,
+        random_state: int = 0,
+    ) -> None:
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.random_state = random_state
+        self._trees: List[DecisionTreeClassifier] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        n_samples, n_features = X.shape
+        max_features = max(1, int(np.sqrt(n_features)))
+        rng = np.random.default_rng(self.random_state)
+        self._trees = []
+        for index in range(self.n_estimators):
+            rows = rng.integers(0, n_samples, size=n_samples)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                max_features=max_features,
+                random_state=self.random_state + index,
+            )
+            tree.fit(X[rows], y[rows])
+            self._trees.append(tree)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise RuntimeError("fit() first")
+        votes = np.stack([tree.predict_proba(X) for tree in self._trees])
+        return votes.mean(axis=0)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(X) >= 0.5).astype(int)

@@ -1,0 +1,61 @@
+"""One-class SVM (linear ν-formulation, deterministic solution).
+
+PJScan [7] trains a one-class SVM on *malicious* lexical vectors and
+flags test points inside the learned region.  For the linear kernel on
+standardised data the ν-formulation ``min ½‖w‖² − ρ + (1/νn) Σ max(0,
+ρ − ⟨w, xᵢ⟩)`` is solved by the scaled class mean direction with ρ at
+the ν-quantile of projections — which we compute directly instead of
+running a fragile sub-gradient loop.  Points with ``⟨w, x⟩ ≥ ρ`` are
+members of the trained class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class OneClassSVM:
+    def __init__(self, nu: float = 0.2, random_state: int = 0) -> None:
+        if not 0.0 < nu <= 1.0:
+            raise ValueError("nu must be in (0, 1]")
+        self.nu = nu
+        self.random_state = random_state  # kept for API parity
+        self.w: np.ndarray | None = None
+        self.rho: float = 0.0
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "OneClassSVM":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[0] == 0:
+            raise ValueError("X must be a non-empty 2-D array")
+        self._mean = X.mean(axis=0)
+        self._std = X.std(axis=0)
+        self._std[self._std == 0] = 1.0
+        Xs = (X - self._mean) / self._std
+
+        # Direction of the training mass.  On standardised one-class
+        # data the mean is ~0; fall back to the dominant principal axis.
+        center = Xs.mean(axis=0)
+        if np.linalg.norm(center) < 1e-9:
+            _u, _s, vt = np.linalg.svd(Xs, full_matrices=False)
+            direction = vt[0]
+        else:
+            direction = center
+        self.w = direction / (np.linalg.norm(direction) + 1e-12)
+
+        projections = Xs @ self.w
+        # ν controls the training outlier fraction: ρ sits at the
+        # ν-quantile so ~(1-ν) of training points are inside.
+        self.rho = float(np.quantile(projections, self.nu))
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Positive = inside the trained class."""
+        if self.w is None or self._mean is None or self._std is None:
+            raise RuntimeError("fit() first")
+        Xs = (np.asarray(X, dtype=float) - self._mean) / self._std
+        return Xs @ self.w - self.rho
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.decision_function(X) >= 0.0).astype(int)

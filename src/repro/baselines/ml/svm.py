@@ -1,0 +1,59 @@
+"""Linear SVM trained with the Pegasos sub-gradient method."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LinearSVM:
+    """Binary linear SVM; labels are {0, 1} at the API boundary."""
+
+    def __init__(
+        self,
+        lam: float = 1e-3,
+        epochs: int = 40,
+        random_state: int = 0,
+    ) -> None:
+        self.lam = lam
+        self.epochs = epochs
+        self.random_state = random_state
+        self.w: np.ndarray | None = None
+        self.b: float = 0.0
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearSVM":
+        X = np.asarray(X, dtype=float)
+        y_signed = np.where(np.asarray(y, dtype=float) > 0.5, 1.0, -1.0)
+        self._mean = X.mean(axis=0)
+        self._std = X.std(axis=0)
+        self._std[self._std == 0] = 1.0
+        Xs = (X - self._mean) / self._std
+
+        n_samples, n_features = Xs.shape
+        rng = np.random.default_rng(self.random_state)
+        w = np.zeros(n_features)
+        b = 0.0
+        t = 0
+        for _ in range(self.epochs):
+            order = rng.permutation(n_samples)
+            for index in order:
+                t += 1
+                eta = 1.0 / (self.lam * t)
+                margin = y_signed[index] * (Xs[index] @ w + b)
+                w *= 1.0 - eta * self.lam
+                if margin < 1.0:
+                    w += eta * y_signed[index] * Xs[index]
+                    b += eta * y_signed[index]
+        self.w = w
+        self.b = b
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        if self.w is None or self._mean is None or self._std is None:
+            raise RuntimeError("fit() first")
+        Xs = (np.asarray(X, dtype=float) - self._mean) / self._std
+        return Xs @ self.w + self.b
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.decision_function(X) >= 0.0).astype(int)

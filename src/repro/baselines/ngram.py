@@ -1,0 +1,40 @@
+"""Markov n-gram baseline (Shafiq et al. [17], Li et al. [16]).
+
+Trains a byte-transition model on benign documents and flags test
+documents whose raw-byte perplexity deviates.  Weak against PDF
+malware in practice (Table IX: 31 % FP / 84 % TP) because nearly all
+payload bytes hide behind Flate compression, which whitens the byte
+stream for benign and malicious files alike.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.base import BaselineDetector
+from repro.baselines.ml.markov import MarkovByteModel
+from repro.corpus.dataset import Sample
+
+
+class MarkovNGramDetector(BaselineDetector):
+    name = "N-grams [17]"
+
+    def __init__(self, percentile: float = 84.0) -> None:
+        #: Anomaly threshold as a percentile of benign training scores.
+        self.percentile = percentile
+        self.model = MarkovByteModel()
+        self.threshold: float = float("inf")
+
+    def fit(self, samples: Sequence[Sample]) -> "MarkovNGramDetector":
+        benign = [s for s in samples if not s.malicious]
+        if not benign:
+            raise ValueError("n-gram baseline needs benign training data")
+        self.model.fit(s.data for s in benign)
+        scores = np.array([self.model.score(s.data) for s in benign])
+        self.threshold = float(np.percentile(scores, self.percentile))
+        return self
+
+    def predict(self, sample: Sample) -> bool:
+        return self.model.score(sample.data) > self.threshold

@@ -1,0 +1,55 @@
+"""PJScan baseline (Laskov & Srndic [7]).
+
+Statically extracts JavaScript, builds lexical token-class histograms
+and trains a one-class SVM on *malicious* vectors; test documents whose
+vector falls inside the learned region are flagged.  Documents whose
+JavaScript cannot be extracted (hidden outside /JS, or no JS at all)
+fall through as benign — a structural blind spot the paper exploits in
+its comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.base import BaselineDetector
+from repro.baselines.features import extract_js_sources, js_lexical_histogram, parse_sample
+from repro.baselines.ml.ocsvm import OneClassSVM
+from repro.corpus.dataset import Sample
+
+
+class PJScanDetector(BaselineDetector):
+    name = "PJScan [7]"
+
+    def __init__(self, nu: float = 0.1, random_state: int = 0) -> None:
+        self.model = OneClassSVM(nu=nu, random_state=random_state)
+
+    def _vector(self, sample: Sample) -> np.ndarray | None:
+        document = parse_sample(sample)
+        if document is None:
+            return None
+        sources = extract_js_sources(document)
+        if not sources:
+            return None
+        return js_lexical_histogram(sources)
+
+    def fit(self, samples: Sequence[Sample]) -> "PJScanDetector":
+        vectors = []
+        for sample in samples:
+            if not sample.malicious:
+                continue
+            vector = self._vector(sample)
+            if vector is not None:
+                vectors.append(vector)
+        if not vectors:
+            raise ValueError("PJScan needs malicious training samples with JS")
+        self.model.fit(np.stack(vectors))
+        return self
+
+    def predict(self, sample: Sample) -> bool:
+        vector = self._vector(sample)
+        if vector is None:
+            return False  # no extractable JavaScript → passes as benign
+        return bool(self.model.predict(vector[None, :])[0])

@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``scan FILE``
+    Instrument FILE, open it in a fresh monitored session and print the
+    verdict, fired features, alerts and confinement actions.
+``instrument FILE -o OUT [--spec SPEC.json]``
+    Run the front-end only; write the instrumented document (and
+    optionally the de-instrumentation spec).
+``deinstrument FILE --spec SPEC.json -o OUT``
+    Restore the original document from an instrumented one.
+``features FILE``
+    Print the five static features and the JavaScript chains.
+``corpus OUTDIR [--benign N] [--benign-js N] [--malicious N] [--seed S]``
+    Generate a labelled synthetic corpus on disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.chains import analyze_chains
+from repro.core.deinstrument import DeinstrumentationSpec, deinstrument
+from repro.core.pipeline import ProtectionPipeline
+from repro.core.static_features import extract_static_features
+from repro.pdf.document import PDFDocument
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Context-aware detection of malicious JavaScript in PDF "
+        "(DSN 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scan = sub.add_parser("scan", help="instrument + open + verdict")
+    scan.add_argument("file", type=Path)
+    scan.add_argument("--reader-version", default="9.0", choices=("8.0", "9.0"))
+    scan.add_argument("--json", action="store_true", help="machine-readable output")
+
+    instrument = sub.add_parser("instrument", help="front-end only")
+    instrument.add_argument("file", type=Path)
+    instrument.add_argument("-o", "--output", type=Path, required=True)
+    instrument.add_argument("--spec", type=Path, help="write de-instrumentation spec")
+
+    deinst = sub.add_parser("deinstrument", help="restore original document")
+    deinst.add_argument("file", type=Path)
+    deinst.add_argument("--spec", type=Path, required=True)
+    deinst.add_argument("-o", "--output", type=Path, required=True)
+
+    features = sub.add_parser("features", help="static features + JS chains")
+    features.add_argument("file", type=Path)
+
+    corpus = sub.add_parser("corpus", help="generate a synthetic corpus")
+    corpus.add_argument("outdir", type=Path)
+    corpus.add_argument("--benign", type=int, default=50)
+    corpus.add_argument("--benign-js", type=int, default=10)
+    corpus.add_argument("--malicious", type=int, default=30)
+    corpus.add_argument("--seed", type=int, default=2014)
+    return parser
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    data = args.file.read_bytes()
+    pipeline = ProtectionPipeline(reader_version=args.reader_version)
+    report = pipeline.scan(data, args.file.name)
+    verdict = report.verdict
+    if args.json:
+        print(json.dumps(report.to_dict()))
+    else:
+        print(verdict.summary())
+        if report.crashed:
+            print(f"  reader crashed: {report.outcome.crash_reason}")
+        if report.did_nothing:
+            print("  sample was inert (no in-JS activity)")
+        for alert in report.alerts:
+            for action in alert.confinement_actions:
+                print(f"  confinement: {action}")
+    return 1 if verdict.malicious else 0
+
+
+def _cmd_instrument(args: argparse.Namespace) -> int:
+    pipeline = ProtectionPipeline()
+    protected = pipeline.protect(args.file.read_bytes(), args.file.name)
+    args.output.write_bytes(protected.data)
+    print(
+        f"instrumented {protected.instrumentation.instrumented_scripts} script(s) "
+        f"(+{len(protected.embedded)} embedded PDF(s)); key {protected.key_text}"
+    )
+    if args.spec is not None:
+        args.spec.write_text(json.dumps(protected.spec.to_dict(), indent=2))
+        print(f"de-instrumentation spec written to {args.spec}")
+    return 0
+
+
+def _cmd_deinstrument(args: argparse.Namespace) -> int:
+    spec = DeinstrumentationSpec.from_dict(json.loads(args.spec.read_text()))
+    restored = deinstrument(args.file.read_bytes(), spec)
+    args.output.write_bytes(restored)
+    print(f"restored {len(spec.entries)} script(s) -> {args.output}")
+    return 0
+
+
+def _cmd_features(args: argparse.Namespace) -> int:
+    document = PDFDocument.from_bytes(args.file.read_bytes())
+    chains = analyze_chains(document)
+    features = extract_static_features(document, chains=chains)
+    print(f"objects          : {len(document.store)}")
+    print(f"javascript chains: {len(chains.chains)} "
+          f"({len(chains.triggered_chains())} triggered)")
+    print(f"F1 chain ratio   : {features.js_chain_ratio:.3f} -> {features.f1}")
+    print(f"F2 header obf    : {features.header_obfuscated} -> {features.f2}")
+    print(f"F3 hex keyword   : {features.hex_code_in_keyword} -> {features.f3}")
+    print(f"F4 empty objects : {features.empty_object_count} -> {features.f4}")
+    print(f"F5 encoding lvls : {features.encoding_levels} -> {features.f5}")
+    return 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.corpus import CorpusConfig, build_dataset
+
+    config = CorpusConfig(
+        n_benign=args.benign,
+        n_benign_with_js=args.benign_js,
+        n_malicious=args.malicious,
+        benign_seed=args.seed,
+        malicious_seed=args.seed + 1,
+    )
+    dataset = build_dataset(config)
+    benign_dir = args.outdir / "benign"
+    malicious_dir = args.outdir / "malicious"
+    benign_dir.mkdir(parents=True, exist_ok=True)
+    malicious_dir.mkdir(parents=True, exist_ok=True)
+    manifest = []
+    for sample in dataset.all_samples():
+        target = (malicious_dir if sample.malicious else benign_dir) / sample.name
+        target.write_bytes(sample.data)
+        manifest.append(
+            {"name": sample.name, "label": sample.label, "kind": sample.kind,
+             **{k: v for k, v in sample.meta.items() if isinstance(v, (str, int, bool, float))}}
+        )
+    (args.outdir / "manifest.json").write_text(json.dumps(manifest, indent=1))
+    print(
+        f"wrote {len(dataset.benign)} benign + {len(dataset.malicious)} malicious "
+        f"samples to {args.outdir}"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "scan": _cmd_scan,
+    "instrument": _cmd_instrument,
+    "deinstrument": _cmd_deinstrument,
+    "features": _cmd_features,
+    "corpus": _cmd_corpus,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

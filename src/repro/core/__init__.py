@@ -1,0 +1,44 @@
+"""The paper's contribution: context-aware detection and confinement of
+malicious JavaScript in PDF via static document instrumentation.
+
+Front-end (Phase I): :mod:`repro.core.chains`,
+:mod:`repro.core.static_features`, :mod:`repro.core.instrument`,
+:mod:`repro.core.monitor_code`, :mod:`repro.core.keys`.
+
+Back-end (Phase II): :mod:`repro.core.soap`,
+:mod:`repro.core.runtime_monitor`, :mod:`repro.core.detector`,
+:mod:`repro.core.confine`.
+
+Lifecycle: :mod:`repro.core.deinstrument`, :mod:`repro.core.pipeline`.
+"""
+
+from repro.core.chains import ChainAnalysis, JavascriptChain, analyze_chains
+from repro.core.detector import DetectorConfig, FeatureVector, MalscoreDetector, Verdict
+from repro.core.instrument import InstrumentationResult, Instrumenter
+from repro.core.pipeline import (
+    OpenReport,
+    ProtectedDocument,
+    ProtectionPipeline,
+    open_protected,
+    protect,
+)
+from repro.core.static_features import StaticFeatures, extract_static_features
+
+__all__ = [
+    "ChainAnalysis",
+    "DetectorConfig",
+    "FeatureVector",
+    "InstrumentationResult",
+    "Instrumenter",
+    "JavascriptChain",
+    "MalscoreDetector",
+    "OpenReport",
+    "ProtectedDocument",
+    "ProtectionPipeline",
+    "StaticFeatures",
+    "Verdict",
+    "analyze_chains",
+    "extract_static_features",
+    "open_protected",
+    "protect",
+]

@@ -1,0 +1,52 @@
+"""Confinement rules (Table III).
+
+Two halves, exactly as the paper splits them:
+
+* **Hook DLL side** (executes inside the reader process, before the
+  original API): malware dropping passes through (the detector tracks
+  and later isolates); process creation is rejected (the detector
+  re-launches the target in the sandbox); DLL injection is always
+  rejected.
+* **Runtime detector side**: maintain the downloaded-executable list,
+  run rejected targets in Sandboxie, and on alert terminate/isolate —
+  implemented in :class:`repro.core.runtime_monitor.RuntimeMonitor`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.winapi.hooks import HookAction, HookRule
+from repro.winapi.process import Process
+from repro.winapi.syscalls import API, SyscallEvent
+
+
+def build_hook_rules(whitelisted_programs: tuple = ()) -> Dict[str, HookRule]:
+    """The per-API decisions the hook DLL enforces locally."""
+
+    def allow(_process: Process, _event: SyscallEvent) -> HookAction:
+        return HookAction.PASS
+
+    def reject(_process: Process, _event: SyscallEvent) -> HookAction:
+        return HookAction.REJECT
+
+    def reject_process_creation(_process: Process, event: SyscallEvent) -> HookAction:
+        image = str(event.args.get("image", ""))
+        base = image.split("\\")[-1]
+        if base in whitelisted_programs or image in whitelisted_programs:
+            return HookAction.PASS
+        # Rejected here; the runtime detector re-invokes it in Sandboxie.
+        return HookAction.REJECT
+
+    rules: Dict[str, HookRule] = {}
+    for api in API.MALWARE_DROP:
+        rules[api] = allow       # "Before alert, call original API."
+    for api in API.NETWORK:
+        rules[api] = allow       # observed only
+    for api in API.MEMORY_SEARCH:
+        rules[api] = allow       # observed only
+    for api in API.PROCESS_CREATE:
+        rules[api] = reject_process_creation
+    for api in API.DLL_INJECT:
+        rules[api] = reject      # "Always reject."
+    return rules

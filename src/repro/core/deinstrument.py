@@ -1,0 +1,133 @@
+"""De-instrumentation (§III-F).
+
+When a document has been proven benign, the context monitoring code is
+removed so later opens pay no overhead.  The front-end exports a
+*de-instrumentation specification* at instrumentation time; applying it
+restores every original script byte-for-byte and drops the key marker.
+
+The at-once policy is a heuristic; :class:`DeinstrumentationPolicy`
+exposes the paper's suggested configurable open-count with optional
+randomisation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.pdf.document import PDFDocument
+
+#: Catalog key marking an instrumented document.
+MARKER_KEY = "CtxMonKey"
+
+
+@dataclass
+class ScriptRestoreEntry:
+    """How to restore one instrumented (or blanked) action."""
+
+    #: Position in the document's canonical action iteration order.
+    order_index: int
+    trigger: str
+    name: Optional[str]
+    original_code: str
+
+
+@dataclass
+class DeinstrumentationSpec:
+    """Everything needed to undo one document's instrumentation."""
+
+    key_text: str
+    document_name: str
+    entries: List[ScriptRestoreEntry] = field(default_factory=list)
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable export (the paper's spec is exported to disk)."""
+        return {
+            "key": self.key_text,
+            "document": self.document_name,
+            "entries": [
+                {
+                    "order_index": e.order_index,
+                    "trigger": e.trigger,
+                    "name": e.name,
+                    "original_code": e.original_code,
+                }
+                for e in self.entries
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "DeinstrumentationSpec":
+        return cls(
+            key_text=data["key"],
+            document_name=data["document"],
+            entries=[
+                ScriptRestoreEntry(
+                    order_index=e["order_index"],
+                    trigger=e["trigger"],
+                    name=e.get("name"),
+                    original_code=e["original_code"],
+                )
+                for e in data["entries"]
+            ],
+        )
+
+
+class DeinstrumentationError(ValueError):
+    """The spec does not match the document."""
+
+
+def deinstrument(data: bytes, spec: DeinstrumentationSpec) -> bytes:
+    """Restore the original document from instrumented ``data``."""
+    document = PDFDocument.from_bytes(data)
+    marker = document.catalog.get(MARKER_KEY)
+    if marker is None:
+        raise DeinstrumentationError("document carries no instrumentation marker")
+
+    actions = list(document.iter_javascript_actions())
+    by_index = {entry.order_index: entry for entry in spec.entries}
+    restored = 0
+    for index, action in enumerate(actions):
+        entry = by_index.get(index)
+        if entry is None:
+            continue
+        document.set_javascript_code(action, entry.original_code)
+        restored += 1
+    if restored != len(spec.entries):
+        raise DeinstrumentationError(
+            f"spec has {len(spec.entries)} entries but only {restored} matched"
+        )
+    document.catalog.pop(MARKER_KEY, None)
+    return document.to_bytes()
+
+
+@dataclass
+class DeinstrumentationPolicy:
+    """When to de-instrument: after N benign opens (optionally fuzzed).
+
+    ``opens_before`` = 1 reproduces the paper's at-once heuristic;
+    ``randomize_window`` > 0 adds a per-document random extra count so
+    an attacker cannot predict the de-instrumentation point.
+    """
+
+    opens_before: int = 1
+    randomize_window: int = 0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._required: Dict[str, int] = {}
+        self._benign_opens: Dict[str, int] = {}
+
+    def record_benign_open(self, key_text: str) -> bool:
+        """Record one benign open; True when it is time to de-instrument."""
+        if key_text not in self._required:
+            extra = self._rng.randint(0, self.randomize_window) if self.randomize_window else 0
+            self._required[key_text] = self.opens_before + extra
+        self._benign_opens[key_text] = self._benign_opens.get(key_text, 0) + 1
+        return self._benign_opens[key_text] >= self._required[key_text]
+
+    def reset(self, key_text: str) -> None:
+        self._benign_opens.pop(key_text, None)
+        self._required.pop(key_text, None)

@@ -1,0 +1,214 @@
+"""The malscore detector (§III-E, Equation 1, Table VII).
+
+Thirteen binary features:
+
+====  ======================================  ========
+F#    Feature                                 Group
+====  ======================================  ========
+F1    JS-chain object ratio ≥ 0.2             static
+F2    PDF header obfuscation                  static
+F3    hex code in keyword                     static
+F4    ≥ 1 empty object on JS chains           static
+F5    encoding level ≥ 2                      static
+F6    process creation                        out-JS
+F7    DLL injection                           out-JS
+F8    memory consumption ≥ 100 MB             in-JS
+F9    network access                          in-JS
+F10   mapped memory search                    in-JS
+F11   malware dropping                        in-JS
+F12   process creation                        in-JS
+F13   DLL injection                           in-JS
+====  ======================================  ========
+
+``malscore = w1 * Σ F1..F7 + w2 * Σ F8..F13`` with ``w1 = 1``,
+``w2 = 9`` and threshold ``10``: a document is tagged malicious iff at
+least one in-JS feature *and* at least one other feature fire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.static_features import StaticFeatures
+
+STATIC_FEATURES = (1, 2, 3, 4, 5)
+OUT_JS_FEATURES = (6, 7)
+IN_JS_FEATURES = (8, 9, 10, 11, 12, 13)
+
+F_OUT_PROCESS = 6
+F_OUT_INJECT = 7
+F_MEMORY = 8
+F_NETWORK = 9
+F_MEMORY_SEARCH = 10
+F_DROP = 11
+F_PROCESS = 12
+F_INJECT = 13
+
+FEATURE_NAMES: Dict[int, str] = {
+    1: "js-chain object ratio",
+    2: "header obfuscation",
+    3: "hex code in keyword",
+    4: "empty objects",
+    5: "encoding levels",
+    6: "process creation (out-JS)",
+    7: "DLL injection (out-JS)",
+    8: "suspicious memory consumption (in-JS)",
+    9: "network access (in-JS)",
+    10: "mapped memory search (in-JS)",
+    11: "malware dropping (in-JS)",
+    12: "process creation (in-JS)",
+    13: "DLL injection (in-JS)",
+}
+
+#: Map a syscall category (repro.winapi.syscalls.SyscallEvent.category)
+#: to its in-JS feature number.
+IN_JS_CATEGORY_FEATURE: Dict[str, int] = {
+    "network": F_NETWORK,
+    "memory_search": F_MEMORY_SEARCH,
+    "malware_drop": F_DROP,
+    "process_create": F_PROCESS,
+    "dll_inject": F_INJECT,
+}
+
+#: ... and to its out-JS feature number (only two count, Table II).
+OUT_JS_CATEGORY_FEATURE: Dict[str, int] = {
+    "process_create": F_OUT_PROCESS,
+    "dll_inject": F_OUT_INJECT,
+}
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Table VII parameter configuration."""
+
+    w1: float = 1.0
+    w2: float = 9.0
+    threshold: float = 10.0
+    memory_threshold_bytes: int = 100 * 1024 * 1024
+    ratio_threshold: float = 0.2
+    empty_object_threshold: int = 1
+    encoding_level_threshold: int = 2
+    #: Zero tolerance: any fake SOAP message tags the active document.
+    fake_message_is_malicious: bool = True
+
+
+@dataclass
+class FeatureVector:
+    """A concrete binary assignment of F1..F13."""
+
+    bits: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.bits) != 13 or any(b not in (0, 1) for b in self.bits):
+            raise ValueError("feature vector must be 13 binary values")
+
+    @classmethod
+    def from_sets(
+        cls, static: Optional[StaticFeatures], fired: Set[int]
+    ) -> "FeatureVector":
+        bits = [0] * 13
+        if static is not None:
+            bits[0:5] = list(static.binary())
+        for feature in fired:
+            if 6 <= feature <= 13:
+                bits[feature - 1] = 1
+        return cls(tuple(bits))
+
+    def __getitem__(self, feature_number: int) -> int:
+        return self.bits[feature_number - 1]
+
+    def malscore(self, config: DetectorConfig) -> float:
+        """Equation 1."""
+        first = sum(self.bits[0:7])
+        second = sum(self.bits[7:13])
+        return config.w1 * first + config.w2 * second
+
+    def fired(self) -> List[int]:
+        return [i + 1 for i, bit in enumerate(self.bits) if bit]
+
+    def fired_names(self) -> List[str]:
+        return [FEATURE_NAMES[f] for f in self.fired()]
+
+    @property
+    def any_in_js(self) -> bool:
+        return any(self.bits[7:13])
+
+
+@dataclass
+class Verdict:
+    """The detector's judgement for one document."""
+
+    malicious: bool
+    malscore: float
+    features: FeatureVector
+    document: str
+    key_text: Optional[str] = None
+    reasons: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        flag = "MALICIOUS" if self.malicious else "benign"
+        fired = ", ".join(self.features.fired_names()) or "none"
+        return f"{self.document}: {flag} (malscore={self.malscore:g}; fired: {fired})"
+
+
+class DocumentScoreState:
+    """Per-open-document scoring state kept by the runtime detector.
+
+    The paper: "For each unknown open PDF which has carried out at
+    least one in-JS operation, we maintain a separate malscore and a
+    set of related operations."
+    """
+
+    def __init__(
+        self, key_text: str, document: str, static: Optional[StaticFeatures]
+    ) -> None:
+        self.key_text = key_text
+        self.document = document
+        self.static = static
+        self.fired: Set[int] = set()
+        self.activated = False  # ≥ 1 in-JS sensitive operation seen
+        self.fake_message = False
+        self.alerted = False
+        self.operation_log: List[str] = []
+        self.dropped_paths: List[str] = []
+
+    def record_in_js(self, feature: int, description: str) -> None:
+        if feature not in IN_JS_FEATURES:
+            raise ValueError(f"F{feature} is not an in-JS feature")
+        self.fired.add(feature)
+        self.activated = True
+        self.operation_log.append(f"in-JS F{feature}: {description}")
+
+    def record_out_js(self, feature: int, description: str) -> None:
+        if feature not in OUT_JS_FEATURES:
+            raise ValueError(f"F{feature} is not an out-JS feature")
+        self.fired.add(feature)
+        self.operation_log.append(f"out-JS F{feature}: {description}")
+
+    def feature_vector(self) -> FeatureVector:
+        return FeatureVector.from_sets(self.static, self.fired)
+
+
+class MalscoreDetector:
+    """Computes verdicts from per-document states."""
+
+    def __init__(self, config: Optional[DetectorConfig] = None) -> None:
+        self.config = config if config is not None else DetectorConfig()
+
+    def evaluate(self, state: DocumentScoreState) -> Verdict:
+        vector = state.feature_vector()
+        score = vector.malscore(self.config)
+        reasons = [FEATURE_NAMES[f] for f in vector.fired()]
+        malicious = score >= self.config.threshold
+        if state.fake_message and self.config.fake_message_is_malicious:
+            malicious = True
+            reasons.append("fake context-monitoring message (zero tolerance)")
+        return Verdict(
+            malicious=malicious,
+            malscore=score,
+            features=vector,
+            document=state.document,
+            key_text=state.key_text,
+            reasons=reasons,
+        )

@@ -1,0 +1,108 @@
+"""Key management for the SOAP channel (§III-C).
+
+The key protecting context-monitoring messages has two fields:
+
+* **Detector ID** — generated once when the system is installed; lets
+  the detector discard messages from documents instrumented by *other*
+  installations (e.g. an already-instrumented document downloaded from
+  elsewhere).
+* **Instrumentation Key** — generated fresh for every instrumented
+  document; uniquely identifies it.  The detector keeps a mapping from
+  key to document so in-JS operations can be attributed.
+
+Keys are random (no recognisable signature), which — together with
+monitoring-code randomisation and fake copies — defends against the
+memory-scraping mimicry attack of §IV-B.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+KEY_SEPARATOR = ":"
+_KEY_BYTES = 12
+
+
+def _token(rng: random.Random) -> str:
+    return "".join(rng.choice("0123456789abcdef") for _ in range(_KEY_BYTES * 2))
+
+
+@dataclass(frozen=True)
+class InstrumentationKey:
+    """``<detector_id>:<instrumentation_key>`` as carried in messages."""
+
+    detector_id: str
+    document_key: str
+
+    def render(self) -> str:
+        return f"{self.detector_id}{KEY_SEPARATOR}{self.document_key}"
+
+    @classmethod
+    def parse(cls, text: str) -> Optional["InstrumentationKey"]:
+        parts = text.split(KEY_SEPARATOR)
+        if len(parts) != 2 or not all(parts):
+            return None
+        return cls(detector_id=parts[0], document_key=parts[1])
+
+
+@dataclass
+class KeyStore:
+    """The detector-side mapping between keys and documents."""
+
+    detector_id: str
+    _documents: Dict[str, str] = field(default_factory=dict)
+    _fingerprints: Dict[str, str] = field(default_factory=dict)
+    _rng: random.Random = field(default_factory=lambda: random.Random(0xC0DE))
+
+    @classmethod
+    def create(cls, seed: Optional[int] = None) -> "KeyStore":
+        rng = random.Random(seed if seed is not None else 0xC0DE)
+        store = cls(detector_id=_token(rng))
+        store._rng = rng
+        return store
+
+    def issue(self, document_name: str, content_fingerprint: str) -> InstrumentationKey:
+        """Issue a key for one document.
+
+        The content fingerprint prevents duplicate instrumentation: a
+        document already holding one of our keys keeps it (§III-C: "we
+        first ensure that no duplicate instrumentation is carried out").
+        """
+        existing = self._fingerprints.get(content_fingerprint)
+        if existing is not None:
+            return InstrumentationKey(self.detector_id, existing)
+        document_key = _token(self._rng)
+        self._documents[document_key] = document_name
+        self._fingerprints[content_fingerprint] = document_key
+        return InstrumentationKey(self.detector_id, document_key)
+
+    def validate(self, key_text: str) -> Optional[str]:
+        """Return the document name for a valid key, else None."""
+        key = InstrumentationKey.parse(key_text)
+        if key is None:
+            return None
+        if key.detector_id != self.detector_id:
+            return None  # instrumented by some other installation
+        return self._documents.get(key.document_key)
+
+    def forget(self, key_text: str) -> None:
+        key = InstrumentationKey.parse(key_text)
+        if key is not None:
+            name = self._documents.pop(key.document_key, None)
+            if name is not None:
+                self._fingerprints = {
+                    fp: dk
+                    for fp, dk in self._fingerprints.items()
+                    if dk != key.document_key
+                }
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+
+def fingerprint(data: bytes) -> str:
+    """Stable content fingerprint used for duplicate detection."""
+    return hashlib.sha256(data).hexdigest()[:24]

@@ -1,0 +1,300 @@
+"""End-to-end protection pipeline.
+
+Glues the two phases together the way a deployed end-host would run
+them:
+
+* :meth:`ProtectionPipeline.protect` — run the front-end over incoming
+  PDF bytes, producing a :class:`ProtectedDocument` (instrumented
+  bytes + key + de-instrumentation spec).
+* :class:`MonitoredSession` — one protected reader session: a simulated
+  Windows machine with the trampoline/hook DLL installed, the tiny SOAP
+  server and the runtime monitor listening, and a reader process.
+* :meth:`ProtectionPipeline.open_protected` — convenience one-shot:
+  open a protected document in a fresh session, pump timers, fire the
+  close events, and report the verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.confine import build_hook_rules
+from repro.core.deinstrument import (
+    DeinstrumentationPolicy,
+    DeinstrumentationSpec,
+    deinstrument,
+)
+from repro.core.detector import DetectorConfig, Verdict
+from repro.core.instrument import InstrumentationResult, Instrumenter
+from repro.core.keys import KeyStore
+from repro.core.runtime_monitor import Alert, RuntimeMonitor
+from repro.core.soap import TinySOAPServer
+from repro.core.static_features import StaticFeatures
+from repro.reader.reader import OpenOutcome, Reader
+from repro.winapi.hooks import DETECTOR_EVENT_PORT, HookMode, TrampolineDLL
+from repro.winapi.process import System
+
+
+@dataclass
+class ProtectedDocument:
+    """The front-end's output for one document."""
+
+    data: bytes
+    name: str
+    key_text: str
+    features: StaticFeatures
+    spec: DeinstrumentationSpec
+    instrumentation: InstrumentationResult
+    #: Recursively protected embedded PDF documents (§VI extension).
+    embedded: List["ProtectedDocument"] = field(default_factory=list)
+
+    @property
+    def has_javascript(self) -> bool:
+        return self.features.has_javascript
+
+
+@dataclass
+class OpenReport:
+    """Everything observed while opening one protected document."""
+
+    protected: ProtectedDocument
+    outcome: OpenOutcome
+    verdict: Verdict
+    alerts: List[Alert] = field(default_factory=list)
+    fake_messages: int = 0
+    quarantined_files: List[str] = field(default_factory=list)
+
+    @property
+    def crashed(self) -> bool:
+        return self.outcome.crashed or self.outcome.handle.crashed
+
+    @property
+    def did_nothing(self) -> bool:
+        """No in-JS sensitive op, no crash: the sample was inert (the
+        paper's 58 "noise" samples whose CVEs missed the reader version)."""
+        return not self.crashed and not self.verdict.features.any_in_js
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable summary (used by the CLI and log sinks)."""
+        return {
+            "document": self.protected.name,
+            "key": self.protected.key_text,
+            "malicious": self.verdict.malicious,
+            "malscore": self.verdict.malscore,
+            "features": self.verdict.features.fired(),
+            "feature_names": self.verdict.features.fired_names(),
+            "reasons": list(self.verdict.reasons),
+            "crashed": self.crashed,
+            "crash_reason": self.outcome.crash_reason,
+            "inert": self.did_nothing,
+            "fake_messages": self.fake_messages,
+            "quarantined": list(self.quarantined_files),
+            "alerts": [
+                {
+                    "document": alert.verdict.document,
+                    "malscore": alert.verdict.malscore,
+                    "time": alert.time,
+                    "confinement": list(alert.confinement_actions),
+                }
+                for alert in self.alerts
+            ],
+        }
+
+
+class MonitoredSession:
+    """One protected reader session on a fresh simulated machine."""
+
+    def __init__(
+        self,
+        key_store: KeyStore,
+        config: Optional[DetectorConfig] = None,
+        reader_version: str = "9.0",
+        hook_mode: HookMode = HookMode.IAT,
+        persistent_executables: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.system = System()
+        self.config = config if config is not None else DetectorConfig()
+        self.monitor = RuntimeMonitor(key_store, self.system, config=self.config)
+        if persistent_executables is not None:
+            # §III-E: malscore is volatile per reader session, but "the
+            # maintained list of executables is persistently stored" —
+            # the pipeline shares one dict across all its sessions.
+            self.monitor.downloaded_executables = persistent_executables
+        self.soap_server = TinySOAPServer(self.monitor)
+        self.soap_server.register(self.system.network)
+        self.event_channel = self.system.network.register_service(
+            "127.0.0.1", DETECTOR_EVENT_PORT, "hook-dll-events"
+        )
+        self.event_channel.subscribe(self.monitor.handle_syscall_channel)
+        trampoline = TrampolineDLL(
+            rules=build_hook_rules(self.system.config.whitelisted_programs),
+            hook_mode=hook_mode,
+        )
+        self.reader = Reader(
+            system=self.system,
+            version=reader_version,
+            trampoline=trampoline,
+            detector_channel=self.event_channel,
+        )
+
+    def open(
+        self,
+        protected: ProtectedDocument,
+        pump_seconds: float = 5.0,
+        fire_close: bool = True,
+    ) -> OpenReport:
+        """Open one protected document and watch what happens."""
+        self._register_tree(protected)
+        process = self.reader._ensure_process()
+        self.monitor.attach_reader_process(process)
+        outcome = self.reader.open(protected.data, protected.name)
+        if not outcome.crashed:
+            self.reader.pump(pump_seconds)
+        if fire_close and not outcome.crashed and outcome.handle.open:
+            self.reader.close(outcome.handle)
+        verdict = self.monitor.verdict_for(protected.key_text)
+        return OpenReport(
+            protected=protected,
+            outcome=outcome,
+            verdict=verdict,
+            alerts=list(self.monitor.alerts),
+            fake_messages=len(self.monitor.fake_messages),
+            quarantined_files=list(self.system.filesystem.quarantine_log),
+        )
+
+    def _register_tree(self, protected: ProtectedDocument) -> None:
+        """Register a protected document and its embedded children."""
+        self.monitor.register_document(
+            protected.key_text, protected.name, protected.features
+        )
+        for child in protected.embedded:
+            self._register_tree(child)
+
+    def open_raw(self, data: bytes, name: str = "document.pdf") -> OpenOutcome:
+        """Open an unprotected document (no front-end, no key)."""
+        process = self.reader._ensure_process()
+        self.monitor.attach_reader_process(process)
+        return self.reader.open(data, name)
+
+    def verdict_for(self, protected: ProtectedDocument) -> Verdict:
+        return self.monitor.verdict_for(protected.key_text)
+
+    def close(self) -> None:
+        self.reader.close_all()
+        self.monitor.on_reader_closed()
+
+
+class ProtectionPipeline:
+    """The deployed system: front-end + per-session back-end."""
+
+    def __init__(
+        self,
+        config: Optional[DetectorConfig] = None,
+        reader_version: str = "9.0",
+        seed: Optional[int] = 1301,
+        deinstrument_policy: Optional[DeinstrumentationPolicy] = None,
+        hook_mode: HookMode = HookMode.IAT,
+    ) -> None:
+        self.config = config if config is not None else DetectorConfig()
+        self.reader_version = reader_version
+        self.hook_mode = hook_mode
+        self.key_store = KeyStore.create(seed)
+        self.instrumenter = Instrumenter(key_store=self.key_store, seed=seed)
+        #: Executables downloaded in JS context, shared by every session
+        #: this pipeline opens (persistent storage in the paper).
+        self.persistent_executables: Dict[str, str] = {}
+        self.policy = (
+            deinstrument_policy
+            if deinstrument_policy is not None
+            else DeinstrumentationPolicy()
+        )
+
+    # -- Phase I -----------------------------------------------------------
+
+    def protect(self, data: bytes, name: str = "document.pdf") -> ProtectedDocument:
+        result = self.instrumenter.instrument(data, name)
+        return self._wrap_result(result, name)
+
+    def _wrap_result(self, result: InstrumentationResult, name: str) -> ProtectedDocument:
+        return ProtectedDocument(
+            data=result.data,
+            name=name,
+            key_text=result.key_text,
+            features=result.features,
+            spec=result.spec,
+            instrumentation=result,
+            embedded=[
+                self._wrap_result(sub, sub.spec.document_name)
+                for sub in result.embedded
+            ],
+        )
+
+    # -- Phase II ------------------------------------------------------------
+
+    def session(self) -> MonitoredSession:
+        return MonitoredSession(
+            self.key_store,
+            config=self.config,
+            reader_version=self.reader_version,
+            hook_mode=self.hook_mode,
+            persistent_executables=self.persistent_executables,
+        )
+
+    def open_protected(
+        self,
+        protected: ProtectedDocument,
+        pump_seconds: float = 5.0,
+        fire_close: bool = True,
+    ) -> OpenReport:
+        session = self.session()
+        try:
+            return session.open(
+                protected, pump_seconds=pump_seconds, fire_close=fire_close
+            )
+        finally:
+            session.close()
+
+    def scan(self, data: bytes, name: str = "document.pdf") -> OpenReport:
+        """Protect + open in one go (the common end-host flow)."""
+        return self.open_protected(self.protect(data, name))
+
+    # -- De-instrumentation --------------------------------------------------------
+
+    def maybe_deinstrument(
+        self, protected: ProtectedDocument, report: OpenReport
+    ) -> Optional[bytes]:
+        """After a benign open, restore the original document bytes.
+
+        Returns the de-instrumented bytes when the policy says it is
+        time, else None.  Never de-instruments after a malicious or
+        crashed open.
+        """
+        if report.verdict.malicious or report.crashed:
+            self.policy.reset(protected.key_text)
+            return None
+        if not self.policy.record_benign_open(protected.key_text):
+            return None
+        if not protected.instrumentation.instrumented_scripts:
+            return protected.data
+        return deinstrument(protected.data, protected.spec)
+
+
+_default_pipeline: Optional[ProtectionPipeline] = None
+
+
+def _get_default_pipeline() -> ProtectionPipeline:
+    global _default_pipeline
+    if _default_pipeline is None:
+        _default_pipeline = ProtectionPipeline()
+    return _default_pipeline
+
+
+def protect(data: bytes, name: str = "document.pdf") -> ProtectedDocument:
+    """Instrument raw PDF bytes with the default pipeline."""
+    return _get_default_pipeline().protect(data, name)
+
+
+def open_protected(protected: ProtectedDocument, **kwargs: object) -> OpenReport:
+    """Open a protected document in a fresh monitored session."""
+    return _get_default_pipeline().open_protected(protected, **kwargs)  # type: ignore[arg-type]

@@ -1,0 +1,81 @@
+"""The tiny SOAP server inside the runtime detector (§III-C).
+
+The context monitoring code talks to the detector synchronously over
+SOAP; the server validates the two-field key (Detector ID ‖
+Instrumentation Key), dispatches valid ``enter``/``leave`` context
+events to the runtime monitor, and reports anything else as a *fake
+message* — which, under the zero-tolerance rule, condemns the active
+document.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Protocol
+
+from repro.core.monitor_code import SOAP_HOST, SOAP_PORT
+
+
+class ContextSink(Protocol):
+    """What the SOAP server needs from the runtime monitor."""
+
+    def on_context_enter(self, key_text: str, seq: int, dynamic: bool) -> bool: ...
+
+    def on_context_leave(self, key_text: str, seq: int, dynamic: bool) -> None: ...
+
+    def on_fake_message(self, raw: Dict[str, Any]) -> None: ...
+
+
+@dataclass
+class SoapStats:
+    requests: int = 0
+    enters: int = 0
+    leaves: int = 0
+    fakes: int = 0
+
+
+class TinySOAPServer:
+    """Keyed request/response endpoint on the loopback network."""
+
+    def __init__(self, sink: ContextSink, host: str = SOAP_HOST, port: int = SOAP_PORT) -> None:
+        self.sink = sink
+        self.host = host
+        self.port = port
+        self.stats = SoapStats()
+        self.log: List[Dict[str, Any]] = []
+
+    def register(self, network: Any) -> None:
+        """Bind onto the simulated network's RPC registry."""
+        network.register_rpc(self.host, self.port, self.handle)
+
+    def handle(self, payload: Any) -> Dict[str, Any]:
+        """Process one SOAP request body; returns the response body."""
+        self.stats.requests += 1
+        if not isinstance(payload, dict):
+            return self._fake({"malformed": repr(payload)})
+        self.log.append(payload)
+        ctx = payload.get("ctx")
+        key_text = payload.get("key")
+        seq_raw = payload.get("seq", 0)
+        try:
+            seq = int(seq_raw)
+        except (TypeError, ValueError):
+            return self._fake(payload)
+        dynamic = bool(payload.get("dyn"))
+        if ctx == "enter" and isinstance(key_text, str):
+            accepted = self.sink.on_context_enter(key_text, seq, dynamic)
+            if not accepted:
+                self.stats.fakes += 1
+                return {"status": "rejected"}
+            self.stats.enters += 1
+            return {"status": "ok"}
+        if ctx == "leave" and isinstance(key_text, str):
+            self.sink.on_context_leave(key_text, seq, dynamic)
+            self.stats.leaves += 1
+            return {"status": "ok"}
+        return self._fake(payload)
+
+    def _fake(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        self.stats.fakes += 1
+        self.sink.on_fake_message(payload)
+        return {"status": "rejected"}

@@ -1,0 +1,153 @@
+"""The five novel static features (§III-B).
+
+F1  Ratio of PDF objects on JavaScript chains.
+F2  PDF header obfuscation (displaced header or invalid version).
+F3  Hexadecimal code in keywords (``/JavaScr#69pt``) — JS chains only.
+F4  Count of empty objects terminating JS chains.
+F5  Maximum levels of stream encoding on JS chains (max, not average —
+    the average is mimicry-prone, §III-B).
+
+Binarisation thresholds follow Table VII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from repro.core.chains import ChainAnalysis, analyze_chains
+from repro.pdf.document import PDFDocument
+from repro.pdf.objects import (
+    PDFArray,
+    PDFDict,
+    PDFName,
+    PDFObject,
+    PDFRef,
+    PDFStream,
+)
+from repro.pdf.parser import HeaderInfo
+
+
+@dataclass
+class StaticFeatures:
+    """Raw static feature values plus their Table VII binarisation."""
+
+    js_chain_ratio: float
+    header_obfuscated: bool
+    hex_code_in_keyword: bool
+    empty_object_count: int
+    encoding_levels: int
+    has_javascript: bool
+
+    # Table VII thresholds.
+    RATIO_THRESHOLD = 0.2
+    EMPTY_THRESHOLD = 1
+    ENCODING_THRESHOLD = 2
+
+    @property
+    def f1(self) -> int:
+        return 1 if self.js_chain_ratio >= self.RATIO_THRESHOLD else 0
+
+    @property
+    def f2(self) -> int:
+        return 1 if self.header_obfuscated else 0
+
+    @property
+    def f3(self) -> int:
+        return 1 if self.hex_code_in_keyword else 0
+
+    @property
+    def f4(self) -> int:
+        return 1 if self.empty_object_count >= self.EMPTY_THRESHOLD else 0
+
+    @property
+    def f5(self) -> int:
+        return 1 if self.encoding_levels >= self.ENCODING_THRESHOLD else 0
+
+    def binary(self) -> tuple:
+        return (self.f1, self.f2, self.f3, self.f4, self.f5)
+
+    def score_contribution(self) -> int:
+        return sum(self.binary())
+
+
+def _name_uses_hex(name: object) -> bool:
+    return isinstance(name, PDFName) and name.uses_hex_escape
+
+
+def _object_uses_hex_keyword(value: PDFObject) -> bool:
+    """Any ``#xx``-escaped name (key or value) inside this object?"""
+    stack = [value]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, PDFStream):
+            current = current.dictionary
+        if isinstance(current, PDFDict):
+            for key, item in current.items():
+                if _name_uses_hex(key) or _name_uses_hex(item):
+                    return True
+                if isinstance(item, (PDFDict, PDFArray, PDFStream)):
+                    stack.append(item)
+        elif isinstance(current, PDFArray):
+            for item in current:
+                if _name_uses_hex(item):
+                    return True
+                if isinstance(item, (PDFDict, PDFArray, PDFStream)):
+                    stack.append(item)
+    return False
+
+
+def _is_empty_object(value: PDFObject) -> bool:
+    if isinstance(value, PDFDict) and not isinstance(value, PDFStream):
+        return len(value) == 0
+    if isinstance(value, PDFStream):
+        return len(value.dictionary) == 0 and not value.raw_data
+    return False
+
+
+def _max_encoding_levels(document: PDFDocument, refs: Set[PDFRef]) -> int:
+    deepest = 0
+    for ref in refs:
+        if ref not in document.store:
+            continue
+        value = document.store[ref].value
+        if isinstance(value, PDFStream):
+            deepest = max(deepest, value.encoding_levels)
+    return deepest
+
+
+def extract_static_features(
+    document: PDFDocument,
+    chains: Optional[ChainAnalysis] = None,
+    header: Optional[HeaderInfo] = None,
+) -> StaticFeatures:
+    """Compute F1–F5 for ``document``.
+
+    ``chains`` may be passed in when the caller already reconstructed
+    them (the instrumenter does, to avoid doing the work twice).
+    ``header`` defaults to the header info recorded at parse time.
+    """
+    analysis = chains if chains is not None else analyze_chains(document)
+    header_info = header if header is not None else document.header
+
+    chain_refs: Set[PDFRef] = set(analysis.chain_objects)
+
+    hex_in_keyword = False
+    empty_count = 0
+    for ref in chain_refs:
+        if ref not in document.store:
+            continue
+        value = document.store[ref].value
+        if not hex_in_keyword and _object_uses_hex_keyword(value):
+            hex_in_keyword = True
+        if _is_empty_object(value):
+            empty_count += 1
+
+    return StaticFeatures(
+        js_chain_ratio=analysis.ratio,
+        header_obfuscated=header_info.obfuscated,
+        hex_code_in_keyword=hex_in_keyword,
+        empty_object_count=empty_count,
+        encoding_levels=_max_encoding_levels(document, chain_refs),
+        has_javascript=analysis.has_javascript,
+    )

@@ -1,0 +1,42 @@
+"""Synthetic corpora standing in for the paper's datasets.
+
+The paper evaluated on 18,623 benign documents (user file systems,
+official forms, Contagio's clean set, a Google crawl) and 7,370
+malicious Contagio samples.  Neither corpus is redistributable, so this
+package generates seeded synthetic equivalents whose *measured
+properties* match the paper's reported marginals:
+
+* Fig. 6 — JS-chain object ratios (benign mostly < 0.2, malicious
+  mostly ≥ 0.2, a small group at exactly 1.0);
+* Table VI — obfuscation prevalence in the malicious set (header
+  obfuscation, hex keywords, empty objects, encoding levels);
+* Fig. 7 — in-JS memory consumption (benign ≈ 1–21 MB, malicious
+  ≈ 103–1700 MB);
+* §V-C2 — the exploit mix, including CVEs that do not fire on
+  Acrobat 8/9 ("did nothing" samples) and samples that crash the
+  reader on a failed control-flow hijack.
+"""
+
+from repro.corpus.dataset import (
+    CorpusConfig,
+    Dataset,
+    Sample,
+    build_dataset,
+    paper_scale,
+    test_scale,
+)
+from repro.corpus.benign import BenignFactory, BenignKind
+from repro.corpus.malicious import MaliciousFactory, MaliciousKind
+
+__all__ = [
+    "BenignFactory",
+    "BenignKind",
+    "CorpusConfig",
+    "Dataset",
+    "MaliciousFactory",
+    "MaliciousKind",
+    "Sample",
+    "build_dataset",
+    "paper_scale",
+    "test_scale",
+]

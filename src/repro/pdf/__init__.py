@@ -1,0 +1,40 @@
+"""PDF substrate: object model, tokenizer, filters, parser, writer,
+encryption and a high-level document builder.
+
+This package implements the subset of ISO 32000 / the PDF Reference
+(sixth edition) that the paper's front-end needs: indirect objects and
+reference chains, name `#xx` escapes, stream filter cascades, cross
+reference tables and streams, incremental updates, document triggers
+(``/OpenAction``, ``/AA``, ``/Names`` JavaScript trees) and the RC4
+standard security handler (for owner-password removal).
+"""
+
+from repro.pdf.objects import (
+    PDFArray,
+    PDFDict,
+    PDFName,
+    PDFNull,
+    PDFRef,
+    PDFStream,
+    PDFString,
+)
+from repro.pdf.parser import PDFParseError, PDFParser, parse_pdf
+from repro.pdf.writer import write_pdf
+from repro.pdf.document import PDFDocument
+from repro.pdf.builder import DocumentBuilder
+
+__all__ = [
+    "DocumentBuilder",
+    "PDFArray",
+    "PDFDict",
+    "PDFDocument",
+    "PDFName",
+    "PDFNull",
+    "PDFParseError",
+    "PDFParser",
+    "PDFRef",
+    "PDFStream",
+    "PDFString",
+    "parse_pdf",
+    "write_pdf",
+]

@@ -1,0 +1,329 @@
+"""Construction API for synthetic PDF documents.
+
+The corpus generators use this builder to produce benign and malicious
+documents with precise structural control: number of pages and content
+objects (which drives the paper's F1 "ratio of objects on Javascript
+chains"), indirection depth of JS reference chains, hex-escaped
+keywords (F3), empty objects terminating decoy chains (F4), filter
+cascade depth (F5), and header obfuscation (F2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.pdf import filters as pdf_filters
+from repro.pdf.document import PDFDocument
+from repro.pdf.objects import (
+    PDFArray,
+    PDFDict,
+    PDFName,
+    PDFRef,
+    PDFStream,
+    PDFString,
+)
+
+
+def _name(decoded: str, hex_obfuscate: bool = False) -> PDFName:
+    """Make a name, optionally spelling one letter as a ``#xx`` escape."""
+    if not hex_obfuscate or not decoded:
+        return PDFName(decoded)
+    # Hide a mid-word character, mimicking /JavaScr#69pt from the paper.
+    idx = len(decoded) // 2
+    raw = decoded[:idx] + "#%02x" % ord(decoded[idx]) + decoded[idx + 1 :]
+    return PDFName.from_raw(raw)
+
+
+class DocumentBuilder:
+    """Builds a :class:`PDFDocument` incrementally."""
+
+    def __init__(self, version: Tuple[int, int] = (1, 4)) -> None:
+        self.document = PDFDocument(version=version)
+        self._catalog = PDFDict({PDFName("Type"): PDFName("Catalog")})
+        self._catalog_ref = self.document.add_object(self._catalog)
+        self._pages = PDFDict(
+            {PDFName("Type"): PDFName("Pages"), PDFName("Kids"): PDFArray(), PDFName("Count"): 0}
+        )
+        self._pages_ref = self.document.add_object(self._pages)
+        self._catalog[PDFName("Pages")] = self._pages_ref
+        self.document.trailer[PDFName("Root")] = self._catalog_ref
+
+    # -- content -------------------------------------------------------
+
+    def add_page(
+        self,
+        text: str = "",
+        extra_objects: int = 0,
+        content_filters: Optional[List[str]] = None,
+    ) -> PDFRef:
+        """Add a page; ``extra_objects`` attaches inert resources to it."""
+        content = PDFStream()
+        body = f"BT /F1 12 Tf 72 720 Td ({text}) Tj ET".encode("latin-1", "replace")
+        content.set_decoded_data(body, content_filters or ["FlateDecode"])
+        content_ref = self.document.add_object(content)
+        page = PDFDict(
+            {
+                PDFName("Type"): PDFName("Page"),
+                PDFName("Parent"): self._pages_ref,
+                PDFName("MediaBox"): PDFArray([0, 0, 612, 792]),
+                PDFName("Contents"): content_ref,
+            }
+        )
+        resources = PDFDict()
+        for i in range(extra_objects):
+            blob = PDFStream()
+            blob.set_decoded_data(
+                (f"% resource {i} " + "x" * 64).encode("ascii"), ["FlateDecode"]
+            )
+            resources[PDFName(f"X{i}")] = self.document.add_object(blob)
+        if resources:
+            page[PDFName("Resources")] = self.document.add_object(resources)
+        page_ref = self.document.add_object(page)
+        kids = self._pages[PDFName("Kids")]
+        kids.append(page_ref)
+        self._pages[PDFName("Count")] = len(kids)
+        return page_ref
+
+    def set_info(self, **entries: str) -> PDFRef:
+        """Set the document information dictionary (``/Info``).
+
+        Attackers hide shellcode in metadata ("this.info.title"); the
+        corpus uses this to build such samples.
+        """
+        def _text(value: str) -> PDFString:
+            try:
+                value.encode("latin-1")
+                return PDFString(value)
+            except UnicodeEncodeError:
+                return PDFString(b"\xfe\xff" + value.encode("utf-16-be"))
+
+        info = PDFDict({PDFName(k): _text(v) for k, v in entries.items()})
+        ref = self.document.add_object(info)
+        self.document.trailer[PDFName("Info")] = ref
+        return ref
+
+    def pad_with_objects(self, count: int, payload: bytes = b"padding") -> List[PDFRef]:
+        """Add inert off-chain objects (lowers the F1 ratio, benign-like)."""
+        refs = []
+        for i in range(count):
+            stream = PDFStream()
+            stream.set_decoded_data(payload + str(i).encode("ascii"), ["FlateDecode"])
+            refs.append(self.document.add_object(stream))
+        return refs
+
+    def add_empty_objects(self, count: int) -> List[PDFRef]:
+        """Add empty dictionary objects (static feature F4)."""
+        return [self.document.add_object(PDFDict()) for _ in range(count)]
+
+    # -- JavaScript ------------------------------------------------------------
+
+    def add_javascript(
+        self,
+        code: str,
+        trigger: str = "OpenAction",
+        name: Optional[str] = None,
+        chain_depth: int = 0,
+        hex_obfuscate_keyword: bool = False,
+        encoding_levels: int = 0,
+        decoy_empty_chain: int = 0,
+        next_scripts: Optional[List[str]] = None,
+    ) -> PDFRef:
+        """Attach JavaScript with structural-obfuscation knobs.
+
+        ``chain_depth``
+            Number of pure-indirection hops between the trigger and the
+            action dictionary (lengthens the JS chain, feature F1).
+        ``hex_obfuscate_keyword``
+            Spell ``/JavaScript`` with a ``#xx`` escape (feature F3).
+        ``encoding_levels``
+            Store code in a stream behind this many filters (feature F5;
+            0 keeps the code as a literal string).
+        ``decoy_empty_chain``
+            Add a decoy JS chain terminating in this many empty objects
+            (F4); 0 adds none.
+        ``next_scripts``
+            Additional scripts invoked sequentially via ``/Next``.
+        """
+        doc = self.document
+        action = PDFDict({_name("S"): _name("JavaScript", hex_obfuscate_keyword)})
+        if encoding_levels > 0:
+            cascade = pdf_filters.cascade_names(encoding_levels)
+            stream = PDFStream()
+            stream.set_decoded_data(code.encode("latin-1", "replace"), cascade)
+            action[_name("JS", hex_obfuscate_keyword)] = doc.add_object(stream)
+        else:
+            action[_name("JS", hex_obfuscate_keyword)] = PDFString(
+                code.encode("latin-1", "replace")
+            )
+
+        tail_ref = doc.add_object(action)
+        if next_scripts:
+            current = action
+            for extra_code in next_scripts:
+                nxt = PDFDict(
+                    {
+                        _name("S"): _name("JavaScript"),
+                        _name("JS"): PDFString(extra_code.encode("latin-1", "replace")),
+                    }
+                )
+                nxt_ref = doc.add_object(nxt)
+                current[PDFName("Next")] = nxt_ref
+                current = nxt
+
+        head_ref = tail_ref
+        for _ in range(chain_depth):
+            # A pure indirection hop: a dict whose /First points onward.
+            hop = PDFDict({PDFName("First"): head_ref})
+            head_ref = doc.add_object(hop)
+        if chain_depth:
+            # The trigger must still reach a real action dict, so the
+            # hop chain hangs the action off /Next of a thin action.
+            thin = PDFDict(
+                {
+                    _name("S"): _name("JavaScript"),
+                    _name("JS"): PDFString(b""),
+                    PDFName("Next"): tail_ref,
+                    PDFName("Meta"): head_ref,
+                }
+            )
+            head_ref = doc.add_object(thin)
+
+        catalog = self._catalog
+        if trigger == "OpenAction":
+            catalog[PDFName("OpenAction")] = head_ref
+        elif trigger == "Names":
+            doc._add_to_js_name_tree(name or f"js{head_ref.num}", head_ref)
+        elif trigger.startswith("AA"):
+            event = trigger.split(":", 1)[1] if ":" in trigger else "WillClose"
+            aa_entry = catalog.get("AA")
+            aa = doc.resolve_dict(aa_entry) if aa_entry is not None else PDFDict()
+            aa[PDFName(event)] = head_ref
+            catalog[PDFName("AA")] = aa
+        else:
+            raise ValueError(f"unknown trigger {trigger!r}")
+
+        empty_count = int(decoy_empty_chain)
+        if empty_count > 0:
+            empties = [doc.add_object(PDFDict()) for _ in range(empty_count)]
+            decoy = PDFDict(
+                {
+                    _name("S"): _name("JavaScript"),
+                    _name("JS"): PDFString(b"// decoy"),
+                    PDFName("Next"): empties[0],
+                }
+            )
+            if len(empties) > 1:
+                decoy[PDFName("Kids")] = PDFArray(empties[1:])
+            decoy_ref = doc.add_object(decoy)
+            doc._add_to_js_name_tree(f"decoy{decoy_ref.num}", decoy_ref)
+        return head_ref
+
+    # -- embedded content -------------------------------------------------------
+
+    RENDER_SUBTYPES = {
+        "Flash": "Flash",
+        "CoolType": "TrueType",
+        "U3D": "U3D",
+        "TIFF": "Image",
+        "JBIG2": "Image",
+    }
+
+    def add_render_exploit(self, cve: str, component: str, data: bytes = b"") -> PDFRef:
+        """Embed malformed media exercising a render-time CVE.
+
+        The simulated reader recognises the ``/SimCVE`` tag while
+        rendering (out of JS context) and consults the exploit
+        registry — the stand-in for genuinely malformed Flash/CoolType/
+        U3D/TIFF/JBIG2 payloads.
+        """
+        stream = PDFStream()
+        stream.set_decoded_data(data or b"\x00" * 64, ["FlateDecode"])
+        stream.dictionary[PDFName("Subtype")] = PDFName(
+            self.RENDER_SUBTYPES.get(component, component)
+        )
+        stream.dictionary[PDFName("SimCVE")] = PDFString(cve)
+        ref = self.document.add_object(stream)
+        # Hang it off the first page's resources so it is reachable.
+        self._catalog[PDFName("RichMedia")] = ref
+        return ref
+
+    def add_embedded_file(self, name: str, data: bytes) -> PDFRef:
+        """Attach an embedded file (egg-hunt malware, exportDataObject)."""
+        stream = PDFStream()
+        stream.set_decoded_data(data, ["FlateDecode"])
+        stream.dictionary[PDFName("Type")] = PDFName("EmbeddedFile")
+        file_ref = self.document.add_object(stream)
+        spec = PDFDict(
+            {
+                PDFName("Type"): PDFName("Filespec"),
+                PDFName("F"): PDFString(name),
+                PDFName("EF"): PDFDict({PDFName("F"): file_ref}),
+            }
+        )
+        spec_ref = self.document.add_object(spec)
+        names_entry = self._catalog.get("Names")
+        names_dict = (
+            self.document.resolve_dict(names_entry) if names_entry is not None else None
+        )
+        if not names_dict:
+            names_dict = PDFDict()
+            self._catalog[PDFName("Names")] = self.document.add_object(names_dict)
+        ef_tree = PDFDict({PDFName("Names"): PDFArray([PDFString(name), spec_ref])})
+        names_dict[PDFName("EmbeddedFiles")] = self.document.add_object(ef_tree)
+        return spec_ref
+
+    def hide_in_object_stream(self, refs: List[PDFRef]) -> PDFRef:
+        """Move objects into a compressed object stream (``/ObjStm``).
+
+        A real-world hiding technique: the objects vanish from the
+        top-level body and only exist inside a Flate-compressed
+        container, defeating naive scanners.  Streams cannot be hidden
+        this way (PDF forbids streams inside object streams).
+        """
+        from repro.pdf.writer import serialize_value
+
+        doc = self.document
+        chunks: List[bytes] = []
+        pairs: List[str] = []
+        offset = 0
+        for ref in refs:
+            entry = doc.store[ref]
+            if isinstance(entry.value, PDFStream):
+                raise ValueError("streams cannot live inside an object stream")
+            data = serialize_value(entry.value)
+            pairs.append(f"{ref.num} {offset}")
+            chunks.append(data)
+            offset += len(data) + 1
+        header = " ".join(pairs).encode("ascii")
+        payload = header + b"\n" + b" ".join(chunks)
+        first = len(header) + 1
+
+        container = PDFStream()
+        container.set_decoded_data(payload, ["FlateDecode"])
+        container.dictionary[PDFName("Type")] = PDFName("ObjStm")
+        container.dictionary[PDFName("N")] = len(refs)
+        container.dictionary[PDFName("First")] = first
+        container_ref = doc.add_object(container)
+        for ref in refs:
+            doc.store.objects.pop(ref, None)
+        return container_ref
+
+    # -- header obfuscation ---------------------------------------------------------
+
+    def obfuscate_header(
+        self, displace: int = 0, version_text: Optional[str] = None
+    ) -> None:
+        """Displace the ``%PDF`` header and/or use an invalid version."""
+        if displace > 0:
+            junk = (b"%" + b"Z" * 30 + b"\n") * max(1, displace // 32)
+            self.document.header_prefix = junk[:displace]
+        if version_text is not None:
+            self.document.header_version_text = version_text
+
+    # -- output ----------------------------------------------------------------------
+
+    def build(self) -> PDFDocument:
+        return self.document
+
+    def to_bytes(self) -> bytes:
+        return self.document.to_bytes()

@@ -1,0 +1,361 @@
+"""High-level document API on top of the parser/writer.
+
+:class:`PDFDocument` gives the front-end what it needs: navigation of
+the catalog, pages, ``/OpenAction``, ``/AA`` and the ``/Names``
+JavaScript tree; access to JavaScript action payloads wherever they are
+stored (literal string, hex string, or stream — with any filter
+cascade); and mutation + re-serialisation, which is how document
+instrumentation is applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple, Union
+
+from repro.pdf.objects import (
+    IndirectObject,
+    ObjectStore,
+    PDFArray,
+    PDFDict,
+    PDFName,
+    PDFNull,
+    PDFObject,
+    PDFRef,
+    PDFStream,
+    PDFString,
+)
+from repro.pdf.parser import HeaderInfo, ParsedPDF, parse_pdf
+from repro.pdf.writer import write_pdf
+
+#: Dictionary keys whose presence marks a JavaScript action.
+JS_KEYS = ("JS",)
+JS_ACTION_NAME = "JavaScript"
+
+#: Trigger kinds the reader fires automatically or on user action.
+TRIGGER_OPEN_ACTION = "OpenAction"
+TRIGGER_AA = "AA"
+TRIGGER_NAMES = "Names"
+
+
+@dataclass
+class JavascriptAction:
+    """One JavaScript action found in a document.
+
+    ``holder_ref`` is the indirect object whose dictionary carries the
+    ``/JS`` entry (None when the action dict is inline, e.g. a direct
+    ``/OpenAction`` dictionary).  ``code_ref`` is set when ``/JS``
+    points at a stream object rather than holding a string.
+    """
+
+    dictionary: PDFDict
+    holder_ref: Optional[PDFRef]
+    code_ref: Optional[PDFRef]
+    trigger: str
+    name: Optional[str] = None
+
+    def key(self) -> Tuple[Optional[int], str, Optional[str]]:
+        return (self.holder_ref.num if self.holder_ref else None, self.trigger, self.name)
+
+
+class PDFDocument:
+    """A mutable in-memory PDF document."""
+
+    def __init__(
+        self,
+        store: Optional[ObjectStore] = None,
+        trailer: Optional[PDFDict] = None,
+        header: Optional[HeaderInfo] = None,
+        version: Tuple[int, int] = (1, 4),
+        header_prefix: Optional[bytes] = None,
+        header_version_text: Optional[str] = None,
+        warnings: Optional[List[str]] = None,
+    ) -> None:
+        self.store = store if store is not None else ObjectStore()
+        self.trailer = trailer if trailer is not None else PDFDict()
+        self.header = header if header is not None else HeaderInfo(offset=0, version=version)
+        self.version = version
+        self.header_prefix = header_prefix
+        self.header_version_text = header_version_text
+        self.warnings = list(warnings or [])
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PDFDocument":
+        parsed = parse_pdf(data)
+        return cls.from_parsed(parsed)
+
+    @classmethod
+    def from_parsed(cls, parsed: ParsedPDF) -> "PDFDocument":
+        version = parsed.header.version or (1, 4)
+        return cls(
+            store=parsed.store,
+            trailer=parsed.trailer,
+            header=parsed.header,
+            version=version,
+            warnings=parsed.warnings,
+        )
+
+    def to_bytes(self) -> bytes:
+        return write_pdf(
+            self.store,
+            self.trailer,
+            version=self.version,
+            header_prefix=self.header_prefix,
+            header_version_text=self.header_version_text,
+        )
+
+    # -- resolution helpers -----------------------------------------------
+
+    def resolve(self, value: PDFObject) -> PDFObject:
+        return self.store.deep_resolve(value)
+
+    def resolve_dict(self, value: PDFObject) -> PDFDict:
+        resolved = self.resolve(value)
+        return resolved if isinstance(resolved, PDFDict) else PDFDict()
+
+    @property
+    def catalog(self) -> PDFDict:
+        return self.resolve_dict(self.trailer.get("Root", PDFNull))
+
+    @property
+    def info(self) -> PDFDict:
+        return self.resolve_dict(self.trailer.get("Info", PDFNull))
+
+    # -- pages --------------------------------------------------------------
+
+    def pages(self) -> List[PDFDict]:
+        """Flatten the page tree (cycle-safe)."""
+        result: List[PDFDict] = []
+        root = self.catalog.get("Pages")
+        seen = set()
+
+        def walk(node_ref: PDFObject) -> None:
+            if isinstance(node_ref, PDFRef):
+                if node_ref in seen:
+                    return
+                seen.add(node_ref)
+            node = self.resolve_dict(node_ref)
+            node_type = str(node.get("Type", ""))
+            if node_type == "Page":
+                result.append(node)
+                return
+            for kid in node.get("Kids", PDFArray()):
+                walk(kid)
+
+        if root is not None:
+            walk(root)
+        return result
+
+    @property
+    def page_count(self) -> int:
+        return len(self.pages())
+
+    # -- object mutation ------------------------------------------------------
+
+    def add_object(self, value: PDFObject, num: Optional[int] = None) -> PDFRef:
+        obj = IndirectObject(num if num is not None else self.store.next_num(), 0, value)
+        return self.store.add(obj)
+
+    def set_object(self, ref: PDFRef, value: PDFObject) -> None:
+        self.store.add(IndirectObject(ref.num, ref.gen, value))
+
+    # -- JavaScript discovery ----------------------------------------------------
+
+    def iter_javascript_actions(self) -> Iterator[JavascriptAction]:
+        """Yield every JavaScript action reachable from a trigger.
+
+        Covers ``/OpenAction`` (catalog), ``/AA`` additional-action
+        dictionaries (catalog and pages), the document-level ``/Names``
+        → ``/JavaScript`` name tree, and ``/Next`` chains hanging off
+        any of those.
+        """
+        yielded = set()
+
+        def emit(
+            action: PDFObject, trigger: str, name: Optional[str] = None
+        ) -> Iterator[JavascriptAction]:
+            holder_ref = action if isinstance(action, PDFRef) else None
+            action_dict = self.resolve_dict(action)
+            if not action_dict:
+                return
+            ident = (id(action_dict), holder_ref, trigger, name)
+            key = (holder_ref, trigger, name) if holder_ref else ident
+            if key in yielded:
+                return
+            yielded.add(key)
+            if "JS" in action_dict:
+                js_value = action_dict.get("JS")
+                code_ref = js_value if isinstance(js_value, PDFRef) else None
+                yield JavascriptAction(
+                    dictionary=action_dict,
+                    holder_ref=holder_ref,
+                    code_ref=code_ref,
+                    trigger=trigger,
+                    name=name,
+                )
+            nxt = action_dict.get("Next")
+            if nxt is not None:
+                targets = nxt if isinstance(nxt, PDFArray) else [nxt]
+                for target in targets:
+                    yield from emit(target, trigger, name)
+
+        catalog = self.catalog
+        open_action = catalog.get("OpenAction")
+        if open_action is not None:
+            yield from emit(open_action, TRIGGER_OPEN_ACTION)
+
+        def emit_aa(owner: PDFDict, trigger: str) -> Iterator[JavascriptAction]:
+            aa = self.resolve_dict(owner.get("AA", PDFNull))
+            for event_name, action in aa.items():
+                yield from emit(action, f"{trigger}:{event_name}")
+
+        yield from emit_aa(catalog, TRIGGER_AA)
+        for index, page in enumerate(self.pages()):
+            yield from emit_aa(page, f"{TRIGGER_AA}:Page{index}")
+
+        names_root = self.resolve_dict(catalog.get("Names", PDFNull))
+        js_tree = names_root.get("JavaScript")
+        if js_tree is not None:
+            yield from self._iter_name_tree_actions(js_tree, emit)
+
+    def _iter_name_tree_actions(
+        self, tree: PDFObject, emit
+    ) -> Iterator[JavascriptAction]:
+        node = self.resolve_dict(tree)
+        names = node.get("Names")
+        if isinstance(names, PDFArray):
+            for i in range(0, len(names) - 1, 2):
+                label = names[i]
+                action = names[i + 1]
+                label_text = (
+                    label.to_text() if isinstance(label, PDFString) else str(label)
+                )
+                yield from emit(action, TRIGGER_NAMES, label_text)
+        for kid in node.get("Kids", PDFArray()):
+            yield from self._iter_name_tree_actions(kid, emit)
+
+    # -- JavaScript payload access ---------------------------------------------
+
+    def get_javascript_code(self, action: Union[JavascriptAction, PDFDict]) -> str:
+        """Return the source text of an action's ``/JS`` entry.
+
+        An undecodable code stream (corrupt filter data) yields ``""`` —
+        the same as a reader that cannot load the script.
+        """
+        action_dict = action.dictionary if isinstance(action, JavascriptAction) else action
+        value = action_dict.get("JS")
+        resolved = self.resolve(value)
+        if isinstance(resolved, PDFStream):
+            try:
+                return resolved.decoded_data().decode("latin-1", errors="replace")
+            except Exception:  # noqa: BLE001 - corrupt stream data
+                return ""
+        if isinstance(resolved, PDFString):
+            return resolved.to_text()
+        if isinstance(resolved, str):
+            return str(resolved)
+        return ""
+
+    def set_javascript_code(
+        self,
+        action: Union[JavascriptAction, PDFDict],
+        code: str,
+        prefer_stream: Optional[bool] = None,
+    ) -> None:
+        """Replace the ``/JS`` payload in place, preserving storage form.
+
+        When the original payload was a stream, the replacement is
+        written back through the same filter cascade; strings stay
+        strings.  ``prefer_stream`` forces one representation.
+        """
+        action_dict = action.dictionary if isinstance(action, JavascriptAction) else action
+        value = action_dict.get("JS")
+        resolved = self.resolve(value)
+        want_stream = (
+            prefer_stream
+            if prefer_stream is not None
+            else isinstance(resolved, PDFStream)
+        )
+        if want_stream:
+            if isinstance(resolved, PDFStream) and isinstance(value, PDFRef):
+                filters = [str(f) for f in resolved.filters]
+                resolved.set_decoded_data(code.encode("latin-1", "replace"), filters)
+                return
+            stream = PDFStream()
+            stream.set_decoded_data(code.encode("latin-1", "replace"), ["FlateDecode"])
+            ref = self.add_object(stream)
+            action_dict[PDFName("JS")] = ref
+            return
+        action_dict[PDFName("JS")] = PDFString(code.encode("latin-1", "replace"))
+
+    # -- JavaScript insertion -------------------------------------------------------
+
+    def add_javascript(
+        self,
+        code: str,
+        trigger: str = TRIGGER_OPEN_ACTION,
+        name: Optional[str] = None,
+        as_stream: bool = False,
+        filters: Optional[List[str]] = None,
+    ) -> PDFRef:
+        """Attach a new JavaScript action to the document.
+
+        ``trigger`` is ``"OpenAction"``, ``"Names"``, or an ``/AA``
+        event name such as ``"AA:WillClose"``.
+        """
+        action = PDFDict(
+            {PDFName("S"): PDFName(JS_ACTION_NAME)}
+        )
+        if as_stream:
+            stream = PDFStream()
+            stream.set_decoded_data(
+                code.encode("latin-1", "replace"), filters or ["FlateDecode"]
+            )
+            action[PDFName("JS")] = self.add_object(stream)
+        else:
+            action[PDFName("JS")] = PDFString(code.encode("latin-1", "replace"))
+        action_ref = self.add_object(action)
+
+        catalog = self.catalog
+        if trigger == TRIGGER_OPEN_ACTION:
+            catalog[PDFName("OpenAction")] = action_ref
+        elif trigger == TRIGGER_NAMES:
+            self._add_to_js_name_tree(name or f"js{action_ref.num}", action_ref)
+        elif trigger.startswith("AA"):
+            event = trigger.split(":", 1)[1] if ":" in trigger else "WillClose"
+            aa = catalog.get("AA")
+            aa_dict = self.resolve_dict(aa) if aa is not None else PDFDict()
+            aa_dict[PDFName(event)] = action_ref
+            catalog[PDFName("AA")] = aa_dict
+        else:
+            raise ValueError(f"unknown trigger {trigger!r}")
+        return action_ref
+
+    def _add_to_js_name_tree(self, label: str, action_ref: PDFRef) -> None:
+        catalog = self.catalog
+        names_entry = catalog.get("Names")
+        names_dict = self.resolve_dict(names_entry) if names_entry is not None else None
+        if names_dict is None or not isinstance(names_dict, PDFDict) or names_entry is None:
+            names_dict = PDFDict()
+            catalog[PDFName("Names")] = self.add_object(names_dict)
+        js_entry = names_dict.get("JavaScript")
+        js_dict = self.resolve_dict(js_entry) if js_entry is not None else None
+        if js_entry is None or not js_dict:
+            js_dict = PDFDict({PDFName("Names"): PDFArray()})
+            names_dict[PDFName("JavaScript")] = self.add_object(js_dict)
+        names_array = js_dict.get("Names")
+        if not isinstance(names_array, PDFArray):
+            names_array = PDFArray()
+            js_dict[PDFName("Names")] = names_array
+        names_array.append(PDFString(label))
+        names_array.append(action_ref)
+
+    # -- misc -----------------------------------------------------------------
+
+    def object_count(self) -> int:
+        return len(self.store)
+
+    def has_javascript(self) -> bool:
+        return any(True for _ in self.iter_javascript_actions())

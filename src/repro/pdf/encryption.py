@@ -1,0 +1,199 @@
+"""PDF standard security handler (RC4, revision 2/3 flavour).
+
+The paper's front-end must handle documents "encrypted using an owner's
+password ... readable but non-modifiable" by removing that password
+before instrumentation (§III-A).  This module implements enough of the
+standard handler to create such documents, decrypt them with the empty
+user password (exactly what makes owner-password-only PDFs readable),
+and strip the encryption — the reproduction of the "PDF password
+recovery tool" substitution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.pdf.document import PDFDocument
+from repro.pdf.objects import (
+    IndirectObject,
+    PDFArray,
+    PDFDict,
+    PDFName,
+    PDFObject,
+    PDFRef,
+    PDFStream,
+    PDFString,
+)
+
+#: The 32-byte padding string from the PDF Reference, Algorithm 2.
+PAD = bytes(
+    [
+        0x28, 0xBF, 0x4E, 0x5E, 0x4E, 0x75, 0x8A, 0x41,
+        0x64, 0x00, 0x4E, 0x56, 0xFF, 0xFA, 0x01, 0x08,
+        0x2E, 0x2E, 0x00, 0xB6, 0xD0, 0x68, 0x3E, 0x80,
+        0x2F, 0x0C, 0xA9, 0xFE, 0x64, 0x53, 0x69, 0x7A,
+    ]
+)
+
+
+def rc4(key: bytes, data: bytes) -> bytes:
+    """Plain RC4 (symmetric: encrypt == decrypt)."""
+    state = list(range(256))
+    j = 0
+    for i in range(256):
+        j = (j + state[i] + key[i % len(key)]) & 0xFF
+        state[i], state[j] = state[j], state[i]
+    out = bytearray(len(data))
+    i = j = 0
+    for idx, byte in enumerate(data):
+        i = (i + 1) & 0xFF
+        j = (j + state[i]) & 0xFF
+        state[i], state[j] = state[j], state[i]
+        out[idx] = byte ^ state[(state[i] + state[j]) & 0xFF]
+    return bytes(out)
+
+
+def _pad_password(password: bytes) -> bytes:
+    return (password + PAD)[:32]
+
+
+def compute_owner_entry(owner_password: bytes, user_password: bytes) -> bytes:
+    """Algorithm 3: the /O entry."""
+    digest = hashlib.md5(_pad_password(owner_password)).digest()
+    key = digest[:5]
+    return rc4(key, _pad_password(user_password))
+
+
+def compute_encryption_key(
+    user_password: bytes, o_entry: bytes, permissions: int, doc_id: bytes
+) -> bytes:
+    """Algorithm 2: the 40-bit file encryption key."""
+    md = hashlib.md5()
+    md.update(_pad_password(user_password))
+    md.update(o_entry)
+    md.update(permissions.to_bytes(4, "little", signed=True))
+    md.update(doc_id)
+    return md.digest()[:5]
+
+
+def compute_user_entry(key: bytes) -> bytes:
+    """Algorithm 4 (revision 2): the /U entry."""
+    return rc4(key, PAD)
+
+
+def object_key(file_key: bytes, num: int, gen: int) -> bytes:
+    md = hashlib.md5()
+    md.update(file_key)
+    md.update(num.to_bytes(3, "little"))
+    md.update(gen.to_bytes(2, "little"))
+    return md.digest()[: min(len(file_key) + 5, 16)]
+
+
+def _transform(value: PDFObject, key: bytes) -> PDFObject:
+    """Encrypt/decrypt strings and stream payloads inside ``value``."""
+    if isinstance(value, PDFString):
+        return PDFString(rc4(key, bytes(value)), hex_form=value.hex_form)
+    if isinstance(value, PDFArray):
+        return PDFArray([_transform(item, key) for item in value])
+    if isinstance(value, PDFStream):
+        new_dict = PDFDict(
+            {k: _transform(v, key) for k, v in value.dictionary.items()}
+        )
+        return PDFStream(new_dict, rc4(key, value.raw_data))
+    if isinstance(value, PDFDict):
+        return PDFDict({k: _transform(v, key) for k, v in value.items()})
+    return value
+
+
+class EncryptionError(ValueError):
+    """Raised when a document cannot be decrypted."""
+
+
+def encrypt_document(
+    document: PDFDocument,
+    owner_password: str,
+    user_password: str = "",
+    permissions: int = -44,
+) -> PDFDocument:
+    """Apply owner-password encryption in place and return the document.
+
+    ``user_password`` defaults to empty — the "readable but
+    non-modifiable" mode the paper handles.
+    """
+    doc_id = hashlib.md5(repr(sorted(r.num for r in document.store.objects)).encode()).digest()
+    o_entry = compute_owner_entry(
+        owner_password.encode("latin-1"), user_password.encode("latin-1")
+    )
+    key = compute_encryption_key(
+        user_password.encode("latin-1"), o_entry, permissions, doc_id
+    )
+    u_entry = compute_user_entry(key)
+
+    for entry in list(document.store):
+        obj_key = object_key(key, entry.num, entry.gen)
+        document.store.add(
+            IndirectObject(entry.num, entry.gen, _transform(entry.value, obj_key))
+        )
+
+    encrypt_dict = PDFDict(
+        {
+            PDFName("Filter"): PDFName("Standard"),
+            PDFName("V"): 1,
+            PDFName("R"): 2,
+            PDFName("O"): PDFString(o_entry, hex_form=True),
+            PDFName("U"): PDFString(u_entry, hex_form=True),
+            PDFName("P"): permissions,
+        }
+    )
+    document.trailer[PDFName("Encrypt")] = document.add_object(encrypt_dict)
+    document.trailer[PDFName("ID")] = PDFArray(
+        [PDFString(doc_id, hex_form=True), PDFString(doc_id, hex_form=True)]
+    )
+    return document
+
+
+def remove_owner_password(document: PDFDocument) -> PDFDocument:
+    """Decrypt an owner-password-protected document in place.
+
+    Uses the empty user password (Algorithm 6), which succeeds for the
+    owner-password-only mode.  The ``/Encrypt`` dictionary is dropped so
+    the instrumented document writes out unencrypted.
+    """
+    encrypt_entry = document.trailer.get("Encrypt")
+    if encrypt_entry is None:
+        return document
+    encrypt_dict = document.resolve_dict(encrypt_entry)
+    if str(encrypt_dict.get("Filter", "")) != "Standard":
+        raise EncryptionError("unsupported security handler")
+    o_value = document.resolve(encrypt_dict.get("O"))
+    if not isinstance(o_value, PDFString):
+        raise EncryptionError("missing /O entry")
+    permissions = int(document.resolve(encrypt_dict.get("P", -44)))
+    id_array = document.resolve(document.trailer.get("ID", PDFArray()))
+    if isinstance(id_array, PDFArray) and id_array:
+        first_id = document.resolve(id_array[0])
+        doc_id = bytes(first_id) if isinstance(first_id, PDFString) else b""
+    else:
+        doc_id = b""
+
+    key = compute_encryption_key(b"", bytes(o_value), permissions, doc_id)
+    u_value = document.resolve(encrypt_dict.get("U"))
+    if isinstance(u_value, PDFString) and compute_user_entry(key) != bytes(u_value):
+        raise EncryptionError("empty user password rejected")
+
+    encrypt_ref = encrypt_entry if isinstance(encrypt_entry, PDFRef) else None
+    for entry in list(document.store):
+        if encrypt_ref is not None and entry.ref == encrypt_ref:
+            continue
+        obj_key = object_key(key, entry.num, entry.gen)
+        document.store.add(
+            IndirectObject(entry.num, entry.gen, _transform(entry.value, obj_key))
+        )
+    document.trailer.pop("Encrypt", None)
+    if encrypt_ref is not None:
+        document.store.objects.pop(encrypt_ref, None)
+    return document
+
+
+def is_encrypted(document: PDFDocument) -> bool:
+    return "Encrypt" in document.trailer

@@ -1,0 +1,373 @@
+"""PDF stream filters.
+
+Implements the decode *and* encode directions for the five filters the
+corpus uses — FlateDecode, ASCIIHexDecode, ASCII85Decode,
+RunLengthDecode and LZWDecode — plus cascade handling.  Malicious
+documents in the paper stack multiple filters ("levels of encoding",
+static feature F5), so cascades of arbitrary depth are supported.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Dict, List
+
+from repro.pdf.objects import PDFName, PDFStream
+
+
+class FilterError(ValueError):
+    """Raised when stream data cannot be decoded by the declared filter."""
+
+
+# ---------------------------------------------------------------------------
+# Flate
+
+
+def flate_decode(data: bytes) -> bytes:
+    try:
+        return zlib.decompress(data)
+    except zlib.error as exc:
+        # Tolerate truncated/corrupt streams the way real readers do:
+        # inflate as much as possible and keep whatever came out.
+        out = bytearray()
+        decomp = zlib.decompressobj()
+        for start in range(0, len(data), 1024):
+            try:
+                out += decomp.decompress(data[start : start + 1024])
+            except zlib.error:
+                break
+        if out:
+            return bytes(out)
+        raise FilterError(f"bad Flate data: {exc}") from exc
+
+
+def flate_encode(data: bytes) -> bytes:
+    return zlib.compress(data)
+
+
+# ---------------------------------------------------------------------------
+# ASCIIHex
+
+
+def ascii_hex_decode(data: bytes) -> bytes:
+    out = bytearray()
+    digits: List[str] = []
+    for byte in data:
+        ch = chr(byte)
+        if ch == ">":
+            break
+        if ch.isspace():
+            continue
+        if ch not in "0123456789abcdefABCDEF":
+            raise FilterError(f"bad ASCIIHex digit: {ch!r}")
+        digits.append(ch)
+        if len(digits) == 2:
+            out.append(int("".join(digits), 16))
+            digits.clear()
+    if digits:  # odd count: final digit is padded with 0
+        out.append(int(digits[0] + "0", 16))
+    return bytes(out)
+
+
+def ascii_hex_encode(data: bytes) -> bytes:
+    return data.hex().upper().encode("ascii") + b">"
+
+
+# ---------------------------------------------------------------------------
+# ASCII85
+
+
+def ascii85_decode(data: bytes) -> bytes:
+    text = data.rstrip()
+    if text.endswith(b"~>"):
+        text = text[:-2]
+    text = bytes(b for b in text if not chr(b).isspace())
+    try:
+        return _a85_decode_body(text)
+    except ValueError as exc:
+        raise FilterError(f"bad ASCII85 data: {exc}") from exc
+
+
+def _a85_decode_body(text: bytes) -> bytes:
+    out = bytearray()
+    group: List[int] = []
+    for byte in text:
+        if byte == ord("z") and not group:
+            out.extend(b"\0\0\0\0")
+            continue
+        if not (33 <= byte <= 117):
+            raise ValueError(f"character out of range: {byte}")
+        group.append(byte - 33)
+        if len(group) == 5:
+            out.extend(_a85_group_to_bytes(group, 4))
+            group.clear()
+    if group:
+        if len(group) == 1:
+            raise ValueError("single trailing character")
+        pad = 5 - len(group)
+        group.extend([84] * pad)
+        out.extend(_a85_group_to_bytes(group, 4 - pad))
+    return bytes(out)
+
+
+def _a85_group_to_bytes(group: List[int], take: int) -> bytes:
+    value = 0
+    for digit in group:
+        value = value * 85 + digit
+    return value.to_bytes(4, "big")[:take]
+
+
+def ascii85_encode(data: bytes) -> bytes:
+    out = bytearray()
+    for i in range(0, len(data), 4):
+        chunk = data[i : i + 4]
+        pad = 4 - len(chunk)
+        value = int.from_bytes(chunk + b"\0" * pad, "big")
+        if value == 0 and pad == 0:
+            out.append(ord("z"))
+            continue
+        digits = []
+        for _ in range(5):
+            digits.append(value % 85)
+            value //= 85
+        digits.reverse()
+        encoded = bytes(d + 33 for d in digits)
+        out.extend(encoded[: 5 - pad])
+    out.extend(b"~>")
+    return bytes(out)
+
+
+# ---------------------------------------------------------------------------
+# RunLength
+
+
+def run_length_decode(data: bytes) -> bytes:
+    out = bytearray()
+    i = 0
+    while i < len(data):
+        length = data[i]
+        if length == 128:  # EOD
+            break
+        if length < 128:
+            chunk = data[i + 1 : i + 2 + length]
+            if len(chunk) != length + 1:
+                raise FilterError("truncated literal run")
+            out.extend(chunk)
+            i += 2 + length
+        else:
+            if i + 1 >= len(data):
+                raise FilterError("truncated repeat run")
+            out.extend(bytes([data[i + 1]]) * (257 - length))
+            i += 2
+    return bytes(out)
+
+
+def run_length_encode(data: bytes) -> bytes:
+    out = bytearray()
+    i = 0
+    n = len(data)
+    while i < n:
+        # Find a repeat run.
+        run = 1
+        while i + run < n and run < 128 and data[i + run] == data[i]:
+            run += 1
+        if run >= 2:
+            out.append(257 - run)
+            out.append(data[i])
+            i += run
+            continue
+        # Literal run up to the next repeat of length >= 3 (or 128 bytes).
+        start = i
+        i += 1
+        while i < n and i - start < 128:
+            if i + 2 < n and data[i] == data[i + 1] == data[i + 2]:
+                break
+            i += 1
+        out.append(i - start - 1)
+        out.extend(data[start:i])
+    out.append(128)
+    return bytes(out)
+
+
+# ---------------------------------------------------------------------------
+# LZW (PDF variant: 8-bit codes, early change = 1, MSB-first bit packing)
+
+
+_LZW_CLEAR = 256
+_LZW_EOD = 257
+
+
+def lzw_decode(data: bytes) -> bytes:
+    out = bytearray()
+    table: Dict[int, bytes] = {}
+
+    def reset_table() -> None:
+        table.clear()
+        for i in range(256):
+            table[i] = bytes([i])
+
+    reset_table()
+    next_code = 258
+    code_width = 9
+    prev: bytes = b""
+    bit_buffer = 0
+    bit_count = 0
+
+    for byte in data:
+        bit_buffer = (bit_buffer << 8) | byte
+        bit_count += 8
+        while bit_count >= code_width:
+            bit_count -= code_width
+            code = (bit_buffer >> bit_count) & ((1 << code_width) - 1)
+            if code == _LZW_CLEAR:
+                reset_table()
+                next_code = 258
+                code_width = 9
+                prev = b""
+                continue
+            if code == _LZW_EOD:
+                return bytes(out)
+            if code in table:
+                entry = table[code]
+            elif code == next_code and prev:
+                entry = prev + prev[:1]
+            else:
+                raise FilterError(f"bad LZW code {code}")
+            out.extend(entry)
+            if prev:
+                table[next_code] = prev + entry[:1]
+                next_code += 1
+            # "Early change": widen before the table fills.  The decoder
+            # lags the encoder by one entry, so its threshold sits one
+            # code earlier than the encoder's (+2 vs +1).
+            if next_code + 2 >= (1 << code_width) and code_width < 12:
+                code_width += 1
+            prev = entry
+    return bytes(out)
+
+
+def lzw_encode(data: bytes) -> bytes:
+    table: Dict[bytes, int] = {bytes([i]): i for i in range(256)}
+    next_code = 258
+    code_width = 9
+
+    out = bytearray()
+    bit_buffer = 0
+    bit_count = 0
+
+    def emit(code: int, width: int) -> None:
+        nonlocal bit_buffer, bit_count
+        bit_buffer = (bit_buffer << width) | code
+        bit_count += width
+        while bit_count >= 8:
+            bit_count -= 8
+            out.append((bit_buffer >> bit_count) & 0xFF)
+
+    emit(_LZW_CLEAR, code_width)
+    current = b""
+    for byte in data:
+        candidate = current + bytes([byte])
+        if candidate in table:
+            current = candidate
+            continue
+        emit(table[current], code_width)
+        table[candidate] = next_code
+        next_code += 1
+        if next_code + 1 >= (1 << code_width) and code_width < 12:
+            code_width += 1
+        if next_code >= 4095:
+            emit(_LZW_CLEAR, code_width)
+            table = {bytes([i]): i for i in range(256)}
+            next_code = 258
+            code_width = 9
+        current = bytes([byte])
+    if current:
+        emit(table[current], code_width)
+    emit(_LZW_EOD, code_width)
+    if bit_count:
+        out.append((bit_buffer << (8 - bit_count)) & 0xFF)
+    return bytes(out)
+
+
+# ---------------------------------------------------------------------------
+# Registry and cascade handling
+
+
+_DECODERS: Dict[str, Callable[[bytes], bytes]] = {
+    "FlateDecode": flate_decode,
+    "Fl": flate_decode,
+    "ASCIIHexDecode": ascii_hex_decode,
+    "AHx": ascii_hex_decode,
+    "ASCII85Decode": ascii85_decode,
+    "A85": ascii85_decode,
+    "RunLengthDecode": run_length_decode,
+    "RL": run_length_decode,
+    "LZWDecode": lzw_decode,
+    "LZW": lzw_decode,
+}
+
+_ENCODERS: Dict[str, Callable[[bytes], bytes]] = {
+    "FlateDecode": flate_encode,
+    "Fl": flate_encode,
+    "ASCIIHexDecode": ascii_hex_encode,
+    "AHx": ascii_hex_encode,
+    "ASCII85Decode": ascii85_encode,
+    "A85": ascii85_encode,
+    "RunLengthDecode": run_length_encode,
+    "RL": run_length_encode,
+    "LZWDecode": lzw_encode,
+    "LZW": lzw_encode,
+}
+
+SUPPORTED_FILTERS = tuple(sorted(set(_DECODERS) - {"Fl", "AHx", "A85", "RL", "LZW"}))
+
+
+def decode(filter_name: str, data: bytes) -> bytes:
+    """Apply one decode filter by name."""
+    decoder = _DECODERS.get(str(filter_name))
+    if decoder is None:
+        raise FilterError(f"unsupported filter: {filter_name}")
+    return decoder(data)
+
+
+def encode(filter_name: str, data: bytes) -> bytes:
+    """Apply one encode filter by name."""
+    encoder = _ENCODERS.get(str(filter_name))
+    if encoder is None:
+        raise FilterError(f"unsupported filter: {filter_name}")
+    return encoder(data)
+
+
+def decode_stream(stream: PDFStream) -> bytes:
+    """Run a stream's full filter cascade, outermost filter first."""
+    data = stream.raw_data
+    for name in stream.filters:
+        data = decode(str(name), data)
+    return data
+
+
+def encode_cascade(data: bytes, filter_names: List[str]) -> bytes:
+    """Encode ``data`` so that decoding ``filter_names`` in order recovers it."""
+    for name in reversed(filter_names):
+        data = encode(name, data)
+    return data
+
+
+def cascade_names(levels: int, base: str = "FlateDecode") -> List[str]:
+    """Produce a filter cascade with the requested number of levels.
+
+    Used by the corpus generator to synthesise the multi-level encoding
+    obfuscation (feature F5).  Levels beyond the first alternate between
+    Flate and ASCIIHex so cascades stay decodable.
+    """
+    if levels <= 0:
+        return []
+    names = [base]
+    alt = ["ASCIIHexDecode", "FlateDecode", "ASCII85Decode", "RunLengthDecode"]
+    for i in range(levels - 1):
+        names.append(alt[i % len(alt)])
+    return names
+
+
+def make_name(name: str) -> PDFName:
+    return PDFName(name)

@@ -1,0 +1,28 @@
+"""Simulated single-threaded PDF reader.
+
+Models the observable behaviour of Adobe Acrobat 8/9 that the paper's
+back-end watches: document open triggers (Names-tree scripts,
+``/OpenAction``, ``/AA``), JavaScript execution through
+:mod:`repro.js` with the Acrobat object model, a version-gated exploit
+registry, the heap-spray → control-flow-hijack → shellcode-payload
+infection model (including crashes on failed hijacks), per-document
+render memory (Fig. 8's context-free memory curves), timers
+(``app.setTimeOut``) and runtime-added scripts (Table IV).
+"""
+
+from repro.reader.exploits import CVE, ExploitRegistry, ExploitSpec, default_registry
+from repro.reader.payload import Payload, PayloadOp, parse_payload
+from repro.reader.reader import DocumentHandle, OpenOutcome, Reader
+
+__all__ = [
+    "CVE",
+    "DocumentHandle",
+    "ExploitRegistry",
+    "ExploitSpec",
+    "OpenOutcome",
+    "Payload",
+    "PayloadOp",
+    "Reader",
+    "default_registry",
+    "parse_payload",
+]

@@ -1,0 +1,129 @@
+"""Shellcode payload model.
+
+Real shellcode is machine code found on the sprayed heap; what the
+paper's detector observes is the *sequence of hooked API calls* that
+code makes (drop, download, execute, inject, egg-hunt, reverse shell).
+We therefore encode a payload as a directive block embedded in the
+sprayed string, behind the NOP sled:
+
+    <sled><sled>...[[PAYLOAD|drop:C:\\tmp\\a.exe;exec:C:\\tmp\\a.exe]]
+
+After a successful control-flow hijack the reader "lands" in the sled,
+slides into the directive block, and executes each directive through
+the syscall gateway — which is where the hooks see them.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+#: One NOP (0x90 0x90 as a UTF-16 unit, what unescape("%u9090") yields).
+NOP = "邐"
+
+PAYLOAD_OPEN = "[[PAYLOAD|"
+PAYLOAD_CLOSE = "]]"
+_PAYLOAD_RE = re.compile(r"\[\[PAYLOAD\|(.*?)\]\]", re.DOTALL)
+
+#: Directive verbs.
+OP_DROP = "drop"        # drop:<path>            -> NtCreateFile
+OP_DOWNLOAD = "url"     # url:<url>><path>       -> connect + URLDownloadToFile
+OP_EXEC = "exec"        # exec:<path>            -> NtCreateUserProcess
+OP_INJECT = "inject"    # inject:<dll>           -> CreateRemoteThread
+OP_EGGHUNT = "egghunt"  # egghunt:<path>         -> memory-search probes + drop + exec
+OP_SHELL = "shell"      # shell:<port>           -> listen (reverse bind shell)
+OP_BADJUMP = "badjump"  # badjump:               -> hijack lands badly: crash
+OP_STEALTH = "stealth"  # stealth:<path>         -> drop+exec via direct kernel
+                        #                           calls (bypasses IAT hooks)
+
+KNOWN_OPS = (
+    OP_DROP, OP_DOWNLOAD, OP_EXEC, OP_INJECT, OP_EGGHUNT, OP_SHELL,
+    OP_BADJUMP, OP_STEALTH,
+)
+
+
+@dataclass(frozen=True)
+class PayloadOp:
+    verb: str
+    argument: str = ""
+
+    def render(self) -> str:
+        return f"{self.verb}:{self.argument}" if self.argument else f"{self.verb}:"
+
+
+@dataclass
+class Payload:
+    """An ordered list of directives."""
+
+    ops: List[PayloadOp] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Serialize to the on-heap directive block."""
+        return PAYLOAD_OPEN + ";".join(op.render() for op in self.ops) + PAYLOAD_CLOSE
+
+    def with_sled(self, sled_units: int = 64) -> str:
+        return NOP * sled_units + self.render()
+
+    @property
+    def crashes_on_landing(self) -> bool:
+        return any(op.verb == OP_BADJUMP for op in self.ops)
+
+    # -- convenience constructors ---------------------------------------
+
+    @classmethod
+    def dropper(cls, path: str = "C:\\Temp\\update.exe") -> "Payload":
+        return cls([PayloadOp(OP_DROP, path), PayloadOp(OP_EXEC, path)])
+
+    @classmethod
+    def downloader(
+        cls,
+        url: str = "http://malicious.example/stage2.exe",
+        path: str = "C:\\Temp\\stage2.exe",
+    ) -> "Payload":
+        return cls(
+            [PayloadOp(OP_DOWNLOAD, f"{url}>{path}"), PayloadOp(OP_EXEC, path)]
+        )
+
+    @classmethod
+    def dll_injector(cls, dll: str = "C:\\Temp\\hook_evil.dll") -> "Payload":
+        return cls([PayloadOp(OP_DROP, dll), PayloadOp(OP_INJECT, dll)])
+
+    @classmethod
+    def egg_hunter(cls, path: str = "C:\\Temp\\egg.exe") -> "Payload":
+        return cls([PayloadOp(OP_EGGHUNT, path), PayloadOp(OP_EXEC, path)])
+
+    @classmethod
+    def reverse_shell(cls, port: int = 4444) -> "Payload":
+        return cls([PayloadOp(OP_SHELL, str(port))])
+
+    @classmethod
+    def bad_jump(cls) -> "Payload":
+        """A payload whose hijack always crashes the reader (the 25
+        false negatives of §V-C2)."""
+        return cls([PayloadOp(OP_BADJUMP)])
+
+    @classmethod
+    def stealth_dropper(cls, path: str = "C:\\Temp\\ghost.exe") -> "Payload":
+        """Drops and launches via direct kernel calls, never touching
+        the import table — the §III-E IAT-bypass adversary."""
+        return cls([PayloadOp(OP_STEALTH, path)])
+
+
+def parse_payload(heap_strings: Iterable[str]) -> Optional[Payload]:
+    """Scan heap strings for a directive block; first match wins."""
+    for text in heap_strings:
+        match = _PAYLOAD_RE.search(text)
+        if match is None:
+            continue
+        ops: List[PayloadOp] = []
+        for chunk in match.group(1).split(";"):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            verb, _, argument = chunk.partition(":")
+            if verb in KNOWN_OPS:
+                ops.append(PayloadOp(verb, argument))
+        if ops:
+            return Payload(ops)
+    return None

@@ -1,0 +1,37 @@
+"""Simulated Windows substrate.
+
+The paper's back-end observes a PDF reader process through hooked
+Windows APIs and ``PROCESS_MEMORY_COUNTERS_EX``.  This package
+reproduces that observable surface: processes with memory counters, a
+syscall dispatch table, IAT hooking injected via a trampoline DLL, a
+filesystem, a loopback network and a Sandboxie-like sandbox.
+
+Everything is deterministic and in-process; a virtual clock stands in
+for wall time so benchmarks are reproducible.
+"""
+
+from repro.winapi.clock import VirtualClock
+from repro.winapi.process import MemoryCounters, Process, ProcessState, System
+from repro.winapi.syscalls import API, SyscallEvent
+from repro.winapi.hooks import HookAction, HookDecision, IATHookLayer, TrampolineDLL
+from repro.winapi.filesystem import FileSystem
+from repro.winapi.network import Connection, Network
+from repro.winapi.sandbox import Sandbox
+
+__all__ = [
+    "API",
+    "Connection",
+    "FileSystem",
+    "HookAction",
+    "HookDecision",
+    "IATHookLayer",
+    "MemoryCounters",
+    "Network",
+    "Process",
+    "ProcessState",
+    "Sandbox",
+    "SyscallEvent",
+    "System",
+    "TrampolineDLL",
+    "VirtualClock",
+]

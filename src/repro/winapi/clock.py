@@ -1,0 +1,28 @@
+"""A virtual clock.
+
+All timing in the simulated Windows world is virtual: components charge
+costs (``advance``), observers read ``now()``.  This keeps the runtime
+overhead experiments (§V-D2 — 0.093 s per instrumented script, < 2 s at
+20 scripts) deterministic and machine-independent.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """Monotonic simulated time in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("time cannot go backwards")
+        self._now += seconds
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(t={self._now:.6f}s)"

@@ -1,0 +1,75 @@
+"""Simulated filesystem.
+
+Only the behaviour the detection/confinement pipeline observes is
+modelled: file creation (malware dropping), reads, existence checks,
+executability (by extension), and quarantine (the confinement rules of
+Table III isolate dropped executables and injected DLLs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+EXECUTABLE_EXTENSIONS = (".exe", ".dll", ".scr", ".com", ".bat")
+
+
+@dataclass
+class FileRecord:
+    path: str
+    data: bytes
+    creator_pid: Optional[int] = None
+    quarantined: bool = False
+
+
+class FileSystem:
+    """A flat path → record store with quarantine support."""
+
+    def __init__(self) -> None:
+        self._files: Dict[str, FileRecord] = {}
+        self.quarantine_log: List[str] = []
+
+    @staticmethod
+    def normalize(path: str) -> str:
+        return path.replace("/", "\\").lower()
+
+    def create(self, path: str, data: bytes = b"", creator_pid: Optional[int] = None) -> FileRecord:
+        record = FileRecord(path=path, data=data, creator_pid=creator_pid)
+        self._files[self.normalize(path)] = record
+        return record
+
+    def read(self, path: str) -> bytes:
+        record = self._files.get(self.normalize(path))
+        if record is None:
+            raise FileNotFoundError(path)
+        if record.quarantined:
+            raise PermissionError(f"{path} is quarantined")
+        return record.data
+
+    def exists(self, path: str) -> bool:
+        return self.normalize(path) in self._files
+
+    def get(self, path: str) -> Optional[FileRecord]:
+        return self._files.get(self.normalize(path))
+
+    def delete(self, path: str) -> bool:
+        return self._files.pop(self.normalize(path), None) is not None
+
+    @staticmethod
+    def is_executable(path: str) -> bool:
+        return path.lower().endswith(EXECUTABLE_EXTENSIONS)
+
+    def quarantine(self, path: str) -> bool:
+        """Isolate a file (Table III: "isolate" actions)."""
+        record = self._files.get(self.normalize(path))
+        if record is None or record.quarantined:
+            return False
+        record.quarantined = True
+        self.quarantine_log.append(path)
+        return True
+
+    def executables(self) -> List[str]:
+        return [r.path for r in self._files.values() if self.is_executable(r.path)]
+
+    def __len__(self) -> int:
+        return len(self._files)

@@ -1,0 +1,136 @@
+"""IAT hooking with trampoline-DLL injection.
+
+The paper's prototype hooks the import address table of PDF reader
+processes.  The hook DLL is implanted via an AppInit-registry
+trampoline: the trampoline loads into *every* new process but only
+pulls in the real hook DLL when the host is a PDF reader (§III-E,
+following [38]).  Once attached, the hook DLL:
+
+* forwards every captured API (name, arguments, memory usage) to the
+  stand-alone runtime detector over a TCP channel, and
+* enforces the hook-DLL half of the confinement rules (Table III)
+  locally — e.g. ``CreateRemoteThread`` is always rejected.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.winapi.network import LoopbackChannel
+from repro.winapi.process import Process
+from repro.winapi.syscalls import API, SyscallEvent
+
+HOOK_DLL_NAME = "ctxmon_hook.dll"
+TRAMPOLINE_DLL_NAME = "ctxmon_trampoline.dll"
+
+#: Port the runtime detector's event listener binds on loopback.
+DETECTOR_EVENT_PORT = 48620
+
+
+class HookAction(enum.Enum):
+    """What the hook DLL does with an intercepted call (Table III)."""
+
+    PASS = "pass"       # call the original API
+    REJECT = "reject"   # fail the call in-process
+
+
+class HookMode(enum.Enum):
+    """Where the hook sits (§III-E).
+
+    The prototype uses IAT hooking, which "attackers could leverage
+    GetProcAddress() or call kernel routines directly to bypass";
+    kernel-mode (SSDT-style) hooks — the paper's planned hardening —
+    see every call regardless of how user mode reached it.
+    """
+
+    IAT = "iat"
+    SSDT = "ssdt"
+
+
+@dataclass
+class HookDecision:
+    action: HookAction
+
+    @property
+    def allow_original(self) -> bool:
+        return self.action is HookAction.PASS
+
+
+#: A rule maps an API name to the decision the hook DLL makes locally.
+HookRule = Callable[[Process, SyscallEvent], HookAction]
+
+
+class IATHookLayer:
+    """The hook DLL's view once injected into one process."""
+
+    def __init__(
+        self,
+        process: Process,
+        channel: Optional[LoopbackChannel],
+        rules: Optional[Dict[str, HookRule]] = None,
+        hooked_apis: tuple = API.ALL_HOOKED,
+        mode: HookMode = HookMode.IAT,
+    ) -> None:
+        self.process = process
+        self.channel = channel
+        self.rules = dict(rules or {})
+        self.hooked_apis = set(hooked_apis)
+        self.mode = mode
+        self.captured: List[SyscallEvent] = []
+        self.rejected: List[SyscallEvent] = []
+        self.bypassed: List[SyscallEvent] = []
+
+    def on_call(
+        self, process: Process, event: SyscallEvent, via_import_table: bool = True
+    ) -> Optional[HookDecision]:
+        """Called by the syscall gateway before the original API runs.
+
+        ``via_import_table`` is False for direct kernel calls
+        (GetProcAddress / raw syscall stubs): IAT hooks never see those,
+        SSDT hooks always do.
+        """
+        if event.api not in self.hooked_apis:
+            return None  # not in the patch set: invisible to us
+        if not via_import_table and self.mode is HookMode.IAT:
+            self.bypassed.append(event)
+            return None  # §III-E: IAT hooks are blind to direct calls
+        self.captured.append(event)
+        if self.channel is not None:
+            self.channel.send(event)
+        rule = self.rules.get(event.api)
+        action = rule(process, event) if rule is not None else HookAction.PASS
+        if action is HookAction.REJECT:
+            self.rejected.append(event)
+        return HookDecision(action)
+
+
+class TrampolineDLL:
+    """AppInit-style implant: attaches hooks to PDF readers only."""
+
+    def __init__(
+        self,
+        reader_names: tuple = ("AcroRd32.exe", "Acrobat.exe"),
+        rules: Optional[Dict[str, HookRule]] = None,
+        hook_mode: HookMode = HookMode.IAT,
+    ) -> None:
+        self.reader_names = reader_names
+        self.rules = dict(rules or {})
+        self.hook_mode = hook_mode
+        self.attached: List[Process] = []
+
+    def on_process_start(
+        self, process: Process, detector_channel: Optional[LoopbackChannel]
+    ) -> Optional[IATHookLayer]:
+        """Simulates DLL_PROCESS_ATTACH of the trampoline."""
+        process.load_module(TRAMPOLINE_DLL_NAME)
+        if process.name not in self.reader_names:
+            return None  # trampoline unloads; zero overhead elsewhere
+        process.load_module(HOOK_DLL_NAME)
+        layer = IATHookLayer(
+            process, detector_channel, rules=self.rules, mode=self.hook_mode
+        )
+        process.iat_hooks = layer  # type: ignore[attr-defined]
+        self.attached.append(process)
+        return layer

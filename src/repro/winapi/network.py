@@ -1,0 +1,99 @@
+"""Simulated network.
+
+Connections are records, and loopback "TCP channels" deliver messages
+in-process.  Two real channels ride on this: the hook-DLL → runtime
+detector event stream (§III-E) and the SOAP messages from the context
+monitoring code (§III-C); both are white-listed by the monitor, so the
+network substrate must distinguish them from attacker traffic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+
+@dataclass
+class Connection:
+    """One connection attempt (successful or not)."""
+
+    pid: int
+    host: str
+    port: int
+    kind: str = "connect"  # "connect" or "listen"
+    allowed: bool = True
+
+
+class LoopbackChannel:
+    """An in-process reliable message pipe (our "TCP socket")."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._queue: Deque[object] = deque()
+        self._subscriber: Optional[Callable[[object], None]] = None
+
+    def subscribe(self, handler: Callable[[object], None]) -> None:
+        self._subscriber = handler
+        while self._queue:
+            handler(self._queue.popleft())
+
+    def send(self, message: object) -> None:
+        if self._subscriber is not None:
+            self._subscriber(message)
+        else:
+            self._queue.append(message)
+
+    def drain(self) -> List[object]:
+        items = list(self._queue)
+        self._queue.clear()
+        return items
+
+
+class Network:
+    """Connection log plus a registry of loopback service channels."""
+
+    LOOPBACK = "127.0.0.1"
+
+    def __init__(self) -> None:
+        self.connections: List[Connection] = []
+        self._services: Dict[Tuple[str, int], LoopbackChannel] = {}
+        self._rpc: Dict[Tuple[str, int], Callable[[object], object]] = {}
+
+    # -- service registry -------------------------------------------------
+
+    def register_service(self, host: str, port: int, name: str) -> LoopbackChannel:
+        channel = LoopbackChannel(name)
+        self._services[(host, port)] = channel
+        return channel
+
+    def service_at(self, host: str, port: int) -> Optional[LoopbackChannel]:
+        return self._services.get((host, port))
+
+    def register_rpc(self, host: str, port: int, handler: Callable[[object], object]) -> None:
+        """Register a synchronous request/response endpoint (SOAP server)."""
+        self._rpc[(host, port)] = handler
+
+    def call_rpc(self, host: str, port: int, payload: object) -> object:
+        handler = self._rpc.get((host, port))
+        if handler is None:
+            raise ConnectionRefusedError(f"nothing listening at {host}:{port}")
+        return handler(payload)
+
+    def has_rpc(self, host: str, port: int) -> bool:
+        return (host, port) in self._rpc
+
+    # -- syscall-level operations -------------------------------------------
+
+    def connect(self, pid: int, host: str, port: int) -> Connection:
+        connection = Connection(pid=pid, host=host, port=port, kind="connect")
+        self.connections.append(connection)
+        return connection
+
+    def listen(self, pid: int, port: int) -> Connection:
+        connection = Connection(pid=pid, host=self.LOOPBACK, port=port, kind="listen")
+        self.connections.append(connection)
+        return connection
+
+    def connections_for(self, pid: int) -> List[Connection]:
+        return [c for c in self.connections if c.pid == pid]

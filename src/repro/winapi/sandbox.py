@@ -1,0 +1,49 @@
+"""A Sandboxie-like sandbox (the paper confines created processes with
+Sandboxie [39]; Table III: "run target program in Sandboxie ... when
+alert, terminate and isolate").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.winapi.process import Process, System
+
+
+@dataclass
+class SandboxedAction:
+    pid: int
+    description: str
+
+
+class Sandbox:
+    """Contains processes; their side effects are recorded, not applied."""
+
+    def __init__(self, system: System) -> None:
+        self.system = system
+        self.contained: List[Process] = []
+        self.actions: List[SandboxedAction] = []
+        self.terminated: List[Process] = []
+
+    def run(self, image: str, parent: Optional[Process] = None, command_line: str = "") -> Process:
+        """Start ``image`` inside the sandbox."""
+        process = self.system.spawn(image, parent=parent, sandboxed=True)
+        process.command_line = command_line or image
+        self.contained.append(process)
+        return process
+
+    def record(self, process: Process, description: str) -> None:
+        if process not in self.contained:
+            raise ValueError("process is not sandboxed")
+        self.actions.append(SandboxedAction(process.pid, description))
+
+    def terminate_and_isolate(self, process: Process, reason: str) -> None:
+        """Kill a sandboxed process and quarantine its image (on alert)."""
+        process.terminate(reason)
+        self.terminated.append(process)
+        if self.system.filesystem.exists(process.name):
+            self.system.filesystem.quarantine(process.name)
+
+    def is_contained(self, process: Process) -> bool:
+        return process in self.contained

@@ -1,0 +1,164 @@
+"""Syscall names, events and the dispatch gateway.
+
+The gateway is the seam between "user code" (the simulated reader and
+any shellcode payload it runs) and the operating system: every
+sensitive operation goes through :meth:`SyscallGateway.invoke`, where
+installed IAT hooks get to observe and veto it first — exactly the
+paper's interception point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.winapi.process import Process
+
+
+class API:
+    """The hooked API names from §III-D of the paper."""
+
+    # Malware dropping
+    NT_CREATE_FILE = "NtCreateFile"
+    URL_DOWNLOAD_TO_FILE = "URLDownloadToFileA"
+    URL_DOWNLOAD_TO_CACHE_FILE = "URLDownloadToCacheFileA"
+    # Network access
+    CONNECT = "connect"
+    LISTEN = "listen"
+    # Mapped memory search (egg-hunt probes)
+    NT_ACCESS_CHECK_AND_AUDIT_ALARM = "NtAccessCheckAndAuditAlarm"
+    IS_BAD_READ_PTR = "IsBadReadPtr"
+    NT_DISPLAY_STRING = "NtDisplayString"
+    NT_ADD_ATOM = "NtAddAtom"
+    # Process creation
+    NT_CREATE_PROCESS = "NtCreateProcess"
+    NT_CREATE_PROCESS_EX = "NtCreateProcessEx"
+    NT_CREATE_USER_PROCESS = "NtCreateUserProcess"
+    # DLL injection
+    CREATE_REMOTE_THREAD = "CreateRemoteThread"
+
+    MALWARE_DROP = (NT_CREATE_FILE, URL_DOWNLOAD_TO_FILE, URL_DOWNLOAD_TO_CACHE_FILE)
+    NETWORK = (CONNECT, LISTEN)
+    MEMORY_SEARCH = (
+        NT_ACCESS_CHECK_AND_AUDIT_ALARM,
+        IS_BAD_READ_PTR,
+        NT_DISPLAY_STRING,
+        NT_ADD_ATOM,
+    )
+    PROCESS_CREATE = (NT_CREATE_PROCESS, NT_CREATE_PROCESS_EX, NT_CREATE_USER_PROCESS)
+    DLL_INJECT = (CREATE_REMOTE_THREAD,)
+
+    ALL_HOOKED = MALWARE_DROP + NETWORK + MEMORY_SEARCH + PROCESS_CREATE + DLL_INJECT
+
+
+@dataclass
+class SyscallEvent:
+    """One captured API call, as forwarded by the hook DLL."""
+
+    api: str
+    args: Dict[str, Any]
+    pid: int
+    seq: int
+    time: float
+    memory_private_usage: int = 0
+
+    @property
+    def category(self) -> str:
+        if self.api in API.MALWARE_DROP:
+            return "malware_drop"
+        if self.api in API.NETWORK:
+            return "network"
+        if self.api in API.MEMORY_SEARCH:
+            return "memory_search"
+        if self.api in API.PROCESS_CREATE:
+            return "process_create"
+        if self.api in API.DLL_INJECT:
+            return "dll_inject"
+        return "other"
+
+
+@dataclass
+class SyscallResult:
+    """What the caller of the API observes."""
+
+    success: bool
+    rejected_by_hook: bool = False
+    value: Any = None
+
+
+class SyscallGateway:
+    """Dispatches API calls, consulting per-process hooks first."""
+
+    def __init__(self, system: Any) -> None:
+        self.system = system
+        self._seq = 0
+        self.log: List[SyscallEvent] = []
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def invoke(
+        self, process: Process, api: str, via_import_table: bool = True, **args: Any
+    ) -> SyscallResult:
+        """Invoke ``api`` on behalf of ``process``.
+
+        ``via_import_table=False`` models a direct kernel call (raw
+        syscall stub / GetProcAddress) — the §III-E evasion that IAT
+        hooks cannot see but kernel-mode hooks can.
+        """
+        event = SyscallEvent(
+            api=api,
+            args=dict(args),
+            pid=process.pid,
+            seq=self._next_seq(),
+            time=self.system.clock.now(),
+            memory_private_usage=process.memory_counters().private_usage,
+        )
+        self.log.append(event)
+
+        hooks = getattr(process, "iat_hooks", None)
+        if hooks is not None:
+            decision = hooks.on_call(process, event, via_import_table=via_import_table)
+            if decision is not None and not decision.allow_original:
+                return SyscallResult(success=False, rejected_by_hook=True)
+        return self._perform(process, event)
+
+    # -- actual effects -------------------------------------------------------
+
+    def _perform(self, process: Process, event: SyscallEvent) -> SyscallResult:
+        api = event.api
+        args = event.args
+        if api in API.MALWARE_DROP:
+            path = str(args.get("path", ""))
+            data = args.get("data", b"")
+            record = self.system.filesystem.create(path, data, creator_pid=process.pid)
+            return SyscallResult(success=True, value=record)
+        if api == API.CONNECT:
+            connection = self.system.network.connect(
+                process.pid, str(args.get("host", "")), int(args.get("port", 0))
+            )
+            return SyscallResult(success=True, value=connection)
+        if api == API.LISTEN:
+            connection = self.system.network.listen(process.pid, int(args.get("port", 0)))
+            return SyscallResult(success=True, value=connection)
+        if api in API.MEMORY_SEARCH:
+            # Probes are side-effect free: the return value says whether a
+            # hypothetical address is mapped.  We model a sparse space.
+            address = int(args.get("address", 0))
+            return SyscallResult(success=True, value=(address % 7 != 0))
+        if api in API.PROCESS_CREATE:
+            name = str(args.get("image", "child.exe"))
+            sandboxed = bool(args.get("sandboxed", False))
+            child = self.system.spawn(name, parent=process, sandboxed=sandboxed)
+            child.command_line = str(args.get("command_line", name))
+            return SyscallResult(success=True, value=child)
+        if api == API.CREATE_REMOTE_THREAD:
+            target_pid = int(args.get("target_pid", 0))
+            target = self.system.get(target_pid)
+            if target is None or not target.alive:
+                return SyscallResult(success=False)
+            dll = str(args.get("dll", "payload.dll"))
+            target.load_module(dll)
+            return SyscallResult(success=True, value=dll)
+        return SyscallResult(success=True)

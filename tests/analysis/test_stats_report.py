@@ -1,0 +1,66 @@
+"""Unit tests for the analysis/reporting helpers."""
+
+import numpy as np
+
+from repro.analysis import PaperComparison, cdf, format_table, render_ascii_cdf, summarize
+from repro.analysis.stats import fraction_at_least, fraction_below
+
+
+class TestStats:
+    def test_summary_values(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == 2.5
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.median == 2.5
+
+    def test_summary_empty(self):
+        assert summarize([]).count == 0
+
+    def test_cdf_shape(self):
+        xs, fracs = cdf([3.0, 1.0, 2.0])
+        assert list(xs) == [1.0, 2.0, 3.0]
+        assert list(fracs) == [1 / 3, 2 / 3, 1.0]
+
+    def test_fraction_helpers(self):
+        values = [0.1, 0.2, 0.3, 0.4]
+        assert fraction_below(values, 0.25) == 0.5
+        assert fraction_at_least(values, 0.2) == 0.75
+        assert fraction_below([], 1.0) == 0.0
+
+    def test_summary_row_renders(self):
+        text = summarize([5.0]).row("label", " MB")
+        assert "label" in text and "MB" in text
+
+
+class TestReport:
+    def test_paper_comparison_renders_rows(self):
+        comparison = PaperComparison("Table X")
+        comparison.add("metric", 1, 2)
+        comparison.add("other", "a", "b")
+        text = comparison.render()
+        assert "Table X" in text
+        assert "metric" in text and "paper" in text and "measured" in text
+
+    def test_format_table_aligns(self):
+        text = format_table(["col", "long header"], [["x", 1], ["yy", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("col")
+
+    def test_ascii_cdf_contains_markers_and_legend(self):
+        plot = render_ascii_cdf(
+            [("benign", [0.1, 0.15, 0.2]), ("malicious", [0.5, 0.8, 1.0])],
+            width=30,
+            height=6,
+        )
+        assert "*" in plot and "o" in plot
+        assert "benign" in plot and "malicious" in plot
+
+    def test_ascii_cdf_empty(self):
+        assert render_ascii_cdf([]) == "(no data)"
+
+    def test_ascii_cdf_constant_values(self):
+        plot = render_ascii_cdf([("x", [1.0, 1.0])], width=10, height=4)
+        assert "x" in plot

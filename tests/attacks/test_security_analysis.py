@@ -1,0 +1,129 @@
+"""The §IV security analysis as executable tests.
+
+Every advanced attack the paper discusses is mounted against the full
+pipeline; each test asserts the corresponding countermeasure holds.
+"""
+
+import pytest
+
+from repro.attacks import (
+    delayed_attack_document,
+    fake_message_attack_document,
+    patch_out_monitoring,
+    staged_attack_document,
+    structural_mimicry_document,
+)
+from repro.attacks.mimicry import replay_epilogue_attack_document
+from repro.attacks.staged import INSTALL_METHODS, trigger_event_for
+from repro.core.instrument import Instrumenter
+from repro.core.keys import KeyStore
+from repro.core.pipeline import ProtectionPipeline
+
+
+@pytest.fixture()
+def pipe():
+    return ProtectionPipeline(seed=2718)
+
+
+class TestMimicryAttack:
+    def test_forged_leave_message_convicts(self, pipe):
+        report = pipe.scan(fake_message_attack_document(), "mimicry.pdf")
+        assert report.fake_messages >= 1
+        assert report.verdict.malicious
+        assert any("fake" in r for r in report.verdict.reasons)
+
+    def test_replayed_epilogue_without_key_convicts(self, pipe):
+        report = pipe.scan(replay_epilogue_attack_document(), "replay.pdf")
+        assert report.fake_messages >= 1
+        assert report.verdict.malicious
+
+    def test_scraped_fake_key_is_useless(self, pipe):
+        """Memory scraping finds the planted decoy keys; using one is
+        itself the conviction (zero tolerance)."""
+        instrumenter = Instrumenter(key_store=KeyStore.create(5), seed=5)
+        result = instrumenter.instrument(
+            fake_message_attack_document(), "probe.pdf"
+        )
+        # Planted fakes look exactly like real keys, so an attacker
+        # cannot tell them apart by format.
+        from repro.core.monitor_code import MonitorCodeGenerator
+
+        generator = MonitorCodeGenerator("real:key", seed=5)
+        generated = generator.wrap_script("var x = 1;")
+        for fake in generated.fake_keys:
+            parts = fake.split(":")
+            assert len(parts) == 2
+            assert all(len(p) == 24 for p in parts)
+
+    def test_structural_mimicry_beats_static_but_not_us(self, pipe):
+        """[8]-style mimicry: static features all clear, runtime nails it."""
+        data = structural_mimicry_document()
+        protected = pipe.protect(data, "mimic.pdf")
+        assert protected.features.binary() == (0, 0, 0, 0, 0)
+        report = pipe.open_protected(protected)
+        assert report.verdict.malicious
+        assert report.verdict.features.any_in_js
+
+
+class TestRuntimePatchingAttack:
+    def test_patched_script_cannot_execute(self, pipe, malicious_doc_bytes):
+        protected = pipe.protect(malicious_doc_bytes, "victim.pdf")
+        patched = patch_out_monitoring(protected.data)
+        session = pipe.session()
+        outcome = session.open_raw(patched, "patched.pdf")
+        # The orphaned ciphertext is not executable JavaScript: the
+        # attack dies, no syscall is ever made.
+        assert outcome.handle.script_errors
+        assert not outcome.crashed
+        assert not session.system.filesystem.executables()
+        session.close()
+
+    def test_unpatched_control_arm_still_detected(self, pipe, malicious_doc_bytes):
+        protected = pipe.protect(malicious_doc_bytes, "victim.pdf")
+        report = pipe.open_protected(protected)
+        assert report.verdict.malicious
+
+
+class TestStagedAttack:
+    @pytest.mark.parametrize("method", sorted(INSTALL_METHODS))
+    def test_stage2_remains_monitored(self, pipe, method):
+        protected = pipe.protect(staged_attack_document(method=method), f"st-{method}.pdf")
+        session = pipe.session()
+        report = session.open(protected, fire_close=False)
+        assert not report.verdict.malicious or report.verdict.features.any_in_js
+        session.reader.fire_event(report.outcome.handle, trigger_event_for(method))
+        verdict = session.verdict_for(protected)
+        assert verdict.malicious
+        assert verdict.features.any_in_js  # attributed to JS context
+        session.close()
+
+    def test_without_wrappers_detection_degrades_to_out_js(self, malicious_doc_bytes):
+        """Ablation: disable the dynamic-method wrappers; the staged
+        payload then runs outside JS context and only the weaker out-JS
+        features fire."""
+        pipe = ProtectionPipeline(seed=1)
+        pipe.instrumenter.wrap_dynamic_methods = False
+        protected = pipe.protect(staged_attack_document(), "ablation.pdf")
+        session = pipe.session()
+        report = session.open(protected, fire_close=False)
+        session.reader.fire_event(report.outcome.handle, "WillClose")
+        verdict = session.verdict_for(protected)
+        fired = set(verdict.features.fired())
+        # In-JS drop/process features cannot be attributed any more.
+        assert 11 not in fired and 12 not in fired
+        session.close()
+
+
+class TestDelayedExecutionAttack:
+    def test_set_timeout_bomb_detected(self, pipe):
+        report = pipe.scan(delayed_attack_document(), "delayed.pdf")
+        assert report.verdict.malicious
+        assert report.verdict.features.any_in_js
+
+    def test_set_interval_bomb_detected(self, pipe):
+        report = pipe.scan(delayed_attack_document(use_interval=True), "interval.pdf")
+        assert report.verdict.malicious
+
+    def test_long_delay_still_covered_by_pump(self, pipe):
+        report = pipe.scan(delayed_attack_document(delay_ms=4500), "late.pdf")
+        assert report.verdict.malicious

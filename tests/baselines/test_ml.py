@@ -1,0 +1,128 @@
+"""Unit tests for the from-scratch ML toolkit."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ml import (
+    DecisionTreeClassifier,
+    LinearSVM,
+    MarkovByteModel,
+    OneClassSVM,
+    RandomForestClassifier,
+)
+
+
+def blobs(n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    X0 = rng.normal(loc=0.0, scale=0.6, size=(n, 3))
+    X1 = rng.normal(loc=3.0, scale=0.6, size=(n, 3))
+    X = np.vstack([X0, X1])
+    y = np.array([0.0] * n + [1.0] * n)
+    return X, y
+
+
+class TestDecisionTree:
+    def test_separable_blobs(self):
+        X, y = blobs()
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert (tree.predict(X) == y).mean() >= 0.95
+
+    def test_nested_intervals_need_depth(self):
+        # y = 1 only inside the middle band: needs two split levels.
+        X = np.array([[v] for v in range(12)], dtype=float)
+        y = np.array([0, 0, 0, 0, 1, 1, 1, 1, 0, 0, 0, 0], dtype=float)
+        tree = DecisionTreeClassifier(max_depth=3, min_samples_split=2).fit(X, y)
+        assert (tree.predict(X) == y).all()
+
+    def test_pure_leaf_short_circuit(self):
+        X = np.ones((10, 2))
+        y = np.ones(10)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.predict(np.ones((1, 2)))[0] == 1
+
+    def test_unfit_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict(np.ones((1, 2)))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.ones(3), np.ones(3))
+
+
+class TestRandomForest:
+    def test_separable_blobs(self):
+        X, y = blobs()
+        forest = RandomForestClassifier(n_estimators=8).fit(X, y)
+        assert (forest.predict(X) == y).mean() >= 0.95
+
+    def test_probability_range(self):
+        X, y = blobs(n=30)
+        forest = RandomForestClassifier(n_estimators=5).fit(X, y)
+        probs = forest.predict_proba(X)
+        assert probs.min() >= 0.0 and probs.max() <= 1.0
+
+    def test_deterministic_with_seed(self):
+        X, y = blobs(n=30)
+        p1 = RandomForestClassifier(n_estimators=4, random_state=9).fit(X, y).predict_proba(X)
+        p2 = RandomForestClassifier(n_estimators=4, random_state=9).fit(X, y).predict_proba(X)
+        assert np.allclose(p1, p2)
+
+
+class TestLinearSVM:
+    def test_separable_blobs(self):
+        X, y = blobs()
+        svm = LinearSVM(epochs=20).fit(X, y)
+        assert (svm.predict(X) == y).mean() >= 0.95
+
+    def test_decision_function_sign(self):
+        X, y = blobs()
+        svm = LinearSVM(epochs=20).fit(X, y)
+        scores = svm.decision_function(X)
+        assert (scores[y == 1].mean()) > (scores[y == 0].mean())
+
+    def test_constant_feature_handled(self):
+        X, y = blobs()
+        X = np.hstack([X, np.ones((X.shape[0], 1))])
+        svm = LinearSVM(epochs=10).fit(X, y)
+        assert (svm.predict(X) == y).mean() >= 0.9
+
+
+class TestOneClassSVM:
+    def test_inliers_accepted_outliers_rejected(self):
+        rng = np.random.default_rng(1)
+        inliers = rng.normal(5.0, 0.4, size=(80, 4))
+        ocsvm = OneClassSVM(nu=0.1).fit(inliers)
+        fresh_inliers = rng.normal(5.0, 0.4, size=(40, 4))
+        outliers = rng.normal(-10.0, 0.4, size=(40, 4))
+        assert ocsvm.predict(fresh_inliers).mean() >= 0.7
+        assert ocsvm.predict(outliers).mean() <= 0.3
+
+    def test_nu_validation(self):
+        with pytest.raises(ValueError):
+            OneClassSVM(nu=0.0)
+        with pytest.raises(ValueError):
+            OneClassSVM(nu=1.5)
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError):
+            OneClassSVM().fit(np.zeros((0, 3)))
+
+
+class TestMarkovByteModel:
+    def test_training_distribution_scores_lower(self):
+        model = MarkovByteModel()
+        english = b"the quick brown fox jumps over the lazy dog " * 50
+        model.fit([english])
+        similar = b"the lazy dog jumps over the quick brown fox " * 5
+        import os
+
+        noise = bytes((i * 97 + 13) % 256 for i in range(2000))
+        assert model.score(similar) < model.score(noise)
+
+    def test_short_input_scores_zero(self):
+        assert MarkovByteModel().score(b"x") == 0.0
+
+    def test_perplexity_positive(self):
+        model = MarkovByteModel()
+        model.fit([b"abcabcabc" * 20])
+        assert model.perplexity(b"abcabc") > 0

@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import ProtectionPipeline
+from repro.corpus import CorpusConfig, build_dataset
+from repro.pdf.builder import DocumentBuilder
+
+
+@pytest.fixture(scope="session")
+def pipeline() -> ProtectionPipeline:
+    """A shared pipeline (fresh sessions are created per open anyway)."""
+    return ProtectionPipeline(seed=4242)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small but complete corpus (every sample kind present)."""
+    return build_dataset(CorpusConfig(n_benign=40, n_benign_with_js=12, n_malicious=40))
+
+
+@pytest.fixture()
+def simple_doc_bytes() -> bytes:
+    builder = DocumentBuilder()
+    builder.add_page("Hello")
+    return builder.to_bytes()
+
+
+@pytest.fixture()
+def js_doc_bytes() -> bytes:
+    builder = DocumentBuilder()
+    builder.add_page("With JS")
+    builder.add_javascript("var x = 1 + 1; app.alert('x=' + x);")
+    return builder.to_bytes()
+
+
+def spray_js(spray_mb: int = 150, cve: str = "CVE-2009-0927") -> str:
+    """Helper used by reader/core tests: a spray + exploit script."""
+    from repro.corpus import js_snippets as js
+    from repro.reader.payload import Payload
+    import random
+
+    return js.spray_script(
+        spray_mb,
+        Payload.dropper(),
+        rng=random.Random(1),
+        exploit_call=js.exploit_call_for(cve, random.Random(1)),
+    )
+
+
+@pytest.fixture()
+def malicious_doc_bytes() -> bytes:
+    builder = DocumentBuilder()
+    builder.add_page("")
+    builder.add_javascript(spray_js())
+    return builder.to_bytes()

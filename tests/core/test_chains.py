@@ -1,0 +1,119 @@
+"""Unit tests for JavaScript chain reconstruction (F1)."""
+
+from repro.core.chains import analyze_chains
+from repro.pdf.builder import DocumentBuilder
+from repro.pdf.document import PDFDocument
+
+
+def analyzed(builder: DocumentBuilder):
+    return analyze_chains(PDFDocument.from_bytes(builder.to_bytes()))
+
+
+class TestChainDiscovery:
+    def test_no_javascript_no_chains(self):
+        builder = DocumentBuilder()
+        builder.add_page("x")
+        analysis = analyzed(builder)
+        assert not analysis.has_javascript
+        assert analysis.ratio == 0.0
+
+    def test_single_chain_found(self):
+        builder = DocumentBuilder()
+        builder.add_page("x")
+        builder.add_javascript("var a = 1;")
+        analysis = analyzed(builder)
+        assert analysis.has_javascript
+        assert len(analysis.chains) >= 1
+
+    def test_chain_includes_ancestors_and_descendants(self):
+        builder = DocumentBuilder()
+        builder.add_page("x")
+        builder.add_javascript("var a = 1;", encoding_levels=1)  # code in stream
+        analysis = analyzed(builder)
+        chain = analysis.chains[0]
+        # catalog (ancestor) + action (hit) + code stream (descendant)
+        assert len(chain.members) >= 3
+
+    def test_hex_escaped_keyword_still_found(self):
+        builder = DocumentBuilder()
+        builder.add_page("x")
+        builder.add_javascript("var hid = 1;", hex_obfuscate_keyword=True)
+        analysis = analyzed(builder)
+        assert analysis.has_javascript
+
+    def test_triggered_chain_labelled(self):
+        builder = DocumentBuilder()
+        builder.add_page("x")
+        builder.add_javascript("var t = 1;", trigger="OpenAction")
+        analysis = analyzed(builder)
+        assert any(c.triggered and c.trigger == "OpenAction" for c in analysis.chains)
+
+    def test_names_trigger_labelled(self):
+        builder = DocumentBuilder()
+        builder.add_page("x")
+        builder.add_javascript("var n = 1;", trigger="Names", name="boot")
+        analysis = analyzed(builder)
+        assert any(c.trigger == "Names" for c in analysis.triggered_chains())
+
+    def test_untriggered_js_not_triggered(self):
+        from repro.pdf.objects import PDFDict, PDFName, PDFString
+
+        builder = DocumentBuilder()
+        builder.add_page("x")
+        # JS action present in the body, but nothing references it from
+        # a trigger — e.g. leftover from an editor.
+        builder.document.add_object(
+            PDFDict(
+                {PDFName("S"): PDFName("JavaScript"), PDFName("JS"): PDFString(b"var o = 1;")}
+            )
+        )
+        analysis = analyzed(builder)
+        assert analysis.has_javascript
+        assert not any(c.triggered for c in analysis.chains)
+
+
+class TestRatio:
+    def test_padding_lowers_ratio(self):
+        lean = DocumentBuilder()
+        lean.add_page("")
+        lean.add_javascript("var a = 1;")
+        padded = DocumentBuilder()
+        padded.add_page("")
+        padded.add_javascript("var a = 1;")
+        padded.pad_with_objects(50)
+        assert analyzed(padded).ratio < analyzed(lean).ratio
+
+    def test_chain_depth_raises_chain_size(self):
+        shallow = DocumentBuilder()
+        shallow.add_page("")
+        shallow.add_javascript("var a = 1;")
+        deep = DocumentBuilder()
+        deep.add_page("")
+        deep.add_javascript("var a = 1;", chain_depth=3)
+        assert len(analyzed(deep).chain_objects) > len(analyzed(shallow).chain_objects)
+
+    def test_ratio_one_document(self):
+        from repro.corpus.malicious import MaliciousFactory, MaliciousKind, MaliciousSpec
+
+        factory = MaliciousFactory()
+        spec = MaliciousSpec(
+            index=0, seed=1, kind=MaliciousKind.STANDARD, cve="CVE-2009-0927",
+            payload_kind="dropper", spray_mb=120, ratio_one=True,
+        )
+        data = factory.build(spec)
+        analysis = analyze_chains(PDFDocument.from_bytes(data))
+        assert analysis.ratio == 1.0
+
+    def test_typical_malicious_ratio_above_threshold(self):
+        builder = DocumentBuilder()
+        builder.add_page("")  # one blank page
+        builder.add_javascript("var spray = 1;")
+        assert analyzed(builder).ratio >= 0.2
+
+    def test_typical_benign_ratio_below_threshold(self):
+        builder = DocumentBuilder()
+        for i in range(6):
+            builder.add_page(f"page {i}")
+        builder.pad_with_objects(40)
+        builder.add_javascript("var v = 1;")
+        assert analyzed(builder).ratio < 0.2

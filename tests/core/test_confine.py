@@ -1,0 +1,93 @@
+"""Unit tests for the Table III confinement rules."""
+
+from repro.core.confine import build_hook_rules
+from repro.winapi.hooks import HookAction
+from repro.winapi.process import System
+from repro.winapi.syscalls import API, SyscallEvent
+
+
+def event(api, **args):
+    return SyscallEvent(api=api, args=args, pid=1, seq=1, time=0.0)
+
+
+def rules():
+    return build_hook_rules(whitelisted_programs=("WerFault.exe", "AdobeARM.exe"))
+
+
+class TestHookRules:
+    def test_malware_drop_passes_through(self):
+        table = rules()
+        process = System().spawn_reader()
+        for api in API.MALWARE_DROP:
+            assert table[api](process, event(api, path="C:\\x.exe")) is HookAction.PASS
+
+    def test_network_observed_not_blocked(self):
+        table = rules()
+        process = System().spawn_reader()
+        for api in API.NETWORK:
+            assert table[api](process, event(api, host="h", port=1)) is HookAction.PASS
+
+    def test_memory_search_observed(self):
+        table = rules()
+        process = System().spawn_reader()
+        for api in API.MEMORY_SEARCH:
+            assert table[api](process, event(api, address=0)) is HookAction.PASS
+
+    def test_process_creation_rejected(self):
+        table = rules()
+        process = System().spawn_reader()
+        for api in API.PROCESS_CREATE:
+            decision = table[api](process, event(api, image="C:\\evil.exe"))
+            assert decision is HookAction.REJECT
+
+    def test_whitelisted_process_creation_passes(self):
+        table = rules()
+        process = System().spawn_reader()
+        decision = table[API.NT_CREATE_USER_PROCESS](
+            process, event(API.NT_CREATE_USER_PROCESS, image="C:\\bin\\WerFault.exe")
+        )
+        assert decision is HookAction.PASS
+
+    def test_dll_injection_always_rejected(self):
+        table = rules()
+        process = System().spawn_reader()
+        decision = table[API.CREATE_REMOTE_THREAD](
+            process, event(API.CREATE_REMOTE_THREAD, dll="WerFault.exe", target_pid=2)
+        )
+        assert decision is HookAction.REJECT
+
+    def test_every_hooked_api_has_a_rule(self):
+        table = rules()
+        for api in API.ALL_HOOKED:
+            assert api in table
+
+
+class TestEndToEndConfinement:
+    def test_gateway_respects_rejection(self):
+        from repro.winapi.hooks import IATHookLayer
+        from repro.winapi.syscalls import SyscallGateway
+
+        system = System()
+        reader = system.spawn_reader()
+        gateway = SyscallGateway(system)
+        reader.iat_hooks = IATHookLayer(reader, None, rules=rules())
+        victim = system.spawn("explorer.exe")
+        result = gateway.invoke(
+            reader, API.CREATE_REMOTE_THREAD, target_pid=victim.pid, dll="evil.dll"
+        )
+        assert result.rejected_by_hook
+        assert not victim.has_module("evil.dll")
+
+    def test_direct_child_never_spawns_unsandboxed(self):
+        from repro.winapi.hooks import IATHookLayer
+        from repro.winapi.syscalls import SyscallGateway
+
+        system = System()
+        reader = system.spawn_reader()
+        gateway = SyscallGateway(system)
+        reader.iat_hooks = IATHookLayer(reader, None, rules=rules())
+        result = gateway.invoke(reader, API.NT_CREATE_USER_PROCESS, image="mal.exe")
+        assert result.rejected_by_hook
+        assert not any(
+            p.name == "mal.exe" and not p.sandboxed for p in system.processes.values()
+        )

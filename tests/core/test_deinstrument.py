@@ -1,0 +1,100 @@
+"""Unit tests for de-instrumentation (§III-F)."""
+
+import pytest
+
+from repro.core.deinstrument import (
+    DeinstrumentationError,
+    DeinstrumentationPolicy,
+    DeinstrumentationSpec,
+    deinstrument,
+)
+from repro.core.instrument import Instrumenter
+from repro.core.keys import KeyStore
+from repro.pdf.builder import DocumentBuilder
+from repro.pdf.document import PDFDocument
+
+
+def instrument(code="var original = 123;", **kwargs):
+    builder = DocumentBuilder()
+    builder.add_page("x")
+    builder.add_javascript(code, **kwargs)
+    instrumenter = Instrumenter(key_store=KeyStore.create(3), seed=3)
+    return instrumenter.instrument(builder.to_bytes())
+
+
+class TestDeinstrument:
+    def test_restores_original_code(self):
+        result = instrument()
+        restored = deinstrument(result.data, result.spec)
+        doc = PDFDocument.from_bytes(restored)
+        (action,) = list(doc.iter_javascript_actions())
+        assert doc.get_javascript_code(action) == "var original = 123;"
+
+    def test_marker_removed(self):
+        result = instrument()
+        doc = PDFDocument.from_bytes(deinstrument(result.data, result.spec))
+        assert "CtxMonKey" not in doc.catalog
+
+    def test_sequential_scripts_restored(self):
+        result = instrument("var a = 1;", next_scripts=["var b = 2;"])
+        doc = PDFDocument.from_bytes(deinstrument(result.data, result.spec))
+        codes = [doc.get_javascript_code(a) for a in doc.iter_javascript_actions()]
+        assert codes == ["var a = 1;", "var b = 2;"]
+
+    def test_uninstrumented_document_rejected(self, js_doc_bytes):
+        result = instrument()
+        with pytest.raises(DeinstrumentationError):
+            deinstrument(js_doc_bytes, result.spec)
+
+    def test_mismatched_spec_rejected(self):
+        result = instrument()
+        wrong = DeinstrumentationSpec(key_text="x", document_name="y")
+        wrong.entries = result.spec.entries + result.spec.entries  # extra entries
+        with pytest.raises(DeinstrumentationError):
+            deinstrument(result.data, wrong)
+
+    def test_spec_serialization_roundtrip(self):
+        result = instrument()
+        revived = DeinstrumentationSpec.from_dict(result.spec.to_dict())
+        restored = deinstrument(result.data, revived)
+        doc = PDFDocument.from_bytes(restored)
+        (action,) = list(doc.iter_javascript_actions())
+        assert doc.get_javascript_code(action) == "var original = 123;"
+
+    def test_restored_document_executes_cleanly(self):
+        from repro.reader import Reader
+
+        result = instrument("app.alert('restored');")
+        restored = deinstrument(result.data, result.spec)
+        outcome = Reader().open(restored)
+        assert outcome.handle.alerts == ["restored"]
+
+
+class TestPolicy:
+    def test_at_once_default(self):
+        policy = DeinstrumentationPolicy()
+        assert policy.record_benign_open("k") is True
+
+    def test_configurable_open_count(self):
+        policy = DeinstrumentationPolicy(opens_before=3)
+        assert not policy.record_benign_open("k")
+        assert not policy.record_benign_open("k")
+        assert policy.record_benign_open("k")
+
+    def test_randomized_window_bounded(self):
+        policy = DeinstrumentationPolicy(opens_before=1, randomize_window=2, seed=5)
+        opens = 0
+        while not policy.record_benign_open("k"):
+            opens += 1
+            assert opens <= 3
+
+    def test_reset_clears_progress(self):
+        policy = DeinstrumentationPolicy(opens_before=2)
+        policy.record_benign_open("k")
+        policy.reset("k")
+        assert not policy.record_benign_open("k")
+
+    def test_per_document_isolation(self):
+        policy = DeinstrumentationPolicy(opens_before=2)
+        policy.record_benign_open("a")
+        assert not policy.record_benign_open("b")

@@ -1,0 +1,176 @@
+"""Unit tests for the malscore detector (Eq. 1, Table VII)."""
+
+import pytest
+
+from repro.core.detector import (
+    DetectorConfig,
+    DocumentScoreState,
+    F_DROP,
+    F_INJECT,
+    F_MEMORY,
+    F_NETWORK,
+    F_OUT_INJECT,
+    F_OUT_PROCESS,
+    F_PROCESS,
+    FeatureVector,
+    IN_JS_FEATURES,
+    MalscoreDetector,
+    OUT_JS_FEATURES,
+    STATIC_FEATURES,
+)
+from repro.core.static_features import StaticFeatures
+
+
+def static(**overrides) -> StaticFeatures:
+    values = dict(
+        js_chain_ratio=0.0,
+        header_obfuscated=False,
+        hex_code_in_keyword=False,
+        empty_object_count=0,
+        encoding_levels=0,
+        has_javascript=True,
+    )
+    values.update(overrides)
+    return StaticFeatures(**values)
+
+
+class TestTableVII:
+    def test_default_parameters(self):
+        config = DetectorConfig()
+        assert config.w1 == 1.0
+        assert config.w2 == 9.0
+        assert config.threshold == 10.0
+        assert config.memory_threshold_bytes == 100 * 1024 * 1024
+        assert config.ratio_threshold == 0.2
+
+    def test_feature_partition(self):
+        assert STATIC_FEATURES == (1, 2, 3, 4, 5)
+        assert OUT_JS_FEATURES == (6, 7)
+        assert IN_JS_FEATURES == (8, 9, 10, 11, 12, 13)
+
+
+class TestMalscore:
+    def test_equation_one(self):
+        vector = FeatureVector((1, 1, 0, 0, 0, 1, 0, 1, 0, 0, 1, 0, 0))
+        # first part = F1+F2+F6 = 3; second = F8+F11 = 2
+        assert vector.malscore(DetectorConfig()) == 3 + 9 * 2
+
+    def test_all_static_alone_insufficient(self):
+        vector = FeatureVector((1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0))
+        assert vector.malscore(DetectorConfig()) == 7 < 10
+
+    def test_single_in_js_alone_insufficient(self):
+        vector = FeatureVector((0,) * 7 + (1, 0, 0, 0, 0, 0))
+        assert vector.malscore(DetectorConfig()) == 9 < 10
+
+    def test_one_in_js_plus_one_other_is_detection(self):
+        vector = FeatureVector((1,) + (0,) * 6 + (1,) + (0,) * 5)
+        assert vector.malscore(DetectorConfig()) == 10
+
+    def test_two_in_js_alone_is_detection(self):
+        vector = FeatureVector((0,) * 7 + (1, 1, 0, 0, 0, 0))
+        assert vector.malscore(DetectorConfig()) == 18 >= 10
+
+    def test_invalid_vector_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureVector((1,) * 12)
+        with pytest.raises(ValueError):
+            FeatureVector((2,) + (0,) * 12)
+
+    def test_indexing_is_one_based(self):
+        vector = FeatureVector((1,) + (0,) * 12)
+        assert vector[1] == 1
+        assert vector[13] == 0
+
+    def test_fired_names(self):
+        vector = FeatureVector((0,) * 7 + (1,) + (0,) * 5)
+        assert vector.fired() == [8]
+        assert "memory" in vector.fired_names()[0]
+
+
+class TestDocumentScoreState:
+    def test_in_js_recording_activates(self):
+        state = DocumentScoreState("k", "d.pdf", static())
+        assert not state.activated
+        state.record_in_js(F_DROP, "NtCreateFile(evil.exe)")
+        assert state.activated
+        assert 11 in state.fired
+
+    def test_out_js_recording_does_not_activate(self):
+        state = DocumentScoreState("k", "d.pdf", static())
+        state.record_out_js(F_OUT_PROCESS, "x")
+        assert not state.activated
+
+    def test_wrong_category_rejected(self):
+        state = DocumentScoreState("k", "d.pdf", static())
+        with pytest.raises(ValueError):
+            state.record_in_js(F_OUT_PROCESS, "x")
+        with pytest.raises(ValueError):
+            state.record_out_js(F_MEMORY, "x")
+
+    def test_feature_vector_combines_static_and_runtime(self):
+        state = DocumentScoreState("k", "d.pdf", static(js_chain_ratio=0.9))
+        state.record_in_js(F_MEMORY, "spray")
+        vector = state.feature_vector()
+        assert vector[1] == 1 and vector[8] == 1
+
+    def test_state_without_static_features(self):
+        state = DocumentScoreState("k", "d.pdf", None)
+        state.record_in_js(F_NETWORK, "connect")
+        assert state.feature_vector().malscore(DetectorConfig()) == 9
+
+
+class TestVerdicts:
+    def test_paper_criterion(self):
+        """Malicious iff ≥1 in-JS feature AND ≥1 other feature."""
+        detector = MalscoreDetector()
+        config = DetectorConfig()
+        for in_js_count in range(0, 7):
+            for other_count in range(0, 8):
+                bits = [0] * 13
+                for i in range(other_count):
+                    bits[i] = 1  # F1..F7
+                for i in range(in_js_count):
+                    bits[7 + i] = 1  # F8..F13
+                vector = FeatureVector(tuple(bits))
+                expected = (in_js_count >= 1 and other_count >= 1) or in_js_count >= 2
+                assert (vector.malscore(config) >= config.threshold) == expected
+
+    def test_benign_soap_sample_from_paper(self):
+        """§V-C2: one benign doc fired in-JS network access only →
+        malscore 9 < 10 → still classified benign."""
+        detector = MalscoreDetector()
+        state = DocumentScoreState("k", "soap.pdf", static())
+        state.record_in_js(F_NETWORK, "SOAP status call")
+        verdict = detector.evaluate(state)
+        assert not verdict.malicious
+        assert verdict.malscore == 9
+
+    def test_fake_message_zero_tolerance(self):
+        detector = MalscoreDetector()
+        state = DocumentScoreState("k", "fake.pdf", static())
+        state.fake_message = True
+        verdict = detector.evaluate(state)
+        assert verdict.malicious
+        assert any("fake" in reason for reason in verdict.reasons)
+
+    def test_fake_message_tolerance_configurable(self):
+        detector = MalscoreDetector(DetectorConfig(fake_message_is_malicious=False))
+        state = DocumentScoreState("k", "fake.pdf", static())
+        state.fake_message = True
+        assert not detector.evaluate(state).malicious
+
+    def test_summary_format(self):
+        detector = MalscoreDetector()
+        state = DocumentScoreState("k", "doc.pdf", static(js_chain_ratio=0.5))
+        state.record_in_js(F_PROCESS, "x")
+        summary = detector.evaluate(state).summary()
+        assert "MALICIOUS" in summary and "doc.pdf" in summary
+
+    def test_dll_injection_features(self):
+        detector = MalscoreDetector()
+        state = DocumentScoreState("k", "inj.pdf", static())
+        state.record_in_js(F_INJECT, "CreateRemoteThread")
+        state.record_out_js(F_OUT_INJECT, "CreateRemoteThread")
+        verdict = detector.evaluate(state)
+        assert verdict.malicious  # 9 + 1 = 10

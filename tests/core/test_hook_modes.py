@@ -1,0 +1,109 @@
+"""Tests for the IAT vs kernel-mode (SSDT) hook ablation (§III-E).
+
+The paper's prototype hooks the import address table and acknowledges
+that direct kernel calls bypass it, planning "advanced kernel mode
+hooks" as hardening.  Both modes exist here; a stealth payload that
+drops+launches via raw syscalls demonstrates the difference.
+"""
+
+import random
+
+import pytest
+
+from repro.core.pipeline import ProtectionPipeline
+from repro.corpus import js_snippets as js
+from repro.pdf.builder import DocumentBuilder
+from repro.reader.exploits import CVE
+from repro.reader.payload import Payload
+from repro.winapi.hooks import HookMode
+
+
+def stealth_doc(seed: int = 21, spray_mb: int = 150) -> bytes:
+    rng = random.Random(seed)
+    builder = DocumentBuilder()
+    builder.add_page("")
+    builder.pad_with_objects(40)  # keep static features quiet
+    builder.add_javascript(
+        js.spray_script(
+            spray_mb,
+            Payload.stealth_dropper("C:\\Temp\\ghost.exe"),
+            rng=rng,
+            exploit_call=js.exploit_call_for(CVE.COLLAB_GET_ICON, rng),
+        )
+    )
+    return builder.to_bytes()
+
+
+class TestHookLayerModes:
+    def test_iat_hooks_blind_to_direct_calls(self):
+        from repro.winapi.hooks import IATHookLayer
+        from repro.winapi.process import System
+        from repro.winapi.syscalls import API, SyscallGateway
+
+        system = System()
+        reader = system.spawn_reader()
+        layer = IATHookLayer(reader, None, mode=HookMode.IAT)
+        reader.iat_hooks = layer
+        gateway = SyscallGateway(system)
+        gateway.invoke(
+            reader, API.NT_CREATE_FILE, via_import_table=False, path="C:\\g.exe"
+        )
+        assert not layer.captured
+        assert layer.bypassed
+        assert system.filesystem.exists("C:\\g.exe")  # the call succeeded
+
+    def test_ssdt_hooks_see_direct_calls(self):
+        from repro.winapi.hooks import IATHookLayer
+        from repro.winapi.process import System
+        from repro.winapi.syscalls import API, SyscallGateway
+
+        system = System()
+        reader = system.spawn_reader()
+        layer = IATHookLayer(reader, None, mode=HookMode.SSDT)
+        reader.iat_hooks = layer
+        gateway = SyscallGateway(system)
+        gateway.invoke(
+            reader, API.NT_CREATE_FILE, via_import_table=False, path="C:\\g.exe"
+        )
+        assert layer.captured
+        assert not layer.bypassed
+
+    def test_normal_calls_seen_by_both_modes(self):
+        from repro.winapi.hooks import IATHookLayer
+        from repro.winapi.process import System
+        from repro.winapi.syscalls import API, SyscallGateway
+
+        for mode in (HookMode.IAT, HookMode.SSDT):
+            system = System()
+            reader = system.spawn_reader()
+            layer = IATHookLayer(reader, None, mode=mode)
+            reader.iat_hooks = layer
+            SyscallGateway(system).invoke(reader, API.NT_CREATE_FILE, path="C:\\n.exe")
+            assert layer.captured, mode
+
+
+class TestStealthPayloadEndToEnd:
+    def test_iat_mode_misses_stealth_dropper(self):
+        pipe = ProtectionPipeline(seed=303, hook_mode=HookMode.IAT)
+        report = pipe.scan(stealth_doc(), "stealth.pdf")
+        fired = set(report.verdict.features.fired())
+        # The spray is still visible (memory counters are read directly,
+        # not via hooks), but drop/exec never reach the detector.
+        assert 11 not in fired and 12 not in fired
+        # ... and the malware actually landed, unconfined:
+        # (verdict may or may not cross the threshold via F8 alone — with
+        # quiet static features it stays below it)
+        assert not report.verdict.malicious
+
+    def test_ssdt_mode_catches_stealth_dropper(self):
+        pipe = ProtectionPipeline(seed=303, hook_mode=HookMode.SSDT)
+        report = pipe.scan(stealth_doc(), "stealth.pdf")
+        fired = set(report.verdict.features.fired())
+        assert {11, 12} <= fired
+        assert report.verdict.malicious
+
+    def test_conventional_malware_caught_in_both_modes(self, malicious_doc_bytes):
+        for mode in (HookMode.IAT, HookMode.SSDT):
+            pipe = ProtectionPipeline(seed=304, hook_mode=mode)
+            report = pipe.scan(malicious_doc_bytes, "normal.pdf")
+            assert report.verdict.malicious, mode

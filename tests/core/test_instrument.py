@@ -1,0 +1,148 @@
+"""Unit tests for the front-end instrumenter (Phase I)."""
+
+import pytest
+
+from repro.core.instrument import (
+    Instrumenter,
+    estimate_python_objects,
+    find_runtime_script_methods,
+)
+from repro.core.keys import KeyStore
+from repro.pdf import encryption
+from repro.pdf.builder import DocumentBuilder
+from repro.pdf.document import PDFDocument
+
+
+def make_instrumenter(seed=11):
+    return Instrumenter(key_store=KeyStore.create(seed), seed=seed)
+
+
+def js_builder(code="var a = 1;", **kwargs) -> DocumentBuilder:
+    builder = DocumentBuilder()
+    builder.add_page("x")
+    builder.add_javascript(code, **kwargs)
+    return builder
+
+
+class TestBasicInstrumentation:
+    def test_script_is_wrapped(self):
+        result = make_instrumenter().instrument(js_builder().to_bytes())
+        assert result.instrumented_scripts == 1
+        doc = PDFDocument.from_bytes(result.data)
+        (action,) = list(doc.iter_javascript_actions())
+        code = doc.get_javascript_code(action)
+        assert "SOAP.request" in code
+        assert "var a = 1;" not in code  # encrypted
+
+    def test_spec_records_original(self):
+        result = make_instrumenter().instrument(js_builder("var orig = 7;").to_bytes())
+        assert result.spec.entries[0].original_code == "var orig = 7;"
+
+    def test_no_js_document_untouched(self, simple_doc_bytes):
+        result = make_instrumenter().instrument(simple_doc_bytes)
+        assert result.instrumented_scripts == 0
+        assert result.data == simple_doc_bytes
+        assert not result.has_javascript
+
+    def test_marker_written(self):
+        result = make_instrumenter().instrument(js_builder().to_bytes())
+        doc = PDFDocument.from_bytes(result.data)
+        assert "CtxMonKey" in doc.catalog
+
+    def test_reinstrumentation_detected(self):
+        instrumenter = make_instrumenter()
+        first = instrumenter.instrument(js_builder().to_bytes())
+        second = instrumenter.instrument(first.data)
+        assert second.already_instrumented
+        assert second.data == first.data
+
+    def test_duplicate_bytes_same_key(self):
+        instrumenter = make_instrumenter()
+        data = js_builder().to_bytes()
+        assert (
+            instrumenter.instrument(data).key_text
+            == instrumenter.instrument(data).key_text
+        )
+
+    def test_features_extracted(self):
+        builder = js_builder(hex_obfuscate_keyword=True, encoding_levels=2)
+        result = make_instrumenter().instrument(builder.to_bytes())
+        assert result.features.f3 == 1
+        assert result.features.f5 == 1
+
+    def test_timings_populated(self):
+        result = make_instrumenter().instrument(js_builder().to_bytes())
+        assert result.timings.total > 0
+        assert result.timings.parse_decompress >= 0
+
+    def test_stream_stored_script_wrapped_in_place(self):
+        builder = js_builder("var streamy = 1;", encoding_levels=2)
+        result = make_instrumenter().instrument(builder.to_bytes())
+        doc = PDFDocument.from_bytes(result.data)
+        (action,) = list(doc.iter_javascript_actions())
+        assert "SOAP.request" in doc.get_javascript_code(action)
+
+
+class TestSequentialMerging:
+    def test_next_chain_merged_under_one_wrapper(self):
+        builder = js_builder("var a = 1;", next_scripts=["var b = 2;", "var c = 3;"])
+        result = make_instrumenter().instrument(builder.to_bytes())
+        assert result.instrumented_scripts == 1
+        assert result.merged_sequential_scripts == 2
+        doc = PDFDocument.from_bytes(result.data)
+        codes = [doc.get_javascript_code(a) for a in doc.iter_javascript_actions()]
+        # head carries the wrapper; successors blanked
+        assert sum(1 for c in codes if "SOAP.request" in c) == 1
+        assert codes.count("") == 2
+
+    def test_separate_scripts_wrapped_separately(self):
+        builder = DocumentBuilder()
+        builder.add_page("x")
+        builder.add_javascript("var one = 1;", trigger="Names", name="one")
+        builder.add_javascript("var two = 2;", trigger="OpenAction")
+        result = make_instrumenter().instrument(builder.to_bytes())
+        assert result.instrumented_scripts == 2
+
+    def test_spec_covers_merged_scripts(self):
+        builder = js_builder("var a = 1;", next_scripts=["var b = 2;"])
+        result = make_instrumenter().instrument(builder.to_bytes())
+        originals = {e.original_code for e in result.spec.entries}
+        assert originals == {"var a = 1;", "var b = 2;"}
+
+
+class TestEncryptedDocuments:
+    def test_owner_password_removed_then_instrumented(self):
+        builder = js_builder("var locked = 1;")
+        doc = builder.build()
+        encryption.encrypt_document(doc, "ownerpw")
+        result = make_instrumenter().instrument(doc.to_bytes())
+        assert result.was_encrypted
+        assert result.instrumented_scripts == 1
+        out = PDFDocument.from_bytes(result.data)
+        assert "Encrypt" not in out.trailer
+
+
+class TestRuntimeMethodScan:
+    def test_finds_table_iv_methods(self):
+        code = "this.addScript('n', c); app.setTimeOut(c, 5); x.setPageAction(0, 'O', c);"
+        found = find_runtime_script_methods(code)
+        assert "addScript" in found
+        assert "setTimeOut" in found
+        assert "setPageAction" in found
+
+    def test_clean_code_finds_nothing(self):
+        assert find_runtime_script_methods("var a = 1 + 2;") == []
+
+    def test_recorded_in_result(self):
+        builder = js_builder("app.setTimeOut('x()', 9);")
+        result = make_instrumenter().instrument(builder.to_bytes())
+        assert "setTimeOut" in result.runtime_script_methods
+
+
+class TestEstimates:
+    def test_python_object_estimate_scales(self):
+        small = PDFDocument.from_bytes(js_builder().to_bytes())
+        big_builder = js_builder()
+        big_builder.pad_with_objects(100)
+        big = PDFDocument.from_bytes(big_builder.to_bytes())
+        assert estimate_python_objects(big) > estimate_python_objects(small)

@@ -1,0 +1,127 @@
+"""Integration tests for the end-to-end protection pipeline."""
+
+import pytest
+
+from repro.core.deinstrument import DeinstrumentationPolicy
+from repro.core.pipeline import ProtectionPipeline
+from repro.pdf.builder import DocumentBuilder
+from repro.pdf.document import PDFDocument
+from tests.conftest import spray_js
+
+
+@pytest.fixture()
+def pipe():
+    return ProtectionPipeline(seed=77)
+
+
+class TestProtect:
+    def test_protect_returns_instrumented_bytes(self, pipe, js_doc_bytes):
+        protected = pipe.protect(js_doc_bytes, "doc.pdf")
+        assert protected.data != js_doc_bytes
+        assert protected.key_text
+        assert protected.has_javascript
+
+    def test_protect_no_js_passthrough(self, pipe, simple_doc_bytes):
+        protected = pipe.protect(simple_doc_bytes, "plain.pdf")
+        assert protected.data == simple_doc_bytes
+
+
+class TestOpenProtected:
+    def test_benign_stays_benign(self, pipe, js_doc_bytes):
+        report = pipe.scan(js_doc_bytes, "benign.pdf")
+        assert not report.verdict.malicious
+        assert not report.crashed
+        assert report.fake_messages == 0
+
+    def test_malicious_detected_and_confined(self, pipe, malicious_doc_bytes):
+        report = pipe.scan(malicious_doc_bytes, "mal.pdf")
+        assert report.verdict.malicious
+        assert report.alerts
+        assert report.quarantined_files
+
+    def test_verdict_reports_fired_features(self, pipe, malicious_doc_bytes):
+        report = pipe.scan(malicious_doc_bytes, "mal.pdf")
+        fired = report.verdict.features.fired()
+        assert 8 in fired  # memory consumption
+        assert 11 in fired  # malware dropping
+
+    def test_monitoring_transparent_to_benign_behavior(self, pipe):
+        builder = DocumentBuilder()
+        builder.add_page("x")
+        builder.add_javascript("app.alert('v' + (1 + 1));")
+        protected = pipe.protect(builder.to_bytes(), "alerts.pdf")
+        session = pipe.session()
+        report = session.open(protected)
+        assert report.outcome.handle.alerts == ["v2"]
+        session.close()
+
+    def test_did_nothing_flag(self, pipe):
+        builder = DocumentBuilder()
+        builder.add_page("x")
+        builder.add_javascript("var z = this.missingApi.probe;")
+        report = pipe.scan(builder.to_bytes(), "inert.pdf")
+        assert report.did_nothing
+        assert not report.verdict.malicious
+
+    def test_multiple_documents_one_session(self, pipe, js_doc_bytes, malicious_doc_bytes):
+        session = pipe.session()
+        benign = pipe.protect(js_doc_bytes, "b.pdf")
+        mal = pipe.protect(malicious_doc_bytes, "m.pdf")
+        report_benign = session.open(benign, fire_close=False)
+        report_mal = session.open(mal, fire_close=False)
+        assert not report_benign.verdict.malicious
+        assert report_mal.verdict.malicious
+        # context attribution: the benign doc stays clean afterwards
+        assert not session.verdict_for(benign).malicious
+        session.close()
+
+
+class TestDeinstrumentationFlow:
+    def test_benign_open_triggers_deinstrumentation(self, pipe, js_doc_bytes):
+        protected = pipe.protect(js_doc_bytes, "clean.pdf")
+        report = pipe.open_protected(protected)
+        restored = pipe.maybe_deinstrument(protected, report)
+        assert restored is not None
+        doc = PDFDocument.from_bytes(restored)
+        (action,) = list(doc.iter_javascript_actions())
+        assert "SOAP.request" not in doc.get_javascript_code(action)
+
+    def test_malicious_never_deinstrumented(self, pipe, malicious_doc_bytes):
+        protected = pipe.protect(malicious_doc_bytes, "mal.pdf")
+        report = pipe.open_protected(protected)
+        assert pipe.maybe_deinstrument(protected, report) is None
+
+    def test_policy_delays_deinstrumentation(self, js_doc_bytes):
+        pipe = ProtectionPipeline(
+            seed=77, deinstrument_policy=DeinstrumentationPolicy(opens_before=2)
+        )
+        protected = pipe.protect(js_doc_bytes, "slow.pdf")
+        report = pipe.open_protected(protected)
+        assert pipe.maybe_deinstrument(protected, report) is None
+        report2 = pipe.open_protected(protected)
+        assert pipe.maybe_deinstrument(protected, report2) is not None
+
+
+class TestReportSerialization:
+    def test_to_dict_benign(self, pipe, js_doc_bytes):
+        import json
+
+        payload = pipe.scan(js_doc_bytes, "doc.pdf").to_dict()
+        json.dumps(payload)  # must be JSON-serialisable
+        assert payload["malicious"] is False
+        assert payload["document"] == "doc.pdf"
+
+    def test_to_dict_malicious_carries_evidence(self, pipe, malicious_doc_bytes):
+        payload = pipe.scan(malicious_doc_bytes, "mal.pdf").to_dict()
+        assert payload["malicious"] is True
+        assert payload["alerts"]
+        assert payload["alerts"][0]["confinement"]
+        assert 8 in payload["features"]
+
+
+class TestModuleLevelHelpers:
+    def test_default_pipeline_roundtrip(self, js_doc_bytes):
+        from repro import open_protected, protect
+
+        report = open_protected(protect(js_doc_bytes, "x.pdf"))
+        assert not report.verdict.malicious

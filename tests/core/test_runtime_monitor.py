@@ -1,0 +1,290 @@
+"""Unit tests for the runtime monitor + SOAP server (Phase II back-end)."""
+
+import pytest
+
+from repro.core.detector import DetectorConfig
+from repro.core.keys import KeyStore, fingerprint
+from repro.core.runtime_monitor import RuntimeMonitor
+from repro.core.soap import TinySOAPServer
+from repro.core.static_features import StaticFeatures
+from repro.winapi.process import System
+from repro.winapi.syscalls import API, SyscallEvent
+
+
+def make_monitor(seed=7):
+    key_store = KeyStore.create(seed)
+    system = System()
+    monitor = RuntimeMonitor(key_store, system)
+    reader = system.spawn_reader()
+    monitor.attach_reader_process(reader)
+    return key_store, system, monitor, reader
+
+
+def make_event(api, pid, mem=0, **args):
+    return SyscallEvent(api=api, args=args, pid=pid, seq=1, time=0.0,
+                        memory_private_usage=mem)
+
+
+def issue(key_store, monitor, name="doc.pdf", ratio=0.9):
+    key = key_store.issue(name, fingerprint(name.encode()))
+    static = StaticFeatures(ratio, False, False, 0, 1, True)
+    monitor.register_document(key.render(), name, static)
+    return key.render()
+
+
+class TestContextTracking:
+    def test_enter_leave_cycle(self):
+        key_store, system, monitor, reader = make_monitor()
+        key = issue(key_store, monitor)
+        assert monitor.on_context_enter(key, 1, False)
+        assert monitor.active_key == key
+        monitor.on_context_leave(key, 1, False)
+        assert monitor.active_key is None
+
+    def test_invalid_key_enter_rejected_as_fake(self):
+        key_store, system, monitor, reader = make_monitor()
+        assert not monitor.on_context_enter("bogus:key", 1, False)
+        assert monitor.fake_messages
+
+    def test_unmatched_leave_is_fake(self):
+        key_store, system, monitor, reader = make_monitor()
+        key = issue(key_store, monitor)
+        monitor.on_context_leave(key, 1, False)
+        assert monitor.fake_messages
+
+    def test_fake_message_blames_active_document(self):
+        key_store, system, monitor, reader = make_monitor()
+        key = issue(key_store, monitor)
+        monitor.on_context_enter(key, 1, False)
+        monitor.on_fake_message({"ctx": "leave", "key": "forged"})
+        verdict = monitor.verdict_for(key)
+        assert verdict.malicious
+        assert monitor.alerts
+
+    def test_fake_without_context_recorded_only(self):
+        key_store, system, monitor, reader = make_monitor()
+        monitor.on_fake_message({"ctx": "enter", "key": "x"})
+        assert monitor.fake_messages
+        assert not monitor.alerts
+
+
+class TestInJsAttribution:
+    def test_drop_attributed_to_active_doc(self):
+        key_store, system, monitor, reader = make_monitor()
+        key = issue(key_store, monitor)
+        monitor.on_context_enter(key, 1, False)
+        monitor.handle_syscall(
+            make_event(API.NT_CREATE_FILE, reader.pid, path="C:\\mal.exe")
+        )
+        state = monitor.states[key]
+        assert 11 in state.fired
+        assert state.activated
+
+    def test_memory_checked_at_in_js_event(self):
+        key_store, system, monitor, reader = make_monitor()
+        key = issue(key_store, monitor)
+        monitor.on_context_enter(key, 1, False)
+        spike = reader.memory_counters().private_usage + 200 * 1024 * 1024
+        monitor.handle_syscall(
+            make_event(API.CONNECT, reader.pid, mem=spike, host="evil", port=80)
+        )
+        assert 8 in monitor.states[key].fired
+
+    def test_memory_checked_at_context_exit(self):
+        key_store, system, monitor, reader = make_monitor()
+        key = issue(key_store, monitor)
+        monitor.on_context_enter(key, 1, False)
+        reader.alloc("spray", 300 * 1024 * 1024)
+        monitor.on_context_leave(key, 1, False)
+        assert 8 in monitor.states[key].fired
+
+    def test_small_memory_delta_ignored(self):
+        key_store, system, monitor, reader = make_monitor()
+        key = issue(key_store, monitor)
+        monitor.on_context_enter(key, 1, False)
+        reader.alloc("small", 5 * 1024 * 1024)
+        monitor.on_context_leave(key, 1, False)
+        assert 8 not in monitor.states[key].fired
+
+    def test_detector_channel_whitelisted(self):
+        from repro.core.monitor_code import SOAP_PORT
+
+        key_store, system, monitor, reader = make_monitor()
+        key = issue(key_store, monitor)
+        monitor.on_context_enter(key, 1, False)
+        monitor.handle_syscall(
+            make_event(API.CONNECT, reader.pid, host="127.0.0.1", port=SOAP_PORT)
+        )
+        assert 9 not in monitor.states[key].fired
+
+    def test_external_connect_counts(self):
+        key_store, system, monitor, reader = make_monitor()
+        key = issue(key_store, monitor)
+        monitor.on_context_enter(key, 1, False)
+        monitor.handle_syscall(
+            make_event(API.CONNECT, reader.pid, host="c2.evil", port=443)
+        )
+        assert 9 in monitor.states[key].fired
+
+
+class TestOutJsAttribution:
+    def activated_doc(self, key_store, monitor, reader, name="a.pdf"):
+        key = issue(key_store, monitor, name)
+        monitor.on_context_enter(key, 1, False)
+        monitor.handle_syscall(
+            make_event(API.NT_CREATE_FILE, reader.pid, path="C:\\d.exe")
+        )
+        monitor.on_context_leave(key, 1, False)
+        return key
+
+    def test_out_js_process_creation_applies_to_activated(self):
+        key_store, system, monitor, reader = make_monitor()
+        key = self.activated_doc(key_store, monitor, reader)
+        monitor.handle_syscall(
+            make_event(API.NT_CREATE_USER_PROCESS, reader.pid, image="C:\\d.exe")
+        )
+        assert 6 in monitor.states[key].fired
+
+    def test_out_js_ignored_before_any_activation(self):
+        key_store, system, monitor, reader = make_monitor()
+        issue(key_store, monitor)
+        before = monitor.ignored_events
+        monitor.handle_syscall(
+            make_event(API.NT_CREATE_USER_PROCESS, reader.pid, image="x.exe")
+        )
+        assert monitor.ignored_events > before
+        assert not monitor.alerts
+
+    def test_out_js_whitelisted_program_skipped(self):
+        key_store, system, monitor, reader = make_monitor()
+        key = self.activated_doc(key_store, monitor, reader)
+        monitor.handle_syscall(
+            make_event(API.NT_CREATE_USER_PROCESS, reader.pid, image="WerFault.exe")
+        )
+        assert 6 not in monitor.states[key].fired
+
+    def test_out_js_network_not_a_feature(self):
+        key_store, system, monitor, reader = make_monitor()
+        key = self.activated_doc(key_store, monitor, reader)
+        monitor.handle_syscall(make_event(API.CONNECT, reader.pid, host="e", port=1))
+        fired = monitor.states[key].fired
+        assert 9 not in fired and 6 not in fired
+
+    def test_out_js_applies_to_every_activated_doc(self):
+        key_store, system, monitor, reader = make_monitor()
+        key_a = self.activated_doc(key_store, monitor, reader, "a.pdf")
+        key_b = self.activated_doc(key_store, monitor, reader, "b.pdf")
+        monitor.handle_syscall(
+            make_event(API.CREATE_REMOTE_THREAD, reader.pid, dll="x.dll", target_pid=1)
+        )
+        assert 7 in monitor.states[key_a].fired
+        assert 7 in monitor.states[key_b].fired
+
+
+class TestCollusion:
+    def test_cross_document_executable_tracking(self):
+        key_store, system, monitor, reader = make_monitor()
+        downloader = issue(key_store, monitor, "downloader.pdf")
+        executor = issue(key_store, monitor, "executor.pdf", ratio=0.0)
+
+        monitor.on_context_enter(downloader, 1, False)
+        monitor.handle_syscall(
+            make_event(API.URL_DOWNLOAD_TO_FILE, reader.pid, path="C:\\stage2.exe")
+        )
+        monitor.on_context_leave(downloader, 1, False)
+
+        monitor.on_context_enter(executor, 1, False)
+        monitor.handle_syscall(
+            make_event(API.NT_CREATE_USER_PROCESS, reader.pid, image="C:\\stage2.exe")
+        )
+        monitor.on_context_leave(executor, 1, False)
+
+        # executor: prepended malware-drop (F11) + its own process (F12)
+        assert {11, 12} <= monitor.states[executor].fired
+        # downloader: appended execution (F12) on top of its drop (F11)
+        assert {11, 12} <= monitor.states[downloader].fired
+        assert monitor.verdict_for(downloader).malicious
+        assert monitor.verdict_for(executor).malicious
+
+    def test_executable_list_survives_reader_close(self):
+        key_store, system, monitor, reader = make_monitor()
+        key = issue(key_store, monitor)
+        monitor.on_context_enter(key, 1, False)
+        monitor.handle_syscall(
+            make_event(API.NT_CREATE_FILE, reader.pid, path="C:\\keep.exe")
+        )
+        monitor.on_context_leave(key, 1, False)
+        monitor.on_reader_closed()
+        assert not monitor.states  # malscore is volatile
+        assert "c:\\keep.exe" in monitor.downloaded_executables
+
+
+class TestConfinementIntegration:
+    def test_alert_quarantines_dropped_files(self):
+        key_store, system, monitor, reader = make_monitor()
+        key = issue(key_store, monitor)
+        system.filesystem.create("C:\\mal.exe", b"MZ", creator_pid=reader.pid)
+        monitor.on_context_enter(key, 1, False)
+        monitor.handle_syscall(
+            make_event(API.NT_CREATE_FILE, reader.pid, path="C:\\mal.exe")
+        )
+        monitor.handle_syscall(
+            make_event(API.NT_CREATE_USER_PROCESS, reader.pid, image="C:\\mal.exe")
+        )
+        monitor.on_context_leave(key, 1, False)
+        assert monitor.alerts
+        assert system.filesystem.get("C:\\mal.exe").quarantined
+
+    def test_process_creation_sandboxed(self):
+        key_store, system, monitor, reader = make_monitor()
+        key = issue(key_store, monitor)
+        monitor.on_context_enter(key, 1, False)
+        monitor.handle_syscall(
+            make_event(API.NT_CREATE_USER_PROCESS, reader.pid, image="C:\\p.exe")
+        )
+        sandboxed = [p for p in system.processes.values() if p.sandboxed]
+        assert sandboxed
+        # alert fired (ratio static + drop-free but F12+F8? just F12+static=10)
+        # the sandboxed child must be terminated on alert
+        monitor.on_context_leave(key, 1, False)
+        if monitor.alerts:
+            assert all(not p.alive for p in sandboxed)
+
+
+class TestSoapServer:
+    def test_valid_messages_dispatch(self):
+        key_store, system, monitor, reader = make_monitor()
+        key = issue(key_store, monitor)
+        server = TinySOAPServer(monitor)
+        assert server.handle({"ctx": "enter", "key": key, "seq": 1}) == {"status": "ok"}
+        assert server.handle({"ctx": "leave", "key": key, "seq": 1}) == {"status": "ok"}
+        assert server.stats.enters == 1 and server.stats.leaves == 1
+
+    def test_malformed_payload_is_fake(self):
+        key_store, system, monitor, reader = make_monitor()
+        server = TinySOAPServer(monitor)
+        assert server.handle("garbage")["status"] == "rejected"
+        assert server.handle({"ctx": "launch"})["status"] == "rejected"
+        assert server.stats.fakes == 2
+
+    def test_invalid_key_rejected(self):
+        key_store, system, monitor, reader = make_monitor()
+        server = TinySOAPServer(monitor)
+        response = server.handle({"ctx": "enter", "key": "wrong:key", "seq": 1})
+        assert response["status"] == "rejected"
+
+    def test_registration_on_network(self):
+        key_store, system, monitor, reader = make_monitor()
+        key = issue(key_store, monitor)
+        server = TinySOAPServer(monitor)
+        server.register(system.network)
+        response = system.network.call_rpc(
+            server.host, server.port, {"ctx": "enter", "key": key, "seq": 1}
+        )
+        assert response == {"status": "ok"}
+
+    def test_bad_seq_type_is_fake(self):
+        key_store, system, monitor, reader = make_monitor()
+        server = TinySOAPServer(monitor)
+        response = server.handle({"ctx": "enter", "key": "a:b", "seq": {}})
+        assert response["status"] == "rejected"

@@ -1,0 +1,136 @@
+"""Unit tests for the five static features (F1–F5, Table VII)."""
+
+from repro.core.static_features import StaticFeatures, extract_static_features
+from repro.pdf.builder import DocumentBuilder
+from repro.pdf.document import PDFDocument
+
+
+def features_of(builder: DocumentBuilder) -> StaticFeatures:
+    return extract_static_features(PDFDocument.from_bytes(builder.to_bytes()))
+
+
+def base_builder(js_kwargs=None) -> DocumentBuilder:
+    builder = DocumentBuilder()
+    builder.add_page("")
+    builder.add_javascript("var x = 1;", **(js_kwargs or {}))
+    return builder
+
+
+class TestF1Ratio:
+    def test_small_doc_fires(self):
+        assert features_of(base_builder()).f1 == 1
+
+    def test_padded_doc_does_not(self):
+        builder = base_builder()
+        builder.pad_with_objects(60)
+        assert features_of(builder).f1 == 0
+
+    def test_threshold_is_0_2(self):
+        assert StaticFeatures.RATIO_THRESHOLD == 0.2
+
+
+class TestF2Header:
+    def test_clean_header(self):
+        assert features_of(base_builder()).f2 == 0
+
+    def test_displaced_header_fires(self):
+        builder = base_builder()
+        builder.obfuscate_header(displace=100)
+        assert features_of(builder).f2 == 1
+
+    def test_invalid_version_fires(self):
+        builder = base_builder()
+        builder.obfuscate_header(version_text="1.99")
+        assert features_of(builder).f2 == 1
+
+
+class TestF3HexKeyword:
+    def test_clean(self):
+        assert features_of(base_builder()).f3 == 0
+
+    def test_hex_escaped_fires(self):
+        builder = base_builder({"hex_obfuscate_keyword": True})
+        assert features_of(builder).f3 == 1
+
+    def test_hex_off_chain_does_not_fire(self):
+        from repro.pdf.objects import PDFDict, PDFName
+
+        builder = base_builder()
+        # A hex-escaped name in an object unrelated to any JS chain.
+        builder.document.add_object(
+            PDFDict({PDFName.from_raw("Unrel#61ted"): 1})
+        )
+        assert features_of(builder).f3 == 0
+
+
+class TestF4EmptyObjects:
+    def test_none(self):
+        assert features_of(base_builder()).f4 == 0
+
+    def test_one_empty_fires(self):
+        builder = base_builder({"decoy_empty_chain": 1})
+        feats = features_of(builder)
+        assert feats.empty_object_count == 1
+        assert feats.f4 == 1
+
+    def test_multiple_empties_counted(self):
+        builder = base_builder({"decoy_empty_chain": 3})
+        assert features_of(builder).empty_object_count == 3
+
+    def test_unreferenced_empty_not_counted(self):
+        builder = base_builder()
+        builder.add_empty_objects(4)  # off-chain empties
+        assert features_of(builder).empty_object_count == 0
+
+
+class TestF5EncodingLevels:
+    def test_plain_string_level_zero(self):
+        assert features_of(base_builder()).encoding_levels == 0
+
+    def test_one_level_does_not_fire(self):
+        feats = features_of(base_builder({"encoding_levels": 1}))
+        assert feats.encoding_levels == 1
+        assert feats.f5 == 0
+
+    def test_two_levels_fire(self):
+        feats = features_of(base_builder({"encoding_levels": 2}))
+        assert feats.encoding_levels == 2
+        assert feats.f5 == 1
+
+    def test_maximum_is_used_not_average(self):
+        # One deep chain among many shallow ones still fires — the
+        # mimicry-resistance argument for max over average (§III-B).
+        builder = DocumentBuilder()
+        builder.add_page("")
+        for i in range(5):
+            builder.add_javascript(f"var s{i} = 1;", trigger="Names", name=f"s{i}",
+                                   encoding_levels=1)
+        builder.add_javascript("var deep = 1;", encoding_levels=3)
+        assert features_of(builder).f5 == 1
+
+    def test_off_chain_stream_depth_ignored(self):
+        from repro.pdf.objects import PDFStream
+
+        builder = base_builder()
+        deep = PDFStream()
+        deep.set_decoded_data(b"img", ["FlateDecode", "ASCIIHexDecode", "ASCII85Decode"])
+        builder.document.add_object(deep)
+        assert features_of(builder).encoding_levels == 0
+
+
+class TestBinarization:
+    def test_binary_tuple_and_score(self):
+        feats = StaticFeatures(
+            js_chain_ratio=0.5,
+            header_obfuscated=True,
+            hex_code_in_keyword=False,
+            empty_object_count=2,
+            encoding_levels=3,
+            has_javascript=True,
+        )
+        assert feats.binary() == (1, 1, 0, 1, 1)
+        assert feats.score_contribution() == 4
+
+    def test_all_clear(self):
+        feats = StaticFeatures(0.0, False, False, 0, 1, False)
+        assert feats.binary() == (0, 0, 0, 0, 0)

@@ -1,0 +1,156 @@
+"""Unit tests for the synthetic corpus generators."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.chains import analyze_chains
+from repro.core.static_features import extract_static_features
+from repro.corpus import CorpusConfig, build_dataset
+from repro.corpus.benign import BenignFactory, BenignKind
+from repro.corpus.dataset import eval_scale, paper_scale
+from repro.corpus.dataset import test_scale as small_scale
+from repro.corpus.malicious import (
+    MaliciousFactory,
+    MaliciousKind,
+    KIND_QUOTAS_PER_1000,
+)
+from repro.pdf.document import PDFDocument
+
+
+class TestBenignFactory:
+    def test_spec_counts(self):
+        specs = BenignFactory(seed=1).specs(50, 10)
+        assert len(specs) == 50
+        assert sum(1 for s in specs if s.has_javascript) == 10
+
+    def test_exactly_one_soap_doc(self):
+        specs = BenignFactory(seed=1).specs(80, 20)
+        soap = [s for s in specs if s.kind is BenignKind.SOAP_JS]
+        assert len(soap) == 1
+
+    def test_with_js_exceeding_n_rejected(self):
+        with pytest.raises(ValueError):
+            BenignFactory().specs(5, 6)
+
+    def test_documents_parse(self):
+        factory = BenignFactory(seed=1)
+        for spec in factory.specs(12, 4):
+            doc = PDFDocument.from_bytes(factory.build(spec))
+            assert doc.page_count >= 1
+
+    def test_deterministic_generation(self):
+        f1, f2 = BenignFactory(seed=5), BenignFactory(seed=5)
+        specs1, specs2 = f1.specs(10, 3), f2.specs(10, 3)
+        assert [s.kind for s in specs1] == [s.kind for s in specs2]
+        assert f1.build(specs1[0]) == f2.build(specs2[0])
+
+    def test_benign_ratios_mostly_under_threshold(self):
+        factory = BenignFactory(seed=1)
+        ratios = []
+        for spec in factory.specs(30, 10):
+            doc = PDFDocument.from_bytes(factory.build(spec))
+            ratios.append(analyze_chains(doc).ratio)
+        below = sum(1 for r in ratios if r < 0.2)
+        assert below / len(ratios) >= 0.8
+        assert max(ratios) <= 0.6
+
+    def test_benign_never_hex_or_empty(self):
+        factory = BenignFactory(seed=1)
+        for spec in factory.specs(20, 8):
+            doc = PDFDocument.from_bytes(factory.build(spec))
+            feats = extract_static_features(doc)
+            assert feats.f3 == 0
+            assert feats.f4 == 0
+            assert feats.encoding_levels <= 1
+
+
+class TestMaliciousFactory:
+    def test_spec_count(self):
+        assert len(MaliciousFactory(seed=2).specs(40)) == 40
+
+    def test_every_kind_present_at_scale(self):
+        specs = MaliciousFactory(seed=2).specs(300)
+        kinds = {s.kind for s in specs}
+        assert kinds == set(MaliciousKind)
+
+    def test_kind_quotas_scale(self):
+        specs = MaliciousFactory(seed=2).specs(1000)
+        counts = Counter(s.kind for s in specs)
+        for kind, quota in KIND_QUOTAS_PER_1000.items():
+            assert abs(counts[kind] - quota) <= 2
+
+    def test_crasher_fn_has_no_static_features(self):
+        factory = MaliciousFactory(seed=2)
+        specs = [s for s in factory.specs(400) if s.kind is MaliciousKind.CRASHER_FN]
+        assert specs
+        for spec in specs:
+            doc = PDFDocument.from_bytes(factory.build(spec))
+            feats = extract_static_features(doc)
+            assert feats.binary() == (0, 0, 0, 0, 0)
+
+    def test_documents_parse_and_have_js(self):
+        factory = MaliciousFactory(seed=2)
+        for spec in factory.specs(25):
+            doc = PDFDocument.from_bytes(factory.build(spec))
+            assert doc.has_javascript()
+
+    def test_ratio_one_samples_exist(self):
+        factory = MaliciousFactory(seed=2)
+        specs = factory.specs(400)
+        ratio_one = [s for s in specs if s.ratio_one]
+        assert ratio_one
+        doc = PDFDocument.from_bytes(factory.build(ratio_one[0]))
+        assert analyze_chains(doc).ratio == 1.0
+
+    def test_spray_sizes_in_fig7_band(self):
+        specs = MaliciousFactory(seed=2).specs(300)
+        sprays = [s.spray_mb for s in specs]
+        assert min(sprays) >= 103
+        assert max(sprays) <= 1700
+        mean = sum(sprays) / len(sprays)
+        assert 250 <= mean <= 450  # paper: ≈ 336 MB
+
+    def test_deterministic(self):
+        a = MaliciousFactory(seed=2)
+        b = MaliciousFactory(seed=2)
+        sa, sb = a.specs(10), b.specs(10)
+        assert [s.cve for s in sa] == [s.cve for s in sb]
+        assert a.build(sa[3]) == b.build(sb[3])
+
+
+class TestDataset:
+    def test_build_dataset_sizes(self):
+        config = CorpusConfig(n_benign=30, n_benign_with_js=8, n_malicious=20)
+        ds = build_dataset(config)
+        assert len(ds.benign) == 30
+        assert len(ds.malicious) == 20
+        assert len(ds.benign_with_js) == 8
+        assert len(ds) == 50
+
+    def test_sample_metadata(self, small_dataset):
+        for sample in small_dataset.malicious:
+            assert sample.malicious
+            assert "cve" in sample.meta
+        for sample in small_dataset.benign:
+            assert not sample.malicious
+
+    def test_scales(self):
+        paper = paper_scale()
+        assert (paper.n_benign, paper.n_benign_with_js, paper.n_malicious) == (
+            18623, 994, 7370,
+        )
+        ev = eval_scale()
+        assert ev.n_malicious == 1000 and ev.n_benign_with_js == 994
+        small = small_scale()
+        assert small.n_benign < 1000
+
+    def test_streaming_matches_build(self):
+        from repro.corpus.dataset import benign_samples, malicious_samples
+
+        config = CorpusConfig(n_benign=10, n_benign_with_js=3, n_malicious=6)
+        ds = build_dataset(config)
+        streamed_b = list(benign_samples(config))
+        streamed_m = list(malicious_samples(config))
+        assert [s.data for s in streamed_b] == [s.data for s in ds.benign]
+        assert [s.data for s in streamed_m] == [s.data for s in ds.malicious]

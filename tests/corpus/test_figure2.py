@@ -1,0 +1,71 @@
+"""The Figure 2 sample exhibits every property the paper describes."""
+
+import pytest
+
+from repro.core.chains import analyze_chains
+from repro.core.static_features import extract_static_features
+from repro.corpus.figure2 import figure2_sample
+from repro.pdf.document import PDFDocument
+from repro.pdf.objects import PDFRef
+
+
+@pytest.fixture(scope="module")
+def sample_bytes():
+    return figure2_sample()
+
+
+@pytest.fixture(scope="module")
+def document(sample_bytes):
+    return PDFDocument.from_bytes(sample_bytes)
+
+
+class TestStructure:
+    def test_ten_indirect_objects(self, document):
+        assert document.object_count() == 10
+
+    def test_hex_escaped_javascript_keyword_survives(self, sample_bytes):
+        assert b"/JavaScr#69pt" in sample_bytes
+        assert b"/#4a#53" in sample_bytes
+
+    def test_two_javascript_chains(self, document):
+        analysis = analyze_chains(document)
+        # the real chain (via object 4) and the decoy chain (via 6)
+        assert len(analysis.chains) >= 2
+
+    def test_empty_object_terminates_decoy_chain(self, document):
+        analysis = analyze_chains(document)
+        assert PDFRef(9, 0) in analysis.chain_objects
+
+    def test_all_five_relevant_static_features(self, document):
+        features = extract_static_features(document)
+        assert features.f1 == 1      # small doc, high chain ratio
+        assert features.f3 == 1      # hex keyword on the chain
+        assert features.f4 == 1      # empty object on a chain
+        assert features.encoding_levels == 1
+
+
+class TestBehaviour:
+    def test_infection_works_unprotected(self, sample_bytes):
+        from repro.reader import Reader
+
+        reader = Reader()
+        outcome = reader.open(sample_bytes, "figure2.pdf")
+        assert outcome.ok
+        assert reader.system.filesystem.executables()
+
+    def test_detected_by_pipeline(self, sample_bytes, pipeline):
+        report = pipeline.scan(sample_bytes, "figure2.pdf")
+        assert report.verdict.malicious
+        fired = set(report.verdict.features.fired())
+        assert {1, 3, 4} <= fired      # static evidence
+        assert {8, 11, 12} <= fired    # runtime evidence
+
+    def test_mdscan_misses_it(self, sample_bytes):
+        """The shellcode lives in this.info.title — exactly the sample
+        class the paper says extract-and-emulate cannot handle (§II)."""
+        from repro.baselines import MDScanDetector
+        from repro.corpus.dataset import Sample
+
+        detector = MDScanDetector()
+        sample = Sample("fig2.pdf", sample_bytes, "malicious", "figure2")
+        assert detector.predict(sample) is False

@@ -1,0 +1,125 @@
+"""Direct tests for the corpus JavaScript snippet generators."""
+
+import random
+
+import pytest
+
+from repro.corpus import js_snippets as js
+from repro.js import evaluate
+from repro.pdf.builder import DocumentBuilder
+from repro.reader import Reader
+from repro.reader.exploits import CVE
+from repro.reader.payload import Payload
+
+
+def run_in_reader(code: str, **reader_kwargs):
+    builder = DocumentBuilder()
+    builder.add_page("snippet")
+    builder.add_javascript(code)
+    reader = Reader(**reader_kwargs)
+    outcome = reader.open(builder.to_bytes())
+    return reader, outcome.handle
+
+
+class TestEscapeForJs:
+    @pytest.mark.parametrize(
+        "text",
+        ["plain", 'with "quotes"', "back\\slash", "new\nline", "\r mixed \\\" all"],
+    )
+    def test_roundtrip_through_engine(self, text):
+        assert evaluate('"' + js.escape_for_js(text) + '"') == text
+
+
+class TestSprayScript:
+    def test_sprays_requested_volume(self):
+        code = js.spray_script(32, Payload.dropper(), rng=random.Random(1))
+        reader, handle = run_in_reader(code)
+        assert 30 * 1024 * 1024 <= handle.sprayed_bytes <= 40 * 1024 * 1024
+
+    def test_payload_lands_in_pool(self):
+        from repro.reader.payload import parse_payload
+
+        code = js.spray_script(16, Payload.reverse_shell(1234), rng=random.Random(2))
+        _reader, handle = run_in_reader(code)
+        payload = parse_payload(handle.spray_pool)
+        assert payload is not None
+        assert payload.ops[0].verb == "shell"
+
+    def test_no_exploit_call_means_no_syscalls(self):
+        code = js.spray_script(16, Payload.dropper(), rng=random.Random(3))
+        reader, handle = run_in_reader(code)
+        assert not reader.gateway.log
+
+    def test_export_chunk_alias(self):
+        code = js.spray_script(
+            8, Payload.dropper(), rng=random.Random(4), export_chunk_as="__alias"
+        )
+        assert "var __alias" in code
+
+    def test_title_mode_references_info(self):
+        code = js.spray_script(
+            8, Payload.dropper(), rng=random.Random(5), hide_payload_in_title=True
+        )
+        assert "this.info.title" in code
+        assert "[[PAYLOAD|" not in code
+
+
+class TestExploitCalls:
+    @pytest.mark.parametrize(
+        "cve",
+        [CVE.COLLAB_COLLECT_EMAIL_INFO, CVE.UTIL_PRINTF, CVE.COLLAB_GET_ICON,
+         CVE.MEDIA_NEW_PLAYER, CVE.PRINT_SEPS],
+    )
+    def test_every_call_is_valid_js(self, cve):
+        call = js.exploit_call_for(cve).replace("__CHUNK__", "'xyz'")
+        from repro.js.parser import parse
+
+        parse(call)  # must not raise
+
+    def test_unknown_cve_falls_back(self):
+        assert "getIcon" in js.exploit_call_for("CVE-0000-0000")
+
+
+class TestVersionGating:
+    def test_gated_script_inert_on_old_reader(self):
+        inner = "app.alert('fired');"
+        gated = js.version_gated(inner, min_version=10)
+        _reader, handle = run_in_reader(gated)
+        assert handle.alerts == []
+
+    def test_gated_script_runs_on_new_reader(self):
+        gated = js.version_gated("app.alert('fired');", min_version=9)
+        _reader, handle = run_in_reader(gated)
+        assert handle.alerts == ["fired"]
+
+
+class TestFailingProbe:
+    @pytest.mark.parametrize("cve", [CVE.GET_ANNOTS, CVE.XFA_2013, "CVE-1999-0001"])
+    def test_probe_dies_before_doing_anything(self, cve):
+        code = js.failing_probe_script(cve)
+        reader, handle = run_in_reader(code)
+        assert handle.script_errors
+        assert handle.sprayed_bytes == 0
+        assert not reader.gateway.log
+
+
+class TestBenignSnippets:
+    def test_report_script_allocates_and_finishes(self):
+        code = js.benign_report_script(200, 1024, random.Random(6))
+        _reader, handle = run_in_reader(code)
+        assert not handle.script_errors
+        assert 0 < handle.js_heap_bytes < 4 * 1024 * 1024
+
+    def test_form_and_date_and_page_scripts_clean(self):
+        for code in (
+            js.benign_form_script(random.Random(7)),
+            js.benign_date_script(random.Random(8)),
+            js.benign_page_script(),
+        ):
+            _reader, handle = run_in_reader(code)
+            assert not handle.script_errors
+
+    def test_soap_script_generates_one_connection(self):
+        reader, handle = run_in_reader(js.benign_soap_script())
+        assert not handle.script_errors
+        assert len(reader.system.network.connections) == 1

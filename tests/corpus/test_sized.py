@@ -1,0 +1,66 @@
+"""Tests for the controlled-size document generator (Table X workloads)."""
+
+import pytest
+
+from repro.corpus.sized import (
+    TABLE_X_SIZES,
+    document_of_size,
+    document_with_scripts,
+    table_x_documents,
+)
+from repro.pdf.document import PDFDocument
+
+
+class TestDocumentOfSize:
+    @pytest.mark.parametrize("target", [16 * 1024, 325 * 1024, 1024 * 1024])
+    def test_size_within_tolerance(self, target):
+        data = document_of_size(target, seed=1)
+        assert abs(len(data) - target) / target < 0.05
+
+    def test_small_document_still_valid(self):
+        data = document_of_size(2 * 1024, seed=1)
+        doc = PDFDocument.from_bytes(data)
+        assert doc.page_count == 1
+
+    def test_scripts_attached(self):
+        data = document_of_size(64 * 1024, scripts=3, seed=2)
+        doc = PDFDocument.from_bytes(data)
+        assert len(list(doc.iter_javascript_actions())) == 3
+
+    def test_deterministic(self):
+        assert document_of_size(32 * 1024, seed=5) == document_of_size(32 * 1024, seed=5)
+
+    def test_different_seeds_differ(self):
+        assert document_of_size(32 * 1024, seed=5) != document_of_size(32 * 1024, seed=6)
+
+
+class TestTableXDocuments:
+    def test_all_six_sizes(self):
+        docs = table_x_documents()
+        assert [label for label, _d in docs] == [label for label, _s in TABLE_X_SIZES]
+        for (label, data), (_l, size) in zip(docs, TABLE_X_SIZES):
+            if size > 4096:
+                assert abs(len(data) - size) / size < 0.05, label
+
+    def test_all_parse_and_instrument(self):
+        from repro.core.instrument import Instrumenter
+        from repro.core.keys import KeyStore
+
+        instrumenter = Instrumenter(key_store=KeyStore.create(1), seed=1)
+        for label, data in table_x_documents():
+            result = instrumenter.instrument(data, f"{label}.pdf")
+            assert result.instrumented_scripts >= 1, label
+
+
+class TestDocumentWithScripts:
+    @pytest.mark.parametrize("count", [1, 2, 7, 20])
+    def test_script_count(self, count):
+        doc = PDFDocument.from_bytes(document_with_scripts(count, seed=1))
+        assert len(list(doc.iter_javascript_actions())) == count
+
+    def test_scripts_all_execute(self):
+        from repro.reader import Reader
+
+        outcome = Reader().open(document_with_scripts(6, seed=2))
+        assert outcome.ok
+        assert outcome.handle.executed_scripts == 6

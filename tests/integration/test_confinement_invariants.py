@@ -1,0 +1,100 @@
+"""System-level confinement invariants over the whole corpus.
+
+Table III's rules exist to guarantee two things regardless of what a
+sample does: (1) no reader-spawned program ever runs unconfined, and
+(2) once a document is convicted, every executable it dropped is
+quarantined.  These tests check the invariants over every working
+malicious sample in the small corpus — not just hand-picked cases.
+"""
+
+import pytest
+
+from repro.core.pipeline import ProtectionPipeline
+
+
+@pytest.fixture(scope="module")
+def pipe():
+    return ProtectionPipeline(seed=123321)
+
+
+class TestNoUnconfinedExecution:
+    def test_every_spawned_process_is_sandboxed_or_whitelisted(self, pipe, small_dataset):
+        for sample in small_dataset.malicious:
+            session = pipe.session()
+            protected = pipe.protect(sample.data, sample.name)
+            session.open(protected)
+            reader_pid = session.reader.process.pid if session.reader.process else -1
+            for process in session.system.processes.values():
+                if process.pid == reader_pid:
+                    continue
+                if process.name in ("explorer.exe", "AcroRd32.exe"):
+                    continue
+                base = process.name.split("\\")[-1]
+                assert process.sandboxed or session.system.is_whitelisted_program(base), (
+                    sample.name,
+                    process.name,
+                )
+            session.close()
+
+    def test_convicted_documents_have_drops_quarantined(self, pipe, small_dataset):
+        for sample in small_dataset.malicious:
+            report = pipe.scan(sample.data, sample.name)
+            if not report.verdict.malicious:
+                continue
+            # A conviction with an observed in-JS drop must leave
+            # quarantined files behind.
+            fired = set(report.verdict.features.fired())
+            if 11 in fired and not report.crashed:
+                assert report.quarantined_files, sample.name
+
+    def test_dll_injection_never_lands_in_victims(self, pipe, small_dataset):
+        injectors = [
+            s for s in small_dataset.malicious if s.meta.get("payload") == "dll_injector"
+        ]
+        for sample in injectors:
+            session = pipe.session()
+            protected = pipe.protect(sample.data, sample.name)
+            session.open(protected)
+            explorer = next(
+                p for p in session.system.processes.values() if p.name == "explorer.exe"
+            )
+            foreign = [
+                m
+                for m in explorer.modules
+                if m not in ("explorer.exe", "ntdll.dll", "kernel32.dll",
+                             "ctxmon_trampoline.dll")
+            ]
+            assert not foreign, (sample.name, foreign)
+            session.close()
+
+
+class TestZeroToleranceHardening:
+    def test_brute_force_keys_convict_immediately(self, pipe):
+        """An attacker spraying many guessed keys at the SOAP endpoint
+        gets convicted on the very first wrong key."""
+        from repro.attacks.mimicry import fake_message_attack_document
+
+        report = pipe.scan(fake_message_attack_document(seed=7), "brute.pdf")
+        assert report.fake_messages >= 1
+        assert report.verdict.malicious
+
+    def test_duplicate_enter_is_tolerated_for_valid_keys(self, pipe, js_doc_bytes):
+        """Nested enters with the *valid* key (dynamic scripts) are fine
+        — only invalid keys trigger zero tolerance."""
+        protected = pipe.protect(js_doc_bytes, "nested.pdf")
+        session = pipe.session()
+        session.monitor.register_document(protected.key_text, "nested.pdf", protected.features)
+        assert session.monitor.on_context_enter(protected.key_text, 1, False)
+        assert session.monitor.on_context_enter(protected.key_text, 1, True)
+        session.monitor.on_context_leave(protected.key_text, 1, True)
+        session.monitor.on_context_leave(protected.key_text, 1, False)
+        assert not session.monitor.fake_messages
+        session.close()
+
+    def test_leave_for_inactive_valid_key_is_replay(self, pipe, js_doc_bytes):
+        protected = pipe.protect(js_doc_bytes, "replay.pdf")
+        session = pipe.session()
+        session.monitor.register_document(protected.key_text, "replay.pdf", protected.features)
+        session.monitor.on_context_leave(protected.key_text, 1, False)
+        assert session.monitor.fake_messages
+        session.close()

@@ -1,0 +1,104 @@
+"""Ablation: context-aware vs context-free memory monitoring.
+
+Reproduces the argument of §V-B (Figs. 7 and 8): a context-free monitor
+watching total reader memory cannot pick a workable threshold, while
+the per-JS-context delta separates benign from malicious by an order
+of magnitude.
+"""
+
+import random
+
+import pytest
+
+from repro.core.pipeline import ProtectionPipeline
+from repro.corpus import js_snippets as js
+from repro.pdf.builder import DocumentBuilder
+from repro.reader.exploits import CVE
+from repro.reader.payload import Payload
+
+
+@pytest.fixture(scope="module")
+def pipe():
+    return ProtectionPipeline(seed=606)
+
+
+def benign_doc(mb: int, seed: int) -> bytes:
+    builder = DocumentBuilder()
+    builder.add_page("benign")
+    line_chars = 2048
+    iterations = max(64, mb * 1024 * 1024 // (line_chars * 2 * 2))
+    builder.add_javascript(js.benign_report_script(iterations, line_chars, random.Random(seed)))
+    return builder.to_bytes()
+
+
+def malicious_doc(mb: int, seed: int) -> bytes:
+    rng = random.Random(seed)
+    builder = DocumentBuilder()
+    builder.add_page("")
+    builder.add_javascript(
+        js.spray_script(mb, Payload.dropper(), rng=rng,
+                        exploit_call=js.exploit_call_for(CVE.COLLAB_GET_ICON, rng))
+    )
+    return builder.to_bytes()
+
+
+def in_js_memory_mb(pipe, data: bytes, name: str) -> float:
+    session = pipe.session()
+    protected = pipe.protect(data, name)
+    report = session.open(protected, fire_close=False)
+    mb = report.outcome.handle.js_heap_bytes / (1024 * 1024)
+    session.close()
+    return mb
+
+
+class TestContextAwareSeparation:
+    def test_benign_band(self, pipe):
+        values = [in_js_memory_mb(pipe, benign_doc(mb, mb), f"b{mb}.pdf") for mb in (2, 8, 16)]
+        assert max(values) < 30  # paper: ≤ 21 MB
+
+    def test_malicious_band(self, pipe):
+        values = [
+            in_js_memory_mb(pipe, malicious_doc(mb, mb), f"m{mb}.pdf")
+            for mb in (110, 200)
+        ]
+        assert min(values) > 100  # paper: ≥ 103 MB
+
+    def test_order_of_magnitude_gap(self, pipe):
+        benign = in_js_memory_mb(pipe, benign_doc(10, 1), "b.pdf")
+        malicious = in_js_memory_mb(pipe, malicious_doc(150, 2), "m.pdf")
+        assert malicious / max(benign, 0.1) > 5
+
+
+class TestContextFreeFailure:
+    def test_no_single_threshold_works(self, pipe):
+        """Total process memory with N benign docs open exceeds the
+        memory of one malicious doc alone — any context-free threshold
+        either misses malicious or flags stacks of benign documents."""
+        # Context-free reading: many benign docs.
+        session = pipe.session()
+        for i in range(8):
+            session.open(pipe.protect(benign_doc(14, i), f"b{i}.pdf"), fire_close=False)
+        benign_total = session.reader.memory_counters().private_usage
+        session.close()
+
+        # One malicious doc alone.
+        session2 = pipe.session()
+        session2.open(pipe.protect(malicious_doc(110, 9), "m.pdf"), fire_close=False)
+        malicious_total = session2.reader.memory_counters().private_usage
+        session2.close()
+
+        # A threshold below malicious_total would also fire on the
+        # benign stack; one above it would miss the malicious doc.
+        assert benign_total > malicious_total * 0.5
+
+    def test_context_aware_still_correct_in_same_scenario(self, pipe):
+        session = pipe.session()
+        benign_docs = [pipe.protect(benign_doc(14, i), f"b{i}.pdf") for i in range(8)]
+        for doc in benign_docs:
+            session.open(doc, fire_close=False)
+        mal = pipe.protect(malicious_doc(110, 9), "m.pdf")
+        report = session.open(mal, fire_close=False)
+        assert report.verdict.malicious
+        for doc in benign_docs:
+            assert not session.verdict_for(doc).malicious
+        session.close()

@@ -1,0 +1,96 @@
+"""End-to-end integration tests over the whole system."""
+
+import pytest
+
+from repro.core.pipeline import ProtectionPipeline
+from repro.corpus.malicious import MaliciousKind
+
+
+@pytest.fixture(scope="module")
+def pipe():
+    return ProtectionPipeline(seed=31337)
+
+
+class TestDetectionOutcomesByKind:
+    """Every malicious archetype resolves to its paper-documented fate."""
+
+    def reports_by_kind(self, pipe, dataset, kind):
+        samples = [s for s in dataset.malicious if s.kind == kind.value]
+        assert samples, f"no samples of kind {kind}"
+        return [(s, pipe.scan(s.data, s.name)) for s in samples[:3]]
+
+    def test_standard_detected(self, pipe, small_dataset):
+        for sample, report in self.reports_by_kind(pipe, small_dataset, MaliciousKind.STANDARD):
+            assert report.verdict.malicious, sample.name
+
+    def test_render_detected_via_out_js(self, pipe, small_dataset):
+        for sample, report in self.reports_by_kind(pipe, small_dataset, MaliciousKind.RENDER):
+            assert report.verdict.malicious
+            fired = set(report.verdict.features.fired())
+            assert 8 in fired  # in-JS memory from the spray
+            assert fired & {6, 7}, "out-JS features must carry render exploits"
+
+    def test_egghunt_fires_memory_search(self, pipe, small_dataset):
+        for sample, report in self.reports_by_kind(pipe, small_dataset, MaliciousKind.EGGHUNT):
+            assert report.verdict.malicious
+            assert 10 in report.verdict.features.fired()
+
+    def test_export_launch_detected_without_spray(self, pipe, small_dataset):
+        for sample, report in self.reports_by_kind(
+            pipe, small_dataset, MaliciousKind.EXPORT_LAUNCH
+        ):
+            assert report.verdict.malicious
+            fired = set(report.verdict.features.fired())
+            assert {11, 12} <= fired
+            assert 8 not in fired  # no heap spray in these
+
+    def test_title_shellcode_detected(self, pipe, small_dataset):
+        for sample, report in self.reports_by_kind(
+            pipe, small_dataset, MaliciousKind.TITLE_SHELLCODE
+        ):
+            assert report.verdict.malicious
+
+    def test_failed_cve_inert(self, pipe, small_dataset):
+        for sample, report in self.reports_by_kind(pipe, small_dataset, MaliciousKind.FAILED_CVE):
+            assert report.did_nothing
+            assert not report.verdict.malicious
+
+    def test_crasher_detected_caught_via_memory(self, pipe, small_dataset):
+        for sample, report in self.reports_by_kind(
+            pipe, small_dataset, MaliciousKind.CRASHER_DETECTED
+        ):
+            assert report.crashed
+            assert report.verdict.malicious
+            assert 8 in report.verdict.features.fired()
+
+    def test_crasher_fn_missed(self, pipe, small_dataset):
+        """The paper's 25 false negatives: crash before any evidence."""
+        for sample, report in self.reports_by_kind(pipe, small_dataset, MaliciousKind.CRASHER_FN):
+            assert report.crashed
+            assert not report.verdict.malicious
+
+
+class TestBenignBehaviour:
+    def test_zero_false_positives(self, pipe, small_dataset):
+        for sample in small_dataset.benign_with_js:
+            report = pipe.scan(sample.data, sample.name)
+            assert not report.verdict.malicious, sample.name
+
+    def test_soap_sample_fires_network_only(self, pipe, small_dataset):
+        soap = [s for s in small_dataset.benign if s.kind == "soap_js"]
+        assert len(soap) == 1
+        report = pipe.scan(soap[0].data, soap[0].name)
+        assert not report.verdict.malicious
+        assert report.verdict.features.fired() in ([9], [])
+
+
+class TestConfinementEndToEnd:
+    def test_dropped_malware_quarantined(self, pipe, malicious_doc_bytes):
+        report = pipe.scan(malicious_doc_bytes, "m.pdf")
+        assert any("update.exe" in p for p in report.quarantined_files)
+
+    def test_alert_carries_confinement_actions(self, pipe, malicious_doc_bytes):
+        report = pipe.scan(malicious_doc_bytes, "m.pdf")
+        actions = [a for alert in report.alerts for a in alert.confinement_actions]
+        assert any("quarantined" in a for a in actions)
+        assert any("terminated sandboxed" in a for a in actions)

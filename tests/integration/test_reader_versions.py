@@ -1,0 +1,104 @@
+"""Cross-version behaviour (the paper tested Acrobat 8.0 AND 9.0).
+
+CVE applicability differs per version, so the same sample can be a
+working exploit on one reader and inert on the other — the detector's
+verdict must track the *behaviour*, not the file.
+"""
+
+import random
+
+import pytest
+
+from repro.core.pipeline import ProtectionPipeline
+from repro.corpus import js_snippets as js
+from repro.pdf.builder import DocumentBuilder
+from repro.reader.exploits import CVE
+from repro.reader.payload import Payload
+
+
+def exploit_doc(cve: str, seed: int = 9, spray_mb: int = 150) -> bytes:
+    rng = random.Random(seed)
+    builder = DocumentBuilder()
+    builder.add_page("")
+    builder.add_javascript(
+        js.spray_script(
+            spray_mb,
+            Payload.dropper(),
+            rng=rng,
+            exploit_call=js.exploit_call_for(cve, rng),
+        )
+    )
+    return builder.to_bytes()
+
+
+def verdict_on(version: str, data: bytes):
+    pipe = ProtectionPipeline(seed=2020, reader_version=version)
+    return pipe.scan(data, "sample.pdf")
+
+
+class TestVersionMatrix:
+    def test_util_printf_only_fires_on_8(self):
+        data = exploit_doc(CVE.UTIL_PRINTF)
+        on8 = verdict_on("8.0", data)
+        on9 = verdict_on("9.0", data)
+        assert on8.verdict.malicious
+        assert 11 in on8.verdict.features.fired()
+        # On 9.0 the call is patched: the spray still happened (F8 at
+        # exit) but no infection operations follow.
+        fired9 = set(on9.verdict.features.fired())
+        assert 11 not in fired9 and 12 not in fired9
+
+    def test_collect_email_info_only_fires_on_8(self):
+        data = exploit_doc(CVE.COLLAB_COLLECT_EMAIL_INFO)
+        assert verdict_on("8.0", data).verdict.malicious
+        fired9 = set(verdict_on("9.0", data).verdict.features.fired())
+        assert not fired9 & {11, 12}
+
+    def test_print_seps_only_fires_on_9(self):
+        data = exploit_doc(CVE.PRINT_SEPS)
+        assert verdict_on("9.0", data).verdict.malicious
+        fired8 = set(verdict_on("8.0", data).verdict.features.fired())
+        assert not fired8 & {11, 12}
+
+    def test_get_icon_fires_on_both(self):
+        data = exploit_doc(CVE.COLLAB_GET_ICON)
+        assert verdict_on("8.0", data).verdict.malicious
+        assert verdict_on("9.0", data).verdict.malicious
+
+    def test_failed_cves_inert_on_both(self):
+        for cve in (CVE.GET_ANNOTS, CVE.XFA_2013):
+            builder = DocumentBuilder()
+            builder.add_page("")
+            builder.add_javascript(js.failing_probe_script(cve))
+            data = builder.to_bytes()
+            for version in ("8.0", "9.0"):
+                report = verdict_on(version, data)
+                assert report.did_nothing, (cve, version)
+
+
+class TestVirtualDate:
+    def test_date_now_deterministic(self):
+        from repro.js import evaluate
+
+        assert evaluate("Date.now()") == evaluate("Date.now()")
+
+    def test_new_date_methods(self):
+        from repro.js import evaluate
+
+        assert evaluate("new Date().getFullYear()") == 2013.0
+        assert evaluate("new Date(1000).getTime()") == 1000.0
+
+    def test_date_advances_with_reader_clock(self):
+        from repro.reader import Reader
+
+        builder = DocumentBuilder()
+        builder.add_page("x")
+        builder.add_javascript(
+            "var t0 = Date.now();"
+            "app.setTimeOut('app.alert(Date.now() - t0);', 2000);"
+        )
+        reader = Reader()
+        outcome = reader.open(builder.to_bytes())
+        reader.pump(5.0)
+        elapsed_ms = float(outcome.handle.alerts[0])
+        assert elapsed_ms >= 2000.0

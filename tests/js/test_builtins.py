@@ -1,0 +1,197 @@
+"""Unit tests for the JS builtins (strings, arrays, Math, globals)."""
+
+import math
+
+import pytest
+
+from repro.js import evaluate
+
+
+class TestGlobals:
+    def test_unescape_percent_u(self):
+        assert evaluate("unescape('%u0041%u0042')") == "AB"
+
+    def test_unescape_percent_xx(self):
+        assert evaluate("unescape('%41%42%43')") == "ABC"
+
+    def test_unescape_mixed_and_literal(self):
+        assert evaluate("unescape('a%u0062c%64')") == "abcd"
+
+    def test_unescape_sled_unit(self):
+        assert evaluate("unescape('%u9090').charCodeAt(0)") == 0x9090
+
+    def test_escape_roundtrip(self):
+        assert evaluate("unescape(escape('héllo wörld'))") == "héllo wörld"
+
+    def test_parse_int(self):
+        assert evaluate("parseInt('42px')") == 42.0
+        assert evaluate("parseInt('0x1F')") == 31.0
+        assert evaluate("parseInt('ff', 16)") == 255.0
+        assert evaluate("parseInt('-12')") == -12.0
+        assert math.isnan(evaluate("parseInt('zz')"))
+
+    def test_parse_float(self):
+        assert evaluate("parseFloat('3.5rem')") == 3.5
+        assert math.isnan(evaluate("parseFloat('abc')"))
+
+    def test_is_nan_is_finite(self):
+        assert evaluate("isNaN('x')") is True
+        assert evaluate("isFinite(1/0)") is False
+
+    def test_string_constructor_and_fromcharcode(self):
+        assert evaluate("String(12)") == "12"
+        assert evaluate("String.fromCharCode(72, 105)") == "Hi"
+
+    def test_number_boolean_constructors(self):
+        assert evaluate("Number('6') * 2") == 12.0
+        assert evaluate("Boolean('')") is False
+
+    def test_array_constructor(self):
+        assert evaluate("new Array(3).length") == 3.0
+        assert evaluate("Array(1, 2, 3).join('')") == "123"
+
+    def test_math(self):
+        assert evaluate("Math.floor(2.9)") == 2.0
+        assert evaluate("Math.ceil(2.1)") == 3.0
+        assert evaluate("Math.abs(-4)") == 4.0
+        assert evaluate("Math.pow(2, 10)") == 1024.0
+        assert evaluate("Math.max(1, 9, 3)") == 9.0
+        assert evaluate("Math.min(5, -2)") == -2.0
+
+    def test_math_random_deterministic(self):
+        a = evaluate("Math.random()")
+        b = evaluate("Math.random()")
+        assert a == b  # fresh interpreter, same seed
+        assert 0.0 <= a <= 1.0
+
+    def test_error_constructor(self):
+        assert evaluate("var e = new Error('bad'); e.message") == "bad"
+
+
+class TestStringMethods:
+    def test_length_and_index(self):
+        assert evaluate("'hello'.length") == 5.0
+        assert evaluate("'hello'[1]") == "e"
+
+    def test_char_at_and_code(self):
+        assert evaluate("'abc'.charAt(2)") == "c"
+        assert evaluate("'abc'.charCodeAt(0)") == 97.0
+        assert evaluate("'abc'.charAt(9)") == ""
+        assert math.isnan(evaluate("'abc'.charCodeAt(9)"))
+
+    def test_index_of(self):
+        assert evaluate("'banana'.indexOf('na')") == 2.0
+        assert evaluate("'banana'.indexOf('na', 3)") == 4.0
+        assert evaluate("'banana'.lastIndexOf('na')") == 4.0
+        assert evaluate("'x'.indexOf('q')") == -1.0
+
+    def test_substring_swaps_args(self):
+        assert evaluate("'abcdef'.substring(4, 1)") == "bcd"
+
+    def test_substr(self):
+        assert evaluate("'abcdef'.substr(2, 3)") == "cde"
+        assert evaluate("'abcdef'.substr(-2)") == "ef"
+
+    def test_slice_negative(self):
+        assert evaluate("'abcdef'.slice(-3)") == "def"
+        assert evaluate("'abcdef'.slice(1, 3)") == "bc"
+
+    def test_case_conversion(self):
+        assert evaluate("'MiXeD'.toLowerCase()") == "mixed"
+        assert evaluate("'MiXeD'.toUpperCase()") == "MIXED"
+
+    def test_split(self):
+        assert evaluate("'a,b,c'.split(',').length") == 3.0
+        assert evaluate("'abc'.split('').join('-')") == "a-b-c"
+        assert evaluate("'abc'.split()[0]") == "abc"
+
+    def test_replace_first_only(self):
+        assert evaluate("'aXaX'.replace('X', 'o')") == "aoaX"
+
+    def test_concat(self):
+        assert evaluate("'a'.concat('b', 'c')") == "abc"
+
+    def test_unknown_method_is_undefined(self):
+        assert evaluate("typeof 'x'.notAMethod") == "undefined"
+
+
+class TestNumberMethods:
+    def test_to_string_radix(self):
+        assert evaluate("(255).toString(16)") == "ff"
+        assert evaluate("(8).toString(2)") == "1000"
+        assert evaluate("(42).toString()") == "42"
+
+    def test_to_fixed(self):
+        assert evaluate("(3.14159).toFixed(2)") == "3.14"
+
+
+class TestArrayMethods:
+    def test_push_pop(self):
+        assert evaluate("var a = [1]; a.push(2, 3); a.pop(); a.join(',')") == "1,2"
+
+    def test_shift_unshift(self):
+        assert evaluate("var a = [2, 3]; a.unshift(1); a.shift(); a.join('')") == "23"
+
+    def test_join_default_separator(self):
+        assert evaluate("[1, 2].join()") == "1,2"
+
+    def test_concat(self):
+        assert evaluate("[1].concat([2, 3], 4).length") == 4.0
+
+    def test_slice(self):
+        assert evaluate("[1,2,3,4].slice(1, 3).join('')") == "23"
+
+    def test_reverse_in_place(self):
+        assert evaluate("var a = [1,2,3]; a.reverse(); a.join('')") == "321"
+
+    def test_index_of_strict(self):
+        assert evaluate("[1, '1', 2].indexOf('1')") == 1.0
+        assert evaluate("[1].indexOf(9)") == -1.0
+
+    def test_sort_default_lexicographic(self):
+        assert evaluate("[10, 9, 1].sort().join(',')") == "1,10,9"
+
+    def test_sort_with_comparator(self):
+        assert evaluate("[10, 9, 1].sort(function(a,b){return a-b;}).join(',')") == "1,9,10"
+
+    def test_length_assignment_truncates(self):
+        assert evaluate("var a = [1,2,3]; a.length = 1; a.join(',')") == "1"
+
+    def test_sparse_assignment_extends(self):
+        assert evaluate("var a = []; a[3] = 'x'; a.length") == 4.0
+
+    def test_has_own_property(self):
+        assert evaluate("({a: 1}).hasOwnProperty('a')") is True
+        assert evaluate("({a: 1}).hasOwnProperty('b')") is False
+
+    def test_splice_removes_and_returns(self):
+        assert evaluate("var a = [1,2,3,4]; a.splice(1, 2).join(',')") == "2,3"
+        assert evaluate("var a = [1,2,3,4]; a.splice(1, 2); a.join(',')") == "1,4"
+
+    def test_splice_inserts(self):
+        assert evaluate("var a = [1,4]; a.splice(1, 0, 2, 3); a.join(',')") == "1,2,3,4"
+
+    def test_splice_negative_start(self):
+        assert evaluate("var a = [1,2,3]; a.splice(-1, 1); a.join(',')") == "1,2"
+
+    def test_splice_no_delete_count_removes_rest(self):
+        assert evaluate("var a = [1,2,3]; a.splice(1); a.join(',')") == "1"
+
+
+class TestMathExtras:
+    def test_log_exp(self):
+        import math as m
+
+        assert abs(evaluate("Math.log(Math.exp(2))") - 2.0) < 1e-9
+        assert evaluate("Math.log(0)") == -m.inf
+        assert m.isnan(evaluate("Math.log(-1)"))
+
+    def test_trig(self):
+        assert abs(evaluate("Math.sin(0)")) < 1e-12
+        assert abs(evaluate("Math.cos(0)") - 1.0) < 1e-12
+        assert abs(evaluate("Math.atan(1) * 4 - Math.PI")) < 1e-9
+
+
+class TestStringTrim:
+    def test_trim(self):
+        assert evaluate("'  padded  '.trim()") == "padded"

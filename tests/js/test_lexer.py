@@ -1,0 +1,110 @@
+"""Unit tests for the JavaScript tokenizer."""
+
+import pytest
+
+from repro.js.errors import JSSyntaxError
+from repro.js.lexer import TokenType, tokenize
+
+
+def values(source):
+    return [(t.type, t.value) for t in tokenize(source)[:-1]]
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert values("42") == [(TokenType.NUMBER, 42.0)]
+
+    def test_float_and_exponent(self):
+        assert values("3.14 1e3 2.5e-2") == [
+            (TokenType.NUMBER, 3.14),
+            (TokenType.NUMBER, 1000.0),
+            (TokenType.NUMBER, 0.025),
+        ]
+
+    def test_hex(self):
+        assert values("0x10 0xFF") == [
+            (TokenType.NUMBER, 16.0),
+            (TokenType.NUMBER, 255.0),
+        ]
+
+    def test_leading_dot(self):
+        assert values(".5") == [(TokenType.NUMBER, 0.5)]
+
+    def test_bad_exponent_raises(self):
+        with pytest.raises(JSSyntaxError):
+            tokenize("1e")
+
+    def test_bad_hex_raises(self):
+        with pytest.raises(JSSyntaxError):
+            tokenize("0x")
+
+
+class TestStrings:
+    def test_single_and_double_quotes(self):
+        assert values("'a' \"b\"") == [
+            (TokenType.STRING, "a"),
+            (TokenType.STRING, "b"),
+        ]
+
+    def test_escapes(self):
+        (token,) = tokenize(r"'\n\t\\\''")[:-1]
+        assert token.value == "\n\t\\'"
+
+    def test_hex_and_unicode_escapes(self):
+        (token,) = tokenize(r"'\x41邐'")[:-1]
+        assert token.value == "A邐"
+
+    def test_unterminated_raises(self):
+        with pytest.raises(JSSyntaxError):
+            tokenize("'never")
+
+    def test_newline_in_string_raises(self):
+        with pytest.raises(JSSyntaxError):
+            tokenize("'line\nbreak'")
+
+    def test_bad_unicode_escape_raises(self):
+        with pytest.raises(JSSyntaxError):
+            tokenize(r"'\uZZZZ'")
+
+
+class TestIdentifiersAndKeywords:
+    def test_identifier_charset(self):
+        assert values("_a $b a1") == [
+            (TokenType.IDENTIFIER, "_a"),
+            (TokenType.IDENTIFIER, "$b"),
+            (TokenType.IDENTIFIER, "a1"),
+        ]
+
+    def test_keywords_recognised(self):
+        for word in ("var", "function", "typeof", "instanceof", "undefined"):
+            assert values(word) == [(TokenType.KEYWORD, word)]
+
+
+class TestOperatorsAndComments:
+    def test_max_munch(self):
+        ops = [v for _t, v in values("a===b !== c >>> 1 >>= 2")]
+        assert "===" in ops and "!==" in ops and ">>>" in ops and ">>=" in ops
+
+    def test_line_comment(self):
+        assert values("1 // ignored\n2") == [
+            (TokenType.NUMBER, 1.0),
+            (TokenType.NUMBER, 2.0),
+        ]
+
+    def test_block_comment(self):
+        assert values("1 /* x\ny */ 2") == [
+            (TokenType.NUMBER, 1.0),
+            (TokenType.NUMBER, 2.0),
+        ]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(JSSyntaxError):
+            tokenize("/* forever")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(JSSyntaxError):
+            tokenize("var §")
+
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]

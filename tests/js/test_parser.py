@@ -1,0 +1,166 @@
+"""Unit tests for the JavaScript parser (AST shapes + errors)."""
+
+import pytest
+
+from repro.js import nodes as ast
+from repro.js.errors import JSSyntaxError
+from repro.js.parser import parse
+
+
+def first(source):
+    return parse(source).body[0]
+
+
+class TestStatements:
+    def test_var_multiple_declarations(self):
+        node = first("var a = 1, b, c = 'x';")
+        assert isinstance(node, ast.VarDeclaration)
+        names = [n for n, _init in node.declarations]
+        assert names == ["a", "b", "c"]
+        assert node.declarations[1][1] is None
+
+    def test_if_else(self):
+        node = first("if (a) b; else c;")
+        assert isinstance(node, ast.IfStatement)
+        assert node.alternate is not None
+
+    def test_while(self):
+        assert isinstance(first("while (x) x--;"), ast.WhileStatement)
+
+    def test_do_while(self):
+        assert isinstance(first("do { x(); } while (y);"), ast.DoWhileStatement)
+
+    def test_classic_for(self):
+        node = first("for (var i = 0; i < 3; i++) f(i);")
+        assert isinstance(node, ast.ForStatement)
+        assert node.init is not None and node.test is not None and node.update is not None
+
+    def test_for_with_empty_clauses(self):
+        node = first("for (;;) break;")
+        assert node.init is None and node.test is None and node.update is None
+
+    def test_for_in_with_var(self):
+        node = first("for (var k in obj) f(k);")
+        assert isinstance(node, ast.ForInStatement)
+        assert isinstance(node.target, ast.VarDeclaration)
+
+    def test_for_in_with_identifier(self):
+        node = first("for (k in obj) f(k);")
+        assert isinstance(node.target, ast.Identifier)
+
+    def test_function_declaration(self):
+        node = first("function add(a, b) { return a + b; }")
+        assert isinstance(node, ast.FunctionDeclaration)
+        assert node.params == ["a", "b"]
+
+    def test_return_without_value(self):
+        program = parse("function f() { return; }")
+        ret = program.body[0].body.statements[0]
+        assert ret.value is None
+
+    def test_try_catch_finally(self):
+        node = first("try { a(); } catch (e) { b(); } finally { c(); }")
+        assert isinstance(node, ast.TryStatement)
+        assert node.catch_param == "e"
+        assert node.finally_block is not None
+
+    def test_try_requires_handler(self):
+        with pytest.raises(JSSyntaxError):
+            parse("try { a(); }")
+
+    def test_switch(self):
+        node = first("switch (x) { case 1: a(); break; default: b(); }")
+        assert isinstance(node, ast.SwitchStatement)
+        assert len(node.cases) == 2
+        assert node.cases[1].test is None
+
+    def test_throw(self):
+        assert isinstance(first("throw 'err';"), ast.ThrowStatement)
+
+    def test_empty_statement(self):
+        assert isinstance(first(";"), ast.EmptyStatement)
+
+    def test_missing_semicolon_same_line_raises(self):
+        with pytest.raises(JSSyntaxError):
+            parse("var a = 1 var b = 2")
+
+    def test_newline_asi(self):
+        program = parse("var a = 1\nvar b = 2")
+        assert len(program.body) == 2
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        node = first("1 + 2 * 3;").expression
+        assert isinstance(node, ast.BinaryExpression)
+        assert node.op == "+"
+        assert isinstance(node.right, ast.BinaryExpression)
+
+    def test_logical_vs_bitwise(self):
+        node = first("a || b && c;").expression
+        assert node.op == "||"
+
+    def test_conditional(self):
+        node = first("a ? b : c;").expression
+        assert isinstance(node, ast.ConditionalExpression)
+
+    def test_assignment_chain(self):
+        node = first("a = b = 1;").expression
+        assert isinstance(node.value, ast.AssignmentExpression)
+
+    def test_compound_assignment(self):
+        assert first("a += 2;").expression.op == "+="
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(JSSyntaxError):
+            parse("1 = 2;")
+
+    def test_member_chain(self):
+        node = first("a.b[c].d;").expression
+        assert isinstance(node, ast.MemberExpression)
+        assert not node.computed
+
+    def test_call_with_args(self):
+        node = first("f(1, 'x', g());").expression
+        assert isinstance(node, ast.CallExpression)
+        assert len(node.arguments) == 3
+
+    def test_new_expression(self):
+        node = first("new Thing(1);").expression
+        assert isinstance(node, ast.NewExpression)
+
+    def test_function_expression(self):
+        node = first("var f = function(x) { return x; };")
+        assert isinstance(node.declarations[0][1], ast.FunctionExpression)
+
+    def test_array_literal(self):
+        node = first("[1, 2, 3];").expression
+        assert isinstance(node, ast.ArrayLiteral)
+        assert len(node.elements) == 3
+
+    def test_object_literal_key_kinds(self):
+        node = first("({a: 1, 'b c': 2, 3: 4});").expression
+        assert [k for k, _v in node.entries] == ["a", "b c", "3"]
+
+    def test_unary_operators(self):
+        for source, op in [("!a;", "!"), ("-a;", "-"), ("~a;", "~"), ("typeof a;", "typeof")]:
+            assert first(source).expression.op == op
+
+    def test_update_prefix_and_postfix(self):
+        assert first("++a;").expression.prefix
+        assert not first("a++;").expression.prefix
+
+    def test_sequence_expression(self):
+        node = first("a, b, c;").expression
+        assert isinstance(node, ast.SequenceExpression)
+
+    def test_in_operator_allowed_outside_for(self):
+        node = first("'k' in o;").expression
+        assert node.op == "in"
+
+    def test_delete_operator(self):
+        assert first("delete o.k;").expression.op == "delete"
+
+    def test_unexpected_token_raises(self):
+        with pytest.raises(JSSyntaxError):
+            parse("var = 4;")

@@ -1,0 +1,207 @@
+"""Edge-case semantics tests for the JS engine.
+
+These pin down behaviours the instrumentation and the corpus scripts
+rely on implicitly — scoping corners, coercion corners, control-flow
+interactions — so engine refactors cannot silently change them.
+"""
+
+import math
+
+import pytest
+
+from repro.js import evaluate
+from repro.js.errors import JSRuntimeError, JSThrow
+
+
+class TestScoping:
+    def test_var_is_function_scoped_not_block_scoped(self):
+        assert evaluate("function f(){ if (true) { var inner = 5; } return inner; } f()") == 5.0
+
+    def test_inner_function_shadows(self):
+        source = """
+        var x = 'outer';
+        function f() { var x = 'inner'; return x; }
+        f() + '/' + x
+        """
+        assert evaluate(source) == "inner/outer"
+
+    def test_closures_share_captured_variable(self):
+        source = """
+        function pair() {
+            var n = 0;
+            return [function(){ n += 1; return n; }, function(){ return n; }];
+        }
+        var p = pair();
+        p[0](); p[0]();
+        p[1]()
+        """
+        assert evaluate(source) == 2.0
+
+    def test_catch_parameter_scoped_to_catch(self):
+        source = """
+        var e = 'outer';
+        try { throw 'x'; } catch (e) {}
+        e
+        """
+        assert evaluate(source) == "outer"
+
+    def test_function_expression_name_not_leaked(self):
+        assert evaluate("var f = function named(){}; typeof named") == "undefined"
+
+    def test_eval_writes_visible_after(self):
+        assert evaluate("function f(){ eval('var v = 3;'); return v; } f()") == 3.0
+
+
+class TestCoercionCorners:
+    def test_plus_with_arrays(self):
+        assert evaluate("[1,2] + ''") == "1,2"
+        assert evaluate("[] + 1") == "1"
+
+    def test_minus_coerces_arrays(self):
+        assert evaluate("[5] - 2") == 3.0
+
+    def test_boolean_arithmetic(self):
+        assert evaluate("true + true") == 2.0
+        assert evaluate("false - 1") == -1.0
+
+    def test_null_vs_undefined_numeric(self):
+        assert evaluate("null + 1") == 1.0
+        assert math.isnan(evaluate("undefined + 1"))
+
+    def test_empty_string_is_zero(self):
+        assert evaluate("'' * 3") == 0.0
+
+    def test_whitespace_string_numeric(self):
+        assert evaluate("'  42  ' - 0") == 42.0
+
+    def test_hex_string_numeric(self):
+        assert evaluate("'0x10' - 0") == 16.0
+
+    def test_object_to_string_tag(self):
+        assert evaluate("'' + {}") == "[object Object]"
+
+    def test_negative_zero_division(self):
+        assert evaluate("1 / -0") == -math.inf
+
+
+class TestControlFlowInteractions:
+    def test_break_inside_switch_inside_loop(self):
+        source = """
+        var hits = 0;
+        for (var i = 0; i < 3; i++) {
+            switch (i) {
+                case 1: break;
+                default: hits++;
+            }
+        }
+        hits
+        """
+        assert evaluate(source) == 2.0
+
+    def test_continue_skips_update_side_effect_correctly(self):
+        source = """
+        var seen = [];
+        for (var i = 0; i < 5; i++) {
+            if (i === 2) continue;
+            seen.push(i);
+        }
+        seen.join('')
+        """
+        assert evaluate(source) == "0134"
+
+    def test_return_through_finally(self):
+        source = """
+        function f() {
+            try { return 'try'; }
+            finally { sideEffect = 1; }
+        }
+        var sideEffect = 0;
+        f() + sideEffect
+        """
+        assert evaluate(source) == "try1"
+
+    def test_nested_try_rethrow(self):
+        source = """
+        var log = [];
+        try {
+            try { throw 'inner'; }
+            catch (e) { log.push('caught:' + e); throw 'outer'; }
+        } catch (e2) { log.push('again:' + e2); }
+        log.join(' ')
+        """
+        assert evaluate(source) == "caught:inner again:outer"
+
+    def test_throw_in_finally_replaces(self):
+        with pytest.raises(JSThrow) as excinfo:
+            evaluate("try { throw 'a'; } finally { throw 'b'; }")
+        assert excinfo.value.value == "b"
+
+    def test_while_condition_side_effects(self):
+        assert evaluate("var n = 0; while (n++ < 3) {} n") == 4.0
+
+    def test_do_while_with_continue(self):
+        source = """
+        var i = 0, count = 0;
+        do { i++; if (i % 2) continue; count++; } while (i < 6);
+        count
+        """
+        assert evaluate(source) == 3.0
+
+    def test_sequence_in_for_update(self):
+        assert evaluate("var a = 0, b = 0; for (var i = 0; i < 3; i++, a++) { b++; } a + b") == 6.0
+
+
+class TestFunctionsAdvanced:
+    def test_recursive_function_expression_via_arguments(self):
+        source = """
+        var fact = function self(n) { return n <= 1 ? 1 : n * self(n - 1); };
+        fact(5)
+        """
+        assert evaluate(source) == 120.0
+
+    def test_method_extracted_loses_this(self):
+        source = """
+        var o = {v: 1, get: function(){ return typeof this.v; }};
+        var f = o.get;
+        f()
+        """
+        # this falls back to the global object, which has no .v
+        assert evaluate(source) == "undefined"
+
+    def test_constructor_returning_object_overrides(self):
+        source = """
+        function C() { this.a = 1; return {b: 2}; }
+        var c = new C();
+        typeof c.a + '/' + c.b
+        """
+        assert evaluate(source) == "undefined/2"
+
+    def test_constructor_returning_primitive_ignored(self):
+        source = "function C() { this.a = 1; return 42; } new C().a"
+        assert evaluate(source) == 1.0
+
+    def test_arguments_reflects_extras(self):
+        assert evaluate("function f(a){ return arguments[2]; } f(1, 2, 'x')") == "x"
+
+    def test_deep_recursion_raises_cleanly(self):
+        with pytest.raises((JSRuntimeError, RecursionError, Exception)):
+            evaluate("function f(){ return f(); } f()")
+
+
+class TestStringEdge:
+    def test_unescape_partial_sequences_literal(self):
+        assert evaluate("unescape('%u12')") == "%u12"
+        assert evaluate("unescape('%g1')") == "%g1"
+        assert evaluate("unescape('100%')") == "100%"
+
+    def test_split_join_identity(self):
+        assert evaluate("'a-b-c'.split('-').join('-')") == "a-b-c"
+
+    def test_surrogate_range_chars(self):
+        assert evaluate("String.fromCharCode(0x9090).charCodeAt(0)") == 0x9090
+
+    def test_string_comparison_is_code_unit_order(self):
+        assert evaluate("'Z' < 'a'") is True
+
+    def test_chained_concat_growth(self):
+        assert evaluate("var s = 'ab'; s += s; s += s; s.length") == 8.0

@@ -1,0 +1,170 @@
+"""Direct unit tests for the JS value model and coercion algorithms."""
+
+import math
+
+import pytest
+
+from repro.js.values import (
+    JSArray,
+    JSObject,
+    NativeFunction,
+    UNDEFINED,
+    format_number,
+    is_callable,
+    loose_equals,
+    strict_equals,
+    to_int32,
+    to_number,
+    to_string,
+    to_uint32,
+    truthy,
+    type_of,
+)
+
+
+class TestToNumber:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (True, 1.0), (False, 0.0), (None, 0.0),
+            ("", 0.0), ("  12 ", 12.0), ("0x1f", 31.0), ("-3.5", -3.5),
+        ],
+    )
+    def test_values(self, value, expected):
+        assert to_number(value) == expected
+
+    def test_nan_cases(self):
+        assert math.isnan(to_number(UNDEFINED))
+        assert math.isnan(to_number("not a number"))
+        assert math.isnan(to_number(JSObject()))
+
+    def test_array_cases(self):
+        assert to_number(JSArray([])) == 0.0
+        assert to_number(JSArray([7.0])) == 7.0
+        assert math.isnan(to_number(JSArray([1.0, 2.0])))
+
+
+class TestToString:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (UNDEFINED, "undefined"), (None, "null"),
+            (True, "true"), (False, "false"),
+            (3.0, "3"), (3.5, "3.5"), (-0.0, "0"),
+            (JSArray([1.0, None, "x"]), "1,,x"),
+        ],
+    )
+    def test_values(self, value, expected):
+        assert to_string(value) == expected
+
+    def test_object_tag(self):
+        assert to_string(JSObject()) == "[object Object]"
+
+    def test_function_rendering(self):
+        fn = NativeFunction("f", lambda i, t, a: None)
+        assert "function f" in to_string(fn)
+
+    def test_format_number_specials(self):
+        assert format_number(math.nan) == "NaN"
+        assert format_number(math.inf) == "Infinity"
+        assert format_number(-math.inf) == "-Infinity"
+
+
+class TestInt32:
+    def test_wrapping(self):
+        assert to_int32(2**31) == -(2**31)
+        assert to_int32(2**32 + 5) == 5
+        assert to_uint32(-1) == 2**32 - 1
+
+    def test_non_finite(self):
+        assert to_int32(math.nan) == 0
+        assert to_int32(math.inf) == 0
+        assert to_uint32(math.nan) == 0
+
+
+class TestEquality:
+    def test_loose_null_undefined(self):
+        assert loose_equals(None, UNDEFINED)
+        assert not loose_equals(None, 0.0)
+        assert not loose_equals(UNDEFINED, "")
+
+    def test_loose_number_string(self):
+        assert loose_equals(1.0, "1")
+        assert loose_equals("", 0.0)
+
+    def test_object_identity(self):
+        a, b = JSObject(), JSObject()
+        assert loose_equals(a, a)
+        assert not loose_equals(a, b)
+        assert strict_equals(a, a)
+        assert not strict_equals(a, b)
+
+    def test_strict_type_mismatch(self):
+        assert not strict_equals(1.0, "1")
+        assert not strict_equals(True, 1.0)
+        assert not strict_equals(None, UNDEFINED)
+
+
+class TestTypeOfAndTruthy:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (UNDEFINED, "undefined"), (None, "object"),
+            (True, "boolean"), (1.0, "number"), ("s", "string"),
+            (JSObject(), "object"), (JSArray([]), "object"),
+        ],
+    )
+    def test_type_of(self, value, expected):
+        assert type_of(value) == expected
+
+    def test_functions_are_callable(self):
+        fn = NativeFunction("f", lambda i, t, a: None)
+        assert type_of(fn) == "function"
+        assert is_callable(fn)
+        assert not is_callable(JSObject())
+
+    @pytest.mark.parametrize("falsy", [UNDEFINED, None, False, 0.0, math.nan, ""])
+    def test_falsy(self, falsy):
+        assert not truthy(falsy)
+
+    @pytest.mark.parametrize("truey", [True, 1.0, -1.0, "0", JSObject(), JSArray([])])
+    def test_truthy(self, truey):
+        assert truthy(truey)
+
+
+class TestJSArraySemantics:
+    def test_length_read_write(self):
+        arr = JSArray([1.0, 2.0, 3.0])
+        assert arr.get("length") == 3.0
+        arr.set("length", 5)
+        assert len(arr.elements) == 5
+        assert arr.elements[4] is UNDEFINED
+
+    def test_index_get_set(self):
+        arr = JSArray([])
+        arr.set("2", "x")
+        assert arr.get("2") == "x"
+        assert arr.get("0") is UNDEFINED
+        assert arr.get("9") is UNDEFINED
+
+    def test_keys_include_indices_and_props(self):
+        arr = JSArray([1.0])
+        arr.set("tag", "t")
+        assert arr.keys() == ["0", "tag"]
+
+
+class TestPrototypeChain:
+    def test_get_falls_back_to_prototype(self):
+        proto = JSObject({"shared": 1.0})
+        child = JSObject(prototype=proto)
+        assert child.get("shared") == 1.0
+        assert child.has("shared")
+        child.set("shared", 2.0)
+        assert child.get("shared") == 2.0
+        assert proto.get("shared") == 1.0
+
+    def test_delete_only_own(self):
+        proto = JSObject({"k": 1.0})
+        child = JSObject(prototype=proto)
+        assert not child.delete("k")
+        assert child.get("k") == 1.0

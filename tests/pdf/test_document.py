@@ -1,0 +1,130 @@
+"""Unit tests for the high-level PDFDocument API."""
+
+from repro.pdf.builder import DocumentBuilder
+from repro.pdf.document import PDFDocument
+from repro.pdf.objects import PDFDict, PDFName, PDFRef, PDFString
+
+
+class TestNavigation:
+    def test_catalog_and_pages(self):
+        builder = DocumentBuilder()
+        builder.add_page("one")
+        builder.add_page("two")
+        doc = builder.build()
+        assert str(doc.catalog.get("Type")) == "Catalog"
+        assert doc.page_count == 2
+
+    def test_info_dictionary(self):
+        builder = DocumentBuilder()
+        builder.add_page("x")
+        builder.set_info(Title="My Title", Author="An Author")
+        doc = PDFDocument.from_bytes(builder.to_bytes())
+        title = doc.resolve(doc.info.get("Title"))
+        assert isinstance(title, PDFString)
+        assert title.to_text() == "My Title"
+
+    def test_unicode_title(self):
+        builder = DocumentBuilder()
+        builder.add_page("x")
+        builder.set_info(Title="sled邐邐end")
+        doc = PDFDocument.from_bytes(builder.to_bytes())
+        title = doc.resolve(doc.info.get("Title"))
+        assert title.to_text() == "sled邐邐end"
+
+    def test_page_tree_cycle_safe(self):
+        builder = DocumentBuilder()
+        page_ref = builder.add_page("x")
+        page = builder.document.resolve_dict(page_ref)
+        # Introduce a cycle: page points back at the page tree root.
+        page[PDFName("Kids")] = builder.document.catalog.get("Pages")
+        assert builder.document.page_count >= 1
+
+
+class TestJavascriptActions:
+    def test_open_action_found(self, js_doc_bytes):
+        doc = PDFDocument.from_bytes(js_doc_bytes)
+        actions = list(doc.iter_javascript_actions())
+        assert len(actions) == 1
+        assert actions[0].trigger == "OpenAction"
+
+    def test_names_tree_action_found(self):
+        builder = DocumentBuilder()
+        builder.add_page("x")
+        builder.add_javascript("var n = 1;", trigger="Names", name="init")
+        doc = PDFDocument.from_bytes(builder.to_bytes())
+        (action,) = list(doc.iter_javascript_actions())
+        assert action.trigger == "Names"
+        assert action.name == "init"
+
+    def test_aa_action_found(self):
+        builder = DocumentBuilder()
+        builder.add_page("x")
+        builder.add_javascript("var c = 1;", trigger="AA:WillClose")
+        doc = PDFDocument.from_bytes(builder.to_bytes())
+        (action,) = list(doc.iter_javascript_actions())
+        assert action.trigger == "AA:WillClose"
+
+    def test_next_chain_followed(self):
+        builder = DocumentBuilder()
+        builder.add_page("x")
+        builder.add_javascript("var a = 1;", next_scripts=["var b = 2;", "var c = 3;"])
+        doc = PDFDocument.from_bytes(builder.to_bytes())
+        codes = [doc.get_javascript_code(a) for a in doc.iter_javascript_actions()]
+        assert codes == ["var a = 1;", "var b = 2;", "var c = 3;"]
+
+    def test_names_with_next_chain(self):
+        builder = DocumentBuilder()
+        builder.add_page("x")
+        builder.add_javascript(
+            "var a = 1;", trigger="Names", name="seq", next_scripts=["var b = 2;"]
+        )
+        doc = PDFDocument.from_bytes(builder.to_bytes())
+        codes = [doc.get_javascript_code(a) for a in doc.iter_javascript_actions()]
+        assert codes == ["var a = 1;", "var b = 2;"]
+
+    def test_get_set_string_code(self, js_doc_bytes):
+        doc = PDFDocument.from_bytes(js_doc_bytes)
+        (action,) = list(doc.iter_javascript_actions())
+        doc.set_javascript_code(action, "var replaced = true;")
+        assert doc.get_javascript_code(action) == "var replaced = true;"
+
+    def test_get_set_stream_code_preserves_filters(self):
+        builder = DocumentBuilder()
+        builder.add_page("x")
+        builder.add_javascript("var original = 1;", encoding_levels=2)
+        doc = PDFDocument.from_bytes(builder.to_bytes())
+        (action,) = list(doc.iter_javascript_actions())
+        doc.set_javascript_code(action, "var swapped = 2;")
+        doc2 = PDFDocument.from_bytes(doc.to_bytes())
+        (action2,) = list(doc2.iter_javascript_actions())
+        assert doc2.get_javascript_code(action2) == "var swapped = 2;"
+        stream = doc2.resolve(action2.dictionary.get("JS"))
+        assert stream.encoding_levels == 2
+
+    def test_force_stream_representation(self, js_doc_bytes):
+        doc = PDFDocument.from_bytes(js_doc_bytes)
+        (action,) = list(doc.iter_javascript_actions())
+        doc.set_javascript_code(action, "var s = 1;", prefer_stream=True)
+        assert isinstance(action.dictionary.get("JS"), PDFRef)
+
+    def test_has_javascript(self, simple_doc_bytes, js_doc_bytes):
+        assert not PDFDocument.from_bytes(simple_doc_bytes).has_javascript()
+        assert PDFDocument.from_bytes(js_doc_bytes).has_javascript()
+
+    def test_add_javascript_via_document_api(self, simple_doc_bytes):
+        doc = PDFDocument.from_bytes(simple_doc_bytes)
+        doc.add_javascript("var added = 1;", trigger="OpenAction")
+        doc2 = PDFDocument.from_bytes(doc.to_bytes())
+        (action,) = list(doc2.iter_javascript_actions())
+        assert doc2.get_javascript_code(action) == "var added = 1;"
+
+    def test_inline_open_action_dict(self):
+        builder = DocumentBuilder()
+        builder.add_page("x")
+        catalog = builder.document.catalog
+        catalog[PDFName("OpenAction")] = PDFDict(
+            {PDFName("S"): PDFName("JavaScript"), PDFName("JS"): PDFString(b"var i = 1;")}
+        )
+        doc = PDFDocument.from_bytes(builder.to_bytes())
+        (action,) = list(doc.iter_javascript_actions())
+        assert doc.get_javascript_code(action) == "var i = 1;"

@@ -1,0 +1,76 @@
+"""Unit tests for the RC4 standard security handler."""
+
+import pytest
+
+from repro.pdf import encryption
+from repro.pdf.builder import DocumentBuilder
+from repro.pdf.document import PDFDocument
+
+
+def build_encrypted(owner="s3cret", user="") -> bytes:
+    builder = DocumentBuilder()
+    builder.add_page("classified")
+    builder.add_javascript("var secret = 42;")
+    doc = builder.build()
+    encryption.encrypt_document(doc, owner, user)
+    return doc.to_bytes()
+
+
+class TestRC4:
+    def test_symmetry(self):
+        key = b"key12"
+        data = b"some plaintext \x00\xff bytes"
+        assert encryption.rc4(key, encryption.rc4(key, data)) == data
+
+    def test_known_vector(self):
+        # RFC 6229-style check: RC4("Key", "Plaintext")
+        out = encryption.rc4(b"Key", b"Plaintext")
+        assert out.hex() == "bbf316e8d940af0ad3"
+
+    def test_different_keys_differ(self):
+        data = b"constant"
+        assert encryption.rc4(b"a", data) != encryption.rc4(b"b", data)
+
+
+class TestHandler:
+    def test_encrypt_marks_trailer(self):
+        doc = PDFDocument.from_bytes(build_encrypted())
+        assert "Encrypt" in doc.trailer
+
+    def test_strings_are_scrambled_on_disk(self):
+        data = build_encrypted()
+        assert b"var secret = 42;" not in data
+
+    def test_owner_password_removal_recovers_content(self):
+        doc = PDFDocument.from_bytes(build_encrypted())
+        encryption.remove_owner_password(doc)
+        (action,) = list(doc.iter_javascript_actions())
+        assert doc.get_javascript_code(action) == "var secret = 42;"
+        assert "Encrypt" not in doc.trailer
+
+    def test_decrypted_roundtrip(self):
+        doc = PDFDocument.from_bytes(build_encrypted())
+        encryption.remove_owner_password(doc)
+        doc2 = PDFDocument.from_bytes(doc.to_bytes())
+        (action,) = list(doc2.iter_javascript_actions())
+        assert doc2.get_javascript_code(action) == "var secret = 42;"
+
+    def test_nonempty_user_password_rejected(self):
+        doc = PDFDocument.from_bytes(build_encrypted(user="userpw"))
+        with pytest.raises(encryption.EncryptionError):
+            encryption.remove_owner_password(doc)
+
+    def test_unencrypted_document_passthrough(self, simple_doc_bytes):
+        doc = PDFDocument.from_bytes(simple_doc_bytes)
+        encryption.remove_owner_password(doc)  # no-op
+        assert "Encrypt" not in doc.trailer
+
+    def test_is_encrypted_helper(self, simple_doc_bytes):
+        assert not encryption.is_encrypted(PDFDocument.from_bytes(simple_doc_bytes))
+        assert encryption.is_encrypted(PDFDocument.from_bytes(build_encrypted()))
+
+    def test_owner_entry_depends_on_owner_password(self):
+        o1 = encryption.compute_owner_entry(b"alpha", b"")
+        o2 = encryption.compute_owner_entry(b"beta", b"")
+        assert o1 != o2
+        assert len(o1) == 32

@@ -1,0 +1,131 @@
+"""Tests for incremental-update serialisation + instrumentation mode."""
+
+import pytest
+
+from repro.core.instrument import Instrumenter
+from repro.core.keys import KeyStore
+from repro.corpus.sized import document_of_size
+from repro.pdf.builder import DocumentBuilder
+from repro.pdf.document import PDFDocument
+from repro.pdf.objects import PDFDict, PDFName, PDFRef, PDFString
+from repro.pdf.parser import parse_pdf
+from repro.pdf.writer import write_incremental_update
+
+
+def base_doc() -> bytes:
+    builder = DocumentBuilder()
+    builder.add_page("incremental test")
+    builder.add_javascript("app.alert('v1');")
+    return builder.to_bytes()
+
+
+class TestWriter:
+    def test_original_bytes_preserved(self):
+        original = base_doc()
+        doc = PDFDocument.from_bytes(original)
+        (action,) = list(doc.iter_javascript_actions())
+        doc.set_javascript_code(action, "app.alert('v2');")
+        holder = action.holder_ref or doc.trailer.get("Root")
+        updated = write_incremental_update(original, doc.store, doc.trailer, [holder])
+        assert updated.startswith(original)
+
+    def test_new_definition_shadows_old(self):
+        original = base_doc()
+        doc = PDFDocument.from_bytes(original)
+        (action,) = list(doc.iter_javascript_actions())
+        doc.set_javascript_code(action, "app.alert('v2');")
+        holder = action.holder_ref or doc.trailer.get("Root")
+        updated = write_incremental_update(original, doc.store, doc.trailer, [holder])
+        reparsed = PDFDocument.from_bytes(updated)
+        (action2,) = list(reparsed.iter_javascript_actions())
+        assert reparsed.get_javascript_code(action2) == "app.alert('v2');"
+
+    def test_prev_chain_present(self):
+        original = base_doc()
+        doc = PDFDocument.from_bytes(original)
+        updated = write_incremental_update(
+            original, doc.store, doc.trailer, [doc.trailer.get("Root")]
+        )
+        assert b"/Prev" in updated[len(original):]
+        parsed = parse_pdf(updated)
+        assert not parsed.used_recovery_scan
+
+    def test_added_object_included(self):
+        original = base_doc()
+        doc = PDFDocument.from_bytes(original)
+        new_ref = doc.add_object(PDFDict({PDFName("New"): PDFString(b"thing")}))
+        updated = write_incremental_update(original, doc.store, doc.trailer, [new_ref])
+        reparsed = PDFDocument.from_bytes(updated)
+        value = reparsed.resolve(new_ref)
+        assert value.get("New") == PDFString(b"thing")
+
+    def test_noncontiguous_subsections(self):
+        original = base_doc()
+        doc = PDFDocument.from_bytes(original)
+        refs = [PDFRef(1, 0), doc.add_object(PDFDict())]
+        updated = write_incremental_update(original, doc.store, doc.trailer, refs)
+        assert parse_pdf(updated).root  # both sections readable
+
+
+class TestIncrementalInstrumentation:
+    def make(self):
+        return Instrumenter(key_store=KeyStore.create(77), seed=77)
+
+    def test_equivalent_verdict_to_rewrite(self):
+        data = base_doc()
+        incremental = self.make().instrument(data, "a.pdf", output="incremental")
+        assert incremental.data.startswith(data)
+        doc = PDFDocument.from_bytes(incremental.data)
+        (action,) = list(doc.iter_javascript_actions())
+        assert "SOAP.request" in doc.get_javascript_code(action)
+        assert "CtxMonKey" in doc.catalog
+
+    def test_executes_identically(self):
+        from repro.reader import Reader
+
+        data = base_doc()
+        result = self.make().instrument(data, "a.pdf", output="incremental")
+        # Without a detector, the SOAP calls go nowhere, but the wrapped
+        # original still runs.
+        outcome = Reader().open(result.data)
+        assert outcome.handle.alerts == ["v1"]
+
+    def test_large_file_much_faster_than_rewrite(self):
+        data = document_of_size(6 * 1024 * 1024, scripts=1, seed=3)
+        instrumenter = self.make()
+        rewrite = instrumenter.instrument(data, "big1.pdf", output="rewrite")
+        instrumenter2 = Instrumenter(key_store=KeyStore.create(78), seed=78)
+        incremental = instrumenter2.instrument(data, "big2.pdf", output="incremental")
+        # The incremental output only appends a few KB (the robust
+        # property; wall-clock comparison is noisy at this size).
+        assert len(incremental.data) - len(data) < 64 * 1024
+        assert incremental.timings.instrumentation < rewrite.timings.instrumentation * 2
+
+    def test_detection_pipeline_with_incremental_mode(self, malicious_doc_bytes):
+        from repro.core.pipeline import ProtectionPipeline
+
+        pipe = ProtectionPipeline(seed=79)
+        result = pipe.instrumenter.instrument(
+            malicious_doc_bytes, "mal.pdf", output="incremental"
+        )
+        session = pipe.session()
+        session.monitor.register_document(result.key_text, "mal.pdf", result.features)
+        session.monitor.attach_reader_process(session.reader._ensure_process())
+        outcome = session.reader.open(result.data, "mal.pdf")
+        verdict = session.monitor.verdict_for(result.key_text)
+        assert verdict.malicious
+        session.close()
+
+    def test_deinstrumentation_of_incremental_output(self):
+        from repro.core.deinstrument import deinstrument
+
+        data = base_doc()
+        result = self.make().instrument(data, "a.pdf", output="incremental")
+        restored = deinstrument(result.data, result.spec)
+        doc = PDFDocument.from_bytes(restored)
+        (action,) = list(doc.iter_javascript_actions())
+        assert doc.get_javascript_code(action) == "app.alert('v1');"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().instrument(base_doc(), "a.pdf", output="patch")

@@ -1,0 +1,114 @@
+"""Unit tests for the PDF tokenizer."""
+
+import pytest
+
+from repro.pdf.lexer import Lexer, LexerError, TokenType
+
+
+def tokens_of(data: bytes):
+    lexer = Lexer(data)
+    out = []
+    while True:
+        token = lexer.next_token()
+        if token.type is TokenType.EOF:
+            return out
+        out.append(token)
+
+
+def test_numbers():
+    values = [t.value for t in tokens_of(b"1 -2 +3 4.5 -0.25 .5")]
+    assert values == [1, -2, 3, 4.5, -0.25, 0.5]
+
+
+def test_name_with_hex_escape_kept_raw():
+    (token,) = tokens_of(b"/JavaScr#69pt")
+    assert token.type is TokenType.NAME
+    assert token.value == "JavaScr#69pt"
+
+
+def test_literal_string_with_escapes():
+    (token,) = tokens_of(rb"(a\(b\)c \n \101)")
+    assert token.type is TokenType.STRING
+    assert token.value == b"a(b)c \n A"
+
+
+def test_literal_string_nested_parens():
+    (token,) = tokens_of(b"(outer (inner) tail)")
+    assert token.value == b"outer (inner) tail"
+
+
+def test_literal_string_line_continuation():
+    (token,) = tokens_of(b"(line\\\ncont)")
+    assert token.value == b"linecont"
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexerError):
+        tokens_of(b"(never closed")
+
+
+def test_hex_string():
+    (token,) = tokens_of(b"<48 65 6C>")
+    assert token.type is TokenType.HEX_STRING
+    assert token.value == b"Hel"
+
+
+def test_hex_string_odd_padded():
+    (token,) = tokens_of(b"<484>")
+    assert token.value == b"H@"
+
+
+def test_dict_and_array_delimiters():
+    kinds = [t.type for t in tokens_of(b"<< /A [1 2] >>")]
+    assert kinds == [
+        TokenType.DICT_OPEN,
+        TokenType.NAME,
+        TokenType.ARRAY_OPEN,
+        TokenType.NUMBER,
+        TokenType.NUMBER,
+        TokenType.ARRAY_CLOSE,
+        TokenType.DICT_CLOSE,
+    ]
+
+
+def test_comment_skipped():
+    values = [t.value for t in tokens_of(b"1 % comment to eol\n2")]
+    assert values == [1, 2]
+
+
+def test_keywords():
+    values = [t.value for t in tokens_of(b"obj endobj stream R true false null")]
+    assert values == ["obj", "endobj", "stream", "R", "true", "false", "null"]
+
+
+def test_expect_keyword():
+    lexer = Lexer(b"trailer <<>>")
+    lexer.expect_keyword("trailer")
+    with pytest.raises(LexerError):
+        Lexer(b"xref").expect_keyword("trailer")
+
+
+def test_try_keyword_rewinds():
+    lexer = Lexer(b"hello")
+    assert not lexer.try_keyword("xref")
+    assert lexer.next_token().value == "hello"
+
+
+def test_read_integer_pair():
+    assert Lexer(b"0 6").read_integer_pair() == (0, 6)
+    lexer = Lexer(b"trailer")
+    assert lexer.read_integer_pair() is None
+    assert lexer.next_token().value == "trailer"
+
+
+def test_skip_eol_variants():
+    for eol in (b"\n", b"\r", b"\r\n"):
+        lexer = Lexer(eol + b"X")
+        lexer.skip_eol()
+        assert lexer.data[lexer.pos : lexer.pos + 1] == b"X"
+
+
+def test_peek_token_does_not_advance():
+    lexer = Lexer(b"42")
+    assert lexer.peek_token().value == 42
+    assert lexer.next_token().value == 42

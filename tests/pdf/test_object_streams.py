@@ -1,0 +1,87 @@
+"""Tests for compressed object streams (/ObjStm) — hiding + expansion."""
+
+import pytest
+
+from repro.pdf.builder import DocumentBuilder
+from repro.pdf.document import PDFDocument
+from repro.pdf.objects import PDFDict, PDFName, PDFStream, PDFString
+from repro.pdf.parser import parse_pdf
+
+
+def hidden_js_doc(code="app.alert('from objstm');"):
+    builder = DocumentBuilder()
+    builder.add_page("x")
+    head = builder.add_javascript(code)
+    builder.hide_in_object_stream([head])
+    return builder.to_bytes()
+
+
+class TestHiding:
+    def test_payload_not_visible_in_raw_bytes(self):
+        data = hidden_js_doc()
+        assert b"app.alert" not in data
+        assert b"/ObjStm" in data
+
+    def test_parser_expands_hidden_objects(self):
+        doc = PDFDocument.from_bytes(hidden_js_doc())
+        (action,) = list(doc.iter_javascript_actions())
+        assert doc.get_javascript_code(action) == "app.alert('from objstm');"
+
+    def test_container_dropped_after_expansion(self):
+        parsed = parse_pdf(hidden_js_doc())
+        containers = [
+            o
+            for o in parsed.store
+            if isinstance(o.value, PDFStream)
+            and str(o.value.dictionary.get("Type", "")) == "ObjStm"
+        ]
+        assert not containers
+
+    def test_multiple_objects_in_one_container(self):
+        builder = DocumentBuilder()
+        builder.add_page("x")
+        ref_a = builder.document.add_object(PDFDict({PDFName("A"): 1}))
+        ref_b = builder.document.add_object(PDFDict({PDFName("B"): PDFString(b"two")}))
+        builder.hide_in_object_stream([ref_a, ref_b])
+        parsed = parse_pdf(builder.to_bytes())
+        a = parsed.store.deep_resolve(ref_a)
+        b = parsed.store.deep_resolve(ref_b)
+        assert a.get("A") == 1
+        assert b.get("B") == PDFString(b"two")
+
+    def test_streams_rejected(self):
+        builder = DocumentBuilder()
+        builder.add_page("x")
+        stream = PDFStream()
+        stream.set_decoded_data(b"payload")
+        ref = builder.document.add_object(stream)
+        with pytest.raises(ValueError):
+            builder.hide_in_object_stream([ref])
+
+
+class TestPipelineIntegration:
+    def test_hidden_script_instrumented_and_monitored(self, pipeline):
+        data = hidden_js_doc("var x = 1 + 1;")
+        protected = pipeline.protect(data, "hidden.pdf")
+        assert protected.instrumentation.instrumented_scripts == 1
+        report = pipeline.open_protected(protected)
+        assert not report.verdict.malicious
+
+    def test_hidden_malicious_detected(self, pipeline):
+        from tests.conftest import spray_js
+
+        builder = DocumentBuilder()
+        builder.add_page("")
+        head = builder.add_javascript(spray_js())
+        builder.hide_in_object_stream([head])
+        report = pipeline.scan(builder.to_bytes(), "hidden-mal.pdf")
+        assert report.verdict.malicious
+
+    def test_corpus_objstm_samples_roundtrip(self):
+        from repro.corpus.malicious import MaliciousFactory
+
+        factory = MaliciousFactory(seed=2014)
+        specs = [s for s in factory.specs(300) if s.objstm_hidden]
+        assert specs
+        doc = PDFDocument.from_bytes(factory.build(specs[0]))
+        assert doc.has_javascript()

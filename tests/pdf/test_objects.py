@@ -1,0 +1,152 @@
+"""Unit tests for the PDF object model."""
+
+from repro.pdf.objects import (
+    IndirectObject,
+    ObjectStore,
+    PDFArray,
+    PDFDict,
+    PDFName,
+    PDFNull,
+    PDFRef,
+    PDFStream,
+    PDFString,
+)
+
+
+class TestPDFName:
+    def test_equality_is_on_decoded_value(self):
+        assert PDFName("JavaScript") == "JavaScript"
+
+    def test_from_raw_resolves_hex_escape(self):
+        name = PDFName.from_raw("JavaScr#69pt")
+        assert name == "JavaScript"
+        assert name.raw == "JavaScr#69pt"
+        assert name.uses_hex_escape
+
+    def test_from_raw_without_escape(self):
+        name = PDFName.from_raw("Pages")
+        assert name == "Pages"
+        assert not name.uses_hex_escape
+
+    def test_from_raw_multiple_escapes(self):
+        assert PDFName.from_raw("#4a#53") == "JS"
+
+    def test_from_raw_invalid_hex_kept_literal(self):
+        name = PDFName.from_raw("A#zz")
+        assert name == "A#zz"
+
+    def test_encode_default_escapes_delimiters(self):
+        assert "#" in PDFName.encode_default("a(b")
+
+    def test_default_raw_round_trips(self):
+        name = PDFName("A B")  # space must be escaped in raw form
+        assert PDFName.from_raw(name.raw) == "A B"
+
+
+class TestPDFString:
+    def test_bytes_identity(self):
+        s = PDFString(b"abc")
+        assert bytes(s) == b"abc"
+        assert not s.hex_form
+
+    def test_from_str_latin1(self):
+        assert bytes(PDFString("hé")) == "hé".encode("latin-1")
+
+    def test_utf16_text_decoding(self):
+        text = "héllo✓"
+        s = PDFString(b"\xfe\xff" + text.encode("utf-16-be"))
+        assert s.to_text() == text
+
+    def test_hex_form_flag(self):
+        assert PDFString(b"a", hex_form=True).hex_form
+
+
+class TestPDFStream:
+    def test_filters_none(self):
+        assert PDFStream().filters == []
+
+    def test_filters_single_name(self):
+        stream = PDFStream(PDFDict({PDFName("Filter"): PDFName("FlateDecode")}))
+        assert [str(f) for f in stream.filters] == ["FlateDecode"]
+
+    def test_filters_array(self):
+        stream = PDFStream(
+            PDFDict(
+                {
+                    PDFName("Filter"): PDFArray(
+                        [PDFName("ASCIIHexDecode"), PDFName("FlateDecode")]
+                    )
+                }
+            )
+        )
+        assert stream.encoding_levels == 2
+
+    def test_set_decoded_data_roundtrip(self):
+        stream = PDFStream()
+        stream.set_decoded_data(b"payload", ["FlateDecode"])
+        assert stream.decoded_data() == b"payload"
+        assert stream.dictionary["Length"] == len(stream.raw_data)
+
+    def test_set_decoded_data_no_filter(self):
+        stream = PDFStream()
+        stream.set_decoded_data(b"plain")
+        assert stream.raw_data == b"plain"
+        assert "Filter" not in stream.dictionary
+
+    def test_multi_level_cascade(self):
+        stream = PDFStream()
+        stream.set_decoded_data(b"deep", ["FlateDecode", "ASCIIHexDecode"])
+        assert stream.decoded_data() == b"deep"
+        assert stream.encoding_levels == 2
+
+
+class TestObjectStore:
+    def test_add_and_resolve(self):
+        store = ObjectStore()
+        ref = store.add(IndirectObject(1, 0, PDFString(b"x")))
+        assert store.resolve(ref) == PDFString(b"x")
+
+    def test_resolve_missing_is_null(self):
+        assert ObjectStore().resolve(PDFRef(9, 0)) is PDFNull
+
+    def test_resolve_non_ref_passthrough(self):
+        store = ObjectStore()
+        assert store.resolve(5) == 5
+
+    def test_deep_resolve_chain(self):
+        store = ObjectStore()
+        store.add(IndirectObject(2, 0, PDFString(b"end")))
+        store.add(IndirectObject(1, 0, PDFRef(2, 0)))
+        assert store.deep_resolve(PDFRef(1, 0)) == PDFString(b"end")
+
+    def test_deep_resolve_cycle_bounded(self):
+        store = ObjectStore()
+        store.add(IndirectObject(1, 0, PDFRef(2, 0)))
+        store.add(IndirectObject(2, 0, PDFRef(1, 0)))
+        # must terminate, value is one of the refs
+        result = store.deep_resolve(PDFRef(1, 0))
+        assert isinstance(result, PDFRef)
+
+    def test_next_num(self):
+        store = ObjectStore()
+        assert store.next_num() == 1
+        store.add(IndirectObject(7, 0, PDFNull))
+        assert store.next_num() == 8
+
+    def test_iteration_sorted(self):
+        store = ObjectStore()
+        store.add(IndirectObject(3, 0, PDFNull))
+        store.add(IndirectObject(1, 0, PDFNull))
+        assert [o.num for o in store] == [1, 3]
+
+    def test_generation_fallback(self):
+        store = ObjectStore()
+        store.add(IndirectObject(4, 0, PDFString(b"gen0")))
+        assert store.resolve(PDFRef(4, 2)) == PDFString(b"gen0")
+
+
+def test_pdf_null_is_singleton_and_falsy():
+    from repro.pdf.objects import PDFNullType
+
+    assert PDFNullType() is PDFNull
+    assert not PDFNull

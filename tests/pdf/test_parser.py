@@ -1,0 +1,144 @@
+"""Unit tests for the PDF parser (xref, recovery, header, streams)."""
+
+import pytest
+
+from repro.pdf.builder import DocumentBuilder
+from repro.pdf.objects import PDFDict, PDFName, PDFRef, PDFStream, PDFString
+from repro.pdf.parser import PDFParseError, parse_pdf
+
+
+def build_simple() -> bytes:
+    builder = DocumentBuilder()
+    builder.add_page("parser test")
+    return builder.to_bytes()
+
+
+class TestHeader:
+    def test_clean_header(self):
+        parsed = parse_pdf(build_simple())
+        assert parsed.header.at_start
+        assert parsed.header.version == (1, 4)
+        assert not parsed.header.obfuscated
+
+    def test_displaced_header_detected(self):
+        builder = DocumentBuilder()
+        builder.add_page("x")
+        builder.obfuscate_header(displace=64)
+        parsed = parse_pdf(builder.to_bytes())
+        assert parsed.header.present
+        assert not parsed.header.at_start
+        assert parsed.header.obfuscated
+
+    def test_invalid_version_detected(self):
+        builder = DocumentBuilder()
+        builder.add_page("x")
+        builder.obfuscate_header(version_text="9.9")
+        parsed = parse_pdf(builder.to_bytes())
+        assert parsed.header.at_start
+        assert not parsed.header.version_valid
+        assert parsed.header.obfuscated
+
+    def test_missing_header(self):
+        data = build_simple()
+        headerless = data.replace(b"%PDF-1.4\n", b"%ZZZ-0.0\n", 1)
+        parsed = parse_pdf(headerless)
+        assert not parsed.header.present
+        assert parsed.header.obfuscated
+
+
+class TestXref:
+    def test_xref_parsed_without_recovery(self):
+        parsed = parse_pdf(build_simple())
+        assert not parsed.used_recovery_scan
+        assert len(parsed.store) >= 4
+
+    def test_trailer_root_found(self):
+        parsed = parse_pdf(build_simple())
+        assert str(parsed.root.get("Type")) == "Catalog"
+
+    def test_broken_xref_falls_back_to_scan(self):
+        data = build_simple()
+        # corrupt the startxref offset
+        broken = data.replace(b"startxref", b"startxrEF")
+        parsed = parse_pdf(broken)
+        assert parsed.used_recovery_scan
+        assert str(parsed.root.get("Type")) == "Catalog"
+
+    def test_bogus_xref_offset_recovers(self):
+        data = build_simple()
+        idx = data.rfind(b"startxref")
+        end = data.find(b"%%EOF", idx)
+        broken = data[:idx] + b"startxref\n999999999\n" + data[end:]
+        parsed = parse_pdf(broken)
+        assert str(parsed.root.get("Type")) == "Catalog"
+
+
+class TestObjects:
+    def test_stream_payload_extracted(self):
+        parsed = parse_pdf(build_simple())
+        streams = [o.value for o in parsed.store if isinstance(o.value, PDFStream)]
+        assert streams
+        assert any(b"Tj" in s.decoded_data() for s in streams)
+
+    def test_lying_length_recovered(self):
+        data = build_simple()
+        # Sabotage the /Length of the content stream.
+        sabotaged = data.replace(b"/Length", b"/Lengtq", 1)
+        parsed = parse_pdf(sabotaged)
+        streams = [o.value for o in parsed.store if isinstance(o.value, PDFStream)]
+        assert any(b"Tj" in s.decoded_data() for s in streams)
+
+    def test_indirect_reference_parsing(self):
+        parsed = parse_pdf(build_simple())
+        catalog = parsed.root
+        assert isinstance(catalog.get("Pages"), PDFRef)
+
+    def test_nested_containers(self):
+        builder = DocumentBuilder()
+        builder.add_page("x")
+        builder.document.add_object(
+            PDFDict({PDFName("Deep"): PDFDict({PDFName("List"): PDFString(b"v")})})
+        )
+        parsed = parse_pdf(builder.to_bytes())
+        found = [
+            o.value
+            for o in parsed.store
+            if isinstance(o.value, PDFDict) and "Deep" in o.value
+        ]
+        assert found
+
+    def test_empty_document_raises(self):
+        with pytest.raises(PDFParseError):
+            parse_pdf(b"")
+
+    def test_garbage_raises(self):
+        with pytest.raises(PDFParseError):
+            parse_pdf(b"%PDF-1.4\nthis is not a pdf at all")
+
+
+class TestMalformedTolerance:
+    def test_junk_between_objects(self):
+        data = build_simple()
+        junky = data.replace(b"endobj\n", b"endobj\n% junk comment\n", 1)
+        parsed = parse_pdf(junky)
+        assert str(parsed.root.get("Type")) == "Catalog"
+
+    def test_no_trailer_catalog_inferred(self):
+        # Hand-written minimal doc without trailer.
+        body = (
+            b"%PDF-1.4\n"
+            b"1 0 obj\n<< /Type /Catalog >>\nendobj\n"
+        )
+        parsed = parse_pdf(body)
+        assert str(parsed.root.get("Type")) == "Catalog"
+
+    def test_hex_escaped_names_decoded(self):
+        body = (
+            b"%PDF-1.4\n"
+            b"1 0 obj\n<< /Type /Catalog /OpenAction 2 0 R >>\nendobj\n"
+            b"2 0 obj\n<< /S /JavaScr#69pt /#4a#53 (1+1) >>\nendobj\n"
+        )
+        parsed = parse_pdf(body)
+        action = parsed.store.deep_resolve(PDFRef(2, 0))
+        assert action.get("JS") == PDFString(b"1+1")
+        assert str(action.get("S")) == "JavaScript"

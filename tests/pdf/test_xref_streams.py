@@ -1,0 +1,122 @@
+"""Tests for cross-reference *streams* (PDF 1.5) and nested page trees.
+
+The corpus writer emits classic xref tables, so these paths are
+exercised with hand-built documents: an xref stream with a /W-encoded
+entry table, /Index subsections, and a /Prev chain.
+"""
+
+import io
+import zlib
+
+import pytest
+
+from repro.pdf.document import PDFDocument
+from repro.pdf.objects import PDFArray, PDFDict, PDFName, PDFRef
+from repro.pdf.parser import parse_pdf
+
+
+def build_xref_stream_pdf(with_index: bool = False) -> bytes:
+    """A minimal document whose only xref is an xref stream."""
+    buf = io.BytesIO()
+    buf.write(b"%PDF-1.5\n")
+    offsets = {}
+
+    def emit(num: int, body: bytes) -> None:
+        offsets[num] = buf.tell()
+        buf.write(f"{num} 0 obj\n".encode())
+        buf.write(body)
+        buf.write(b"\nendobj\n")
+
+    emit(1, b"<< /Type /Catalog /Pages 2 0 R /OpenAction 4 0 R >>")
+    emit(2, b"<< /Type /Pages /Kids [3 0 R] /Count 1 >>")
+    emit(3, b"<< /Type /Page /Parent 2 0 R >>")
+    emit(4, b"<< /S /JavaScript /JS (app.alert('xrefstream');) >>")
+
+    # Entry table: W = [1 4 2]; object 0 is the free-list head.
+    rows = bytearray()
+    rows += bytes([0]) + (0).to_bytes(4, "big") + (65535).to_bytes(2, "big")
+    for num in (1, 2, 3, 4):
+        rows += bytes([1]) + offsets[num].to_bytes(4, "big") + (0).to_bytes(2, "big")
+    rows += bytes([1]) + (0).to_bytes(4, "big") + (0).to_bytes(2, "big")  # self, patched below
+
+    xref_num = 5
+    xref_offset_placeholder = len(rows) - 7
+    payload = bytes(rows)
+
+    xref_offset = buf.tell()
+    payload = (
+        payload[:xref_offset_placeholder]
+        + bytes([1])
+        + xref_offset.to_bytes(4, "big")
+        + (0).to_bytes(2, "big")
+    )
+    compressed = zlib.compress(payload)
+    index_entry = b"/Index [0 6] " if with_index else b""
+    buf.write(f"{xref_num} 0 obj\n".encode())
+    buf.write(
+        b"<< /Type /XRef /Size 6 /W [1 4 2] "
+        + index_entry
+        + b"/Root 1 0 R /Filter /FlateDecode /Length "
+        + str(len(compressed)).encode()
+        + b" >>\nstream\n"
+    )
+    buf.write(compressed)
+    buf.write(b"\nendstream\nendobj\n")
+    buf.write(f"startxref\n{xref_offset}\n%%EOF\n".encode())
+    return buf.getvalue()
+
+
+class TestXrefStreams:
+    def test_parses_via_xref_stream(self):
+        parsed = parse_pdf(build_xref_stream_pdf())
+        assert str(parsed.root.get("Type")) == "Catalog"
+        assert not parsed.used_recovery_scan
+
+    def test_trailer_fields_from_stream_dict(self):
+        parsed = parse_pdf(build_xref_stream_pdf())
+        assert isinstance(parsed.trailer.get("Root"), PDFRef)
+        assert int(parsed.trailer.get("Size")) == 6
+
+    def test_index_subsections_honoured(self):
+        parsed = parse_pdf(build_xref_stream_pdf(with_index=True))
+        assert str(parsed.root.get("Type")) == "Catalog"
+
+    def test_javascript_reachable(self):
+        doc = PDFDocument.from_bytes(build_xref_stream_pdf())
+        (action,) = list(doc.iter_javascript_actions())
+        assert doc.get_javascript_code(action) == "app.alert('xrefstream');"
+
+    def test_reader_opens_it(self):
+        from repro.reader import Reader
+
+        outcome = Reader().open(build_xref_stream_pdf())
+        assert outcome.handle.alerts == ["xrefstream"]
+
+    def test_instrumentation_of_xref_stream_doc(self, pipeline):
+        report = pipeline.scan(build_xref_stream_pdf(), "modern.pdf")
+        assert not report.verdict.malicious
+        assert report.outcome.handle.alerts == ["xrefstream"]
+
+
+class TestNestedPageTree:
+    def test_multi_level_kids_flattened(self):
+        from repro.pdf.builder import DocumentBuilder
+
+        builder = DocumentBuilder()
+        builder.add_page("leaf 1")
+        builder.add_page("leaf 2")
+        doc = builder.document
+        # Re-shape: introduce an intermediate Pages node holding page 2.
+        pages_dict = doc.resolve_dict(doc.catalog.get("Pages"))
+        kids = pages_dict.get("Kids")
+        second_page_ref = kids.pop()
+        intermediate = PDFDict(
+            {
+                PDFName("Type"): PDFName("Pages"),
+                PDFName("Kids"): PDFArray([second_page_ref]),
+                PDFName("Count"): 1,
+            }
+        )
+        kids.append(doc.add_object(intermediate))
+        reparsed = PDFDocument.from_bytes(doc.to_bytes())
+        assert reparsed.page_count == 2

@@ -1,0 +1,69 @@
+"""Property-based tests for detector invariants (Eq. 1 / Table VII)."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.detector import DetectorConfig, FeatureVector
+
+bits13 = st.tuples(*([st.integers(0, 1)] * 13))
+
+
+@given(bits13)
+def test_paper_criterion_holds_for_all_vectors(bits):
+    """For the Table VII parameters, malscore ≥ θ iff at least one
+    in-JS feature fires together with any other feature (or two in-JS
+    features fire) — exhaustive over random corners of the 2^13 cube."""
+    config = DetectorConfig()
+    vector = FeatureVector(bits)
+    others = sum(bits[0:7])
+    in_js = sum(bits[7:13])
+    expected = (in_js >= 1 and others >= 1) or in_js >= 2
+    assert (vector.malscore(config) >= config.threshold) == expected
+
+
+@given(bits13)
+def test_malscore_monotone_in_features(bits):
+    """Adding a feature never lowers the malscore."""
+    config = DetectorConfig()
+    base = FeatureVector(bits).malscore(config)
+    for index in range(13):
+        if bits[index] == 0:
+            raised = list(bits)
+            raised[index] = 1
+            assert FeatureVector(tuple(raised)).malscore(config) >= base
+
+
+@given(bits13)
+def test_malscore_decomposition(bits):
+    config = DetectorConfig()
+    vector = FeatureVector(bits)
+    assert vector.malscore(config) == config.w1 * sum(bits[0:7]) + config.w2 * sum(
+        bits[7:13]
+    )
+
+
+@given(bits13)
+def test_fired_matches_bits(bits):
+    vector = FeatureVector(bits)
+    assert vector.fired() == [i + 1 for i in range(13) if bits[i]]
+    assert vector.any_in_js == any(bits[7:13])
+
+
+@given(bits13, st.floats(0.5, 20.0), st.floats(0.5, 20.0))
+def test_custom_weights_respected(bits, w1, w2):
+    config = DetectorConfig(w1=w1, w2=w2)
+    vector = FeatureVector(bits)
+    expected = w1 * sum(bits[0:7]) + w2 * sum(bits[7:13])
+    assert abs(vector.malscore(config) - expected) < 1e-9
+
+
+def test_exhaustive_all_8192_vectors():
+    """Not just sampled: every one of the 2^13 vectors obeys the
+    detection criterion (cheap enough to enumerate)."""
+    config = DetectorConfig()
+    for mask in range(2**13):
+        bits = tuple((mask >> i) & 1 for i in range(13))
+        vector = FeatureVector(bits)
+        others = sum(bits[0:7])
+        in_js = sum(bits[7:13])
+        expected = (in_js >= 1 and others >= 1) or in_js >= 2
+        assert (vector.malscore(config) >= config.threshold) == expected

@@ -1,0 +1,104 @@
+"""Property-based tests for the JavaScript engine."""
+
+import math
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.monitor_code import (
+    ENCRYPTION_SCHEMES,
+    decrypt_script,
+    encrypt_script,
+    js_string_literal,
+)
+from repro.js import evaluate
+from repro.js.values import (
+    format_number,
+    loose_equals,
+    strict_equals,
+    to_int32,
+    to_number,
+    to_string,
+    to_uint32,
+)
+
+safe_text = st.text(
+    alphabet=st.characters(min_codepoint=1, max_codepoint=0xFFFF,
+                           blacklist_categories=("Cs",)),
+    max_size=60,
+)
+
+
+@given(safe_text)
+@settings(max_examples=120)
+def test_string_literal_roundtrip_through_engine(text):
+    """Escaping any text into a JS literal and evaluating recovers it —
+    the property the instrumenter's escaping step relies on."""
+    assert evaluate(js_string_literal(text)) == text
+
+
+@given(safe_text, st.sampled_from(ENCRYPTION_SCHEMES), st.integers(3, 4000))
+@settings(max_examples=100)
+def test_script_encryption_roundtrip(text, scheme, key):
+    assert decrypt_script(encrypt_script(text, scheme, key)) == text
+
+
+@given(st.integers(-(2**40), 2**40))
+def test_to_int32_is_32_bit(value):
+    result = to_int32(float(value))
+    assert -(2**31) <= result < 2**31
+    assert (result - value) % (2**32) == 0
+
+
+@given(st.integers(-(2**40), 2**40))
+def test_to_uint32_range(value):
+    result = to_uint32(float(value))
+    assert 0 <= result < 2**32
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+def test_number_formatting_reparses(value):
+    text = format_number(float(value))
+    assert to_number(text) == float(value)
+
+
+@given(st.one_of(st.floats(allow_nan=False), st.text(max_size=8), st.booleans(), st.none()))
+def test_strict_equals_reflexive(value):
+    assert strict_equals(value, value)
+
+
+@given(st.one_of(st.floats(allow_nan=False), st.text(max_size=8), st.booleans()))
+def test_loose_equals_consistent_with_strict(value):
+    if strict_equals(value, value):
+        assert loose_equals(value, value)
+
+
+@given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+def test_engine_arithmetic_matches_python(a, b):
+    assert evaluate(f"({a}) + ({b})") == float(a + b)
+    assert evaluate(f"({a}) * ({b})") == float(a * b)
+    assert evaluate(f"({a}) - ({b})") == float(a - b)
+
+
+@given(st.lists(st.integers(-100, 100), min_size=1, max_size=12))
+@settings(max_examples=60)
+def test_array_sort_matches_python(values):
+    joined = ",".join(str(v) for v in values)
+    result = evaluate(f"[{joined}].sort(function(a,b){{return a-b;}}).join(',')")
+    expected = ",".join(str(v) for v in sorted(values))
+    assert result == expected
+
+
+@given(st.text(alphabet=string.ascii_letters, min_size=0, max_size=30),
+       st.text(alphabet=string.ascii_letters, min_size=1, max_size=5))
+@settings(max_examples=60)
+def test_index_of_matches_python(haystack, needle):
+    result = evaluate(f"{js_string_literal(haystack)}.indexOf({js_string_literal(needle)})")
+    assert result == float(haystack.find(needle))
+
+
+@given(st.text(alphabet=string.printable, max_size=40))
+@settings(max_examples=60)
+def test_unescape_escape_roundtrip(text):
+    literal = js_string_literal(text)
+    assert evaluate(f"unescape(escape({literal}))") == text

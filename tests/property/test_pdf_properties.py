@@ -1,0 +1,131 @@
+"""Property-based tests (hypothesis) for the PDF substrate."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pdf import filters
+from repro.pdf.lexer import Lexer, TokenType
+from repro.pdf.objects import (
+    PDFArray,
+    PDFDict,
+    PDFName,
+    PDFNull,
+    PDFRef,
+    PDFString,
+)
+from repro.pdf.writer import serialize_value
+
+
+binary = st.binary(max_size=2048)
+
+
+@given(binary)
+def test_flate_roundtrip(data):
+    assert filters.flate_decode(filters.flate_encode(data)) == data
+
+
+@given(binary)
+def test_ascii_hex_roundtrip(data):
+    assert filters.ascii_hex_decode(filters.ascii_hex_encode(data)) == data
+
+
+@given(binary)
+def test_ascii85_roundtrip(data):
+    assert filters.ascii85_decode(filters.ascii85_encode(data)) == data
+
+
+@given(binary)
+def test_run_length_roundtrip(data):
+    assert filters.run_length_decode(filters.run_length_encode(data)) == data
+
+
+@given(st.binary(max_size=1024))
+@settings(max_examples=30)
+def test_lzw_roundtrip(data):
+    assert filters.lzw_decode(filters.lzw_encode(data)) == data
+
+
+@given(binary, st.integers(min_value=0, max_value=4))
+@settings(max_examples=30)
+def test_cascade_roundtrip(data, levels):
+    names = filters.cascade_names(levels)
+    encoded = filters.encode_cascade(data, names)
+    for name in names:
+        encoded = filters.decode(name, encoded)
+    assert encoded == data
+
+
+name_text = st.text(
+    alphabet=string.ascii_letters + string.digits + "-_.#()<>/ ",
+    min_size=1,
+    max_size=24,
+)
+
+
+@given(name_text)
+def test_name_raw_roundtrip(decoded):
+    """encode_default → from_raw is the identity on decoded names."""
+    name = PDFName(decoded)
+    assert PDFName.from_raw(name.raw) == decoded
+
+
+# Recursive strategy for arbitrary PDF values.
+pdf_scalar = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.just(PDFNull),
+    st.builds(PDFString, st.binary(max_size=64)),
+    st.builds(
+        PDFString, st.binary(max_size=64), st.just(True)
+    ),  # hex form
+    st.builds(PDFName, name_text),
+    st.builds(PDFRef, st.integers(1, 9999), st.integers(0, 5)),
+)
+
+pdf_value = st.recursive(
+    pdf_scalar,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5).map(PDFArray),
+        st.dictionaries(
+            st.builds(PDFName, name_text), children, max_size=5
+        ).map(PDFDict),
+    ),
+    max_leaves=20,
+)
+
+
+def _normalize(value):
+    """Equality modulo float/int representation and name spelling."""
+    if isinstance(value, PDFName):
+        return ("name", str(value))
+    if isinstance(value, PDFString):
+        return ("string", bytes(value))
+    if isinstance(value, bool):
+        return ("bool", value)
+    if isinstance(value, (int, float)):
+        return ("number", float(value))
+    if isinstance(value, PDFRef):
+        return ("ref", value.num, value.gen)
+    if isinstance(value, PDFArray):
+        return ("array", tuple(_normalize(v) for v in value))
+    if isinstance(value, PDFDict):
+        return (
+            "dict",
+            tuple(sorted((str(k), _normalize(v)) for k, v in value.items())),
+        )
+    return ("null",)
+
+
+@given(pdf_value)
+@settings(max_examples=120)
+def test_serialize_parse_roundtrip(value):
+    """Any PDF value survives serialize → tokenize/parse."""
+    from repro.pdf.parser import PDFParser
+
+    data = serialize_value(value)
+    parser = PDFParser(b"%PDF-1.4\n1 0 obj null endobj\n")
+    lexer = Lexer(data)
+    parsed = parser._parse_value(lexer)
+    assert _normalize(parsed) == _normalize(value)
+    assert lexer.next_token().type is TokenType.EOF

@@ -1,0 +1,104 @@
+"""Robustness properties: hostile/corrupt input must fail *cleanly*.
+
+The front-end runs on untrusted downloads; whatever bytes arrive, it
+must either produce a result or raise :class:`PDFParseError` — never an
+unhandled internal exception.  Same for the reader.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.instrument import Instrumenter
+from repro.core.keys import KeyStore
+from repro.pdf.builder import DocumentBuilder
+from repro.pdf.parser import PDFParseError, parse_pdf
+from repro.reader import Reader
+
+
+def _base_doc() -> bytes:
+    builder = DocumentBuilder()
+    builder.add_page("fuzz target")
+    builder.add_javascript("var f = 1;", encoding_levels=1)
+    builder.add_javascript("var g = 2;", trigger="Names", name="g")
+    return builder.to_bytes()
+
+
+_BASE = _base_doc()
+
+
+def _mutate(data: bytes, seed: int, n_mutations: int) -> bytes:
+    rng = random.Random(seed)
+    buf = bytearray(data)
+    for _ in range(n_mutations):
+        choice = rng.random()
+        if choice < 0.5 and buf:
+            buf[rng.randrange(len(buf))] = rng.randrange(256)
+        elif choice < 0.75 and buf:
+            start = rng.randrange(len(buf))
+            del buf[start : start + rng.randint(1, 32)]
+        else:
+            pos = rng.randrange(len(buf) + 1)
+            buf[pos:pos] = bytes(rng.randrange(256) for _ in range(rng.randint(1, 16)))
+    return bytes(buf)
+
+
+@given(st.integers(0, 10_000), st.integers(1, 12))
+@settings(max_examples=80, deadline=None)
+def test_parser_survives_mutations(seed, n_mutations):
+    data = _mutate(_BASE, seed, n_mutations)
+    try:
+        parsed = parse_pdf(data)
+    except PDFParseError:
+        return  # clean refusal is fine
+    assert parsed.store is not None  # or a usable result
+
+
+@given(st.integers(0, 10_000), st.integers(1, 12))
+@settings(max_examples=40, deadline=None)
+def test_instrumenter_survives_mutations(seed, n_mutations):
+    data = _mutate(_BASE, seed, n_mutations)
+    instrumenter = Instrumenter(key_store=KeyStore.create(1), seed=1)
+    try:
+        result = instrumenter.instrument(data, "fuzzed.pdf")
+    except PDFParseError:
+        return
+    assert result.data
+
+
+@given(st.integers(0, 10_000), st.integers(1, 8))
+@settings(max_examples=30, deadline=None)
+def test_reader_survives_mutations(seed, n_mutations):
+    data = _mutate(_BASE, seed, n_mutations)
+    reader = Reader()
+    outcome = reader.open(data, "fuzzed.pdf")
+    # Either parsed+opened (ok or crashed) or a reported parse error —
+    # never an exception out of open().
+    assert outcome is not None
+
+
+@given(st.binary(max_size=512))
+@settings(max_examples=60, deadline=None)
+def test_parser_arbitrary_garbage(data):
+    try:
+        parse_pdf(data)
+    except PDFParseError:
+        pass
+
+
+def test_pipeline_is_deterministic(small_dataset):
+    """Same corpus, same seeds → byte-identical verdict stream."""
+    from repro.core.pipeline import ProtectionPipeline
+
+    def run():
+        pipe = ProtectionPipeline(seed=99)
+        out = []
+        for sample in small_dataset.malicious[:10] + small_dataset.benign_with_js[:5]:
+            report = pipe.scan(sample.data, sample.name)
+            out.append(
+                (sample.name, report.verdict.malicious, report.verdict.malscore,
+                 tuple(report.verdict.features.fired()), report.crashed)
+            )
+        return out
+
+    assert run() == run()

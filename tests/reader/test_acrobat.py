@@ -1,0 +1,147 @@
+"""Focused tests for the Acrobat JavaScript object model surface."""
+
+import pytest
+
+from repro.pdf.builder import DocumentBuilder
+from repro.reader import Reader
+
+
+def run_js(code: str, version="9.0", info=None, pages=1):
+    builder = DocumentBuilder()
+    for index in range(pages):
+        builder.add_page(f"page {index}")
+    if info:
+        builder.set_info(**info)
+    builder.add_javascript(code)
+    reader = Reader(version=version)
+    outcome = reader.open(builder.to_bytes())
+    return reader, outcome.handle
+
+
+class TestApp:
+    def test_alert_accepts_string_and_object_forms(self):
+        _r, handle = run_js("app.alert('plain'); app.alert({cMsg: 'object'});")
+        assert handle.alerts == ["plain", "object"]
+
+    def test_beep_is_silent_noop(self):
+        _r, handle = run_js("app.beep(4);")
+        assert not handle.script_errors
+
+    def test_platform_and_viewer_type(self):
+        _r, handle = run_js("app.alert(app.platform + '/' + app.viewerType);")
+        assert handle.alerts == ["WIN/Exchange-Pro"]
+
+    def test_mail_msg_external(self):
+        _r, handle = run_js("app.mailMsg({cTo: 'a@example.org'});")
+        assert ("mail", "a@example.org") in handle.external_launches
+
+    def test_clear_interval(self):
+        reader, handle = run_js(
+            "var t = app.setInterval(\"app.alert('x');\", 500); app.clearInterval(t);"
+        )
+        assert reader.pump(3.0) == 0
+
+
+class TestUtil:
+    def test_printf_formats(self):
+        _r, handle = run_js(
+            "app.alert(util.printf('%s has %d pages (%x)', 'doc', 3, 255));"
+        )
+        assert handle.alerts == ["doc has 3 pages (ff)"]
+
+    def test_printf_benign_use_not_an_exploit(self):
+        reader, handle = run_js("util.printf('%d', 5);", version="8.0")
+        assert not handle.crashed
+        assert not reader.system.filesystem.executables()
+
+    def test_printd_returns_format(self):
+        _r, handle = run_js("app.alert(util.printd('yyyy', 'now'));")
+        assert handle.alerts == ["now"]
+
+    def test_byte_to_char(self):
+        _r, handle = run_js("app.alert(util.byteToChar(65));")
+        assert handle.alerts == ["A"]
+
+
+class TestCollabBenignUse:
+    def test_get_icon_with_normal_name_is_safe(self):
+        reader, handle = run_js("Collab.getIcon('toolbar_N.bundle');")
+        assert not handle.crashed
+        assert not reader.gateway.log
+
+    def test_collect_email_info_small_message_safe(self):
+        reader, handle = run_js(
+            "Collab.collectEmailInfo({msg: 'hi'});", version="8.0"
+        )
+        assert not handle.crashed
+
+
+class TestDoc:
+    def test_get_field_returns_object(self):
+        _r, handle = run_js("var f = this.getField('total'); app.alert(typeof f);")
+        assert handle.alerts == ["object"]
+
+    def test_sync_annot_scan_noop(self):
+        _r, handle = run_js("this.syncAnnotScan();")
+        assert not handle.script_errors
+
+    def test_get_annots_returns_array_on_9(self):
+        _r, handle = run_js("app.alert(this.getAnnots({nPage: 0}).length);")
+        assert handle.alerts == ["0"]
+
+    def test_document_file_name(self):
+        _r, handle = run_js("app.alert(this.documentFileName);")
+        assert handle.alerts == ["document.pdf"]
+
+    def test_info_case_variants(self):
+        _r, handle = run_js(
+            "app.alert(this.info.Author);", info={"Author": "The Author"}
+        )
+        assert handle.alerts == ["The Author"]
+
+    def test_create_data_object_noop(self):
+        _r, handle = run_js("this.createDataObject({cName: 'x.txt'});")
+        assert not handle.script_errors
+
+    def test_export_without_launch_only_drops(self):
+        reader, handle = run_js(
+            "this.exportDataObject({cName: 'a.txt', nLaunch: 0});"
+        )
+        assert reader.system.filesystem.exists("C:\\Temp\\a.txt")
+        spawned = [p.name for p in reader.system.processes.values()]
+        assert "C:\\Temp\\a.txt" not in spawned
+
+    def test_bookmark_root_children(self):
+        _r, handle = run_js("app.alert(this.bookmarkRoot.children.length);")
+        assert handle.alerts == ["0"]
+
+    def test_runtime_script_registration(self):
+        _r, handle = run_js("this.addScript('boot', 'var x = 1;');")
+        assert ("addScript", "boot", "var x = 1;") in handle.runtime_scripts
+
+
+class TestSOAP:
+    def test_unreachable_service_returns_status(self):
+        _r, handle = run_js(
+            "var s = SOAP.request({cURL: 'http://nowhere.example:99/x',"
+            " oRequest: {q: 1}}); app.alert(s.status);"
+        )
+        assert handle.alerts == ["unreachable"]
+
+    def test_soap_connect_variant(self):
+        reader, handle = run_js("SOAP.connect('http://svc.example/wsdl');")
+        assert reader.system.network.connections
+
+    def test_nested_request_payload_bridged(self):
+        _r, handle = run_js(
+            "SOAP.request({cURL: 'http://s.example/x',"
+            " oRequest: {outer: {inner: [1, 2]}, flag: true}});"
+        )
+        url, payload = handle.soap_messages[0]
+        assert payload == {"outer": {"inner": [1.0, 2.0]}, "flag": True}
+
+
+class TestEventObject:
+    def test_event_global_exists(self):
+        _r, handle = run_js("app.alert(event.name);")
+        assert handle.alerts == ["Open"]

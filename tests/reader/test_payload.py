@@ -1,0 +1,65 @@
+"""Unit tests for the shellcode payload model."""
+
+from repro.reader.payload import (
+    NOP,
+    Payload,
+    PayloadOp,
+    parse_payload,
+)
+
+
+class TestRendering:
+    def test_render_and_parse_roundtrip(self):
+        payload = Payload.dropper("C:\\t\\a.exe")
+        parsed = parse_payload([payload.render()])
+        assert parsed is not None
+        assert [op.verb for op in parsed.ops] == ["drop", "exec"]
+        assert parsed.ops[0].argument == "C:\\t\\a.exe"
+
+    def test_with_sled_prepends_nops(self):
+        text = Payload.reverse_shell().with_sled(8)
+        assert text.startswith(NOP * 8)
+        assert parse_payload([text]) is not None
+
+    def test_parse_finds_payload_mid_string(self):
+        haystack = "x" * 1000 + Payload.dropper().render() + "y" * 1000
+        assert parse_payload([haystack]) is not None
+
+    def test_parse_returns_none_without_marker(self):
+        assert parse_payload(["just a long string" * 100]) is None
+
+    def test_parse_skips_unknown_verbs(self):
+        parsed = parse_payload(["[[PAYLOAD|unknown:x;drop:C:\\a.exe]]"])
+        assert [op.verb for op in parsed.ops] == ["drop"]
+
+    def test_parse_empty_block_is_none(self):
+        assert parse_payload(["[[PAYLOAD|]]"]) is None
+
+    def test_first_payload_wins(self):
+        first = Payload.dropper().render()
+        second = Payload.reverse_shell().render()
+        parsed = parse_payload([first, second])
+        assert parsed.ops[0].verb == "drop"
+
+
+class TestConstructors:
+    def test_downloader_has_url_then_exec(self):
+        payload = Payload.downloader("http://x/e.exe", "C:\\e.exe")
+        assert payload.ops[0].verb == "url"
+        assert ">" in payload.ops[0].argument
+        assert payload.ops[1].verb == "exec"
+
+    def test_dll_injector(self):
+        verbs = [op.verb for op in Payload.dll_injector().ops]
+        assert verbs == ["drop", "inject"]
+
+    def test_egg_hunter(self):
+        verbs = [op.verb for op in Payload.egg_hunter().ops]
+        assert verbs == ["egghunt", "exec"]
+
+    def test_bad_jump_crashes(self):
+        assert Payload.bad_jump().crashes_on_landing
+        assert not Payload.dropper().crashes_on_landing
+
+    def test_op_render_without_argument(self):
+        assert PayloadOp("badjump").render() == "badjump:"

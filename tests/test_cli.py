@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.pdf.document import PDFDocument
+
+
+@pytest.fixture()
+def benign_file(tmp_path, js_doc_bytes):
+    path = tmp_path / "benign.pdf"
+    path.write_bytes(js_doc_bytes)
+    return path
+
+
+@pytest.fixture()
+def malicious_file(tmp_path, malicious_doc_bytes):
+    path = tmp_path / "mal.pdf"
+    path.write_bytes(malicious_doc_bytes)
+    return path
+
+
+class TestScan:
+    def test_benign_exit_code_zero(self, benign_file, capsys):
+        assert main(["scan", str(benign_file)]) == 0
+        assert "benign" in capsys.readouterr().out
+
+    def test_malicious_exit_code_one(self, malicious_file, capsys):
+        assert main(["scan", str(malicious_file)]) == 1
+        out = capsys.readouterr().out
+        assert "MALICIOUS" in out
+        assert "confinement" in out
+
+    def test_json_output(self, malicious_file, capsys):
+        main(["scan", "--json", str(malicious_file)])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["malicious"] is True
+        assert 8 in payload["features"]
+        assert payload["quarantined"]
+
+    def test_reader_version_flag(self, benign_file, capsys):
+        assert main(["scan", "--reader-version", "8.0", str(benign_file)]) == 0
+
+
+class TestInstrumentRoundtrip:
+    def test_instrument_then_deinstrument(self, benign_file, tmp_path, capsys):
+        out = tmp_path / "inst.pdf"
+        spec = tmp_path / "spec.json"
+        assert main(["instrument", str(benign_file), "-o", str(out), "--spec", str(spec)]) == 0
+        assert out.exists() and spec.exists()
+
+        doc = PDFDocument.from_bytes(out.read_bytes())
+        (action,) = list(doc.iter_javascript_actions())
+        assert "SOAP.request" in doc.get_javascript_code(action)
+
+        restored = tmp_path / "restored.pdf"
+        assert main(["deinstrument", str(out), "--spec", str(spec), "-o", str(restored)]) == 0
+        doc2 = PDFDocument.from_bytes(restored.read_bytes())
+        (action2,) = list(doc2.iter_javascript_actions())
+        assert "SOAP.request" not in doc2.get_javascript_code(action2)
+
+
+class TestFeatures:
+    def test_features_output(self, malicious_file, capsys):
+        assert main(["features", str(malicious_file)]) == 0
+        out = capsys.readouterr().out
+        assert "F1 chain ratio" in out
+        assert "javascript chains" in out
+
+
+class TestCorpus:
+    def test_corpus_generation(self, tmp_path, capsys):
+        outdir = tmp_path / "corpus"
+        code = main(
+            ["corpus", str(outdir), "--benign", "6", "--benign-js", "2",
+             "--malicious", "4", "--seed", "9"]
+        )
+        assert code == 0
+        manifest = json.loads((outdir / "manifest.json").read_text())
+        assert len(manifest) == 10
+        assert len(list((outdir / "benign").iterdir())) == 6
+        assert len(list((outdir / "malicious").iterdir())) == 4

@@ -1,0 +1,110 @@
+"""Unit tests for the simulated process/system substrate."""
+
+import pytest
+
+from repro.winapi.clock import VirtualClock
+from repro.winapi.process import Process, ProcessState, System, READER_BASE_MEMORY
+
+
+class TestVirtualClock:
+    def test_monotonic(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now() == 2.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+
+class TestProcessMemory:
+    def test_base_memory(self):
+        system = System()
+        reader = system.spawn_reader()
+        assert reader.memory_counters().private_usage == READER_BASE_MEMORY
+
+    def test_alloc_accumulates_per_bucket(self):
+        system = System()
+        proc = system.spawn("x.exe", base_memory=100)
+        proc.alloc("doc1:js", 50)
+        proc.alloc("doc1:js", 25)
+        proc.alloc("doc2:render", 10)
+        assert proc.private_bytes == 185
+
+    def test_free_releases_whole_bucket(self):
+        system = System()
+        proc = system.spawn("x.exe", base_memory=0)
+        proc.alloc("a", 100)
+        assert proc.free("a") == 100
+        assert proc.private_bytes == 0
+        assert proc.free("a") == 0
+
+    def test_peak_tracks_high_water(self):
+        system = System()
+        proc = system.spawn("x.exe", base_memory=0)
+        proc.alloc("a", 500)
+        proc.free("a")
+        assert proc.memory_counters().peak_working_set_size == 500
+
+    def test_set_bucket_replaces(self):
+        system = System()
+        proc = system.spawn("x.exe", base_memory=0)
+        proc.alloc("a", 100)
+        proc.set_bucket("a", 30)
+        assert proc.private_bytes == 30
+
+    def test_negative_alloc_rejected(self):
+        system = System()
+        proc = system.spawn("x.exe")
+        with pytest.raises(ValueError):
+            proc.alloc("a", -1)
+
+
+class TestLifecycle:
+    def test_crash_sets_state_once(self):
+        system = System()
+        proc = system.spawn("x.exe")
+        proc.crash("boom")
+        proc.exit("late")
+        assert proc.state is ProcessState.CRASHED
+        assert proc.exit_reason == "boom"
+        assert not proc.alive
+
+    def test_terminate(self):
+        system = System()
+        proc = system.spawn("x.exe")
+        proc.terminate("confined")
+        assert proc.state is ProcessState.TERMINATED
+
+    def test_modules(self):
+        system = System()
+        proc = system.spawn("x.exe")
+        proc.load_module("evil.dll")
+        proc.load_module("evil.dll")
+        assert proc.modules.count("evil.dll") == 1
+        assert proc.has_module("ntdll.dll")
+
+    def test_spawn_assigns_unique_pids(self):
+        system = System()
+        pids = {system.spawn("a.exe").pid for _ in range(5)}
+        assert len(pids) == 5
+
+    def test_parent_linkage(self):
+        system = System()
+        parent = system.spawn("p.exe")
+        child = system.spawn("c.exe", parent=parent)
+        assert child.parent_pid == parent.pid
+
+    def test_whitelist(self):
+        system = System()
+        assert system.is_whitelisted_program("WerFault.exe")
+        assert not system.is_whitelisted_program("evil.exe")
+
+    def test_running_filter(self):
+        system = System()
+        a = system.spawn("a.exe")
+        b = system.spawn("b.exe")
+        b.crash("x")
+        assert a in system.running()
+        assert b not in system.running()

@@ -1,0 +1,236 @@
+"""Unit tests for syscall dispatch, IAT hooking and the trampoline."""
+
+from repro.winapi.hooks import (
+    DETECTOR_EVENT_PORT,
+    HOOK_DLL_NAME,
+    HookAction,
+    IATHookLayer,
+    TRAMPOLINE_DLL_NAME,
+    TrampolineDLL,
+)
+from repro.winapi.process import System
+from repro.winapi.syscalls import API, SyscallGateway
+
+
+def make_reader_with_gateway():
+    system = System()
+    reader = system.spawn_reader()
+    return system, reader, SyscallGateway(system)
+
+
+class TestGatewayEffects:
+    def test_file_creation(self):
+        system, reader, gateway = make_reader_with_gateway()
+        result = gateway.invoke(reader, API.NT_CREATE_FILE, path="C:\\x.exe", data=b"MZ")
+        assert result.success
+        assert system.filesystem.exists("C:\\x.exe")
+
+    def test_url_download_creates_file(self):
+        system, reader, gateway = make_reader_with_gateway()
+        gateway.invoke(
+            reader, API.URL_DOWNLOAD_TO_FILE, path="C:\\dl.exe", data=b"MZ", url="http://e/x"
+        )
+        assert system.filesystem.exists("C:\\dl.exe")
+
+    def test_connect_recorded(self):
+        system, reader, gateway = make_reader_with_gateway()
+        gateway.invoke(reader, API.CONNECT, host="evil.example", port=443)
+        conns = system.network.connections_for(reader.pid)
+        assert conns and conns[0].host == "evil.example"
+
+    def test_listen_recorded(self):
+        system, reader, gateway = make_reader_with_gateway()
+        gateway.invoke(reader, API.LISTEN, port=4444)
+        assert any(c.kind == "listen" for c in system.network.connections)
+
+    def test_process_creation_spawns_child(self):
+        system, reader, gateway = make_reader_with_gateway()
+        result = gateway.invoke(reader, API.NT_CREATE_USER_PROCESS, image="mal.exe")
+        assert result.value.name == "mal.exe"
+        assert result.value.parent_pid == reader.pid
+
+    def test_remote_thread_injects_module(self):
+        system, reader, gateway = make_reader_with_gateway()
+        victim = system.spawn("explorer.exe")
+        result = gateway.invoke(
+            reader, API.CREATE_REMOTE_THREAD, target_pid=victim.pid, dll="evil.dll"
+        )
+        assert result.success
+        assert victim.has_module("evil.dll")
+
+    def test_remote_thread_dead_target_fails(self):
+        system, reader, gateway = make_reader_with_gateway()
+        victim = system.spawn("explorer.exe")
+        victim.crash("gone")
+        result = gateway.invoke(
+            reader, API.CREATE_REMOTE_THREAD, target_pid=victim.pid, dll="evil.dll"
+        )
+        assert not result.success
+
+    def test_memory_search_probe(self):
+        system, reader, gateway = make_reader_with_gateway()
+        result = gateway.invoke(reader, API.IS_BAD_READ_PTR, address=0x400000)
+        assert result.success
+
+    def test_event_log_grows_with_sequence(self):
+        system, reader, gateway = make_reader_with_gateway()
+        gateway.invoke(reader, API.CONNECT, host="a", port=1)
+        gateway.invoke(reader, API.CONNECT, host="b", port=2)
+        assert [e.seq for e in gateway.log] == [1, 2]
+
+    def test_event_carries_memory_snapshot(self):
+        system, reader, gateway = make_reader_with_gateway()
+        reader.alloc("spray", 500 * 1024 * 1024)
+        gateway.invoke(reader, API.CONNECT, host="a", port=1)
+        assert gateway.log[-1].memory_private_usage >= 500 * 1024 * 1024
+
+
+class TestEventCategories:
+    def test_categories(self):
+        system, reader, gateway = make_reader_with_gateway()
+        cases = {
+            API.NT_CREATE_FILE: "malware_drop",
+            API.URL_DOWNLOAD_TO_CACHE_FILE: "malware_drop",
+            API.CONNECT: "network",
+            API.LISTEN: "network",
+            API.NT_ADD_ATOM: "memory_search",
+            API.NT_CREATE_PROCESS: "process_create",
+            API.CREATE_REMOTE_THREAD: "dll_inject",
+        }
+        for api, category in cases.items():
+            gateway.invoke(reader, api, target_pid=0)
+            assert gateway.log[-1].category == category
+
+
+class TestHooks:
+    def test_hook_observes_and_forwards(self):
+        system, reader, gateway = make_reader_with_gateway()
+        channel = system.network.register_service("127.0.0.1", DETECTOR_EVENT_PORT, "events")
+        received = []
+        channel.subscribe(received.append)
+        layer = IATHookLayer(reader, channel)
+        reader.iat_hooks = layer
+        gateway.invoke(reader, API.NT_CREATE_FILE, path="C:\\a.exe", data=b"MZ")
+        assert len(received) == 1
+        assert received[0].api == API.NT_CREATE_FILE
+
+    def test_hook_reject_blocks_effect(self):
+        system, reader, gateway = make_reader_with_gateway()
+        layer = IATHookLayer(
+            reader,
+            None,
+            rules={API.CREATE_REMOTE_THREAD: lambda p, e: HookAction.REJECT},
+        )
+        reader.iat_hooks = layer
+        victim = system.spawn("explorer.exe")
+        result = gateway.invoke(
+            reader, API.CREATE_REMOTE_THREAD, target_pid=victim.pid, dll="evil.dll"
+        )
+        assert result.rejected_by_hook
+        assert not victim.has_module("evil.dll")
+        assert layer.rejected
+
+    def test_unhooked_api_invisible(self):
+        system, reader, gateway = make_reader_with_gateway()
+        layer = IATHookLayer(reader, None, hooked_apis=(API.CONNECT,))
+        reader.iat_hooks = layer
+        gateway.invoke(reader, API.NT_CREATE_FILE, path="C:\\b.txt")
+        assert not layer.captured
+
+    def test_trampoline_attaches_to_reader_only(self):
+        system = System()
+        trampoline = TrampolineDLL()
+        reader = system.spawn_reader()
+        other = system.spawn("notepad.exe")
+        assert trampoline.on_process_start(reader, None) is not None
+        assert trampoline.on_process_start(other, None) is None
+        assert reader.has_module(HOOK_DLL_NAME)
+        assert other.has_module(TRAMPOLINE_DLL_NAME)
+        assert not other.has_module(HOOK_DLL_NAME)
+
+
+class TestSandbox:
+    def test_contains_and_terminates(self):
+        from repro.winapi.sandbox import Sandbox
+
+        system = System()
+        sandbox = Sandbox(system)
+        child = sandbox.run("mal.exe")
+        assert child.sandboxed
+        assert sandbox.is_contained(child)
+        system.filesystem.create("mal.exe", b"MZ")
+        sandbox.terminate_and_isolate(child, "alert")
+        assert not child.alive
+        assert system.filesystem.get("mal.exe").quarantined
+
+    def test_record_requires_containment(self):
+        import pytest
+        from repro.winapi.sandbox import Sandbox
+
+        system = System()
+        sandbox = Sandbox(system)
+        outside = system.spawn("x.exe")
+        with pytest.raises(ValueError):
+            sandbox.record(outside, "nope")
+
+
+class TestFilesystem:
+    def test_quarantine_blocks_read(self):
+        import pytest
+        from repro.winapi.filesystem import FileSystem
+
+        fs = FileSystem()
+        fs.create("C:\\mal.exe", b"MZ")
+        assert fs.quarantine("C:\\mal.exe")
+        with pytest.raises(PermissionError):
+            fs.read("C:\\mal.exe")
+
+    def test_quarantine_idempotent(self):
+        from repro.winapi.filesystem import FileSystem
+
+        fs = FileSystem()
+        fs.create("a.exe", b"")
+        assert fs.quarantine("a.exe")
+        assert not fs.quarantine("a.exe")
+        assert len(fs.quarantine_log) == 1
+
+    def test_path_normalization(self):
+        from repro.winapi.filesystem import FileSystem
+
+        fs = FileSystem()
+        fs.create("C:/Temp/File.EXE", b"x")
+        assert fs.exists("c:\\temp\\file.exe")
+
+    def test_executable_detection(self):
+        from repro.winapi.filesystem import FileSystem
+
+        assert FileSystem.is_executable("a.exe")
+        assert FileSystem.is_executable("b.DLL")
+        assert not FileSystem.is_executable("c.pdf")
+
+
+class TestNetworkChannels:
+    def test_loopback_queue_then_subscribe(self):
+        from repro.winapi.network import Network
+
+        network = Network()
+        channel = network.register_service("127.0.0.1", 9999, "test")
+        channel.send("early")
+        received = []
+        channel.subscribe(received.append)
+        channel.send("late")
+        assert received == ["early", "late"]
+
+    def test_rpc_roundtrip(self):
+        from repro.winapi.network import Network
+
+        network = Network()
+        network.register_rpc("127.0.0.1", 48621, lambda req: {"echo": req})
+        assert network.call_rpc("127.0.0.1", 48621, "hi") == {"echo": "hi"}
+
+    def test_rpc_refused_when_absent(self):
+        import pytest
+        from repro.winapi.network import Network
+
+        with pytest.raises(ConnectionRefusedError):
+            Network().call_rpc("127.0.0.1", 1, None)
