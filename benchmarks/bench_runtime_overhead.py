@@ -16,33 +16,38 @@ from repro.reader import Reader
 from repro.winapi.process import System
 
 
-def _js_time(pipeline, data, name, instrumented):
-    """Virtual seconds spent on open (scripts incl. monitoring)."""
+def _js_time(obs, data, name, instrumented):
+    """Virtual seconds spent on open (scripts incl. monitoring).
+
+    Sourced from the ``virtual_s`` tag the reader/session spans carry,
+    so the bench and the ``--trace`` output report the same numbers.
+    """
+    sink = obs.sink
     if instrumented:
+        pipeline = ProtectionPipeline(seed=1404, obs=obs)
         protected = pipeline.protect(data, name)
         session = pipeline.session()
         try:
-            baseline = session.reader.clock.now()
             session.open(protected, pump_seconds=0.0, fire_close=False)
-            return session.reader.clock.now() - baseline
         finally:
             session.close()
-    reader = Reader(system=System())
-    baseline = reader.clock.now()
+        return sink.spans_named("session.open")[-1]["tags"]["virtual_s"]
+    reader = Reader(system=System(), obs=obs)
     outcome = reader.open(data, name)
     assert outcome.ok
-    return reader.clock.now() - baseline
+    return sink.spans_named("reader.open")[-1]["tags"]["virtual_s"]
 
 
-def test_runtime_overhead_per_script(benchmark, pipeline, emit):
+def test_runtime_overhead_per_script(benchmark, emit, obs_memory):
     counts = (1, 2, 5, 10, 15, 20)
 
     def run():
+        obs_memory.sink.clear()
         rows = []
         for count in counts:
             data = document_with_scripts(count, seed=count)
-            plain = _js_time(pipeline, data, f"plain{count}.pdf", instrumented=False)
-            instrumented = _js_time(pipeline, data, f"inst{count}.pdf", instrumented=True)
+            plain = _js_time(obs_memory, data, f"plain{count}.pdf", instrumented=False)
+            instrumented = _js_time(obs_memory, data, f"inst{count}.pdf", instrumented=True)
             rows.append((count, plain, instrumented, instrumented - plain))
         return rows
 

@@ -7,13 +7,12 @@ shape — monotone growth, parse-dominated large files, sub-second small
 files — is asserted.
 """
 
-import time
-
 from repro.analysis import PaperComparison, format_table
 from repro.core.instrument import Instrumenter
 from repro.core.keys import KeyStore
 from repro.corpus.malicious import MaliciousFactory
 from repro.corpus.sized import table_x_documents
+from repro.obs.report import child_durations
 
 PAPER_TOTALS = {
     "2 KB": 0.0444,
@@ -25,46 +24,74 @@ PAPER_TOTALS = {
 }
 
 
-def test_table10_per_size_timings(benchmark, emit):
+def _document_span(sink, document):
+    (span,) = [
+        s
+        for s in sink.spans_named("instrument.document")
+        if s["tags"].get("document") == document
+    ]
+    return span
+
+
+def test_table10_per_size_timings(benchmark, emit, obs_memory, artifact):
     documents = table_x_documents()
+    sink = obs_memory.sink
 
     def run():
-        instrumenter = Instrumenter(key_store=KeyStore.create(10), seed=10)
-        rows = []
-        for label, data in documents:
-            result = instrumenter.instrument(data, f"{label}.pdf")
-            rows.append((label, len(data), result.timings))
-        return rows
-
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    table = []
-    for label, size, timings in rows:
-        table.append(
-            [
-                label,
-                f"{timings.parse_decompress:.4f}",
-                f"{timings.feature_extraction:.4f}",
-                f"{timings.instrumentation:.4f}",
-                f"{timings.total:.4f}",
-                f"{PAPER_TOTALS[label]:.4f}",
-            ]
+        sink.clear()
+        instrumenter = Instrumenter(
+            key_store=KeyStore.create(10), seed=10, obs=obs_memory
         )
+        for label, data in documents:
+            instrumenter.instrument(data, f"{label}.pdf")
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Phase timings come straight out of the captured span tree: one
+    # ``instrument.document`` root per input, with parse/features/rewrite
+    # child spans.
+    rows = []
+    for label, data in documents:
+        span = _document_span(sink, f"{label}.pdf")
+        phases = child_durations(sink.spans, span)
+        rows.append(
+            {
+                "size": label,
+                "bytes": len(data),
+                "parse_decompress": phases.get("instrument.parse", 0.0),
+                "features": phases.get("instrument.features", 0.0),
+                "instrument": phases.get("instrument.rewrite", 0.0),
+                "total": span["duration"],
+                "paper_total": PAPER_TOTALS[label],
+            }
+        )
+
     emit(
         format_table(
             ["size", "parse+decompress (s)", "features (s)", "instrument (s)",
              "total (s)", "paper total (s)"],
-            table,
+            [
+                [
+                    row["size"],
+                    f"{row['parse_decompress']:.4f}",
+                    f"{row['features']:.4f}",
+                    f"{row['instrument']:.4f}",
+                    f"{row['total']:.4f}",
+                    f"{row['paper_total']:.4f}",
+                ]
+                for row in rows
+            ],
         )
     )
+    artifact("BENCH_table10.json", rows)
 
-    by_label = {label: timings for label, _size, timings in rows}
+    by_label = {row["size"]: row for row in rows}
     # Shape: total grows with size; big files dominated by parsing.
-    assert by_label["19.7 MB"].total > by_label["325 KB"].total > 0
+    assert by_label["19.7 MB"]["total"] > by_label["325 KB"]["total"] > 0
     big = by_label["19.7 MB"]
-    assert big.parse_decompress / big.total > 0.5
+    assert big["parse_decompress"] / big["total"] > 0.5
     # Small files stay fast (well under a second even in Python).
-    assert by_label["2 KB"].total < 0.5
+    assert by_label["2 KB"]["total"] < 0.5
 
 
 def test_table10_incremental_mode_extension(benchmark, emit):
@@ -111,17 +138,27 @@ def test_table10_incremental_mode_extension(benchmark, emit):
     assert big_inc < big_rw * 2.0
 
 
-def test_table10_average_over_malicious_corpus(benchmark, emit):
+def test_table10_average_over_malicious_corpus(benchmark, emit, obs_memory):
     factory = MaliciousFactory(seed=2014)
     specs = factory.specs(150)
     documents = [factory.build(spec) for spec in specs]
+    sink = obs_memory.sink
 
     def run():
-        instrumenter = Instrumenter(key_store=KeyStore.create(11), seed=11)
-        start = time.perf_counter()
+        sink.clear()
+        instrumenter = Instrumenter(
+            key_store=KeyStore.create(11), seed=11, obs=obs_memory
+        )
         for index, data in enumerate(documents):
             instrumenter.instrument(data, f"m{index}.pdf")
-        return (time.perf_counter() - start) / len(documents)
+        # Top-level documents only: embedded PDFs instrument recursively
+        # and their time is already inside the depth-0 root spans.
+        roots = [
+            s
+            for s in sink.spans_named("instrument.document")
+            if s["tags"].get("depth") == 0
+        ]
+        return sum(s["duration"] for s in roots) / len(documents)
 
     average = benchmark.pedantic(run, rounds=1, iterations=1)
     comparison = PaperComparison("Table X — average instrumentation time per sample")

@@ -8,13 +8,16 @@ that finish in seconds; set → the paper's corpus sizes.
 
 from __future__ import annotations
 
+import json
 import os
 import sys
+from pathlib import Path
 
 import pytest
 
 from repro.core.pipeline import ProtectionPipeline
 from repro.corpus import CorpusConfig, build_dataset
+from repro.obs import MemorySink, Observability
 
 
 def bench_scale() -> CorpusConfig:
@@ -43,6 +46,28 @@ def stats_dataset():
 @pytest.fixture(scope="session")
 def pipeline():
     return ProtectionPipeline(seed=1404)
+
+
+@pytest.fixture()
+def obs_memory():
+    """A fresh Observability bundle capturing spans/events in memory.
+
+    Benchmarks read phase timings out of the captured spans instead of
+    keeping their own ``time.perf_counter()`` scaffolding.
+    """
+    return Observability(MemorySink())
+
+
+@pytest.fixture()
+def artifact():
+    """Write a machine-readable benchmark artifact next to the repo root."""
+
+    def _write(name: str, payload) -> Path:
+        path = Path(__file__).resolve().parent.parent / name
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
+
+    return _write
 
 
 @pytest.fixture()

@@ -14,6 +14,13 @@ Commands
     Print the five static features and the JavaScript chains.
 ``corpus OUTDIR [--benign N] [--benign-js N] [--malicious N] [--seed S]``
     Generate a labelled synthetic corpus on disk.
+``report TRACE.jsonl``
+    Aggregate a trace produced by ``scan --trace`` into per-phase
+    latency and event-count tables.
+
+``scan`` also takes ``--trace FILE.jsonl`` (write a span/event/metric
+trace of both phases) and ``--metrics`` (print a metrics summary to
+stderr) — see ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -43,6 +50,17 @@ def _build_parser() -> argparse.ArgumentParser:
     scan.add_argument("file", type=Path)
     scan.add_argument("--reader-version", default="9.0", choices=("8.0", "9.0"))
     scan.add_argument("--json", action="store_true", help="machine-readable output")
+    scan.add_argument(
+        "--trace",
+        type=Path,
+        metavar="FILE.jsonl",
+        help="write a JSONL span/event/metric trace of both phases",
+    )
+    scan.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print an aggregated metrics summary to stderr",
+    )
 
     instrument = sub.add_parser("instrument", help="front-end only")
     instrument.add_argument("file", type=Path)
@@ -63,12 +81,32 @@ def _build_parser() -> argparse.ArgumentParser:
     corpus.add_argument("--benign-js", type=int, default=10)
     corpus.add_argument("--malicious", type=int, default=30)
     corpus.add_argument("--seed", type=int, default=2014)
+
+    report = sub.add_parser("report", help="aggregate a scan trace")
+    report.add_argument("trace", type=Path)
     return parser
+
+
+def _build_scan_obs(args: argparse.Namespace):
+    """Observability for one scan: JSONL when tracing, in-memory when
+    only a metrics summary was requested, else None (no-op default)."""
+    from repro.obs import JSONLSink, MemorySink, Observability
+
+    if args.trace is not None:
+        return Observability(JSONLSink(args.trace))
+    if args.metrics:
+        return Observability(MemorySink())
+    return None
 
 
 def _cmd_scan(args: argparse.Namespace) -> int:
     data = args.file.read_bytes()
-    pipeline = ProtectionPipeline(reader_version=args.reader_version)
+    try:
+        obs = _build_scan_obs(args)
+    except OSError as error:
+        print(f"error: cannot open trace file: {error}", file=sys.stderr)
+        return 2
+    pipeline = ProtectionPipeline(reader_version=args.reader_version, obs=obs)
     report = pipeline.scan(data, args.file.name)
     verdict = report.verdict
     if args.json:
@@ -82,7 +120,27 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         for alert in report.alerts:
             for action in alert.confinement_actions:
                 print(f"  confinement: {action}")
+    if obs is not None:
+        if args.metrics:
+            print(obs.metrics.render(), file=sys.stderr)
+        obs.close()  # flush metrics into the trace, close the file
+        if args.trace is not None:
+            print(f"trace written to {args.trace}", file=sys.stderr)
     return 1 if verdict.malicious else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import render_report
+
+    try:
+        print(render_report(args.trace))
+    except OSError as error:
+        print(f"error: cannot read trace: {error}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as error:
+        print(f"error: {args.trace} is not a JSONL trace: {error}", file=sys.stderr)
+        return 2
+    return 0
 
 
 def _cmd_instrument(args: argparse.Namespace) -> int:
@@ -159,6 +217,7 @@ _COMMANDS = {
     "deinstrument": _cmd_deinstrument,
     "features": _cmd_features,
     "corpus": _cmd_corpus,
+    "report": _cmd_report,
 }
 
 

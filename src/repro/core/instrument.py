@@ -13,16 +13,22 @@ Pipeline per document (§III-A):
    monitoring wrapper (§III-C); scripts installed at runtime are
    covered by the generated method wrappers.
 
-The phase timings are measured with a real clock so the Table X/XI
-benchmarks report genuine front-end cost on this machine.
+Each phase runs inside a tracer span (``instrument.parse``,
+``instrument.features``, ``instrument.rewrite``, nested under one
+``instrument.document`` root per document); spans are timed with a
+real monotonic clock so the Table X/XI benchmarks report genuine
+front-end cost on this machine.  :class:`PhaseTimings` is a derived
+view over those span durations, kept for callers that only need the
+three Table X columns.
 """
 
 from __future__ import annotations
 
 import re
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
+
+from repro import obs as obs_mod
 
 from repro.core import monitor_code as mc
 from repro.core.chains import ChainAnalysis, analyze_chains
@@ -107,6 +113,7 @@ class Instrumenter:
         wrap_dynamic_methods: bool = True,
         instrument_embedded: bool = True,
         seed: Optional[int] = None,
+        obs: Optional[obs_mod.Observability] = None,
     ) -> None:
         self.key_store = key_store if key_store is not None else KeyStore.create(seed)
         self.soap_url = soap_url
@@ -114,6 +121,7 @@ class Instrumenter:
         self.wrap_dynamic_methods = wrap_dynamic_methods
         self.instrument_embedded = instrument_embedded
         self.seed = seed
+        self.obs = obs if obs is not None else obs_mod.get_default()
 
     # -- public API ------------------------------------------------------
 
@@ -135,62 +143,74 @@ class Instrumenter:
         if output not in ("rewrite", "incremental"):
             raise ValueError(f"unknown output mode {output!r}")
         timings = PhaseTimings()
+        tracer = self.obs.tracer
 
-        t0 = time.perf_counter()
-        document = PDFDocument.from_bytes(data)
-        was_encrypted = False
-        if "Encrypt" in document.trailer:
-            pdf_encryption.remove_owner_password(document)
-            was_encrypted = True
-        self._decompress_all(document)
-        timings.parse_decompress = time.perf_counter() - t0
+        with tracer.span(
+            "instrument.document", document=name, bytes=len(data), depth=_depth
+        ) as doc_span:
+            with tracer.span("instrument.parse") as parse_span:
+                document = PDFDocument.from_bytes(data)
+                was_encrypted = False
+                if "Encrypt" in document.trailer:
+                    pdf_encryption.remove_owner_password(document)
+                    was_encrypted = True
+                self._decompress_all(document)
+            timings.parse_decompress = parse_span.duration
 
-        t1 = time.perf_counter()
-        chains = analyze_chains(document)
-        features = extract_static_features(document, chains=chains)
-        timings.feature_extraction = time.perf_counter() - t1
+            with tracer.span("instrument.features") as features_span:
+                chains = analyze_chains(document)
+                features = extract_static_features(document, chains=chains)
+            timings.feature_extraction = features_span.duration
 
-        t2 = time.perf_counter()
-        already = self._is_instrumented_by_us(document)
-        key = self.key_store.issue(name, fingerprint(data))
-        spec = DeinstrumentationSpec(key_text=key.render(), document_name=name)
-        instrumented = 0
-        merged = 0
-        methods: Set[str] = set()
-        embedded: List[InstrumentationResult] = []
-        if not already:
-            max_num_before = max(
-                (ref.num for ref in document.store.objects), default=0
-            )
-            instrumented, merged, methods, changed = self._instrument_document(
-                document, key, spec
-            )
-            if self.instrument_embedded and _depth < 2:
-                embedded = self._instrument_embedded_pdfs(document, name, _depth)
-                changed.update(
-                    entry.ref
-                    for entry in document.store
-                    if isinstance(entry.value, PDFStream)
-                    and str(entry.value.dictionary.get("Type", "")) == "EmbeddedFile"
-                )
-            if not (instrumented or embedded):
-                out_data = data
-            elif output == "incremental" and not was_encrypted:
-                from repro.pdf.writer import write_incremental_update
+            with tracer.span("instrument.rewrite") as rewrite_span:
+                already = self._is_instrumented_by_us(document)
+                key = self.key_store.issue(name, fingerprint(data))
+                spec = DeinstrumentationSpec(key_text=key.render(), document_name=name)
+                instrumented = 0
+                merged = 0
+                methods: Set[str] = set()
+                embedded: List[InstrumentationResult] = []
+                if not already:
+                    max_num_before = max(
+                        (ref.num for ref in document.store.objects), default=0
+                    )
+                    instrumented, merged, methods, changed = self._instrument_document(
+                        document, key, spec
+                    )
+                    if self.instrument_embedded and _depth < 2:
+                        embedded = self._instrument_embedded_pdfs(document, name, _depth)
+                        changed.update(
+                            entry.ref
+                            for entry in document.store
+                            if isinstance(entry.value, PDFStream)
+                            and str(entry.value.dictionary.get("Type", "")) == "EmbeddedFile"
+                        )
+                    if not (instrumented or embedded):
+                        out_data = data
+                    elif output == "incremental" and not was_encrypted:
+                        from repro.pdf.writer import write_incremental_update
 
-                changed.update(
-                    entry.ref
-                    for entry in document.store
-                    if entry.num > max_num_before
-                )
-                out_data = write_incremental_update(
-                    data, document.store, document.trailer, changed
-                )
-            else:
-                out_data = document.to_bytes()
-        else:
-            out_data = data
-        timings.instrumentation = time.perf_counter() - t2
+                        changed.update(
+                            entry.ref
+                            for entry in document.store
+                            if entry.num > max_num_before
+                        )
+                        out_data = write_incremental_update(
+                            data, document.store, document.trailer, changed
+                        )
+                    else:
+                        out_data = document.to_bytes()
+                else:
+                    out_data = data
+            timings.instrumentation = rewrite_span.duration
+
+            doc_span.set_tag("scripts", instrumented)
+            doc_span.set_tag("chains", len(chains.chains))
+            if self.obs.enabled:
+                metrics = self.obs.metrics
+                metrics.inc("docs_instrumented")
+                metrics.inc("js_chains_found", len(chains.chains))
+                metrics.inc("scripts_instrumented", instrumented)
 
         return InstrumentationResult(
             data=out_data,

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import obs as obs_mod
 from repro.core.confine import build_hook_rules
 from repro.core.deinstrument import (
     DeinstrumentationPolicy,
@@ -112,16 +113,20 @@ class MonitoredSession:
         reader_version: str = "9.0",
         hook_mode: HookMode = HookMode.IAT,
         persistent_executables: Optional[Dict[str, str]] = None,
+        obs: Optional[obs_mod.Observability] = None,
     ) -> None:
         self.system = System()
+        self.obs = obs if obs is not None else obs_mod.get_default()
         self.config = config if config is not None else DetectorConfig()
-        self.monitor = RuntimeMonitor(key_store, self.system, config=self.config)
+        self.monitor = RuntimeMonitor(
+            key_store, self.system, config=self.config, obs=self.obs
+        )
         if persistent_executables is not None:
             # §III-E: malscore is volatile per reader session, but "the
             # maintained list of executables is persistently stored" —
             # the pipeline shares one dict across all its sessions.
             self.monitor.downloaded_executables = persistent_executables
-        self.soap_server = TinySOAPServer(self.monitor)
+        self.soap_server = TinySOAPServer(self.monitor, obs=self.obs)
         self.soap_server.register(self.system.network)
         self.event_channel = self.system.network.register_service(
             "127.0.0.1", DETECTOR_EVENT_PORT, "hook-dll-events"
@@ -136,6 +141,7 @@ class MonitoredSession:
             version=reader_version,
             trampoline=trampoline,
             detector_channel=self.event_channel,
+            obs=self.obs,
         )
 
     def open(
@@ -145,15 +151,21 @@ class MonitoredSession:
         fire_close: bool = True,
     ) -> OpenReport:
         """Open one protected document and watch what happens."""
-        self._register_tree(protected)
-        process = self.reader._ensure_process()
-        self.monitor.attach_reader_process(process)
-        outcome = self.reader.open(protected.data, protected.name)
-        if not outcome.crashed:
-            self.reader.pump(pump_seconds)
-        if fire_close and not outcome.crashed and outcome.handle.open:
-            self.reader.close(outcome.handle)
-        verdict = self.monitor.verdict_for(protected.key_text)
+        with self.obs.tracer.span("session.open", document=protected.name) as sp:
+            virtual_start = self.system.clock.now()
+            self._register_tree(protected)
+            process = self.reader.process()
+            self.monitor.attach_reader_process(process)
+            outcome = self.reader.open(protected.data, protected.name)
+            if not outcome.crashed:
+                self.reader.pump(pump_seconds)
+            if fire_close and not outcome.crashed and outcome.handle.open:
+                self.reader.close(outcome.handle)
+            with self.obs.tracer.span("session.verdict", document=protected.name):
+                verdict = self.monitor.verdict_for(protected.key_text)
+            sp.set_tag("virtual_s", self.system.clock.now() - virtual_start)
+            sp.set_tag("malicious", verdict.malicious)
+            sp.set_tag("crashed", outcome.crashed or outcome.handle.crashed)
         return OpenReport(
             protected=protected,
             outcome=outcome,
@@ -173,7 +185,7 @@ class MonitoredSession:
 
     def open_raw(self, data: bytes, name: str = "document.pdf") -> OpenOutcome:
         """Open an unprotected document (no front-end, no key)."""
-        process = self.reader._ensure_process()
+        process = self.reader.process()
         self.monitor.attach_reader_process(process)
         return self.reader.open(data, name)
 
@@ -195,12 +207,16 @@ class ProtectionPipeline:
         seed: Optional[int] = 1301,
         deinstrument_policy: Optional[DeinstrumentationPolicy] = None,
         hook_mode: HookMode = HookMode.IAT,
+        obs: Optional[obs_mod.Observability] = None,
     ) -> None:
         self.config = config if config is not None else DetectorConfig()
         self.reader_version = reader_version
         self.hook_mode = hook_mode
+        self.obs = obs if obs is not None else obs_mod.get_default()
         self.key_store = KeyStore.create(seed)
-        self.instrumenter = Instrumenter(key_store=self.key_store, seed=seed)
+        self.instrumenter = Instrumenter(
+            key_store=self.key_store, seed=seed, obs=self.obs
+        )
         #: Executables downloaded in JS context, shared by every session
         #: this pipeline opens (persistent storage in the paper).
         self.persistent_executables: Dict[str, str] = {}
@@ -213,7 +229,10 @@ class ProtectionPipeline:
     # -- Phase I -----------------------------------------------------------
 
     def protect(self, data: bytes, name: str = "document.pdf") -> ProtectedDocument:
-        result = self.instrumenter.instrument(data, name)
+        with self.obs.tracer.span("pipeline.protect", document=name):
+            result = self.instrumenter.instrument(data, name)
+        if self.obs.enabled:
+            self.obs.metrics.inc("docs_protected")
         return self._wrap_result(result, name)
 
     def _wrap_result(self, result: InstrumentationResult, name: str) -> ProtectedDocument:
@@ -239,6 +258,7 @@ class ProtectionPipeline:
             reader_version=self.reader_version,
             hook_mode=self.hook_mode,
             persistent_executables=self.persistent_executables,
+            obs=self.obs,
         )
 
     def open_protected(
@@ -257,7 +277,18 @@ class ProtectionPipeline:
 
     def scan(self, data: bytes, name: str = "document.pdf") -> OpenReport:
         """Protect + open in one go (the common end-host flow)."""
-        return self.open_protected(self.protect(data, name))
+        with self.obs.tracer.span("pipeline.scan", document=name):
+            report = self.open_protected(self.protect(data, name))
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            metrics.inc("docs_scanned")
+            metrics.inc("verdicts", malicious=report.verdict.malicious)
+            metrics.observe(
+                "malscore",
+                report.verdict.malscore,
+                buckets=(0, 1, 2, 5, 10, 15, 20, 30, 50),
+            )
+        return report
 
     # -- De-instrumentation --------------------------------------------------------
 

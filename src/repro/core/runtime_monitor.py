@@ -25,9 +25,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro import obs as obs_mod
 from repro.core.detector import (
     DetectorConfig,
     DocumentScoreState,
+    FEATURE_NAMES,
     F_DROP,
     F_MEMORY,
     F_PROCESS,
@@ -65,9 +67,11 @@ class RuntimeMonitor:
         config: Optional[DetectorConfig] = None,
         sandbox: Optional[Sandbox] = None,
         whitelisted_ports: Tuple[int, ...] = (SOAP_PORT, DETECTOR_EVENT_PORT),
+        obs: Optional[obs_mod.Observability] = None,
     ) -> None:
         self.key_store = key_store
         self.system = system
+        self.obs = obs if obs is not None else obs_mod.get_default()
         self.config = config if config is not None else DetectorConfig()
         self.detector = MalscoreDetector(self.config)
         self.sandbox = sandbox if sandbox is not None else Sandbox(system)
@@ -100,11 +104,58 @@ class RuntimeMonitor:
     ) -> None:
         """Pre-register a protected document's static features."""
         self.static_registry[key_text] = (name, static)
+        if static is not None and self.obs.enabled:
+            # The front-end's F1–F5 never pass through the runtime
+            # recorders, so the event stream covers them here.
+            for feature, bit in enumerate(static.binary(), start=1):
+                if bit:
+                    self.obs.tracer.event(
+                        "feature_fired",
+                        feature=f"F{feature}",
+                        feature_name=FEATURE_NAMES[feature],
+                        context="static",
+                        document=name,
+                    )
+                    self.obs.metrics.inc("features_fired", feature=f"F{feature}")
 
     def handle_syscall_channel(self, message: object) -> None:
         """Subscriber callback for the hook-DLL event channel."""
         if isinstance(message, SyscallEvent):
             self.handle_syscall(message)
+
+    # -- telemetry-aware recording wrappers --------------------------------
+
+    def _fire_in_js(
+        self, state: DocumentScoreState, feature: int, description: str
+    ) -> None:
+        """Record an in-JS feature, emitting a ``feature_fired`` event
+        the first time it fires for this document."""
+        newly_fired = feature not in state.fired
+        state.record_in_js(feature, description)
+        if newly_fired and self.obs.enabled:
+            self.obs.tracer.event(
+                "feature_fired",
+                feature=f"F{feature}",
+                feature_name=FEATURE_NAMES[feature],
+                context="in_js",
+                document=state.document,
+            )
+            self.obs.metrics.inc("features_fired", feature=f"F{feature}")
+
+    def _fire_out_js(
+        self, state: DocumentScoreState, feature: int, description: str
+    ) -> None:
+        newly_fired = feature not in state.fired
+        state.record_out_js(feature, description)
+        if newly_fired and self.obs.enabled:
+            self.obs.tracer.event(
+                "feature_fired",
+                feature=f"F{feature}",
+                feature_name=FEATURE_NAMES[feature],
+                context="out_js",
+                document=state.document,
+            )
+            self.obs.metrics.inc("features_fired", feature=f"F{feature}")
 
     # -- ContextSink (SOAP) ----------------------------------------------------
 
@@ -140,6 +191,11 @@ class RuntimeMonitor:
         """Zero tolerance: the active document is tagged malicious."""
         self.fake_messages.append(dict(raw))
         active = self.active_key
+        if self.obs.enabled:
+            self.obs.tracer.event(
+                "fake_message", active_key=active, ctx=str(raw.get("ctx"))
+            )
+            self.obs.metrics.inc("fake_messages")
         if active is not None and active in self.states:
             state = self.states[active]
             state.fake_message = True
@@ -154,6 +210,17 @@ class RuntimeMonitor:
             self.ignored_events += 1
             return
         active = self.active_key
+        if self.obs.enabled:
+            context = "in_js" if active is not None else "out_js"
+            self.obs.tracer.event(
+                "syscall",
+                api=event.api,
+                category=event.category,
+                context=context,
+                pid=event.pid,
+                seq=event.seq,
+            )
+            self.obs.metrics.inc("syscalls", context=context, category=event.category)
         if active is not None:
             self._handle_in_js(self.states[active], event)
         else:
@@ -172,7 +239,7 @@ class RuntimeMonitor:
         if feature is None:
             return
         description = self._describe(event)
-        state.record_in_js(feature, description)
+        self._fire_in_js(state, feature, description)
 
         if event.category == "malware_drop":
             path = FileSystem.normalize(str(event.args.get("path", "")))
@@ -188,10 +255,10 @@ class RuntimeMonitor:
                 # Cross-document collusion (§III-E): prepend a malware
                 # dropping op for this PDF and append an execution op
                 # for the PDF that downloaded the file.
-                state.record_in_js(F_DROP, f"collusion: executes {image} dropped by peer")
+                self._fire_in_js(state, F_DROP, f"collusion: executes {image} dropped by peer")
                 other = self.states.get(downloader)
                 if other is not None:
-                    other.record_in_js(F_PROCESS, f"collusion: its download {image} executed")
+                    self._fire_in_js(other, F_PROCESS, f"collusion: its download {image} executed")
                     self._evaluate(other)
 
         # Memory is also sampled when in-JS sensitive APIs are captured.
@@ -219,7 +286,7 @@ class RuntimeMonitor:
             self.ignored_events += 1  # nothing activated yet: ignored
             return
         for state in affected:
-            state.record_out_js(feature, description)
+            self._fire_out_js(state, feature, description)
             self._evaluate(state)
 
     # -- helpers ------------------------------------------------------------------------
@@ -242,8 +309,8 @@ class RuntimeMonitor:
     ) -> None:
         delta = now - at_entry
         if delta >= self.config.memory_threshold_bytes:
-            state.record_in_js(
-                F_MEMORY, f"memory +{delta >> 20} MB in JS context ({where})"
+            self._fire_in_js(
+                state, F_MEMORY, f"memory +{delta >> 20} MB in JS context ({where})"
             )
 
     @staticmethod
@@ -280,6 +347,13 @@ class RuntimeMonitor:
                         confinement_actions=actions,
                     )
                 )
+                if self.obs.enabled:
+                    self.obs.tracer.event(
+                        "alert",
+                        document=state.document,
+                        malscore=verdict.malscore,
+                    )
+                    self.obs.metrics.inc("alerts")
             else:
                 # Re-run confinement: operations arriving after the alert
                 # (a drop the hook already let through, a sandboxed child
@@ -304,6 +378,12 @@ class RuntimeMonitor:
                     child, reason=f"alert on {state.document}"
                 )
                 actions.append(f"terminated sandboxed {child.name} (pid {child.pid})")
+        if actions and self.obs.enabled:
+            for action in actions:
+                self.obs.tracer.event(
+                    "confinement", action=action, document=state.document
+                )
+            self.obs.metrics.inc("confinement_actions", len(actions))
         return actions
 
     # -- verdicts / lifecycle ------------------------------------------------------

@@ -11,8 +11,9 @@ document.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Protocol
+from typing import Any, Dict, List, Optional, Protocol
 
+from repro import obs as obs_mod
 from repro.core.monitor_code import SOAP_HOST, SOAP_PORT
 
 
@@ -37,10 +38,17 @@ class SoapStats:
 class TinySOAPServer:
     """Keyed request/response endpoint on the loopback network."""
 
-    def __init__(self, sink: ContextSink, host: str = SOAP_HOST, port: int = SOAP_PORT) -> None:
+    def __init__(
+        self,
+        sink: ContextSink,
+        host: str = SOAP_HOST,
+        port: int = SOAP_PORT,
+        obs: Optional[obs_mod.Observability] = None,
+    ) -> None:
         self.sink = sink
         self.host = host
         self.port = port
+        self.obs = obs if obs is not None else obs_mod.get_default()
         self.stats = SoapStats()
         self.log: List[Dict[str, Any]] = []
 
@@ -64,6 +72,7 @@ class TinySOAPServer:
         dynamic = bool(payload.get("dyn"))
         if ctx == "enter" and isinstance(key_text, str):
             accepted = self.sink.on_context_enter(key_text, seq, dynamic)
+            self._observe("enter", key_text, seq, dynamic, accepted)
             if not accepted:
                 self.stats.fakes += 1
                 return {"status": "rejected"}
@@ -71,11 +80,27 @@ class TinySOAPServer:
             return {"status": "ok"}
         if ctx == "leave" and isinstance(key_text, str):
             self.sink.on_context_leave(key_text, seq, dynamic)
+            self._observe("leave", key_text, seq, dynamic, True)
             self.stats.leaves += 1
             return {"status": "ok"}
         return self._fake(payload)
 
+    def _observe(
+        self, kind: str, key_text: Optional[str], seq: int, dynamic: bool, accepted: bool
+    ) -> None:
+        """Telemetry: one ``context.enter``/``context.leave`` event per
+        monitoring-code message, plus a keyed counter."""
+        if not self.obs.enabled:
+            return
+        self.obs.tracer.event(
+            f"context.{kind}", key=key_text, seq=seq, dynamic=dynamic, accepted=accepted
+        )
+        self.obs.metrics.inc("soap_messages", kind=kind)
+
     def _fake(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         self.stats.fakes += 1
+        if self.obs.enabled:
+            self.obs.tracer.event("soap.fake", ctx=str(payload.get("ctx")))
+            self.obs.metrics.inc("soap_messages", kind="fake")
         self.sink.on_fake_message(payload)
         return {"status": "rejected"}

@@ -1,0 +1,182 @@
+"""Counters, gauges and fixed-bucket histograms.
+
+A :class:`Metrics` registry aggregates in memory; series are keyed by
+``(name, labels)`` so ``syscalls{context=in_js}`` and
+``syscalls{context=out_js}`` are distinct.  :meth:`Metrics.flush`
+emits one record per series to the sink (JSONL traces therefore carry
+the final aggregate alongside the raw spans/events), and
+:meth:`Metrics.render` produces the human-readable summary shown by
+``repro scan --metrics``.
+
+The registry itself always aggregates when called; whether the *hot
+paths* call it at all is governed by ``Observability.enabled`` — the
+same switch the tracer uses.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.sinks import NULL_SINK, Sink
+
+#: Generic default bucket bounds (covers sub-ms latencies through
+#: malscore-sized values); per-histogram bounds may override.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 25.0, 50.0, 100.0,
+)
+
+_Key = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Dict[str, Any]) -> _Key:
+    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+
+def _key_text(key: _Key) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts of observations ≤ each bound."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        self.bounds: Tuple[float, ...] = tuple(sorted(bounds))
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        #: counts[i] observations with value <= bounds[i]; the implicit
+        #: overflow bucket is count - sum(bucket_counts).
+        self.bucket_counts: List[int] = [0] * len(self.bounds)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        index = bisect_left(self.bounds, value)
+        if index < len(self.bounds):
+            self.bucket_counts[index] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def overflow(self) -> int:
+        return self.count - sum(self.bucket_counts)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "buckets": [
+                {"le": bound, "count": count}
+                for bound, count in zip(self.bounds, self.bucket_counts)
+            ],
+            "overflow": self.overflow,
+        }
+
+
+class Metrics:
+    """In-memory metric registry bound to one sink."""
+
+    def __init__(self, sink: Optional[Sink] = None) -> None:
+        self.sink = sink if sink is not None else NULL_SINK
+        self._counters: Dict[_Key, float] = {}
+        self._gauges: Dict[_Key, float] = {}
+        self._histograms: Dict[_Key, Histogram] = {}
+
+    # -- recording --------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1, **labels: Any) -> None:
+        key = _key(name, labels)
+        self._counters[key] = self._counters.get(key, 0) + amount
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        self._gauges[_key(name, labels)] = value
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: Optional[Sequence[float]] = None,
+        **labels: Any,
+    ) -> None:
+        key = _key(name, labels)
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = Histogram(buckets if buckets is not None else DEFAULT_BUCKETS)
+            self._histograms[key] = histogram
+        histogram.observe(value)
+
+    # -- reading ----------------------------------------------------------
+
+    def counter_value(self, name: str, **labels: Any) -> float:
+        return self._counters.get(_key(name, labels), 0)
+
+    def gauge_value(self, name: str, **labels: Any) -> Optional[float]:
+        return self._gauges.get(_key(name, labels))
+
+    def histogram(self, name: str, **labels: Any) -> Optional[Histogram]:
+        return self._histograms.get(_key(name, labels))
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Everything aggregated so far, keyed by ``name{labels}``."""
+        return {
+            "counters": {_key_text(k): v for k, v in sorted(self._counters.items())},
+            "gauges": {_key_text(k): v for k, v in sorted(self._gauges.items())},
+            "histograms": {
+                _key_text(k): h.to_dict() for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    # -- output -----------------------------------------------------------
+
+    def flush(self) -> None:
+        """Emit one ``metric`` record per series to the sink."""
+        if not self.sink.enabled:
+            return
+        for key, value in sorted(self._counters.items()):
+            self.sink.emit_metric(
+                {"type": "metric", "kind": "counter", "name": key[0],
+                 "labels": dict(key[1]), "key": _key_text(key), "value": value}
+            )
+        for key, value in sorted(self._gauges.items()):
+            self.sink.emit_metric(
+                {"type": "metric", "kind": "gauge", "name": key[0],
+                 "labels": dict(key[1]), "key": _key_text(key), "value": value}
+            )
+        for key, histogram in sorted(self._histograms.items()):
+            self.sink.emit_metric(
+                {"type": "metric", "kind": "histogram", "name": key[0],
+                 "labels": dict(key[1]), "key": _key_text(key),
+                 "value": histogram.mean, **histogram.to_dict()}
+            )
+
+    def render(self) -> str:
+        """Human-readable summary (``repro scan --metrics``)."""
+        lines: List[str] = []
+        for key, value in sorted(self._counters.items()):
+            lines.append(f"counter    {_key_text(key)} = {value:g}")
+        for key, value in sorted(self._gauges.items()):
+            lines.append(f"gauge      {_key_text(key)} = {value:g}")
+        for key, histogram in sorted(self._histograms.items()):
+            lines.append(
+                f"histogram  {_key_text(key)} count={histogram.count} "
+                f"mean={histogram.mean:g} min={histogram.min:g} "
+                f"max={histogram.max:g}"
+            )
+        return "\n".join(lines) if lines else "(no metrics recorded)"

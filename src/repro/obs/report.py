@@ -1,0 +1,135 @@
+"""Trace aggregation: turn a JSONL trace into summary tables.
+
+Backs the ``repro report FILE.jsonl`` command and the benchmark
+helpers that read span data out of a :class:`~repro.obs.sinks.MemorySink`
+instead of re-timing by hand.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+SpanRecord = Dict[str, Any]
+
+
+def read_trace(path: Union[str, Path]) -> Dict[str, List[Dict[str, Any]]]:
+    """Load a JSONL trace back into ``{"spans": [...], "events": [...],
+    "metrics": [...]}`` (unknown record types are preserved under
+    ``"other"``)."""
+    out: Dict[str, List[Dict[str, Any]]] = {
+        "spans": [], "events": [], "metrics": [], "other": [],
+    }
+    buckets = {"span": "spans", "event": "events", "metric": "metrics"}
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        out[buckets.get(record.get("type"), "other")].append(record)
+    return out
+
+
+# -- span-tree helpers (also used by the benchmark suite) -----------------
+
+
+def spans_named(spans: Iterable[SpanRecord], name: str) -> List[SpanRecord]:
+    return [s for s in spans if s["name"] == name]
+
+
+def children_of(spans: Iterable[SpanRecord], root: SpanRecord) -> List[SpanRecord]:
+    """Direct children of ``root`` in a flat span list."""
+    root_id = root["span_id"]
+    return [s for s in spans if s.get("parent_id") == root_id]
+
+
+def child_durations(spans: Iterable[SpanRecord], root: SpanRecord) -> Dict[str, float]:
+    """Summed duration of ``root``'s direct children, grouped by name."""
+    durations: Dict[str, float] = defaultdict(float)
+    for child in children_of(spans, root):
+        durations[child["name"]] += child["duration"]
+    return dict(durations)
+
+
+# -- aggregation -----------------------------------------------------------
+
+
+def aggregate_spans(spans: Iterable[SpanRecord]) -> List[List[str]]:
+    """Per-span-name latency rows: name, count, total/mean/max seconds."""
+    totals: Dict[str, List[float]] = defaultdict(list)
+    for span in spans:
+        totals[span["name"]].append(span["duration"])
+    rows = []
+    for name in sorted(totals, key=lambda n: -sum(totals[n])):
+        values = totals[name]
+        rows.append(
+            [
+                name,
+                str(len(values)),
+                f"{sum(values):.4f}",
+                f"{sum(values) / len(values):.4f}",
+                f"{max(values):.4f}",
+            ]
+        )
+    return rows
+
+
+def aggregate_events(events: Iterable[Dict[str, Any]]) -> List[List[str]]:
+    """Per-event-name counts; syscall/feature events keep their most
+    informative tag (context / feature) as part of the key."""
+    counts: Dict[str, int] = defaultdict(int)
+    for event in events:
+        tags = event.get("tags") or {}
+        label = event["name"]
+        if "context" in tags:
+            label += f"{{context={tags['context']}}}"
+        if "feature" in tags:
+            label += f"{{feature={tags['feature']}}}"
+        counts[label] += 1
+    return [[label, str(count)] for label, count in sorted(counts.items())]
+
+
+def aggregate_metrics(metrics: Iterable[Dict[str, Any]]) -> List[List[str]]:
+    rows = []
+    for record in metrics:
+        if record.get("kind") == "histogram":
+            value = (
+                f"count={record.get('count')} mean={record.get('mean', 0):.4g} "
+                f"max={record.get('max')}"
+            )
+        else:
+            value = f"{record.get('value')}"
+        rows.append([record.get("kind", "?"), record.get("key", record.get("name", "?")), value])
+    return sorted(rows)
+
+
+def render_report(path: Union[str, Path]) -> str:
+    """The full ``repro report`` output for one JSONL trace."""
+    from repro.analysis import format_table
+
+    trace = read_trace(path)
+    sections: List[str] = []
+
+    span_rows = aggregate_spans(trace["spans"])
+    if span_rows:
+        sections.append(
+            "Per-phase latency (spans)\n"
+            + format_table(
+                ["span", "count", "total (s)", "mean (s)", "max (s)"], span_rows
+            )
+        )
+    event_rows = aggregate_events(trace["events"])
+    if event_rows:
+        sections.append(
+            "Event counts\n" + format_table(["event", "count"], event_rows)
+        )
+    metric_rows = aggregate_metrics(trace["metrics"])
+    if metric_rows:
+        sections.append(
+            "Metrics\n" + format_table(["kind", "metric", "value"], metric_rows)
+        )
+    if not sections:
+        return f"(no records in {path})"
+    return "\n\n".join(sections)

@@ -1,0 +1,180 @@
+"""Pluggable output sinks for the observability layer.
+
+A sink receives three record kinds, each a plain JSON-serialisable
+dict carrying a ``"type"`` key:
+
+``span``
+    A finished :class:`~repro.obs.trace.Span` (children are emitted
+    before their parents, since a span is emitted when it *closes*).
+``event``
+    A point-in-time occurrence (a hooked syscall, a feature firing, a
+    context enter/leave) attached to the currently open span.
+``metric``
+    One aggregated metric (counter / gauge / histogram), emitted by
+    :meth:`repro.obs.metrics.Metrics.flush`.
+
+The process-wide default is :data:`NULL_SINK`: its ``enabled`` flag is
+False, which the hot paths (one event per hooked syscall) check before
+building any record at all — so with no sink configured the layer costs
+a single attribute lookup per event site.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List, Optional, TextIO
+
+
+class Sink:
+    """Base class for span/event/metric consumers."""
+
+    #: Hot paths skip record construction entirely when this is False.
+    enabled: bool = True
+
+    def emit_span(self, record: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def emit_event(self, record: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def emit_metric(self, record: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release any resources (idempotent)."""
+
+
+class NullSink(Sink):
+    """Discards everything; the near-zero-overhead default."""
+
+    enabled = False
+
+    def emit_span(self, record: Dict[str, Any]) -> None:
+        pass
+
+    def emit_event(self, record: Dict[str, Any]) -> None:
+        pass
+
+    def emit_metric(self, record: Dict[str, Any]) -> None:
+        pass
+
+
+#: Shared default instance (sinks are stateless unless they buffer).
+NULL_SINK = NullSink()
+
+
+class MemorySink(Sink):
+    """Keeps every record in memory — for tests and benchmarks."""
+
+    def __init__(self) -> None:
+        self.spans: List[Dict[str, Any]] = []
+        self.events: List[Dict[str, Any]] = []
+        self.metrics: List[Dict[str, Any]] = []
+
+    def emit_span(self, record: Dict[str, Any]) -> None:
+        self.spans.append(record)
+
+    def emit_event(self, record: Dict[str, Any]) -> None:
+        self.events.append(record)
+
+    def emit_metric(self, record: Dict[str, Any]) -> None:
+        self.metrics.append(record)
+
+    # -- conveniences used by tests/benchmarks ---------------------------
+
+    def spans_named(self, name: str) -> List[Dict[str, Any]]:
+        return [s for s in self.spans if s["name"] == name]
+
+    def events_named(self, name: str) -> List[Dict[str, Any]]:
+        return [e for e in self.events if e["name"] == name]
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.events.clear()
+        self.metrics.clear()
+
+
+class JSONLSink(Sink):
+    """Appends one JSON object per line to a file (``--trace`` output)."""
+
+    def __init__(self, path: Any) -> None:
+        self.path = str(path)
+        self._fh: Optional[TextIO] = open(self.path, "w", encoding="utf-8")
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        if self._fh is None:
+            return
+        self._fh.write(json.dumps(record, sort_keys=True, default=str))
+        self._fh.write("\n")
+
+    def emit_span(self, record: Dict[str, Any]) -> None:
+        self._write(record)
+
+    def emit_event(self, record: Dict[str, Any]) -> None:
+        self._write(record)
+
+    def emit_metric(self, record: Dict[str, Any]) -> None:
+        self._write(record)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class StderrSink(Sink):
+    """Human-readable one-liners, for interactive debugging."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self._stream = stream
+
+    @property
+    def stream(self) -> TextIO:
+        return self._stream if self._stream is not None else sys.stderr
+
+    @staticmethod
+    def _tags(record: Dict[str, Any]) -> str:
+        tags = record.get("tags") or {}
+        return " ".join(f"{k}={v}" for k, v in sorted(tags.items()))
+
+    def emit_span(self, record: Dict[str, Any]) -> None:
+        self.stream.write(
+            f"[span]   {record['name']} {record['duration'] * 1000:.2f}ms "
+            f"{self._tags(record)}\n"
+        )
+
+    def emit_event(self, record: Dict[str, Any]) -> None:
+        self.stream.write(f"[event]  {record['name']} {self._tags(record)}\n")
+
+    def emit_metric(self, record: Dict[str, Any]) -> None:
+        self.stream.write(
+            f"[metric] {record['kind']} {record['key']} = {record['value']}\n"
+        )
+
+
+class TeeSink(Sink):
+    """Fans every record out to several sinks (e.g. file + stderr)."""
+
+    def __init__(self, *sinks: Sink) -> None:
+        self.sinks = list(sinks)
+
+    @property  # type: ignore[override]
+    def enabled(self) -> bool:
+        return any(s.enabled for s in self.sinks)
+
+    def emit_span(self, record: Dict[str, Any]) -> None:
+        for sink in self.sinks:
+            sink.emit_span(record)
+
+    def emit_event(self, record: Dict[str, Any]) -> None:
+        for sink in self.sinks:
+            sink.emit_event(record)
+
+    def emit_metric(self, record: Dict[str, Any]) -> None:
+        for sink in self.sinks:
+            sink.emit_metric(record)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()

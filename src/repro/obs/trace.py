@@ -1,0 +1,161 @@
+"""Nestable spans over a monotonic clock.
+
+A :class:`Tracer` owns a stack of open spans; ``tracer.span(name)`` is
+a context manager that opens a child of whatever span is currently on
+top, so parent/child ids fall out of ordinary ``with`` nesting:
+
+    with tracer.span("pipeline.scan", document=name):
+        with tracer.span("instrument.parse") as sp:
+            ...
+        parse_seconds = sp.duration
+
+Spans are *always* timed (``time.perf_counter``), even with the
+:class:`~repro.obs.sinks.NullSink` installed, because callers read
+``span.duration`` directly (the Table X phase timings are sourced this
+way); only the *emission* to the sink is skipped when disabled.  Point
+events (``tracer.event``) are the per-syscall hot path and are skipped
+entirely when the sink is disabled.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs.sinks import NULL_SINK, Sink
+
+
+class Span:
+    """One timed, tagged operation; part of a parent/child tree."""
+
+    __slots__ = ("name", "span_id", "parent_id", "tags", "start", "end")
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        tags: Dict[str, Any],
+        start: float,
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.tags = tags
+        self.start = start
+        self.end: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        """Seconds between enter and exit (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def set_tag(self, key: str, value: Any) -> None:
+        self.tags[key] = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "tags": dict(self.tags),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, id={self.span_id}, {self.duration:.6f}s)"
+
+
+class _ActiveSpan:
+    """Context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_name", "_tags", "span")
+
+    def __init__(self, tracer: "Tracer", name: str, tags: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._tags = tags
+        self.span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self.span = self._tracer._open(self._name, self._tags)
+        return self.span
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        assert self.span is not None
+        if exc_type is not None:
+            self.span.tags["error"] = exc_type.__name__
+        self._tracer._close(self.span)
+        return None
+
+
+class Tracer:
+    """Span factory + event emitter bound to one sink."""
+
+    def __init__(
+        self,
+        sink: Optional[Sink] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.sink = sink if sink is not None else NULL_SINK
+        self.clock = clock if clock is not None else time.perf_counter
+        self._ids = itertools.count(1)
+        self._stack: List[Span] = []
+
+    @property
+    def enabled(self) -> bool:
+        return self.sink.enabled
+
+    @property
+    def current_span(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    # -- spans ------------------------------------------------------------
+
+    def span(self, name: str, **tags: Any) -> _ActiveSpan:
+        """Open a nested span: ``with tracer.span("x", k=v) as sp:``."""
+        return _ActiveSpan(self, name, tags)
+
+    def _open(self, name: str, tags: Dict[str, Any]) -> Span:
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(name, next(self._ids), parent, tags, self.clock())
+        self._stack.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        span.end = self.clock()
+        # Normal `with` nesting pops the top; be defensive about
+        # out-of-order exits so one misuse cannot corrupt the stack.
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:
+            self._stack.remove(span)
+        if self.sink.enabled:
+            self.sink.emit_span(span.to_dict())
+
+    # -- point events ------------------------------------------------------
+
+    def event(self, name: str, **tags: Any) -> None:
+        """Emit a point event attached to the currently open span.
+
+        No-op (one attribute check) when the sink is disabled — this is
+        the per-hooked-syscall hot path.
+        """
+        if not self.sink.enabled:
+            return
+        current = self._stack[-1].span_id if self._stack else None
+        self.sink.emit_event(
+            {
+                "type": "event",
+                "name": name,
+                "time": self.clock(),
+                "span_id": current,
+                "tags": tags,
+            }
+        )

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import urlparse
 
+from repro import obs as obs_mod
 from repro.js.errors import JSError, ReaderCrash, ResourceLimitExceeded
 from repro.js.interpreter import Host, Interpreter
 from repro.js.values import JSArray, JSObject, UNDEFINED, to_string
@@ -69,7 +70,7 @@ class _ReaderJSHost(Host):
         self.allocated_bytes += nbytes
         handle = self.handle
         handle.js_heap_bytes += nbytes
-        process = self.reader.process
+        process = self.reader.current_process
         if process is not None and process.alive:
             process.alloc(handle.memory_tag("js"), nbytes)
 
@@ -214,6 +215,7 @@ class Reader:
         trampoline: Optional[TrampolineDLL] = None,
         detector_channel: Optional[LoopbackChannel] = None,
         max_js_steps: int = 20_000_000,
+        obs: Optional[obs_mod.Observability] = None,
     ) -> None:
         self.system = system if system is not None else System()
         self.version = version
@@ -222,8 +224,9 @@ class Reader:
         self.trampoline = trampoline
         self.detector_channel = detector_channel
         self.max_js_steps = max_js_steps
+        self.obs = obs if obs is not None else obs_mod.get_default()
         self.gateway = SyscallGateway(self.system)
-        self.process: Optional[Process] = None
+        self._process: Optional[Process] = None
         self.handles: List[DocumentHandle] = []
         self.timers: List[TimerEntry] = []
         self._next_doc_id = 1
@@ -234,15 +237,26 @@ class Reader:
 
     # -- process lifecycle -------------------------------------------------
 
-    def _ensure_process(self) -> Process:
-        if self.process is None or not self.process.alive:
-            self.process = self.system.spawn_reader()
+    def process(self) -> Process:
+        """The reader's OS process, spawning (or respawning) it if needed.
+
+        This is the public accessor the pipeline uses to attach the
+        runtime monitor; :attr:`current_process` reads the last process
+        without side effects (it may be dead or ``None``).
+        """
+        if self._process is None or not self._process.alive:
+            self._process = self.system.spawn_reader()
             if self.trampoline is not None:
-                self.trampoline.on_process_start(self.process, self.detector_channel)
-        return self.process
+                self.trampoline.on_process_start(self._process, self.detector_channel)
+        return self._process
+
+    @property
+    def current_process(self) -> Optional[Process]:
+        """The last spawned process, without respawning a dead one."""
+        return self._process
 
     def syscall(self, api: str, via_import_table: bool = True, **args: Any) -> Any:
-        process = self._ensure_process()
+        process = self.process()
         return self.gateway.invoke(
             process, api, via_import_table=via_import_table, **args
         )
@@ -252,13 +266,23 @@ class Reader:
         return self.system.clock
 
     def memory_counters(self):
-        return self._ensure_process().memory_counters()
+        return self.process().memory_counters()
 
     # -- opening documents ----------------------------------------------------
 
     def open(self, data: bytes, name: str = "document.pdf") -> OpenOutcome:
         """Open a document: parse, render, and fire its open triggers."""
-        process = self._ensure_process()
+        with self.obs.tracer.span("reader.open", document=name, bytes=len(data)) as sp:
+            virtual_start = self.clock.now()
+            try:
+                outcome = self._open_inner(data, name)
+            finally:
+                sp.set_tag("virtual_s", self.clock.now() - virtual_start)
+            sp.set_tag("crashed", outcome.crashed)
+            return outcome
+
+    def _open_inner(self, data: bytes, name: str) -> OpenOutcome:
+        process = self.process()
         try:
             document = PDFDocument.from_bytes(data)
         except PDFParseError as exc:
@@ -335,11 +359,11 @@ class Reader:
             for h in self.handles
             if h.open and h.doc_info().get("Title", "") == title
         ]
-        if len(same) == MEMOPT_COPY_THRESHOLD and self.process is not None:
+        if len(same) == MEMOPT_COPY_THRESHOLD and self._process is not None:
             for h in same[:-1]:
                 tag = h.memory_tag("render")
-                current = self.process._allocations.get(tag, 0)
-                self.process.set_bucket(tag, int(current * MEMOPT_KEEP_FRACTION))
+                current = self._process._allocations.get(tag, 0)
+                self._process.set_bucket(tag, int(current * MEMOPT_KEEP_FRACTION))
 
     # -- embedded (non-JS) exploit content ---------------------------------------
 
@@ -451,7 +475,7 @@ class Reader:
                 )
 
     def _injection_target(self) -> Optional[Process]:
-        reader_pid = self.process.pid if self.process else -1
+        reader_pid = self._process.pid if self._process else -1
         for process in self.system.running():
             if process.pid != reader_pid:
                 return process
@@ -563,6 +587,16 @@ class Reader:
 
     def pump(self, seconds: float = 10.0, max_fires: int = 100) -> int:
         """Advance virtual time, firing due timers. Returns fire count."""
+        with self.obs.tracer.span("reader.pump", seconds=seconds) as sp:
+            virtual_start = self.clock.now()
+            try:
+                fired = self._pump_inner(seconds, max_fires)
+            finally:
+                sp.set_tag("virtual_s", self.clock.now() - virtual_start)
+            sp.set_tag("fired", fired)
+            return fired
+
+    def _pump_inner(self, seconds: float, max_fires: int) -> int:
         deadline = self.clock.now() + seconds
         fired = 0
         while fired < max_fires:
@@ -619,23 +653,24 @@ class Reader:
     def close(self, handle: DocumentHandle) -> None:
         if not handle.open:
             return
-        try:
-            self.fire_event(handle, "WillClose")
-        finally:
-            handle.open = False
-            if self.process is not None:
-                self.process.free(handle.memory_tag("render"))
-                self.process.free(handle.memory_tag("js"))
+        with self.obs.tracer.span("reader.close", document=handle.name):
+            try:
+                self.fire_event(handle, "WillClose")
+            finally:
+                handle.open = False
+                if self._process is not None:
+                    self._process.free(handle.memory_tag("render"))
+                    self._process.free(handle.memory_tag("js"))
 
     def close_all(self) -> None:
         for handle in list(self.handles):
             self.close(handle)
-        if self.process is not None and self.process.alive:
-            self.process.exit()
+        if self._process is not None and self._process.alive:
+            self._process.exit()
 
     def _on_crash(self, reason: str) -> None:
-        if self.process is not None:
-            self.process.crash(reason)
+        if self._process is not None:
+            self._process.crash(reason)
         for handle in self.handles:
             if handle.open:
                 handle.open = False

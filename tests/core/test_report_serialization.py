@@ -1,0 +1,67 @@
+"""OpenReport.to_dict() must stay JSON-serialisable for every outcome
+class the pipeline can produce (the CLI and log sinks rely on it)."""
+
+import json
+
+import pytest
+
+from repro.core.pipeline import ProtectionPipeline
+from repro.pdf.builder import DocumentBuilder
+
+from tests.conftest import spray_js
+
+
+@pytest.fixture(scope="module")
+def pipe():
+    return ProtectionPipeline(seed=20140)
+
+
+def doc_with(code: str) -> bytes:
+    builder = DocumentBuilder()
+    builder.add_page("")
+    builder.add_javascript(code)
+    return builder.to_bytes()
+
+
+def roundtrip(report):
+    payload = json.loads(json.dumps(report.to_dict()))
+    assert payload["document"]
+    assert isinstance(payload["malscore"], (int, float))
+    return payload
+
+
+class TestToDictRoundTrip:
+    def test_malicious_report(self, pipe):
+        report = pipe.scan(doc_with(spray_js()), "mal.pdf")
+        assert report.verdict.malicious
+        payload = roundtrip(report)
+        assert payload["malicious"] is True
+        assert payload["features"]  # fired feature indices
+        assert len(payload["feature_names"]) == len(payload["features"])
+        assert payload["alerts"], "a conviction must serialise its alerts"
+        for alert in payload["alerts"]:
+            assert alert["document"] == "mal.pdf"
+            assert isinstance(alert["confinement"], list)
+
+    def test_inert_report(self, pipe):
+        report = pipe.scan(doc_with("app.alert('hi');"), "inert.pdf")
+        assert report.did_nothing
+        payload = roundtrip(report)
+        assert payload["malicious"] is False
+        assert payload["inert"] is True
+        assert payload["crashed"] is False
+        assert payload["alerts"] == []
+
+    def test_crashed_report(self, pipe):
+        # 8 MB of spray misses the hijack target: the reader crashes.
+        report = pipe.scan(doc_with(spray_js(spray_mb=8)), "crash.pdf")
+        assert report.crashed
+        payload = roundtrip(report)
+        assert payload["crashed"] is True
+        assert isinstance(payload["crash_reason"], str)
+        assert payload["inert"] is False
+
+    def test_quarantine_list_serialises(self, pipe):
+        report = pipe.scan(doc_with(spray_js()), "drop.pdf")
+        payload = roundtrip(report)
+        assert all(isinstance(path, str) for path in payload["quarantined"])

@@ -23,7 +23,8 @@ class TestNoUnconfinedExecution:
             session = pipe.session()
             protected = pipe.protect(sample.data, sample.name)
             session.open(protected)
-            reader_pid = session.reader.process.pid if session.reader.process else -1
+            current = session.reader.current_process
+            reader_pid = current.pid if current else -1
             for process in session.system.processes.values():
                 if process.pid == reader_pid:
                     continue

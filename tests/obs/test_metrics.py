@@ -1,0 +1,104 @@
+"""Counter/gauge/histogram aggregation in repro.obs.metrics."""
+
+import pytest
+
+from repro.obs import MemorySink, Metrics
+from repro.obs.metrics import Histogram
+
+
+class TestCounters:
+    def test_inc_accumulates(self):
+        metrics = Metrics()
+        metrics.inc("docs_scanned")
+        metrics.inc("docs_scanned")
+        metrics.inc("docs_scanned", 3)
+        assert metrics.counter_value("docs_scanned") == 5
+
+    def test_labels_create_distinct_series(self):
+        metrics = Metrics()
+        metrics.inc("syscalls", context="in_js")
+        metrics.inc("syscalls", context="in_js")
+        metrics.inc("syscalls", context="out_js")
+        assert metrics.counter_value("syscalls", context="in_js") == 2
+        assert metrics.counter_value("syscalls", context="out_js") == 1
+        assert metrics.counter_value("syscalls") == 0  # unlabelled is its own series
+
+    def test_label_order_is_irrelevant(self):
+        metrics = Metrics()
+        metrics.inc("x", a=1, b=2)
+        metrics.inc("x", b=2, a=1)
+        assert metrics.counter_value("x", b=2, a=1) == 2
+
+
+class TestGauges:
+    def test_set_overwrites(self):
+        metrics = Metrics()
+        metrics.set_gauge("resident_mb", 18.0)
+        metrics.set_gauge("resident_mb", 19.5)
+        assert metrics.gauge_value("resident_mb") == 19.5
+
+    def test_missing_gauge_is_none(self):
+        assert Metrics().gauge_value("nope") is None
+
+
+class TestHistograms:
+    def test_bucket_assignment(self):
+        histogram = Histogram(bounds=(1, 5, 10))
+        for value in (0.5, 1.0, 3, 10, 99):
+            histogram.observe(value)
+        # <=1: 0.5 and 1.0; <=5: 3; <=10: 10; overflow: 99.
+        assert histogram.bucket_counts == [2, 1, 1]
+        assert histogram.overflow == 1
+        assert histogram.count == 5
+        assert histogram.min == 0.5
+        assert histogram.max == 99
+        assert histogram.mean == pytest.approx((0.5 + 1 + 3 + 10 + 99) / 5)
+
+    def test_observe_via_registry(self):
+        metrics = Metrics()
+        for score in (0, 12, 28):
+            metrics.observe("malscore", score, buckets=(1, 10, 50))
+        histogram = metrics.histogram("malscore")
+        assert histogram.count == 3
+        assert histogram.bucket_counts == [1, 0, 2]
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+
+
+class TestSnapshotAndFlush:
+    def test_snapshot_keys(self):
+        metrics = Metrics()
+        metrics.inc("verdicts", malicious=True)
+        metrics.set_gauge("g", 1)
+        metrics.observe("h", 0.5)
+        snap = metrics.snapshot()
+        assert snap["counters"] == {"verdicts{malicious=True}": 1}
+        assert snap["gauges"] == {"g": 1}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_flush_emits_one_record_per_series(self):
+        sink = MemorySink()
+        metrics = Metrics(sink)
+        metrics.inc("a")
+        metrics.inc("a", context="x")
+        metrics.set_gauge("b", 2)
+        metrics.observe("c", 1.0)
+        metrics.flush()
+        assert len(sink.metrics) == 4
+        kinds = sorted(record["kind"] for record in sink.metrics)
+        assert kinds == ["counter", "counter", "gauge", "histogram"]
+        assert all(record["type"] == "metric" for record in sink.metrics)
+
+    def test_render_mentions_each_series(self):
+        metrics = Metrics()
+        metrics.inc("docs_scanned")
+        metrics.observe("malscore", 28, buckets=(10, 50))
+        text = metrics.render()
+        assert "docs_scanned" in text
+        assert "malscore" in text
+        assert "count=1" in text
+
+    def test_render_empty(self):
+        assert "no metrics" in Metrics().render()

@@ -1,0 +1,124 @@
+"""End-to-end: a pipeline scan emits the expected span tree + events."""
+
+import pytest
+
+from repro import obs
+from repro.core.pipeline import ProtectionPipeline
+from repro.obs import MemorySink, Observability
+
+
+@pytest.fixture()
+def traced_scan(malicious_doc_bytes):
+    """One malicious scan captured in memory: (sink, report)."""
+    observability = Observability(MemorySink())
+    pipeline = ProtectionPipeline(seed=77, obs=observability)
+    report = pipeline.scan(malicious_doc_bytes, "mal.pdf")
+    observability.flush()
+    return observability.sink, report
+
+
+class TestSpanTree:
+    def test_expected_spans_present(self, traced_scan):
+        sink, report = traced_scan
+        assert report.verdict.malicious
+        names = {s["name"] for s in sink.spans}
+        assert {
+            "pipeline.scan",
+            "pipeline.protect",
+            "instrument.document",
+            "instrument.parse",
+            "instrument.features",
+            "instrument.rewrite",
+            "session.open",
+            "reader.open",
+            "session.verdict",
+        } <= names
+
+    def test_parentage(self, traced_scan):
+        sink, _report = traced_scan
+        by_name = {s["name"]: s for s in sink.spans}
+
+        def parent_of(name):
+            parent_id = by_name[name]["parent_id"]
+            (parent,) = [s for s in sink.spans if s["span_id"] == parent_id]
+            return parent["name"]
+
+        assert parent_of("pipeline.protect") == "pipeline.scan"
+        assert parent_of("instrument.document") == "pipeline.protect"
+        assert parent_of("instrument.parse") == "instrument.document"
+        assert parent_of("session.open") == "pipeline.scan"
+        assert parent_of("reader.open") == "session.open"
+        assert parent_of("session.verdict") == "session.open"
+        assert by_name["pipeline.scan"]["parent_id"] is None
+
+    def test_session_tags(self, traced_scan):
+        sink, _report = traced_scan
+        (session_span,) = sink.spans_named("session.open")
+        assert session_span["tags"]["malicious"] is True
+        assert session_span["tags"]["virtual_s"] >= 0.0
+        (reader_span,) = sink.spans_named("reader.open")
+        assert reader_span["tags"]["document"] == "mal.pdf"
+
+
+class TestEvents:
+    def test_in_js_syscalls_tagged(self, traced_scan):
+        sink, _report = traced_scan
+        syscalls = sink.events_named("syscall")
+        assert syscalls, "hooked syscalls must emit events"
+        contexts = {e["tags"]["context"] for e in syscalls}
+        assert "in_js" in contexts  # the dropper runs inside JS context
+        assert all(e["tags"]["api"] for e in syscalls)
+
+    def test_feature_fired_events(self, traced_scan):
+        sink, report = traced_scan
+        fired = {e["tags"]["feature"] for e in sink.events_named("feature_fired")}
+        expected = {f"F{n}" for n in report.verdict.features.fired()}
+        assert fired == expected
+
+    def test_context_enter_leave(self, traced_scan):
+        sink, _report = traced_scan
+        assert sink.events_named("context.enter")
+        assert sink.events_named("context.leave")
+
+    def test_confinement_events_match_report(self, traced_scan):
+        sink, report = traced_scan
+        actions = [e["tags"]["action"] for e in sink.events_named("confinement")]
+        reported = [a for alert in report.alerts for a in alert.confinement_actions]
+        assert sorted(actions) == sorted(reported)
+        assert actions  # the dropper triggers quarantine + termination
+
+
+class TestMetrics:
+    def test_scan_counters(self, traced_scan):
+        sink, _report = traced_scan
+        by_key = {m["key"]: m["value"] for m in sink.metrics if m["kind"] == "counter"}
+        assert by_key["docs_scanned"] == 1
+        assert by_key["docs_protected"] == 1
+        assert by_key["verdicts{malicious=True}"] == 1
+        assert by_key["js_chains_found"] >= 1
+
+    def test_malscore_histogram(self, traced_scan):
+        sink, report = traced_scan
+        (histogram,) = [m for m in sink.metrics if m["kind"] == "histogram"]
+        assert histogram["name"] == "malscore"
+        assert histogram["count"] == 1
+        assert histogram["max"] == report.verdict.malscore
+
+
+class TestDisabledDefault:
+    def test_scan_without_obs_emits_nothing(self, malicious_doc_bytes):
+        pipeline = ProtectionPipeline(seed=78)
+        assert pipeline.obs.enabled is False
+        report = pipeline.scan(malicious_doc_bytes, "quiet.pdf")
+        assert report.verdict.malicious  # detection unaffected
+
+    def test_configure_sets_process_default(self, js_doc_bytes):
+        previous = obs.get_default()
+        try:
+            bundle = obs.configure(MemorySink())
+            pipeline = ProtectionPipeline(seed=79)
+            assert pipeline.obs is bundle
+            pipeline.scan(js_doc_bytes, "benign.pdf")
+            assert bundle.sink.spans_named("pipeline.scan")
+        finally:
+            obs.set_default(previous)

@@ -1,0 +1,119 @@
+"""Sink behaviour: JSONL round-trip, tee fan-out, null overhead gate."""
+
+import json
+
+from repro.obs import (
+    JSONLSink,
+    MemorySink,
+    NullSink,
+    Observability,
+    StderrSink,
+    TeeSink,
+    Tracer,
+)
+from repro.obs.report import read_trace
+
+
+class TestNullSink:
+    def test_disabled_flag(self):
+        assert NullSink().enabled is False
+        assert MemorySink().enabled is True
+
+    def test_default_observability_is_disabled(self):
+        obs = Observability()
+        assert obs.enabled is False
+        # Spans still usable (timings are read from them) — just unemitted.
+        with obs.tracer.span("x") as sp:
+            pass
+        assert sp.duration >= 0.0
+
+
+class TestJSONLRoundTrip:
+    def test_all_record_types_survive(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        obs = Observability(JSONLSink(path))
+        with obs.tracer.span("pipeline.scan", document="a.pdf"):
+            with obs.tracer.span("instrument.parse"):
+                pass
+            obs.tracer.event("syscall", api="CreateFileA", context="in_js")
+        obs.metrics.inc("docs_scanned")
+        obs.metrics.observe("malscore", 28, buckets=(10, 50))
+        obs.close()
+
+        trace = read_trace(path)
+        assert [s["name"] for s in trace["spans"]] == [
+            "instrument.parse",
+            "pipeline.scan",
+        ]
+        (event,) = trace["events"]
+        assert event["tags"] == {"api": "CreateFileA", "context": "in_js"}
+        kinds = sorted(m["kind"] for m in trace["metrics"])
+        assert kinds == ["counter", "histogram"]
+        assert not trace["other"]
+
+    def test_parent_ids_preserved(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(JSONLSink(path))
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        tracer.sink.close()
+        trace = read_trace(path)
+        by_name = {s["name"]: s for s in trace["spans"]}
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+
+    def test_every_line_is_json_with_type(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        obs = Observability(JSONLSink(path))
+        with obs.tracer.span("s"):
+            obs.tracer.event("e")
+        obs.metrics.inc("c")
+        obs.close()
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            assert record["type"] in ("span", "event", "metric")
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JSONLSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()
+        sink.emit_event({"type": "event", "name": "late"})  # silently dropped
+
+
+class TestOtherSinks:
+    def test_tee_fans_out(self):
+        a, b = MemorySink(), MemorySink()
+        tee = TeeSink(a, b)
+        tracer = Tracer(tee)
+        with tracer.span("x"):
+            tracer.event("e")
+        assert len(a.spans) == len(b.spans) == 1
+        assert len(a.events) == len(b.events) == 1
+
+    def test_tee_enabled_any(self):
+        assert TeeSink(NullSink(), MemorySink()).enabled is True
+        assert TeeSink(NullSink(), NullSink()).enabled is False
+
+    def test_stderr_sink_writes_lines(self):
+        import io
+
+        stream = io.StringIO()
+        obs = Observability(StderrSink(stream))
+        with obs.tracer.span("x", document="a.pdf"):
+            obs.tracer.event("syscall", api="CreateFileA")
+        obs.metrics.inc("c")
+        obs.close()
+        out = stream.getvalue()
+        assert "[span]" in out and "[event]" in out and "[metric]" in out
+
+    def test_memory_sink_helpers(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("a"):
+            tracer.event("e1")
+        with tracer.span("a"):
+            pass
+        assert len(sink.spans_named("a")) == 2
+        assert len(sink.events_named("e1")) == 1
+        sink.clear()
+        assert not sink.spans and not sink.events

@@ -1,0 +1,122 @@
+"""Span nesting, timing and emission semantics of repro.obs.trace."""
+
+import pytest
+
+from repro.obs import MemorySink, NullSink, Tracer
+
+
+def fake_clock(values):
+    """A deterministic clock yielding successive values."""
+    iterator = iter(values)
+    return lambda: next(iterator)
+
+
+class TestSpanNesting:
+    def test_parent_child_ids(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_siblings_share_parent(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("root") as root:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+        assert a.span_id != b.span_id
+
+    def test_children_emitted_before_parent(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [s["name"] for s in sink.spans] == ["inner", "outer"]
+
+    def test_current_span_tracks_stack(self):
+        tracer = Tracer(MemorySink())
+        assert tracer.current_span is None
+        with tracer.span("x") as sp:
+            assert tracer.current_span is sp
+        assert tracer.current_span is None
+
+
+class TestSpanTiming:
+    def test_duration_from_clock(self):
+        tracer = Tracer(MemorySink(), clock=fake_clock([10.0, 12.5]))
+        with tracer.span("timed") as sp:
+            pass
+        assert sp.duration == pytest.approx(2.5)
+
+    def test_duration_zero_while_open(self):
+        tracer = Tracer(MemorySink())
+        with tracer.span("open") as sp:
+            assert sp.duration == 0.0
+        assert sp.duration > 0.0
+
+    def test_nested_durations_nest(self):
+        # outer: 0 -> 10; inner: 2 -> 5.
+        tracer = Tracer(MemorySink(), clock=fake_clock([0.0, 2.0, 5.0, 10.0]))
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.duration == pytest.approx(3.0)
+        assert outer.duration == pytest.approx(10.0)
+        assert inner.duration < outer.duration
+
+    def test_spans_timed_even_when_disabled(self):
+        """PhaseTimings are derived from span durations, so timing must
+        work with the NullSink installed."""
+        tracer = Tracer(NullSink())
+        with tracer.span("still-timed") as sp:
+            pass
+        assert sp.end is not None
+        assert sp.duration >= 0.0
+
+
+class TestTagsAndErrors:
+    def test_tags_via_kwargs_and_set_tag(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("tagged", document="a.pdf") as sp:
+            sp.set_tag("scripts", 3)
+        record = sink.spans[0]
+        assert record["tags"] == {"document": "a.pdf", "scripts": 3}
+
+    def test_exception_tags_error_and_reraises(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("no")
+        assert sink.spans[0]["tags"]["error"] == "ValueError"
+        assert tracer.current_span is None  # stack unwound
+
+
+class TestEvents:
+    def test_event_attached_to_current_span(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("work") as sp:
+            tracer.event("tick", n=1)
+        assert sink.events[0]["span_id"] == sp.span_id
+        assert sink.events[0]["tags"] == {"n": 1}
+
+    def test_event_without_span(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        tracer.event("orphan")
+        assert sink.events[0]["span_id"] is None
+
+    def test_event_noop_when_disabled(self):
+        tracer = Tracer(NullSink())
+        tracer.event("never")  # must not raise, must not record
+        assert tracer.sink.enabled is False

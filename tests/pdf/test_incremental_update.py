@@ -110,7 +110,7 @@ class TestIncrementalInstrumentation:
         )
         session = pipe.session()
         session.monitor.register_document(result.key_text, "mal.pdf", result.features)
-        session.monitor.attach_reader_process(session.reader._ensure_process())
+        session.monitor.attach_reader_process(session.reader.process())
         outcome = session.reader.open(result.data, "mal.pdf")
         verdict = session.monitor.verdict_for(result.key_text)
         assert verdict.malicious

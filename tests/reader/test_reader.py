@@ -40,7 +40,7 @@ class TestOpenBasics:
 
     def test_render_memory_charged(self, simple_doc_bytes):
         reader = Reader()
-        before = reader._ensure_process().memory_counters().private_usage
+        before = reader.process().memory_counters().private_usage
         reader.open(simple_doc_bytes)
         after = reader.memory_counters().private_usage
         assert after > before
@@ -77,7 +77,7 @@ class TestOpenBasics:
         assert crash.crashed
         again = reader.open(DocumentBuilder().to_bytes())
         assert again.ok
-        assert reader.process.alive
+        assert reader.process().alive
 
 
 class TestInfection:
@@ -93,7 +93,7 @@ class TestInfection:
         reader = Reader()
         outcome = reader.open(spray_doc(spray_mb=8))
         assert outcome.crashed
-        assert reader.process.state is ProcessState.CRASHED
+        assert reader.current_process.state is ProcessState.CRASHED
         assert "unmapped memory" in outcome.crash_reason
 
     def test_bad_jump_payload_crashes(self):

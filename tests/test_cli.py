@@ -44,6 +44,35 @@ class TestScan:
         assert main(["scan", "--reader-version", "8.0", str(benign_file)]) == 0
 
 
+class TestScanTrace:
+    def test_trace_and_report(self, malicious_file, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main(["scan", str(malicious_file), "--trace", str(trace)]) == 1
+        capsys.readouterr()
+
+        types = set()
+        span_names = set()
+        for line in trace.read_text().splitlines():
+            record = json.loads(line)
+            types.add(record["type"])
+            if record["type"] == "span":
+                span_names.add(record["name"])
+        assert types == {"span", "event", "metric"}
+        assert {"pipeline.scan", "instrument.document", "session.open"} <= span_names
+
+        assert main(["report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline.scan" in out
+        assert "syscall" in out
+        assert "docs_scanned" in out
+
+    def test_metrics_summary_on_stderr(self, benign_file, capsys):
+        assert main(["scan", str(benign_file), "--metrics"]) == 0
+        captured = capsys.readouterr()
+        assert "docs_scanned" in captured.err
+        assert "docs_scanned" not in captured.out  # stdout stays clean
+
+
 class TestInstrumentRoundtrip:
     def test_instrument_then_deinstrument(self, benign_file, tmp_path, capsys):
         out = tmp_path / "inst.pdf"
