@@ -1,0 +1,47 @@
+"""Parallel batch scanning (``repro.batch``).
+
+The gateway-facing layer: fan a corpus of PDFs out over a worker pool,
+answer duplicates from a content-hash verdict cache, isolate hanging or
+crashing documents behind per-document timeouts/retries, and aggregate
+everything into a serialisable :class:`BatchReport`.
+
+Quickstart::
+
+    from repro.batch import BatchScanner
+
+    scanner = BatchScanner(jobs=4, backend="process", timeout=30.0)
+    report = scanner.scan_items([(name, data), ...])
+    print(report.summary())
+
+CLI: ``repro batch DIR --jobs 4 --timeout 30 --cache verdicts.json``.
+See ``docs/BATCH.md`` for architecture, cache format and timeout
+semantics.
+"""
+
+from repro.batch.cache import CACHE_FORMAT_VERSION, VerdictCache, content_digest
+from repro.batch.report import (
+    STATUS_ERRORED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    BatchItemResult,
+    BatchReport,
+    VerdictSummary,
+    percentile,
+)
+from repro.batch.scanner import BatchItem, BatchScanner, scan_corpus
+
+__all__ = [
+    "BatchItem",
+    "BatchItemResult",
+    "BatchReport",
+    "BatchScanner",
+    "CACHE_FORMAT_VERSION",
+    "STATUS_ERRORED",
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
+    "VerdictCache",
+    "VerdictSummary",
+    "content_digest",
+    "percentile",
+    "scan_corpus",
+]

@@ -14,6 +14,9 @@ Commands
     Print the five static features and the JavaScript chains.
 ``corpus OUTDIR [--benign N] [--benign-js N] [--malicious N] [--seed S]``
     Generate a labelled synthetic corpus on disk.
+``batch DIR [--jobs N] [--timeout S] [--cache FILE] [--json OUT]``
+    Scan every PDF under DIR in parallel (``repro.batch``): content-hash
+    verdict caching, per-document timeouts/retries, aggregated report.
 ``report TRACE.jsonl``
     Aggregate a trace produced by ``scan --trace`` into per-phase
     latency and event-count tables.
@@ -81,6 +84,52 @@ def _build_parser() -> argparse.ArgumentParser:
     corpus.add_argument("--benign-js", type=int, default=10)
     corpus.add_argument("--malicious", type=int, default=30)
     corpus.add_argument("--seed", type=int, default=2014)
+
+    batch = sub.add_parser("batch", help="parallel scan of a corpus directory")
+    batch.add_argument("dir", type=Path, help="directory of PDFs (or one file)")
+    batch.add_argument("--jobs", type=int, default=4, help="worker count")
+    batch.add_argument(
+        "--backend",
+        default="process",
+        choices=("thread", "process"),
+        help="worker pool kind (process = CPU parallelism; default)",
+    )
+    batch.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-document seconds per attempt (default: no limit)",
+    )
+    batch.add_argument(
+        "--retries", type=int, default=1,
+        help="extra attempts after a timeout/crash (default 1)",
+    )
+    batch.add_argument(
+        "--cache",
+        type=Path,
+        metavar="FILE",
+        help="persistent JSON verdict cache (created if missing)",
+    )
+    batch.add_argument(
+        "--no-cache", action="store_true",
+        help="disable verdict caching and deduplication",
+    )
+    batch.add_argument(
+        "--json",
+        type=Path,
+        metavar="OUT",
+        help="write the full BatchReport as JSON to OUT ('-' for stdout)",
+    )
+    batch.add_argument("--reader-version", default="9.0", choices=("8.0", "9.0"))
+    batch.add_argument(
+        "--trace", type=Path, metavar="FILE.jsonl",
+        help="write a JSONL span/metric trace of the batch run",
+    )
+    batch.add_argument(
+        "--metrics", action="store_true",
+        help="print an aggregated metrics summary to stderr",
+    )
 
     report = sub.add_parser("report", help="aggregate a scan trace")
     report.add_argument("trace", type=Path)
@@ -211,8 +260,71 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.batch import BatchScanner, VerdictCache
+    from repro.batch.scanner import _settings_fingerprint
+    from repro.core.pipeline import PipelineSettings
+    from repro.corpus.files import load_pdf_items
+
+    try:
+        obs = _build_scan_obs(args)
+    except OSError as error:
+        print(f"error: cannot open trace file: {error}", file=sys.stderr)
+        return 2
+    try:
+        items = load_pdf_items(args.dir)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not items:
+        print(f"error: no PDF files under {args.dir}", file=sys.stderr)
+        return 2
+
+    settings = PipelineSettings(reader_version=args.reader_version)
+    if args.no_cache:
+        cache = False
+    elif args.cache is not None:
+        cache = VerdictCache(
+            path=args.cache, fingerprint=_settings_fingerprint(settings)
+        )
+    else:
+        cache = None  # private in-memory cache
+    scanner = BatchScanner(
+        jobs=args.jobs,
+        backend=args.backend,
+        timeout=args.timeout,
+        retries=args.retries,
+        settings=settings,
+        cache=cache,
+        obs=obs,
+    )
+    report = scanner.scan_items(items)
+
+    print(report.summary())
+    if args.json is not None:
+        payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        if str(args.json) == "-":
+            print(payload)
+        else:
+            args.json.write_text(payload + "\n")
+            print(f"report written to {args.json}", file=sys.stderr)
+    if args.cache is not None and not args.no_cache:
+        print(f"verdict cache saved to {args.cache}", file=sys.stderr)
+    if obs is not None:
+        if args.metrics:
+            print(obs.metrics.render(), file=sys.stderr)
+        obs.close()
+        if args.trace is not None:
+            print(f"trace written to {args.trace}", file=sys.stderr)
+    counts = report.counts
+    if counts["errored"] or counts["timeout"]:
+        return 2
+    return 1 if counts["malicious"] else 0
+
+
 _COMMANDS = {
     "scan": _cmd_scan,
+    "batch": _cmd_batch,
     "instrument": _cmd_instrument,
     "deinstrument": _cmd_deinstrument,
     "features": _cmd_features,

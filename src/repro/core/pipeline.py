@@ -26,15 +26,24 @@ from repro.core.deinstrument import (
     DeinstrumentationSpec,
     deinstrument,
 )
-from repro.core.detector import DetectorConfig, Verdict
+from repro.core.detector import DetectorConfig, FeatureVector, Verdict
 from repro.core.instrument import InstrumentationResult, Instrumenter
 from repro.core.keys import KeyStore
 from repro.core.runtime_monitor import Alert, RuntimeMonitor
 from repro.core.soap import TinySOAPServer
 from repro.core.static_features import StaticFeatures
+from repro.pdf.filters import FilterError
+from repro.pdf.lexer import LexerError
+from repro.pdf.parser import PDFParseError
 from repro.reader.reader import OpenOutcome, Reader
 from repro.winapi.hooks import DETECTOR_EVENT_PORT, HookMode, TrampolineDLL
 from repro.winapi.process import System
+
+#: Exceptions a hostile/corrupt download can legitimately raise out of
+#: the parsing front-end.  ``scan`` converts these into an ``errored``
+#: :class:`OpenReport` instead of letting them escape — a gateway
+#: filter must keep running whatever bytes arrive.
+PARSE_ERRORS = (PDFParseError, LexerError, FilterError)
 
 
 @dataclass
@@ -57,37 +66,65 @@ class ProtectedDocument:
 
 @dataclass
 class OpenReport:
-    """Everything observed while opening one protected document."""
+    """Everything observed while opening one protected document.
 
-    protected: ProtectedDocument
-    outcome: OpenOutcome
+    ``protected``/``outcome`` are ``None`` only for *errored* reports —
+    documents the front-end could not even parse (see
+    :meth:`errored_report`); every real open carries both.
+    """
+
+    protected: Optional[ProtectedDocument]
+    outcome: Optional[OpenOutcome]
     verdict: Verdict
     alerts: List[Alert] = field(default_factory=list)
     fake_messages: int = 0
     quarantined_files: List[str] = field(default_factory=list)
+    #: Parse/filter error text when the document never reached phase II.
+    error: Optional[str] = None
+
+    @classmethod
+    def errored_report(cls, name: str, error: str) -> "OpenReport":
+        """A structured report for a document that could not be scanned."""
+        verdict = Verdict(
+            malicious=False,
+            malscore=0.0,
+            features=FeatureVector(tuple([0] * 13)),
+            document=name,
+            reasons=[f"scan errored: {error}"],
+        )
+        return cls(protected=None, outcome=None, verdict=verdict, error=error)
+
+    @property
+    def errored(self) -> bool:
+        """The document never produced a verdict (e.g. unparseable)."""
+        return self.error is not None
 
     @property
     def crashed(self) -> bool:
+        if self.outcome is None:
+            return False
         return self.outcome.crashed or self.outcome.handle.crashed
 
     @property
     def did_nothing(self) -> bool:
         """No in-JS sensitive op, no crash: the sample was inert (the
         paper's 58 "noise" samples whose CVEs missed the reader version)."""
-        return not self.crashed and not self.verdict.features.any_in_js
+        return not self.errored and not self.crashed and not self.verdict.features.any_in_js
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serialisable summary (used by the CLI and log sinks)."""
         return {
-            "document": self.protected.name,
-            "key": self.protected.key_text,
+            "document": self.protected.name if self.protected else self.verdict.document,
+            "key": self.protected.key_text if self.protected else None,
             "malicious": self.verdict.malicious,
             "malscore": self.verdict.malscore,
             "features": self.verdict.features.fired(),
             "feature_names": self.verdict.features.fired_names(),
             "reasons": list(self.verdict.reasons),
             "crashed": self.crashed,
-            "crash_reason": self.outcome.crash_reason,
+            "crash_reason": self.outcome.crash_reason if self.outcome else None,
+            "errored": self.errored,
+            "error": self.error,
             "inert": self.did_nothing,
             "fake_messages": self.fake_messages,
             "quarantined": list(self.quarantined_files),
@@ -197,6 +234,33 @@ class MonitoredSession:
         self.monitor.on_reader_closed()
 
 
+@dataclass(frozen=True)
+class PipelineSettings:
+    """Everything needed to (re)build an equivalent pipeline.
+
+    Picklable on purpose: the batch layer ships settings to worker
+    threads *and* worker processes, each of which builds its own
+    pipeline (``ProtectionPipeline`` instances share mutable state —
+    key store, instrumenter RNG, persistent executables — and are not
+    safe to share across workers).
+    """
+
+    reader_version: str = "9.0"
+    seed: Optional[int] = 1301
+    hook_mode: HookMode = HookMode.IAT
+    config: Optional[DetectorConfig] = None
+
+    def build(self, obs: Optional[obs_mod.Observability] = None) -> "ProtectionPipeline":
+        """A fresh, fully independent pipeline with these settings."""
+        return ProtectionPipeline(
+            config=self.config,
+            reader_version=self.reader_version,
+            seed=self.seed,
+            hook_mode=self.hook_mode,
+            obs=obs,
+        )
+
+
 class ProtectionPipeline:
     """The deployed system: front-end + per-session back-end."""
 
@@ -212,6 +276,12 @@ class ProtectionPipeline:
         self.config = config if config is not None else DetectorConfig()
         self.reader_version = reader_version
         self.hook_mode = hook_mode
+        self.settings = PipelineSettings(
+            reader_version=reader_version,
+            seed=seed,
+            hook_mode=hook_mode,
+            config=config,
+        )
         self.obs = obs if obs is not None else obs_mod.get_default()
         self.key_store = KeyStore.create(seed)
         self.instrumenter = Instrumenter(
@@ -225,6 +295,25 @@ class ProtectionPipeline:
             if deinstrument_policy is not None
             else DeinstrumentationPolicy()
         )
+
+    def fork(self, obs: Optional[obs_mod.Observability] = None) -> "ProtectionPipeline":
+        """A fresh pipeline with identical settings but its own state.
+
+        This is the re-entrancy primitive the batch layer relies on:
+        forked pipelines never share the key store, instrumenter RNG or
+        monitor state, so each worker can scan concurrently.  Verdicts
+        are seed-determined, so a fork scans any document to the same
+        verdict as the original (see ``tests/property``).
+        """
+        return self.settings.build(obs=obs)
+
+    @classmethod
+    def from_settings(
+        cls,
+        settings: PipelineSettings,
+        obs: Optional[obs_mod.Observability] = None,
+    ) -> "ProtectionPipeline":
+        return settings.build(obs=obs)
 
     # -- Phase I -----------------------------------------------------------
 
@@ -276,18 +365,32 @@ class ProtectionPipeline:
             session.close()
 
     def scan(self, data: bytes, name: str = "document.pdf") -> OpenReport:
-        """Protect + open in one go (the common end-host flow)."""
-        with self.obs.tracer.span("pipeline.scan", document=name):
-            report = self.open_protected(self.protect(data, name))
+        """Protect + open in one go (the common end-host flow).
+
+        Malformed/truncated input never raises: parser-level failures
+        come back as a structured report with ``errored=True`` (the
+        gateway keeps serving the rest of its queue).
+        """
+        with self.obs.tracer.span("pipeline.scan", document=name) as span:
+            try:
+                report = self.open_protected(self.protect(data, name))
+            except PARSE_ERRORS as error:
+                report = OpenReport.errored_report(
+                    name, f"{type(error).__name__}: {error}"
+                )
+                span.set_tag("errored", True)
         if self.obs.enabled:
             metrics = self.obs.metrics
             metrics.inc("docs_scanned")
-            metrics.inc("verdicts", malicious=report.verdict.malicious)
-            metrics.observe(
-                "malscore",
-                report.verdict.malscore,
-                buckets=(0, 1, 2, 5, 10, 15, 20, 30, 50),
-            )
+            if report.errored:
+                metrics.inc("scan_errors")
+            else:
+                metrics.inc("verdicts", malicious=report.verdict.malicious)
+                metrics.observe(
+                    "malscore",
+                    report.verdict.malscore,
+                    buckets=(0, 1, 2, 5, 10, 15, 20, 30, 50),
+                )
         return report
 
     # -- De-instrumentation --------------------------------------------------------

@@ -26,6 +26,7 @@ from repro.corpus.dataset import (
     test_scale,
 )
 from repro.corpus.benign import BenignFactory, BenignKind
+from repro.corpus.files import dataset_items, iter_pdf_paths, load_pdf_items
 from repro.corpus.malicious import MaliciousFactory, MaliciousKind
 
 __all__ = [
@@ -37,6 +38,9 @@ __all__ = [
     "MaliciousKind",
     "Sample",
     "build_dataset",
+    "dataset_items",
+    "iter_pdf_paths",
+    "load_pdf_items",
     "paper_scale",
     "test_scale",
 ]

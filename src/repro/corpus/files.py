@@ -1,0 +1,57 @@
+"""On-disk corpus enumeration (the input side of ``repro batch``).
+
+``repro corpus OUTDIR`` writes a generated corpus to disk; these
+helpers walk such a directory (or any directory of PDFs) back into the
+``(name, bytes)`` items the batch scanner consumes.  Enumeration is
+sorted for determinism — a batch report over the same tree always
+lists items in the same order.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, List, Tuple, Union
+
+PathLike = Union[str, Path]
+
+#: Case-insensitive suffixes treated as PDF documents.
+PDF_SUFFIXES = (".pdf", ".fdf")
+
+
+def iter_pdf_paths(root: PathLike, recursive: bool = True) -> Iterator[Path]:
+    """Yield PDF files under ``root`` in sorted order.
+
+    ``root`` may also be a single file, which is yielded as-is (so the
+    CLI accepts both a directory and one document).
+    """
+    base = Path(root)
+    if base.is_file():
+        yield base
+        return
+    if not base.is_dir():
+        raise FileNotFoundError(f"no such file or directory: {base}")
+    pattern = "**/*" if recursive else "*"
+    for path in sorted(base.glob(pattern)):
+        if path.is_file() and path.suffix.lower() in PDF_SUFFIXES:
+            yield path
+
+
+def load_pdf_items(
+    root: PathLike, recursive: bool = True
+) -> List[Tuple[str, bytes]]:
+    """Read every PDF under ``root`` into ``(relative_name, bytes)``.
+
+    Names are paths relative to ``root`` so reports stay readable and
+    stable regardless of where the corpus directory lives.
+    """
+    base = Path(root)
+    items: List[Tuple[str, bytes]] = []
+    for path in iter_pdf_paths(base, recursive=recursive):
+        name = str(path.relative_to(base)) if base.is_dir() else path.name
+        items.append((name, path.read_bytes()))
+    return items
+
+
+def dataset_items(dataset: "object") -> List[Tuple[str, bytes]]:
+    """Flatten a :class:`repro.corpus.dataset.Dataset` into batch items."""
+    return [(sample.name, sample.data) for sample in dataset.all_samples()]  # type: ignore[attr-defined]

@@ -105,6 +105,29 @@ def aggregate_metrics(metrics: Iterable[Dict[str, Any]]) -> List[List[str]]:
     return sorted(rows)
 
 
+def aggregate_batch(spans: Iterable[SpanRecord]) -> List[List[str]]:
+    """Per-status rows from ``batch.document`` spans (``repro batch
+    --trace``): count, attempts and worker-side scan-time stats."""
+    by_status: Dict[str, List[SpanRecord]] = defaultdict(list)
+    for span in spans_named(spans, "batch.document"):
+        by_status[span.get("tags", {}).get("status", "?")].append(span)
+    rows = []
+    for status in sorted(by_status):
+        group = by_status[status]
+        seconds = [s["tags"].get("scan_seconds", 0.0) for s in group]
+        attempts = sum(s["tags"].get("attempts", 0) for s in group)
+        rows.append(
+            [
+                status,
+                str(len(group)),
+                str(attempts),
+                f"{sum(seconds):.4f}",
+                f"{max(seconds):.4f}" if seconds else "-",
+            ]
+        )
+    return rows
+
+
 def render_report(path: Union[str, Path]) -> str:
     """The full ``repro report`` output for one JSONL trace."""
     from repro.analysis import format_table
@@ -112,6 +135,16 @@ def render_report(path: Union[str, Path]) -> str:
     trace = read_trace(path)
     sections: List[str] = []
 
+    batch_rows = aggregate_batch(trace["spans"])
+    if batch_rows:
+        sections.append(
+            "Batch documents (by status)\n"
+            + format_table(
+                ["status", "documents", "attempts", "scan total (s)",
+                 "scan max (s)"],
+                batch_rows,
+            )
+        )
     span_rows = aggregate_spans(trace["spans"])
     if span_rows:
         sections.append(

@@ -1,0 +1,74 @@
+"""Shared definition of the golden regression corpus.
+
+The golden corpus is every document both generators emit at a fixed,
+structurally-complete scale; its verdicts are pinned in
+``tests/data/golden_verdicts.json``.  The test and the regeneration
+command must agree on corpus and scan settings, so both import from
+here.
+
+Regenerate (only after an *intentional* behaviour change)::
+
+    PYTHONPATH=src python -m tests.batch.golden
+
+then review the diff of ``tests/data/golden_verdicts.json`` and commit
+it together with the change that moved the verdicts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+from repro.batch import BatchScanner
+from repro.core.pipeline import PipelineSettings
+from repro.corpus import CorpusConfig, build_dataset, dataset_items
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "data" / "golden_verdicts.json"
+
+#: Small but complete: every benign/malicious generator kind appears.
+GOLDEN_CONFIG = CorpusConfig(
+    n_benign=24, n_benign_with_js=8, n_malicious=32,
+    benign_seed=1963, malicious_seed=2014,
+)
+
+#: The same seed the batch scanner's workers fork from.
+GOLDEN_SETTINGS = PipelineSettings(seed=1301)
+
+REGEN_COMMAND = "PYTHONPATH=src python -m tests.batch.golden"
+
+
+def scan_golden_corpus(jobs: int = 2) -> Dict[str, Dict[str, object]]:
+    """Scan the golden corpus and return ``name -> verdict record``."""
+    items = dataset_items(build_dataset(GOLDEN_CONFIG))
+    report = BatchScanner(jobs=jobs, settings=GOLDEN_SETTINGS).scan_items(items)
+    verdicts: Dict[str, Dict[str, object]] = {}
+    for item in report.items:
+        assert item.verdict is not None, f"{item.name}: {item.status}"
+        verdicts[item.name] = {
+            "malicious": item.verdict.malicious,
+            "malscore": item.verdict.malscore,
+            "features": list(item.verdict.features),
+        }
+    return verdicts
+
+
+def load_golden() -> Dict[str, Dict[str, object]]:
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+def main() -> None:
+    verdicts = scan_golden_corpus()
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(verdicts, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    malicious = sum(1 for v in verdicts.values() if v["malicious"])
+    print(
+        f"wrote {len(verdicts)} golden verdict(s) "
+        f"({malicious} malicious) to {GOLDEN_PATH}"
+    )
+
+
+if __name__ == "__main__":
+    main()

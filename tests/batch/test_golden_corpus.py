@@ -1,0 +1,63 @@
+"""Golden regression corpus: verdicts must not drift.
+
+Every document both corpus generators emit (at the pinned golden scale)
+is scanned through :class:`repro.batch.BatchScanner` and compared
+against the checked-in ``tests/data/golden_verdicts.json``.  A mismatch
+means detection behaviour changed: either fix the regression, or — if
+the change is intentional — regenerate the file and commit it alongside
+the change (the failure message prints the command).
+"""
+
+import pytest
+
+from tests.batch.golden import (
+    GOLDEN_PATH,
+    REGEN_COMMAND,
+    load_golden,
+    scan_golden_corpus,
+)
+
+pytestmark = [pytest.mark.batch, pytest.mark.slow]
+
+
+def _describe(record):
+    flag = "MALICIOUS" if record["malicious"] else "benign"
+    return f"{flag} malscore={record['malscore']:g} features={record['features']}"
+
+
+def test_golden_corpus_verdicts_stable():
+    assert GOLDEN_PATH.exists(), (
+        f"golden file missing: {GOLDEN_PATH}\nregenerate with: {REGEN_COMMAND}"
+    )
+    expected = load_golden()
+    actual = scan_golden_corpus(jobs=2)
+
+    problems = []
+    for name in sorted(set(expected) | set(actual)):
+        if name not in actual:
+            problems.append(f"  {name}: missing from scan (was {_describe(expected[name])})")
+        elif name not in expected:
+            problems.append(f"  {name}: new document, not in golden file")
+        elif expected[name] != actual[name]:
+            problems.append(
+                f"  {name}:\n"
+                f"    golden : {_describe(expected[name])}\n"
+                f"    actual : {_describe(actual[name])}"
+            )
+    if problems:
+        pytest.fail(
+            "verdicts drifted from tests/data/golden_verdicts.json "
+            f"({len(problems)} document(s)):\n"
+            + "\n".join(problems)
+            + "\n\nIf this change is intentional, regenerate the golden file "
+            f"with:\n  {REGEN_COMMAND}\nand commit it with your change.",
+            pytrace=False,
+        )
+
+
+def test_golden_file_has_both_labels():
+    """The pinned corpus must keep exercising both verdict classes."""
+    expected = load_golden()
+    labels = {record["malicious"] for record in expected.values()}
+    assert labels == {True, False}
+    assert len(expected) >= 50

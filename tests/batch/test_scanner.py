@@ -1,0 +1,190 @@
+"""BatchScanner: parallel equivalence, caching, dedup, report shape."""
+
+import json
+
+import pytest
+
+from repro.batch import (
+    STATUS_ERRORED,
+    STATUS_OK,
+    BatchScanner,
+    VerdictCache,
+    percentile,
+)
+from repro.core.pipeline import PipelineSettings, ProtectionPipeline
+from repro.corpus import CorpusConfig, build_dataset, dataset_items
+
+pytestmark = pytest.mark.batch
+
+SETTINGS = PipelineSettings(seed=7)
+
+
+@pytest.fixture(scope="module")
+def corpus_items():
+    dataset = build_dataset(
+        CorpusConfig(n_benign=8, n_benign_with_js=3, n_malicious=8)
+    )
+    return dataset_items(dataset)
+
+
+@pytest.fixture(scope="module")
+def sequential_verdicts(corpus_items):
+    pipeline = ProtectionPipeline(seed=7)
+    return sorted(
+        (name, report.verdict.malicious, report.verdict.malscore)
+        for name, report in (
+            (name, pipeline.scan(data, name)) for name, data in corpus_items
+        )
+    )
+
+
+class TestParallelEquivalence:
+    def test_thread_backend_matches_sequential(self, corpus_items, sequential_verdicts):
+        report = BatchScanner(jobs=4, settings=SETTINGS).scan_items(corpus_items)
+        assert report.verdict_multiset() == sequential_verdicts
+        assert all(item.status == STATUS_OK for item in report.items)
+
+    @pytest.mark.slow
+    def test_process_backend_matches_sequential(self, corpus_items, sequential_verdicts):
+        report = BatchScanner(
+            jobs=2, backend="process", settings=SETTINGS
+        ).scan_items(corpus_items)
+        assert report.verdict_multiset() == sequential_verdicts
+
+    def test_single_job_matches_sequential(self, corpus_items, sequential_verdicts):
+        report = BatchScanner(jobs=1, settings=SETTINGS).scan_items(corpus_items)
+        assert report.verdict_multiset() == sequential_verdicts
+
+
+class TestCachingAndDedup:
+    def test_duplicates_scanned_once(self, corpus_items):
+        doubled = corpus_items + corpus_items
+        report = BatchScanner(jobs=4, settings=SETTINGS).scan_items(doubled)
+        assert len(report.items) == len(doubled)
+        assert report.scans_executed == len(corpus_items)
+        assert report.cache_hits == len(corpus_items)
+        assert report.cache_hit_rate == 0.5
+        # Duplicates carry the same verdict as their representative.
+        by_name = {}
+        for item in report.items:
+            by_name.setdefault(item.sha256, set()).add(
+                (item.verdict.malicious, item.verdict.malscore)
+            )
+        assert all(len(verdicts) == 1 for verdicts in by_name.values())
+
+    def test_cross_run_disk_cache(self, corpus_items, tmp_path):
+        path = tmp_path / "verdicts.json"
+        first = BatchScanner(
+            jobs=2, settings=SETTINGS,
+            cache=VerdictCache(path=path, fingerprint="t"),
+        ).scan_items(corpus_items)
+        assert first.cache_hits == 0
+        assert path.exists()
+        second = BatchScanner(
+            jobs=2, settings=SETTINGS,
+            cache=VerdictCache(path=path, fingerprint="t"),
+        ).scan_items(corpus_items)
+        assert second.scans_executed == 0
+        assert second.cache_hits == len(corpus_items)
+        assert second.verdict_multiset() == first.verdict_multiset()
+
+    def test_cache_disabled_scans_everything(self, corpus_items):
+        doubled = corpus_items[:3] + corpus_items[:3]
+        report = BatchScanner(
+            jobs=2, settings=SETTINGS, cache=False
+        ).scan_items(doubled)
+        assert report.scans_executed == len(doubled)
+        assert report.cache_hits == 0
+
+
+class TestInputs:
+    def test_scan_dir_and_paths(self, corpus_items, tmp_path):
+        for name, data in corpus_items[:4]:
+            (tmp_path / name).write_bytes(data)
+        report = BatchScanner(jobs=2, settings=SETTINGS).scan_dir(tmp_path)
+        assert len(report.items) == 4
+        assert all(item.status == STATUS_OK for item in report.items)
+
+    def test_unreadable_path_becomes_errored_item(self, tmp_path, corpus_items):
+        name, data = corpus_items[0]
+        good = tmp_path / "good.pdf"
+        good.write_bytes(data)
+        report = BatchScanner(jobs=1, settings=SETTINGS).scan_paths(
+            [good, tmp_path / "missing.pdf"]
+        )
+        statuses = {item.name: item.status for item in report.items}
+        assert statuses[str(good)] == STATUS_OK
+        assert statuses[str(tmp_path / "missing.pdf")] == STATUS_ERRORED
+
+    def test_empty_input(self):
+        report = BatchScanner(jobs=2, settings=SETTINGS).scan_items([])
+        assert report.items == [] and report.scans_executed == 0
+
+    def test_malformed_document_is_errored_verdict_not_crash(self):
+        report = BatchScanner(jobs=1, settings=SETTINGS).scan_items(
+            [("junk.pdf", b"this is not a pdf")]
+        )
+        (item,) = report.items
+        # pipeline.scan turns parse failures into errored OpenReports,
+        # so the *item* completes with an errored verdict.
+        assert item.status == STATUS_OK
+        assert item.verdict.errored
+        assert report.counts["errored"] == 1
+        assert report.errors and "junk.pdf" in report.errors[0]["name"]
+
+
+class TestValidation:
+    def test_bad_jobs(self):
+        with pytest.raises(ValueError):
+            BatchScanner(jobs=0)
+
+    def test_bad_backend(self):
+        with pytest.raises(ValueError):
+            BatchScanner(backend="fiber")
+
+    def test_factory_requires_thread_backend(self):
+        with pytest.raises(ValueError):
+            BatchScanner(backend="process", pipeline_factory=lambda: None)
+
+    def test_bad_timeout(self):
+        with pytest.raises(ValueError):
+            BatchScanner(timeout=0)
+
+
+class TestReport:
+    def test_json_serialisable(self, corpus_items):
+        report = BatchScanner(jobs=2, settings=SETTINGS).scan_items(
+            corpus_items[:4]
+        )
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["total"] == 4
+        assert set(payload["counts"]) == {"benign", "malicious", "errored", "timeout"}
+        assert payload["cache"]["hits"] == 0
+        assert payload["latency"]["p50_seconds"] > 0
+        assert len(payload["items"]) == 4
+        for item in payload["items"]:
+            assert set(item) == {
+                "name", "sha256", "status", "verdict", "cached",
+                "attempts", "seconds", "error",
+            }
+
+    def test_summary_mentions_counts(self, corpus_items):
+        report = BatchScanner(jobs=2, settings=SETTINGS).scan_items(
+            corpus_items[:4]
+        )
+        text = report.summary()
+        assert "scanned 4 document(s)" in text
+        assert "hit rate" in text
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 50) == 0.0
+
+    def test_single(self):
+        assert percentile([3.0], 95) == 3.0
+
+    def test_interpolation(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+        assert percentile([1.0, 2.0, 3.0, 4.0], 100) == 4.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0) == 1.0

@@ -1,0 +1,147 @@
+"""Batch-scanning properties (ISSUE 2).
+
+1. For any corpus and any worker count, the batch verdict multiset
+   equals the multiset of sequential ``pipeline.scan`` verdicts.
+2. Caching on vs off never changes a verdict.
+3. Duplicate inputs produce exactly one underlying scan.
+
+The document pool is small and fixed; hypothesis explores which
+documents (with repetition) form the corpus and how many workers scan
+it.  Per-document verdicts are seed-determined and order-independent
+(see ``test_robustness.test_pipeline_is_deterministic``), so the
+sequential multiset can be computed once per pool document.
+"""
+
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.batch import BatchScanner
+from repro.core.pipeline import PipelineSettings, ProtectionPipeline
+from repro.pdf.builder import DocumentBuilder
+
+pytestmark = pytest.mark.batch
+
+SEED = 7
+SETTINGS = PipelineSettings(seed=SEED)
+
+
+def _pool():
+    docs = []
+
+    plain = DocumentBuilder()
+    plain.add_page("no javascript at all")
+    docs.append(("plain.pdf", plain.to_bytes()))
+
+    benign_js = DocumentBuilder()
+    benign_js.add_page("benign js")
+    benign_js.add_javascript("var x = 2 + 2; app.alert('x=' + x);")
+    docs.append(("benign-js.pdf", benign_js.to_bytes()))
+
+    two_scripts = DocumentBuilder()
+    two_scripts.add_page("two scripts")
+    two_scripts.add_javascript("var a = 1;")
+    two_scripts.add_javascript("var b = 2;", trigger="Names", name="b")
+    docs.append(("two-scripts.pdf", two_scripts.to_bytes()))
+
+    from tests.conftest import spray_js
+
+    malicious = DocumentBuilder()
+    malicious.add_page("")
+    malicious.add_javascript(spray_js())
+    docs.append(("malicious.pdf", malicious.to_bytes()))
+
+    garbage = ("garbage.pdf", b"%PDF-1.4 truncated nonsense without objects")
+    docs.append(garbage)
+    return docs
+
+
+POOL = _pool()
+
+
+def _sequential_verdicts():
+    pipeline = ProtectionPipeline(seed=SEED)
+    verdicts = {}
+    for name, data in POOL:
+        report = pipeline.scan(data, name)
+        verdicts[name] = (report.verdict.malicious, report.verdict.malscore)
+    return verdicts
+
+
+SEQUENTIAL = _sequential_verdicts()
+
+corpus_strategy = st.lists(
+    st.integers(min_value=0, max_value=len(POOL) - 1), min_size=0, max_size=6
+)
+
+
+@given(picks=corpus_strategy, jobs=st.sampled_from([1, 2, 4]))
+@settings(
+    max_examples=12, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_batch_equals_sequential_multiset(picks, jobs):
+    items = [POOL[i] for i in picks]
+    report = BatchScanner(jobs=jobs, settings=SETTINGS, cache=False).scan_items(items)
+    expected = sorted(
+        (name, SEQUENTIAL[name][0], SEQUENTIAL[name][1]) for name, _ in items
+    )
+    assert report.verdict_multiset() == expected
+    assert len(report.items) == len(items)
+
+
+@given(picks=corpus_strategy)
+@settings(
+    max_examples=8, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_cache_on_off_same_verdicts(picks):
+    items = [POOL[i] for i in picks]
+    cached = BatchScanner(jobs=2, settings=SETTINGS).scan_items(items)
+    uncached = BatchScanner(jobs=2, settings=SETTINGS, cache=False).scan_items(items)
+    assert cached.verdict_multiset() == uncached.verdict_multiset()
+
+
+class CountingFactory:
+    """Builds real forked pipelines but counts every scan launched."""
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.scans = 0
+
+    def __call__(self):
+        factory_self = self
+        pipeline = SETTINGS.build()
+
+        class Counted:
+            def scan(self, data, name):
+                with factory_self.lock:
+                    factory_self.scans += 1
+                return pipeline.scan(data, name)
+
+        return Counted()
+
+
+@given(
+    picks=st.lists(
+        st.integers(min_value=0, max_value=len(POOL) - 1),
+        min_size=1, max_size=4,
+    ),
+    copies=st.integers(min_value=2, max_value=4),
+)
+@settings(
+    max_examples=8, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_duplicates_scanned_exactly_once(picks, copies):
+    unique = sorted(set(picks))
+    items = [POOL[i] for i in unique] * copies
+    counter = CountingFactory()
+    report = BatchScanner(
+        jobs=4, settings=SETTINGS, pipeline_factory=counter
+    ).scan_items(items)
+    assert counter.scans == len(unique)
+    assert report.scans_executed == len(unique)
+    assert report.cache_hits == len(unique) * (copies - 1)
+    assert len(report.items) == len(items)

@@ -22,6 +22,76 @@ def malicious_file(tmp_path, malicious_doc_bytes):
     return path
 
 
+@pytest.mark.batch
+class TestBatch:
+    @pytest.fixture()
+    def corpus_dir(self, tmp_path, js_doc_bytes, malicious_doc_bytes, simple_doc_bytes):
+        root = tmp_path / "corpus"
+        root.mkdir()
+        (root / "benign.pdf").write_bytes(js_doc_bytes)
+        (root / "plain.pdf").write_bytes(simple_doc_bytes)
+        (root / "mal.pdf").write_bytes(malicious_doc_bytes)
+        (root / "mal-copy.pdf").write_bytes(malicious_doc_bytes)
+        return root
+
+    def test_batch_scans_directory(self, corpus_dir, capsys):
+        code = main(["batch", str(corpus_dir), "--jobs", "2",
+                     "--backend", "thread"])
+        out = capsys.readouterr().out
+        assert code == 1  # malicious present
+        assert "scanned 4 document(s)" in out
+        assert "malicious : 2" in out
+        assert "1 hit(s)" in out  # mal-copy answered from cache
+
+    def test_batch_json_report(self, corpus_dir, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        main(["batch", str(corpus_dir), "--jobs", "2", "--backend", "thread",
+              "--json", str(out_path)])
+        capsys.readouterr()
+        payload = json.loads(out_path.read_text())
+        assert payload["total"] == 4
+        assert payload["counts"]["malicious"] == 2
+        assert payload["cache"]["hits"] == 1
+
+    def test_batch_persistent_cache(self, corpus_dir, tmp_path, capsys):
+        cache = tmp_path / "verdicts.json"
+        main(["batch", str(corpus_dir), "--jobs", "1", "--backend", "thread",
+              "--cache", str(cache)])
+        capsys.readouterr()
+        assert cache.exists()
+        main(["batch", str(corpus_dir), "--jobs", "1", "--backend", "thread",
+              "--cache", str(cache)])
+        out = capsys.readouterr().out
+        assert "0 scan(s) executed" in out
+        assert "100% hit rate" in out
+
+    def test_batch_no_cache(self, corpus_dir, capsys):
+        main(["batch", str(corpus_dir), "--jobs", "1", "--backend", "thread",
+              "--no-cache"])
+        out = capsys.readouterr().out
+        assert "4 scan(s) executed" in out
+
+    def test_batch_benign_only_exit_zero(self, tmp_path, js_doc_bytes, capsys):
+        (tmp_path / "ok.pdf").write_bytes(js_doc_bytes)
+        assert main(["batch", str(tmp_path), "--jobs", "1",
+                     "--backend", "thread"]) == 0
+
+    def test_batch_missing_dir_exit_two(self, tmp_path, capsys):
+        assert main(["batch", str(tmp_path / "absent"), "--jobs", "1"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_batch_empty_dir_exit_two(self, tmp_path, capsys):
+        assert main(["batch", str(tmp_path), "--jobs", "1"]) == 2
+        assert "no PDF files" in capsys.readouterr().err
+
+    def test_batch_single_file(self, tmp_path, js_doc_bytes, capsys):
+        path = tmp_path / "one.pdf"
+        path.write_bytes(js_doc_bytes)
+        assert main(["batch", str(path), "--jobs", "1",
+                     "--backend", "thread"]) == 0
+        assert "scanned 1 document(s)" in capsys.readouterr().out
+
+
 class TestScan:
     def test_benign_exit_code_zero(self, benign_file, capsys):
         assert main(["scan", str(benign_file)]) == 0
