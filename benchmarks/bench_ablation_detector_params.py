@@ -13,7 +13,7 @@ Three design decisions from the paper, measured:
 """
 
 from repro.analysis import PaperComparison, format_table
-from repro.core.detector import DetectorConfig, FeatureVector
+from repro.core.detector import DetectorConfig
 from repro.core.pipeline import ProtectionPipeline
 from repro.corpus import CorpusConfig, build_dataset
 from repro.corpus.sized import document_with_scripts

@@ -22,14 +22,11 @@ from repro.baselines import (
     PDFRateDetector,
     PJScanDetector,
     SignatureAVDetector,
-    StructuralPathDetector,
-    evaluate_detector,
 )
 from repro.baselines.base import train_test_split
 from repro.corpus import CorpusConfig, build_dataset
 from repro.corpus import js_snippets as js
 from repro.corpus.dataset import Sample
-from repro.core.pipeline import ProtectionPipeline
 from repro.pdf.builder import DocumentBuilder
 from repro.reader.exploits import CVE
 from repro.reader.payload import Payload

@@ -8,7 +8,7 @@ dynamic-emulation methods miss context-dependent samples — and the
 mimicry attack of [8] defeats the structural methods but not ours.
 """
 
-from repro.analysis import PaperComparison, format_table
+from repro.analysis import format_table
 from repro.attacks import structural_mimicry_document
 from repro.baselines import (
     MDScanDetector,

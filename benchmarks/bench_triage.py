@@ -1,0 +1,109 @@
+"""Benign-triage fast path (``pipeline.scan(..., triage=True)``).
+
+The static analyzer (``repro.jsast``) lets the pipeline skip Phase II
+emulation for documents whose JavaScript is provably uninteresting:
+no suspicious findings, no side-effect APIs, no embedded-file or
+rich-media guards.  This bench measures what that buys on the workload
+it targets — a benign-dominated corpus, the common case at a mail
+gateway — and asserts the one property that makes the fast path safe
+to enable: **verdicts are byte-identical with triage on and off**.
+
+Two workloads:
+
+* **benign** — benign-only corpus; the headline latency win.
+* **mixed**  — benign + malicious; speedup is diluted (malicious
+  documents always take the full path) but equivalence must still
+  hold on every document.
+
+Emits ``BENCH_triage.json``.  ``REPRO_PAPER_SCALE`` scales the corpora.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.analysis import format_table
+from repro.core.pipeline import ProtectionPipeline
+from repro.corpus import CorpusConfig, build_dataset, dataset_items
+
+SEED = 1404
+
+
+def benign_corpus() -> CorpusConfig:
+    if os.environ.get("REPRO_PAPER_SCALE"):
+        return CorpusConfig(n_benign=400, n_benign_with_js=80, n_malicious=0)
+    return CorpusConfig(n_benign=24, n_benign_with_js=8, n_malicious=0)
+
+
+def mixed_corpus() -> CorpusConfig:
+    if os.environ.get("REPRO_PAPER_SCALE"):
+        return CorpusConfig(n_benign=200, n_benign_with_js=40, n_malicious=150)
+    return CorpusConfig(n_benign=12, n_benign_with_js=4, n_malicious=12)
+
+
+def _scan_all(items, triage):
+    pipeline = ProtectionPipeline(seed=SEED, triage=triage)
+    verdicts = []
+    triaged = 0
+    start = time.perf_counter()
+    for name, data in items:
+        report = pipeline.scan(data, name)
+        triaged += report.triaged
+        verdicts.append(
+            (
+                name,
+                report.verdict.malicious,
+                report.verdict.malscore,
+                report.verdict.features.bits,
+            )
+        )
+    seconds = time.perf_counter() - start
+    return sorted(verdicts), triaged, seconds
+
+
+def _measure(items):
+    full, _, full_s = _scan_all(items, triage=False)
+    fast, triaged, fast_s = _scan_all(items, triage=True)
+    assert fast == full, "triage changed a verdict"
+    return {
+        "documents": len(items),
+        "triaged": triaged,
+        "triaged_fraction": round(triaged / max(len(items), 1), 4),
+        "full_seconds": round(full_s, 4),
+        "triage_seconds": round(fast_s, 4),
+        "speedup": round(full_s / max(fast_s, 1e-9), 2),
+        "verdicts_identical": True,
+    }
+
+
+def test_bench_triage(emit, artifact):
+    benign = _measure(dataset_items(build_dataset(benign_corpus())))
+    mixed = _measure(dataset_items(build_dataset(mixed_corpus())))
+
+    # The fast path must actually engage on the benign corpus and must
+    # produce a measurable win there; equivalence is asserted inside
+    # _measure for both workloads.
+    assert benign["triaged"] > 0
+    assert benign["speedup"] > 1.2
+
+    payload = {"benign": benign, "mixed": mixed}
+    rows = [
+        (
+            workload,
+            f"{m['documents']}",
+            f"{m['triaged']}",
+            f"{m['full_seconds']:.3f}s",
+            f"{m['triage_seconds']:.3f}s",
+            f"{m['speedup']:.2f}x",
+        )
+        for workload, m in payload.items()
+    ]
+    emit(
+        "Benign-triage fast path (verdicts identical on both workloads)\n"
+        + format_table(
+            ["workload", "docs", "triaged", "full", "triage", "speedup"],
+            rows,
+        )
+    )
+    artifact("BENCH_triage.json", payload)

@@ -39,6 +39,9 @@ class VerdictSummary:
     inert: bool = False
     errored: bool = False
     error: Optional[str] = None
+    #: Verdict synthesised by the benign-triage fast path (no reader
+    #: session was opened for this document).
+    triaged: bool = False
 
     @classmethod
     def from_report(cls, report: Any) -> "VerdictSummary":
@@ -52,6 +55,7 @@ class VerdictSummary:
             inert=bool(getattr(report, "did_nothing", False)),
             errored=bool(getattr(report, "errored", False)),
             error=getattr(report, "error", None),
+            triaged=bool(getattr(report, "triaged", False)),
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -63,6 +67,7 @@ class VerdictSummary:
             "inert": self.inert,
             "errored": self.errored,
             "error": self.error,
+            "triaged": self.triaged,
         }
 
     @classmethod
@@ -75,6 +80,7 @@ class VerdictSummary:
             inert=bool(payload.get("inert", False)),
             errored=bool(payload.get("errored", False)),
             error=payload.get("error"),
+            triaged=bool(payload.get("triaged", False)),
         )
 
 
@@ -183,6 +189,15 @@ class BatchReport:
         return failures
 
     @property
+    def triaged_count(self) -> int:
+        """Documents answered by the benign-triage fast path."""
+        return sum(
+            1
+            for item in self.items
+            if item.verdict is not None and item.verdict.triaged
+        )
+
+    @property
     def cache_hit_rate(self) -> float:
         looked_up = self.cache_hits + self.cache_misses
         return self.cache_hits / looked_up if looked_up else 0.0
@@ -236,6 +251,7 @@ class BatchReport:
             },
             "timeouts": self.timeouts,
             "retries_used": self.retries_used,
+            "triaged": self.triaged_count,
             "errors": self.errors,
             "items": [item.to_dict() for item in self.items],
         }
@@ -256,6 +272,10 @@ class BatchReport:
             f"  latency   : p50 {self.p50_seconds * 1000:.1f}ms, "
             f"p95 {self.p95_seconds * 1000:.1f}ms",
         ]
+        if self.triaged_count:
+            lines.insert(
+                5, f"  triaged   : {self.triaged_count} (emulation skipped)"
+            )
         for failure in self.errors:
             lines.append(
                 f"  ! {failure['name']} [{failure['status']}] {failure['error']}"

@@ -72,10 +72,19 @@ _WAIT_SLACK = 0.005  # seconds added to wait() so deadlines have passed
 
 
 def _settings_fingerprint(settings: PipelineSettings) -> str:
-    """Cache fingerprint: verdicts only transfer between identical setups."""
+    """Cache fingerprint: verdicts only transfer between identical setups.
+
+    Incorporates the static-analysis rule-set version and the triage
+    flag: editing a lint rule (or toggling triage) changes what the
+    scanner may skip, so cached verdicts from other configurations are
+    discarded.
+    """
+    from repro.jsast.rules import ruleset_version
+
     return (
         f"v{settings.reader_version}|seed{settings.seed}"
         f"|{settings.hook_mode.value}|{settings.config!r}"
+        f"|jsast:{ruleset_version()}|triage:{int(settings.triage)}"
     )
 
 

@@ -12,6 +12,11 @@ Commands
     Restore the original document from an instrumented one.
 ``features FILE``
     Print the five static features and the JavaScript chains.
+``lint FILE [--json]``
+    Static JS analysis only (``repro.jsast``): run the lint-rule
+    registry over FILE's JavaScript (FILE may be a PDF or a bare ``.js``
+    source file) and print the findings.  Exit code 0 = clean, 1 =
+    findings at/above the triage severity, 2 = error.
 ``corpus OUTDIR [--benign N] [--benign-js N] [--malicious N] [--seed S]``
     Generate a labelled synthetic corpus on disk.
 ``batch DIR [--jobs N] [--timeout S] [--cache FILE] [--json OUT]``
@@ -64,6 +69,16 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print an aggregated metrics summary to stderr",
     )
+    scan.add_argument(
+        "--triage",
+        action="store_true",
+        help="skip runtime emulation when static JS analysis is provably "
+        "clean (fail-open; verdicts are unchanged)",
+    )
+
+    lint = sub.add_parser("lint", help="static JS analysis only")
+    lint.add_argument("file", type=Path, help="a PDF or a bare .js source file")
+    lint.add_argument("--json", action="store_true", help="machine-readable output")
 
     instrument = sub.add_parser("instrument", help="front-end only")
     instrument.add_argument("file", type=Path)
@@ -130,6 +145,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="print an aggregated metrics summary to stderr",
     )
+    batch.add_argument(
+        "--triage",
+        action="store_true",
+        help="benign-triage fast path: skip runtime emulation for "
+        "documents whose static JS analysis is provably clean",
+    )
 
     report = sub.add_parser("report", help="aggregate a scan trace")
     report.add_argument("trace", type=Path)
@@ -155,13 +176,17 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     except OSError as error:
         print(f"error: cannot open trace file: {error}", file=sys.stderr)
         return 2
-    pipeline = ProtectionPipeline(reader_version=args.reader_version, obs=obs)
+    pipeline = ProtectionPipeline(
+        reader_version=args.reader_version, triage=args.triage, obs=obs
+    )
     report = pipeline.scan(data, args.file.name)
     verdict = report.verdict
     if args.json:
         print(json.dumps(report.to_dict()))
     else:
         print(verdict.summary())
+        if report.triaged:
+            print("  triaged: emulation skipped (static analysis clean)")
         if report.crashed:
             print(f"  reader crashed: {report.outcome.crash_reason}")
         if report.did_nothing:
@@ -176,6 +201,65 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         if args.trace is not None:
             print(f"trace written to {args.trace}", file=sys.stderr)
     return 1 if verdict.malicious else 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Static-analysis-only entry point.
+
+    Exit codes: 0 = no finding at/above the triage severity, 1 = at
+    least one, 2 = the file could not be read or analysed at all.
+    """
+    from repro.jsast import analyze_script
+    from repro.jsast.analyzer import DocumentJSAnalysis, analyze_document
+    from repro.pdf.parser import PDFParseError
+    from repro.pdf.lexer import LexerError
+
+    try:
+        data = args.file.read_bytes()
+    except OSError as error:
+        print(f"error: cannot read {args.file}: {error}", file=sys.stderr)
+        return 2
+
+    if data.lstrip()[:5] == b"%PDF-":
+        try:
+            document = PDFDocument.from_bytes(data)
+        except (PDFParseError, LexerError) as error:
+            print(f"error: cannot parse PDF: {error}", file=sys.stderr)
+            return 2
+        analysis = analyze_document(document)
+    else:
+        # Bare JavaScript source.
+        code = data.decode("utf-8", "replace")
+        analysis = DocumentJSAnalysis(reports=[analyze_script(code, args.file.name)])
+
+    if args.json:
+        print(json.dumps(analysis.to_dict(), indent=2, sort_keys=True))
+    else:
+        if not analysis.reports and not analysis.guards:
+            print(f"{args.file.name}: no JavaScript")
+        for guard in analysis.guards:
+            print(f"{args.file.name}: guard {guard} (triage-ineligible)")
+        for report in analysis.reports:
+            status = "suspicious" if report.suspicious else "clean"
+            print(
+                f"{report.script}: {status} "
+                f"(obfuscation {report.obfuscation_score:g}/10"
+                + (", parse error" if report.parse_error else "")
+                + ")"
+            )
+            for finding in report.findings:
+                print(
+                    f"  [{finding.severity.name.lower()}] "
+                    f"{finding.rule}: {finding.message}"
+                )
+            for api in report.side_effect_apis:
+                print(f"  [info] side-effect API: {api}")
+        verdict = "suspicious" if analysis.suspicious else (
+            "triage-eligible" if analysis.triage_eligible else "needs emulation"
+        )
+        print(f"=> {verdict}")
+
+    return 1 if analysis.suspicious else 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -280,7 +364,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"error: no PDF files under {args.dir}", file=sys.stderr)
         return 2
 
-    settings = PipelineSettings(reader_version=args.reader_version)
+    settings = PipelineSettings(
+        reader_version=args.reader_version, triage=args.triage
+    )
     if args.no_cache:
         cache = False
     elif args.cache is not None:
@@ -324,6 +410,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "scan": _cmd_scan,
+    "lint": _cmd_lint,
     "batch": _cmd_batch,
     "instrument": _cmd_instrument,
     "deinstrument": _cmd_deinstrument,

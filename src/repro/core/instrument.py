@@ -39,6 +39,7 @@ from repro.core.deinstrument import (
 )
 from repro.core.keys import InstrumentationKey, KeyStore, fingerprint
 from repro.core.static_features import StaticFeatures, extract_static_features
+from repro.jsast.analyzer import DocumentJSAnalysis, analyze_document
 from repro.pdf import encryption as pdf_encryption
 from repro.pdf.document import JavascriptAction, PDFDocument
 from repro.pdf.objects import PDFDict, PDFName, PDFRef, PDFStream, PDFString
@@ -94,12 +95,27 @@ class InstrumentationResult:
     already_instrumented: bool = False
     was_encrypted: bool = False
     runtime_script_methods: List[str] = field(default_factory=list)
+    #: Static JS analysis over the *original* (pre-wrap) scripts; None
+    #: when the document was already instrumented (originals encrypted).
+    js_analysis: Optional[DocumentJSAnalysis] = None
     #: Recursively instrumented embedded PDF documents (§VI extension).
     embedded: List["InstrumentationResult"] = field(default_factory=list)
 
     @property
     def has_javascript(self) -> bool:
         return self.features.has_javascript
+
+    @property
+    def triage_eligible(self) -> bool:
+        """May Phase-II emulation be skipped for this document?
+
+        Requires a completed static analysis (an already-instrumented
+        input hides its original scripts, so no) that found no
+        suspicious scripts, no side-effect APIs, no parse errors and no
+        active document content.  A document with no JavaScript at all
+        satisfies all of that trivially.
+        """
+        return self.js_analysis is not None and self.js_analysis.triage_eligible
 
 
 class Instrumenter:
@@ -162,8 +178,15 @@ class Instrumenter:
                 features = extract_static_features(document, chains=chains)
             timings.feature_extraction = features_span.duration
 
+            already = self._is_instrumented_by_us(document)
+            js_analysis: Optional[DocumentJSAnalysis] = None
+            if not already:
+                # Static JS analysis runs over the *original* scripts,
+                # before monitor-wrapping obscures them.
+                with tracer.span("instrument.jsast", document=name):
+                    js_analysis = analyze_document(document, obs=self.obs)
+
             with tracer.span("instrument.rewrite") as rewrite_span:
-                already = self._is_instrumented_by_us(document)
                 key = self.key_store.issue(name, fingerprint(data))
                 spec = DeinstrumentationSpec(key_text=key.render(), document_name=name)
                 instrumented = 0
@@ -206,6 +229,10 @@ class Instrumenter:
 
             doc_span.set_tag("scripts", instrumented)
             doc_span.set_tag("chains", len(chains.chains))
+            doc_span.set_tag(
+                "triage_eligible",
+                js_analysis is not None and js_analysis.triage_eligible,
+            )
             if self.obs.enabled:
                 metrics = self.obs.metrics
                 metrics.inc("docs_instrumented")
@@ -226,6 +253,7 @@ class Instrumenter:
             already_instrumented=already,
             was_encrypted=was_encrypted,
             runtime_script_methods=sorted(methods),
+            js_analysis=js_analysis,
             embedded=embedded,
         )
 

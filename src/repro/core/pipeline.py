@@ -26,7 +26,12 @@ from repro.core.deinstrument import (
     DeinstrumentationSpec,
     deinstrument,
 )
-from repro.core.detector import DetectorConfig, FeatureVector, Verdict
+from repro.core.detector import (
+    FEATURE_NAMES,
+    DetectorConfig,
+    FeatureVector,
+    Verdict,
+)
 from repro.core.instrument import InstrumentationResult, Instrumenter
 from repro.core.keys import KeyStore
 from repro.core.runtime_monitor import Alert, RuntimeMonitor
@@ -63,14 +68,25 @@ class ProtectedDocument:
     def has_javascript(self) -> bool:
         return self.features.has_javascript
 
+    @property
+    def js_analysis(self):
+        """Static JS analysis recorded by the front-end (may be None)."""
+        return self.instrumentation.js_analysis
+
+    @property
+    def triage_eligible(self) -> bool:
+        return self.instrumentation.triage_eligible
+
 
 @dataclass
 class OpenReport:
     """Everything observed while opening one protected document.
 
-    ``protected``/``outcome`` are ``None`` only for *errored* reports —
-    documents the front-end could not even parse (see
-    :meth:`errored_report`); every real open carries both.
+    ``protected`` is ``None`` only for *errored* reports — documents
+    the front-end could not even parse (see :meth:`errored_report`).
+    ``outcome`` is additionally ``None`` for *triaged* reports, whose
+    verdict was synthesised from static analysis without opening a
+    reader session (``triaged=True``).
     """
 
     protected: Optional[ProtectedDocument]
@@ -81,6 +97,8 @@ class OpenReport:
     quarantined_files: List[str] = field(default_factory=list)
     #: Parse/filter error text when the document never reached phase II.
     error: Optional[str] = None
+    #: Phase-II emulation was skipped on static-analysis evidence.
+    triaged: bool = False
 
     @classmethod
     def errored_report(cls, name: str, error: str) -> "OpenReport":
@@ -111,6 +129,11 @@ class OpenReport:
         paper's 58 "noise" samples whose CVEs missed the reader version)."""
         return not self.errored and not self.crashed and not self.verdict.features.any_in_js
 
+    @property
+    def js_analysis(self):
+        """Advisory static-analysis evidence (None for errored reports)."""
+        return self.protected.js_analysis if self.protected else None
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-serialisable summary (used by the CLI and log sinks)."""
         return {
@@ -126,6 +149,8 @@ class OpenReport:
             "errored": self.errored,
             "error": self.error,
             "inert": self.did_nothing,
+            "triaged": self.triaged,
+            "static_js": self.js_analysis.to_dict() if self.js_analysis else None,
             "fake_messages": self.fake_messages,
             "quarantined": list(self.quarantined_files),
             "alerts": [
@@ -249,6 +274,9 @@ class PipelineSettings:
     seed: Optional[int] = 1301
     hook_mode: HookMode = HookMode.IAT
     config: Optional[DetectorConfig] = None
+    #: Opt-in benign-triage fast path: skip Phase-II emulation when
+    #: static analysis proves the skip cannot change the verdict.
+    triage: bool = False
 
     def build(self, obs: Optional[obs_mod.Observability] = None) -> "ProtectionPipeline":
         """A fresh, fully independent pipeline with these settings."""
@@ -257,6 +285,7 @@ class PipelineSettings:
             reader_version=self.reader_version,
             seed=self.seed,
             hook_mode=self.hook_mode,
+            triage=self.triage,
             obs=obs,
         )
 
@@ -271,16 +300,19 @@ class ProtectionPipeline:
         seed: Optional[int] = 1301,
         deinstrument_policy: Optional[DeinstrumentationPolicy] = None,
         hook_mode: HookMode = HookMode.IAT,
+        triage: bool = False,
         obs: Optional[obs_mod.Observability] = None,
     ) -> None:
         self.config = config if config is not None else DetectorConfig()
         self.reader_version = reader_version
         self.hook_mode = hook_mode
+        self.triage = triage
         self.settings = PipelineSettings(
             reader_version=reader_version,
             seed=seed,
             hook_mode=hook_mode,
             config=config,
+            triage=triage,
         )
         self.obs = obs if obs is not None else obs_mod.get_default()
         self.key_store = KeyStore.create(seed)
@@ -370,10 +402,23 @@ class ProtectionPipeline:
         Malformed/truncated input never raises: parser-level failures
         come back as a structured report with ``errored=True`` (the
         gateway keeps serving the rest of its queue).
+
+        With ``triage`` enabled, a document whose static analysis is
+        provably clean (no JS, or JS with no suspicious findings, no
+        side-effect APIs and no active content) skips the monitored
+        reader session; its verdict is synthesised from the static
+        features alone and is byte-identical to what a full run would
+        report.  Anything the analysis is unsure about — including the
+        analysis itself erroring — falls through to full emulation.
         """
         with self.obs.tracer.span("pipeline.scan", document=name) as span:
             try:
-                report = self.open_protected(self.protect(data, name))
+                protected = self.protect(data, name)
+                if self.triage and protected.triage_eligible:
+                    report = self._triage_report(protected)
+                    span.set_tag("triaged", True)
+                else:
+                    report = self.open_protected(protected)
             except PARSE_ERRORS as error:
                 report = OpenReport.errored_report(
                     name, f"{type(error).__name__}: {error}"
@@ -382,6 +427,10 @@ class ProtectionPipeline:
         if self.obs.enabled:
             metrics = self.obs.metrics
             metrics.inc("docs_scanned")
+            if self.triage and not report.errored:
+                metrics.inc(
+                    "triage", result="skipped" if report.triaged else "full"
+                )
             if report.errored:
                 metrics.inc("scan_errors")
             else:
@@ -392,6 +441,28 @@ class ProtectionPipeline:
                     buckets=(0, 1, 2, 5, 10, 15, 20, 30, 50),
                 )
         return report
+
+    def _triage_report(self, protected: ProtectedDocument) -> OpenReport:
+        """Synthesise the verdict a full benign run would produce.
+
+        Mirrors :meth:`MalscoreDetector.evaluate` over a score state
+        with no runtime features fired — which is exactly the state a
+        triage-eligible document reaches after a full session (static
+        bits alone sum to at most 5 < threshold 10, so the verdict is
+        always benign)."""
+        vector = FeatureVector.from_sets(protected.features, set())
+        score = vector.malscore(self.config)
+        verdict = Verdict(
+            malicious=score >= self.config.threshold,
+            malscore=score,
+            features=vector,
+            document=protected.name,
+            key_text=protected.key_text,
+            reasons=[FEATURE_NAMES[f] for f in vector.fired()],
+        )
+        return OpenReport(
+            protected=protected, outcome=None, verdict=verdict, triaged=True
+        )
 
     # -- De-instrumentation --------------------------------------------------------
 

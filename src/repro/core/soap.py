@@ -10,7 +10,7 @@ document.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Protocol
 
 from repro import obs as obs_mod

@@ -1,0 +1,52 @@
+"""Static JavaScript analysis (``repro.jsast``).
+
+Phase I's five static features never look *inside* the extracted
+JavaScript; this package does.  It walks the :mod:`repro.js.nodes` AST
+of every script on a JavaScript chain, folds one layer of constant
+strings (`fold`), and runs a registry of lint rules (`rules`) over the
+folded tree.  Each script yields a :class:`JSStaticReport` — findings
+with rule provenance plus an obfuscation score — and the document-level
+:class:`DocumentJSAnalysis` decides *benign-triage eligibility*: whether
+``pipeline.scan`` may safely skip Phase-II runtime emulation.
+
+Triage is strictly fail-open: a parse error, an analysis crash, any
+finding at or above :data:`~repro.jsast.report.TRIAGE_SEVERITY`, a
+side-effect-capable API, or any active document content (embedded
+files, render media) sends the document to full emulation.  See
+``docs/STATIC_ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+from repro.jsast.analyzer import (
+    DocumentJSAnalysis,
+    analyze_document,
+    analyze_script,
+)
+from repro.jsast.fold import fold_program
+from repro.jsast.report import (
+    Finding,
+    JSStaticReport,
+    Severity,
+    TRIAGE_SEVERITY,
+)
+from repro.jsast.rules import RULES, RULESET_VERSION, RuleContext, rule
+from repro.jsast.walk import NodeVisitor, iter_child_nodes, walk
+
+__all__ = [
+    "DocumentJSAnalysis",
+    "Finding",
+    "JSStaticReport",
+    "NodeVisitor",
+    "RULES",
+    "RULESET_VERSION",
+    "RuleContext",
+    "Severity",
+    "TRIAGE_SEVERITY",
+    "analyze_document",
+    "analyze_script",
+    "fold_program",
+    "iter_child_nodes",
+    "rule",
+    "walk",
+]

@@ -1,0 +1,276 @@
+"""Script- and document-level static analysis drivers.
+
+:func:`analyze_script` takes one JavaScript source string through
+parse → constant fold → rule registry and returns a
+:class:`~repro.jsast.report.JSStaticReport`.  Constant ``eval``
+arguments get one more layer of the same treatment, with findings
+re-labelled ``eval:<rule>`` so provenance survives.
+
+:func:`analyze_document` runs every JavaScript chain of a parsed PDF
+through :func:`analyze_script` and adds *document-level guards*:
+active content the static pass cannot vouch for (embedded files,
+RichMedia render annotations) makes the document triage-ineligible
+regardless of how clean its scripts look.
+
+Everything here is fail-open by construction: an exception anywhere in
+parsing or analysis becomes an ``unparseable-js`` / ``analysis-error``
+finding (never escapes to the caller), and such reports are never
+triage-eligible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro import obs as obs_mod
+from repro.js.errors import JSSyntaxError
+from repro.js.parser import parse
+from repro.jsast.report import Finding, JSStaticReport, Severity
+from repro.jsast.rules import (
+    RULES,
+    build_context,
+    ruleset_version,
+    side_effect_apis,
+)
+
+#: How many layers of constant ``eval`` arguments to follow.
+MAX_NESTED_DEPTH = 2
+
+#: Document guard names (active content forcing full emulation).
+GUARD_EMBEDDED_FILE = "embedded-file"
+GUARD_RICH_MEDIA = "rich-media"
+GUARD_UNDECODABLE_JS = "undecodable-js"
+
+
+def analyze_script(
+    code: str,
+    label: str = "script",
+    obs: Optional[obs_mod.Observability] = None,
+    _depth: int = 0,
+) -> JSStaticReport:
+    """Statically analyse one script; never raises."""
+    obs = obs if obs is not None else obs_mod.get_default()
+    report = JSStaticReport(script=label, ruleset_version=ruleset_version())
+
+    with obs.tracer.span("jsast.analyze", script=label, depth=_depth) as span:
+        try:
+            program = parse(code)
+        except JSSyntaxError as exc:
+            report.parse_error = str(exc)
+            report.findings.append(
+                Finding(
+                    rule="unparseable-js",
+                    severity=Severity.SUSPICIOUS,
+                    message=f"script does not parse: {exc}",
+                    evidence=code,
+                    score=2.0,
+                )
+            )
+        except Exception as exc:  # noqa: BLE001 - fail-open, never raise
+            report.parse_error = f"{type(exc).__name__}: {exc}"
+            report.findings.append(
+                Finding(
+                    rule="unparseable-js",
+                    severity=Severity.SUSPICIOUS,
+                    message=f"parser crashed: {type(exc).__name__}: {exc}",
+                    score=2.0,
+                )
+            )
+        else:
+            _run_rules(code, program, report, label, obs, _depth)
+
+        report.obfuscation_score = min(
+            10.0, sum(f.score for f in report.findings)
+        )
+        span.set_tag("findings", len(report.findings))
+        span.set_tag("suspicious", report.suspicious)
+        span.set_tag("eligible", report.triage_eligible)
+        if obs.enabled:
+            for finding in report.findings:
+                obs.metrics.inc("jsast_findings", rule=finding.rule)
+            if report.parse_error is not None:
+                obs.metrics.inc("jsast_parse_errors")
+    return report
+
+
+def _run_rules(
+    code: str,
+    program,
+    report: JSStaticReport,
+    label: str,
+    obs: obs_mod.Observability,
+    depth: int,
+) -> None:
+    """Fold, run every registered rule, then follow constant evals."""
+    try:
+        ctx = build_context(code, program)
+    except Exception as exc:  # noqa: BLE001 - fail-open
+        report.parse_error = f"analysis error: {type(exc).__name__}: {exc}"
+        report.findings.append(
+            Finding(
+                rule="analysis-error",
+                severity=Severity.SUSPICIOUS,
+                message=f"constant folding crashed: {type(exc).__name__}",
+                score=1.0,
+            )
+        )
+        return
+
+    for rule_id, rule_fn in RULES.items():
+        try:
+            report.findings.extend(rule_fn(ctx))
+        except Exception as exc:  # noqa: BLE001 - one broken rule
+            # must not silence the rest, and must not grant triage.
+            report.findings.append(
+                Finding(
+                    rule="analysis-error",
+                    severity=Severity.SUSPICIOUS,
+                    message=f"rule {rule_id!r} crashed: {type(exc).__name__}",
+                    score=1.0,
+                )
+            )
+
+    try:
+        report.side_effect_apis = side_effect_apis(ctx)
+    except Exception:  # noqa: BLE001 - fail-open: assume side effects
+        report.side_effect_apis = ["<analysis-error>"]
+
+    if depth < MAX_NESTED_DEPTH:
+        for nested_label, nested_code in ctx.nested:
+            nested = analyze_script(
+                nested_code,
+                label=f"{label}::{nested_label}",
+                obs=obs,
+                _depth=depth + 1,
+            )
+            report.findings.extend(
+                Finding(
+                    rule=f"eval:{f.rule}",
+                    severity=f.severity,
+                    message=f.message,
+                    evidence=f.evidence,
+                    score=f.score,
+                )
+                for f in nested.findings
+            )
+            report.side_effect_apis = sorted(
+                set(report.side_effect_apis) | set(nested.side_effect_apis)
+            )
+            if nested.parse_error is not None and report.parse_error is None:
+                report.parse_error = f"eval layer: {nested.parse_error}"
+    elif ctx.nested:
+        report.findings.append(
+            Finding(
+                rule="eval-computed-string",
+                severity=Severity.SUSPICIOUS,
+                message=f"eval nesting deeper than {MAX_NESTED_DEPTH} layers",
+                score=2.0,
+            )
+        )
+
+
+@dataclass
+class DocumentJSAnalysis:
+    """Static-analysis outcome for a whole document."""
+
+    reports: List[JSStaticReport] = field(default_factory=list)
+    #: Document-level reasons full emulation is required regardless of
+    #: script findings (embedded files, render media, ...).
+    guards: List[str] = field(default_factory=list)
+
+    @property
+    def suspicious(self) -> bool:
+        return any(report.suspicious for report in self.reports)
+
+    @property
+    def triage_eligible(self) -> bool:
+        """True iff skipping Phase-II emulation provably cannot change
+        the verdict: no guards, and every script both parsed cleanly
+        and neither looks suspicious nor touches side-effect APIs."""
+        if self.guards:
+            return False
+        return all(report.triage_eligible for report in self.reports)
+
+    @property
+    def finding_count(self) -> int:
+        return sum(len(report.findings) for report in self.reports)
+
+    @property
+    def obfuscation_score(self) -> float:
+        return max(
+            (report.obfuscation_score for report in self.reports), default=0.0
+        )
+
+    def rules_fired(self) -> List[str]:
+        fired = set()
+        for report in self.reports:
+            fired.update(report.rules_fired())
+        return sorted(fired)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "reports": [report.to_dict() for report in self.reports],
+            "guards": list(self.guards),
+            "suspicious": self.suspicious,
+            "triage_eligible": self.triage_eligible,
+            "obfuscation_score": self.obfuscation_score,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "DocumentJSAnalysis":
+        return cls(
+            reports=[
+                JSStaticReport.from_dict(r) for r in payload.get("reports", [])
+            ],
+            guards=list(payload.get("guards", [])),
+        )
+
+
+def analyze_document(
+    document,
+    obs: Optional[obs_mod.Observability] = None,
+) -> DocumentJSAnalysis:
+    """Analyse every JavaScript chain of a parsed :class:`PDFDocument`.
+
+    Never raises; a script that cannot even be extracted becomes an
+    ``undecodable-js`` guard.
+    """
+    from repro.pdf.objects import PDFStream
+
+    obs = obs if obs is not None else obs_mod.get_default()
+    analysis = DocumentJSAnalysis()
+
+    try:
+        for entry in document.store:
+            value = entry.value
+            if isinstance(value, PDFStream):
+                if str(value.dictionary.get("Type", "")) == "EmbeddedFile":
+                    if GUARD_EMBEDDED_FILE not in analysis.guards:
+                        analysis.guards.append(GUARD_EMBEDDED_FILE)
+                if "SimCVE" in value.dictionary:
+                    if GUARD_RICH_MEDIA not in analysis.guards:
+                        analysis.guards.append(GUARD_RICH_MEDIA)
+        if "RichMedia" in document.catalog:
+            if GUARD_RICH_MEDIA not in analysis.guards:
+                analysis.guards.append(GUARD_RICH_MEDIA)
+    except Exception:  # noqa: BLE001 - fail-open
+        analysis.guards.append(GUARD_UNDECODABLE_JS)
+
+    try:
+        actions = list(document.iter_javascript_actions())
+    except Exception:  # noqa: BLE001 - fail-open
+        analysis.guards.append(GUARD_UNDECODABLE_JS)
+        return analysis
+
+    for index, action in enumerate(actions):
+        label = action.name or f"{action.trigger}#{index}"
+        try:
+            code = document.get_javascript_code(action)
+        except Exception:  # noqa: BLE001 - fail-open
+            analysis.guards.append(GUARD_UNDECODABLE_JS)
+            continue
+        if not code.strip():
+            continue
+        analysis.reports.append(analyze_script(code, label=label, obs=obs))
+    return analysis

@@ -1,0 +1,439 @@
+"""Constant folding and string-concat propagation (mini abstract
+interpretation).
+
+Obfuscated droppers rarely write ``unescape("%u9090...")`` directly;
+they build the argument from concatenated fragments, ``String.
+fromCharCode`` runs and single-assignment temporaries.  This pass
+evaluates the *provably constant* part of a script so the lint rules
+see through exactly that one layer:
+
+* literals, ``+`` concatenation/addition, numeric arithmetic, unary
+  ops and constant conditionals fold bottom-up;
+* ``String.fromCharCode``, ``unescape``, ``parseInt`` and the common
+  ``substr``/``substring``/``charAt``/``charCodeAt``/``concat``/
+  ``toLowerCase``/``toUpperCase``/``join`` methods fold when every
+  argument (and the receiver) is constant;
+* identifiers substitute their initialiser value when the variable is
+  assigned exactly once, by a top-level ``var`` declaration — anything
+  reassigned, updated, or declared inside a loop/branch/function stays
+  opaque (loops are never executed, so a doubling loop cannot blow the
+  interpreter up).
+
+The pass is *sound for rules, not for execution*: a node either folds
+to the exact runtime constant or is left untouched.  Folded results
+are capped at :data:`MAX_FOLD_CHARS` to bound memory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Dict, List, Optional, Set, Union
+
+from repro.js import nodes as ast
+from repro.jsast.walk import walk
+
+#: Longest string a fold may produce; larger results stay unfolded.
+MAX_FOLD_CHARS = 1 << 20
+
+#: Fixpoint passes: enough for var-to-var constant chains of depth 3.
+_MAX_PASSES = 3
+
+Const = Union[str, float, bool, None]
+
+_UNESCAPE_RE = re.compile(r"%u([0-9a-fA-F]{4})|%([0-9a-fA-F]{2})")
+
+
+def js_unescape(text: str) -> str:
+    """The classic ``unescape``: ``%uXXXX`` and ``%XX`` decoding."""
+
+    def replace(match: "re.Match[str]") -> str:
+        if match.group(1) is not None:
+            return chr(int(match.group(1), 16))
+        return chr(int(match.group(2), 16))
+
+    return _UNESCAPE_RE.sub(replace, text)
+
+
+def _to_js_string(value: Const) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if value is None:
+        return "null"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "NaN"
+        if value == int(value) and abs(value) < 1e21:
+            return str(int(value))
+        return repr(value)
+    return str(value)
+
+
+def _to_number(value: Const) -> Optional[float]:
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, float):
+        return value
+    if isinstance(value, str):
+        text = value.strip()
+        if not text:
+            return 0.0
+        try:
+            return float(int(text, 0)) if text.lower().startswith("0x") else float(text)
+        except ValueError:
+            return None
+    return None
+
+
+class _Wrapped:
+    """Box distinguishing "folded to None/null" from "did not fold"."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Const) -> None:
+        self.value = value
+
+
+def _collect_stable_names(program: ast.Program) -> Set[str]:
+    """Names assigned exactly once, by a top-level ``var`` initialiser.
+
+    Any write anywhere else — assignment, ``++``/``--``, a ``for-in``
+    target, a nested ``var``, a function declaration or parameter —
+    disqualifies the name.
+    """
+    writes: Dict[str, int] = {}
+    top_level: Set[str] = set()
+    top_ids = {id(statement) for statement in program.body}
+
+    def bump(name: str, by: int = 1) -> None:
+        writes[name] = writes.get(name, 0) + by
+
+    for statement in program.body:
+        if isinstance(statement, ast.VarDeclaration):
+            for name, init in statement.declarations:
+                bump(name)
+                if init is not None:
+                    top_level.add(name)
+
+    for node in walk(program):
+        if isinstance(node, ast.VarDeclaration):
+            # Top-level declarations were counted above; nested ones
+            # (inside loops/branches/functions) count as extra writes.
+            if id(node) not in top_ids:
+                for name, _init in node.declarations:
+                    bump(name)
+        elif isinstance(node, ast.AssignmentExpression):
+            if isinstance(node.target, ast.Identifier):
+                bump(node.target.name)
+        elif isinstance(node, ast.UpdateExpression):
+            if isinstance(node.operand, ast.Identifier):
+                bump(node.operand.name)
+        elif isinstance(node, ast.ForInStatement):
+            target = node.target
+            if isinstance(target, ast.Identifier):
+                bump(target.name)
+            elif isinstance(target, ast.VarDeclaration):
+                for name, _init in target.declarations:
+                    bump(name)
+        elif isinstance(node, (ast.FunctionDeclaration, ast.FunctionExpression)):
+            if getattr(node, "name", None):
+                bump(node.name)  # type: ignore[arg-type]
+            for param in node.params:
+                bump(param, by=2)  # params are always runtime-varying
+
+    return {name for name in top_level if writes.get(name, 0) == 1}
+
+
+class ConstantFolder:
+    """Folds one program; reusable helpers are module functions."""
+
+    def __init__(self, program: ast.Program) -> None:
+        self.program = program
+        self.stable = _collect_stable_names(program)
+        self.env: Dict[str, _Wrapped] = {}
+
+    # -- environment -----------------------------------------------------
+
+    def _seed_environment(self) -> None:
+        """Bind stable names whose initialisers fold to constants."""
+        for statement in self.program.body:
+            if not isinstance(statement, ast.VarDeclaration):
+                continue
+            for name, init in statement.declarations:
+                if name not in self.stable or init is None:
+                    continue
+                value = self.fold_expr(init)
+                if value is not None:
+                    self.env[name] = value
+
+    # -- expression folding ----------------------------------------------
+
+    def fold_expr(self, node: ast.Node) -> Optional[_Wrapped]:
+        """Fold ``node`` to a constant, or ``None`` when it may vary."""
+        if isinstance(node, ast.StringLiteral):
+            return _Wrapped(node.value)
+        if isinstance(node, ast.NumberLiteral):
+            return _Wrapped(float(node.value))
+        if isinstance(node, ast.BooleanLiteral):
+            return _Wrapped(node.value)
+        if isinstance(node, ast.NullLiteral):
+            return _Wrapped(None)
+        if isinstance(node, ast.Identifier):
+            return self.env.get(node.name)
+        if isinstance(node, ast.BinaryExpression):
+            return self._fold_binary(node)
+        if isinstance(node, ast.UnaryExpression):
+            return self._fold_unary(node)
+        if isinstance(node, ast.ConditionalExpression):
+            test = self.fold_expr(node.test)
+            if test is None:
+                return None
+            branch = node.consequent if test.value else node.alternate
+            return self.fold_expr(branch)
+        if isinstance(node, ast.SequenceExpression):
+            if not node.expressions:
+                return None
+            return self.fold_expr(node.expressions[-1])
+        if isinstance(node, ast.CallExpression):
+            return self._fold_call(node)
+        if isinstance(node, ast.MemberExpression):
+            return self._fold_member(node)
+        return None
+
+    def _fold_binary(self, node: ast.BinaryExpression) -> Optional[_Wrapped]:
+        left = self.fold_expr(node.left)
+        if left is None:
+            return None
+        right = self.fold_expr(node.right)
+        if right is None:
+            return None
+        lv, rv = left.value, right.value
+        if node.op == "+":
+            if isinstance(lv, str) or isinstance(rv, str):
+                text = _to_js_string(lv) + _to_js_string(rv)
+                if len(text) > MAX_FOLD_CHARS:
+                    return None
+                return _Wrapped(text)
+            ln, rn = _to_number(lv), _to_number(rv)
+            if ln is None or rn is None:
+                return None
+            return _Wrapped(ln + rn)
+        ln, rn = _to_number(lv), _to_number(rv)
+        if ln is None or rn is None:
+            return None
+        try:
+            if node.op == "-":
+                return _Wrapped(ln - rn)
+            if node.op == "*":
+                return _Wrapped(ln * rn)
+            if node.op == "/":
+                return _Wrapped(ln / rn) if rn != 0 else None
+            if node.op == "%":
+                return _Wrapped(ln % rn) if rn != 0 else None
+        except (OverflowError, ValueError):
+            return None
+        return None
+
+    def _fold_unary(self, node: ast.UnaryExpression) -> Optional[_Wrapped]:
+        operand = self.fold_expr(node.operand)
+        if operand is None:
+            return None
+        if node.op == "-":
+            number = _to_number(operand.value)
+            return _Wrapped(-number) if number is not None else None
+        if node.op == "+":
+            number = _to_number(operand.value)
+            return _Wrapped(number) if number is not None else None
+        if node.op == "!":
+            return _Wrapped(not operand.value)
+        return None
+
+    def _fold_member(self, node: ast.MemberExpression) -> Optional[_Wrapped]:
+        obj = self.fold_expr(node.obj)
+        if obj is None or not isinstance(obj.value, str):
+            return None
+        if not node.computed and isinstance(node.prop, ast.Identifier):
+            if node.prop.name == "length":
+                return _Wrapped(float(len(obj.value)))
+            return None
+        if node.computed:
+            index = self.fold_expr(node.prop)
+            if index is None:
+                return None
+            number = _to_number(index.value)
+            if number is None:
+                return None
+            i = int(number)
+            if 0 <= i < len(obj.value):
+                return _Wrapped(obj.value[i])
+        return None
+
+    def _fold_call(self, node: ast.CallExpression) -> Optional[_Wrapped]:
+        callee = node.callee
+        args: List[Const] = []
+        for argument in node.arguments:
+            folded = self.fold_expr(argument)
+            if folded is None:
+                return None
+            args.append(folded.value)
+
+        # Free functions: unescape / parseInt.
+        if isinstance(callee, ast.Identifier):
+            if callee.name == "unescape" and len(args) == 1 and isinstance(args[0], str):
+                text = js_unescape(args[0])
+                return _Wrapped(text) if len(text) <= MAX_FOLD_CHARS else None
+            if callee.name == "parseInt" and args and isinstance(args[0], str):
+                base = int(_to_number(args[1]) or 10) if len(args) > 1 else 10
+                try:
+                    return _Wrapped(float(int(args[0].strip(), base)))
+                except (ValueError, TypeError):
+                    return None
+            return None
+
+        if not isinstance(callee, ast.MemberExpression) or callee.computed:
+            return None
+        if not isinstance(callee.prop, ast.Identifier):
+            return None
+        method = callee.prop.name
+
+        # String.fromCharCode(...)
+        if (
+            method == "fromCharCode"
+            and isinstance(callee.obj, ast.Identifier)
+            and callee.obj.name == "String"
+        ):
+            chars: List[str] = []
+            for value in args:
+                number = _to_number(value)
+                if number is None:
+                    return None
+                chars.append(chr(int(number) & 0xFFFF))
+            return _Wrapped("".join(chars))
+
+        # [ ... ].join(sep)
+        if method == "join" and isinstance(callee.obj, ast.ArrayLiteral):
+            separator = _to_js_string(args[0]) if args else ","
+            parts: List[str] = []
+            for element in callee.obj.elements:
+                folded = self.fold_expr(element)
+                if folded is None:
+                    return None
+                parts.append(_to_js_string(folded.value))
+            text = separator.join(parts)
+            return _Wrapped(text) if len(text) <= MAX_FOLD_CHARS else None
+
+        # Constant-receiver string methods.
+        receiver = self.fold_expr(callee.obj)
+        if receiver is None or not isinstance(receiver.value, str):
+            return None
+        text = receiver.value
+        try:
+            if method in ("substr", "substring", "slice"):
+                start = int(_to_number(args[0]) or 0) if args else 0
+                if method == "substr":
+                    length = int(_to_number(args[1]) or 0) if len(args) > 1 else len(text)
+                    start = max(0, start if start >= 0 else len(text) + start)
+                    return _Wrapped(text[start : start + max(0, length)])
+                end = int(_to_number(args[1]) or 0) if len(args) > 1 else len(text)
+                return _Wrapped(text[max(0, start) : max(0, end)])
+            if method == "charAt":
+                i = int(_to_number(args[0]) or 0) if args else 0
+                return _Wrapped(text[i] if 0 <= i < len(text) else "")
+            if method == "charCodeAt":
+                i = int(_to_number(args[0]) or 0) if args else 0
+                return _Wrapped(float(ord(text[i]))) if 0 <= i < len(text) else None
+            if method == "concat":
+                joined = text + "".join(_to_js_string(a) for a in args)
+                return _Wrapped(joined) if len(joined) <= MAX_FOLD_CHARS else None
+            if method == "toLowerCase" and not args:
+                return _Wrapped(text.lower())
+            if method == "toUpperCase" and not args:
+                return _Wrapped(text.upper())
+            if method == "replace" and len(args) == 2:
+                if isinstance(args[0], str) and isinstance(args[1], str):
+                    return _Wrapped(text.replace(args[0], args[1], 1))
+        except (IndexError, ValueError, TypeError):
+            return None
+        return None
+
+    # -- tree rewriting ----------------------------------------------------
+
+    def _rewrite(self, node: ast.Node) -> ast.Node:
+        """Return ``node`` with every foldable subtree replaced by a
+        literal.  Statements and unfoldable expressions are rebuilt with
+        rewritten children (the original tree is never mutated)."""
+        if isinstance(
+            node,
+            (
+                ast.BinaryExpression,
+                ast.CallExpression,
+                ast.MemberExpression,
+                ast.UnaryExpression,
+                ast.ConditionalExpression,
+                ast.Identifier,
+            ),
+        ):
+            folded = self.fold_expr(node)
+            if folded is not None:
+                return _constant_to_literal(folded.value)
+        return _rebuild(node, self._rewrite)
+
+    def run(self) -> ast.Program:
+        for _ in range(_MAX_PASSES):
+            before = len(self.env)
+            self._seed_environment()
+            if len(self.env) == before:
+                break
+        rewritten = self._rewrite(self.program)
+        assert isinstance(rewritten, ast.Program)
+        return rewritten
+
+
+def _constant_to_literal(value: Const) -> ast.Node:
+    if isinstance(value, bool):
+        return ast.BooleanLiteral(value)
+    if isinstance(value, float):
+        return ast.NumberLiteral(value)
+    if value is None:
+        return ast.NullLiteral()
+    return ast.StringLiteral(value)
+
+
+def _rebuild(node: ast.Node, transform) -> ast.Node:
+    """Shallow-copy ``node`` with ``transform`` applied to node fields."""
+    if not dataclasses.is_dataclass(node):
+        return node
+    changes = {}
+    for field in dataclasses.fields(node):
+        value = getattr(node, field.name)
+        if isinstance(value, ast.Node):
+            changes[field.name] = transform(value)
+        elif isinstance(value, list):
+            items = []
+            for item in value:
+                if isinstance(item, ast.Node):
+                    items.append(transform(item))
+                elif isinstance(item, tuple):
+                    items.append(
+                        tuple(
+                            transform(element)
+                            if isinstance(element, ast.Node)
+                            else element
+                            for element in item
+                        )
+                    )
+                else:
+                    items.append(item)
+            changes[field.name] = items
+    if not changes:
+        return node
+    return dataclasses.replace(node, **changes)
+
+
+def fold_program(program: ast.Program) -> ast.Program:
+    """Public entry point: a folded copy of ``program``.
+
+    The input tree is left untouched; sharing of unfoldable subtrees
+    with the output is allowed (rules only read).
+    """
+    return ConstantFolder(program).run()

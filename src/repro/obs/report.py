@@ -10,7 +10,7 @@ from __future__ import annotations
 import json
 from collections import defaultdict
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Union
+from typing import Any, Dict, Iterable, List, Union
 
 SpanRecord = Dict[str, Any]
 
@@ -128,6 +128,30 @@ def aggregate_batch(spans: Iterable[SpanRecord]) -> List[List[str]]:
     return rows
 
 
+def aggregate_jsast(spans: Iterable[SpanRecord]) -> List[List[str]]:
+    """Static-analysis rows from ``jsast.analyze`` spans: per-outcome
+    script counts and analysis latency."""
+    groups: Dict[str, List[SpanRecord]] = defaultdict(list)
+    for span in spans_named(spans, "jsast.analyze"):
+        tags = span.get("tags", {})
+        if tags.get("suspicious"):
+            outcome = "suspicious"
+        elif tags.get("eligible"):
+            outcome = "clean (triage-eligible)"
+        else:
+            outcome = "clean (needs emulation)"
+        groups[outcome].append(span)
+    rows = []
+    for outcome in sorted(groups):
+        group = groups[outcome]
+        findings = sum(s.get("tags", {}).get("findings", 0) for s in group)
+        total = sum(s["duration"] for s in group)
+        rows.append(
+            [outcome, str(len(group)), str(findings), f"{total:.4f}"]
+        )
+    return rows
+
+
 def render_report(path: Union[str, Path]) -> str:
     """The full ``repro report`` output for one JSONL trace."""
     from repro.analysis import format_table
@@ -143,6 +167,14 @@ def render_report(path: Union[str, Path]) -> str:
                 ["status", "documents", "attempts", "scan total (s)",
                  "scan max (s)"],
                 batch_rows,
+            )
+        )
+    jsast_rows = aggregate_jsast(trace["spans"])
+    if jsast_rows:
+        sections.append(
+            "Static JS analysis (jsast.analyze spans)\n"
+            + format_table(
+                ["outcome", "scripts", "findings", "total (s)"], jsast_rows
             )
         )
     span_rows = aggregate_spans(trace["spans"])

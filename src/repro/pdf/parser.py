@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.pdf.lexer import Lexer, LexerError, Token, TokenType
 from repro.pdf.objects import (

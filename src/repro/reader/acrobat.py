@@ -23,7 +23,7 @@ and delayed-execution countermeasures depend on exactly that.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Protocol
+from typing import Any, List, Protocol
 
 from repro.js.errors import JSThrow
 from repro.js.interpreter import Interpreter

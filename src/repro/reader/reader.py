@@ -11,15 +11,14 @@ hooked-API event stream the back-end detector consumes.
 
 from __future__ import annotations
 
-import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import urlparse
 
 from repro import obs as obs_mod
 from repro.js.errors import JSError, ReaderCrash, ResourceLimitExceeded
 from repro.js.interpreter import Host, Interpreter
-from repro.js.values import JSArray, JSObject, UNDEFINED, to_string
+from repro.js.values import JSArray, JSObject, UNDEFINED
 from repro.pdf.document import PDFDocument
 from repro.pdf.objects import PDFStream, PDFString
 from repro.pdf.parser import PDFParseError

@@ -8,7 +8,7 @@ Table III isolate dropped executables and injected DLLs).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 EXECUTABLE_EXTENSIONS = (".exe", ".dll", ".scr", ".com", ".bat")

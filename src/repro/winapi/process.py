@@ -10,7 +10,7 @@ that too).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.winapi.clock import VirtualClock

@@ -5,7 +5,7 @@ alert, terminate and isolate").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.winapi.process import Process, System

@@ -9,7 +9,7 @@ paper's interception point.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List
 
 from repro.winapi.process import Process

@@ -1,6 +1,5 @@
 """Unit tests for the analysis/reporting helpers."""
 
-import numpy as np
 
 from repro.analysis import PaperComparison, cdf, format_table, render_ascii_cdf, summarize
 from repro.analysis.stats import fraction_at_least, fraction_below

@@ -30,7 +30,7 @@ class TestEvaluationHarness:
         assert len(names) == 140
 
     def test_rates_computed(self):
-        from repro.baselines.base import BaselineDetector, EvaluationResult
+        from repro.baselines.base import EvaluationResult
 
         result = EvaluationResult("x", true_positives=9, false_negatives=1,
                                   false_positives=1, true_negatives=9)

@@ -114,8 +114,6 @@ class TestMarkovByteModel:
         english = b"the quick brown fox jumps over the lazy dog " * 50
         model.fit([english])
         similar = b"the lazy dog jumps over the quick brown fox " * 5
-        import os
-
         noise = bytes((i * 97 + 13) % 256 for i in range(2000))
         assert model.score(similar) < model.score(noise)
 

@@ -8,7 +8,6 @@ drops+launches via raw syscalls demonstrates the difference.
 
 import random
 
-import pytest
 
 from repro.core.pipeline import ProtectionPipeline
 from repro.corpus import js_snippets as js

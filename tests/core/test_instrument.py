@@ -1,6 +1,5 @@
 """Unit tests for the front-end instrumenter (Phase I)."""
 
-import pytest
 
 from repro.core.instrument import (
     Instrumenter,

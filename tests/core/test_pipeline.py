@@ -6,7 +6,6 @@ from repro.core.deinstrument import DeinstrumentationPolicy
 from repro.core.pipeline import ProtectionPipeline
 from repro.pdf.builder import DocumentBuilder
 from repro.pdf.document import PDFDocument
-from tests.conftest import spray_js
 
 
 @pytest.fixture()

@@ -1,8 +1,6 @@
 """Unit tests for the runtime monitor + SOAP server (Phase II back-end)."""
 
-import pytest
 
-from repro.core.detector import DetectorConfig
 from repro.core.keys import KeyStore, fingerprint
 from repro.core.runtime_monitor import RuntimeMonitor
 from repro.core.soap import TinySOAPServer

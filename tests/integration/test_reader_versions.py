@@ -7,7 +7,6 @@ verdict must track the *behaviour*, not the file.
 
 import random
 
-import pytest
 
 from repro.core.pipeline import ProtectionPipeline
 from repro.corpus import js_snippets as js

@@ -7,7 +7,6 @@ import pytest
 from repro.js import evaluate
 from repro.js.errors import JSRuntimeError, JSThrow, ResourceLimitExceeded
 from repro.js.interpreter import Interpreter
-from repro.js.values import JSArray, JSObject, UNDEFINED
 
 
 class TestArithmetic:

@@ -1,0 +1,160 @@
+"""Parser edge cases exercised by obfuscated corpus scripts (ISSUE 3):
+nested ternaries, string-escape handling, long fromCharCode call
+chains, and deeply nested concatenation."""
+
+import pytest
+
+from repro.js import nodes as ast
+from repro.js.errors import JSSyntaxError
+from repro.js.parser import parse
+
+
+def first_expr(source):
+    node = parse(source).body[0]
+    assert isinstance(node, ast.ExpressionStatement)
+    return node.expression
+
+
+class TestNestedTernaries:
+    def test_right_associative_nesting(self):
+        expr = first_expr("a ? b : c ? d : e;")
+        assert isinstance(expr, ast.ConditionalExpression)
+        assert isinstance(expr.alternate, ast.ConditionalExpression)
+        assert not isinstance(expr.consequent, ast.ConditionalExpression)
+
+    def test_ternary_in_consequent(self):
+        expr = first_expr("a ? b ? c : d : e;")
+        assert isinstance(expr, ast.ConditionalExpression)
+        assert isinstance(expr.consequent, ast.ConditionalExpression)
+
+    def test_five_levels_deep(self):
+        source = "a ? 1 : b ? 2 : c ? 3 : d ? 4 : e ? 5 : 6;"
+        expr = first_expr(source)
+        depth = 0
+        while isinstance(expr, ast.ConditionalExpression):
+            depth += 1
+            expr = expr.alternate
+        assert depth == 5
+
+    def test_ternary_inside_call_argument(self):
+        expr = first_expr("f(a ? b : c, d);")
+        assert isinstance(expr, ast.CallExpression)
+        assert isinstance(expr.arguments[0], ast.ConditionalExpression)
+        assert len(expr.arguments) == 2
+
+    def test_ternary_condition_binds_looser_than_or(self):
+        expr = first_expr("a || b ? c : d;")
+        assert isinstance(expr, ast.ConditionalExpression)
+        assert isinstance(expr.test, ast.LogicalExpression)
+
+
+class TestStringEscapes:
+    @pytest.mark.parametrize(
+        "literal,expected",
+        [
+            (r'"\n"', "\n"),
+            (r'"\t"', "\t"),
+            (r'"\r"', "\r"),
+            (r'"\\"', "\\"),
+            (r'"\""', '"'),
+            (r"'\''", "'"),
+            (r'"\x41"', "A"),
+            (r'"A"', "A"),
+            (r'"䅁"', "䅁"),
+            (r'"\0"', "\0"),
+        ],
+    )
+    def test_escape_sequences(self, literal, expected):
+        expr = first_expr(f"{literal};")
+        assert isinstance(expr, ast.StringLiteral)
+        assert expr.value == expected
+
+    def test_percent_u_is_not_an_escape(self):
+        # %uXXXX shellcode units are plain text at the lexer level —
+        # only unescape() gives them meaning.
+        expr = first_expr('"%u9090%u9090";')
+        assert expr.value == "%u9090%u9090"
+
+    def test_mixed_quotes(self):
+        expr = first_expr("\"it's\";")
+        assert expr.value == "it's"
+
+    def test_unknown_escape_passes_char_through(self):
+        expr = first_expr(r'"\q";')
+        assert expr.value == "q"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(JSSyntaxError):
+            parse('var s = "never closed;')
+
+
+class TestFromCharCodeChains:
+    def test_long_call_chain_parses_flat(self):
+        chain = " + ".join(
+            f"String.fromCharCode({65 + i})" for i in range(64)
+        )
+        expr = first_expr(f"{chain};")
+        calls = 0
+        node = expr
+        while isinstance(node, ast.BinaryExpression):
+            assert node.op == "+"
+            assert isinstance(node.right, ast.CallExpression)
+            calls += 1
+            node = node.left
+        assert isinstance(node, ast.CallExpression)
+        assert calls == 63
+
+    def test_many_arguments_in_one_call(self):
+        args = ", ".join(str(60 + i) for i in range(200))
+        expr = first_expr(f"String.fromCharCode({args});")
+        assert isinstance(expr, ast.CallExpression)
+        assert len(expr.arguments) == 200
+
+    def test_nested_call_arguments(self):
+        expr = first_expr(
+            "String.fromCharCode(parseInt(h.substr(0, 2), 16));"
+        )
+        inner = expr.arguments[0]
+        assert isinstance(inner, ast.CallExpression)
+        assert isinstance(inner.arguments[0], ast.CallExpression)
+
+
+class TestDeepConcatenation:
+    def test_hundred_term_concat(self):
+        source = " + ".join(f'"frag{i}"' for i in range(100)) + ";"
+        expr = first_expr(source)
+        leaves = 0
+        stack = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.BinaryExpression):
+                stack.extend((node.left, node.right))
+            else:
+                assert isinstance(node, ast.StringLiteral)
+                leaves += 1
+        assert leaves == 100
+
+    def test_left_associativity(self):
+        expr = first_expr('"a" + "b" + "c";')
+        assert isinstance(expr.left, ast.BinaryExpression)
+        assert isinstance(expr.right, ast.StringLiteral)
+        assert expr.right.value == "c"
+
+    def test_parenthesised_grouping_overrides(self):
+        expr = first_expr('"a" + ("b" + "c");')
+        assert isinstance(expr.left, ast.StringLiteral)
+        assert isinstance(expr.right, ast.BinaryExpression)
+
+    def test_concat_across_continued_var_statement(self):
+        source = 'var s = "a" +\n    "b" +\n    "c";'
+        node = parse(source).body[0]
+        assert isinstance(node, ast.VarDeclaration)
+        init = node.declarations[0][1]
+        assert isinstance(init, ast.BinaryExpression)
+
+    def test_deep_parenthesis_nesting(self):
+        depth = 60
+        source = "(" * depth + '"x"' + ")" * depth + ";"
+        expr = first_expr(source)
+        assert isinstance(expr, ast.StringLiteral)
+        assert expr.value == "x"

@@ -1,0 +1,123 @@
+"""Acceptance criteria over the synthetic corpus:
+
+* every malicious snippet family produces at least one finding at or
+  above the triage severity;
+* the benign corpus produces *zero* findings at or above the triage
+  severity (INFO-level advisories are allowed);
+* every malicious *document* is triage-ineligible, so the fast path
+  can never skip emulating one.
+"""
+
+import random
+
+import pytest
+
+from repro.corpus import CorpusConfig, build_dataset, js_snippets as js
+from repro.jsast import TRIAGE_SEVERITY, analyze_script
+from repro.jsast.analyzer import analyze_document
+from repro.pdf.document import PDFDocument
+from repro.reader.payload import Payload
+
+CVES = [
+    "CVE-2007-5659",
+    "CVE-2008-2992",
+    "CVE-2009-0927",
+    "CVE-2009-4324",
+    "CVE-2010-4091",
+    "CVE-2009-1492",
+]
+
+
+def malicious_snippets():
+    rng = random.Random(11)
+    payload = Payload.dropper("evil.exe")
+    cases = {
+        "spray": js.spray_script(160, payload, rng=rng),
+        "spray-title-hidden": js.spray_script(
+            160, payload, rng=rng, hide_payload_in_title=True
+        ),
+        "export-launch": js.export_launch_script(),
+        "probe-hostcontainer": js.failing_probe_script("CVE-2009-1492"),
+        "probe-xfahost": js.failing_probe_script("CVE-2013-0640"),
+        "version-gated": js.version_gated(
+            js.egg_hunt_script(160, payload, rng, "CVE-2009-4324"), 9
+        ),
+        "two-stage-head": js.spray_script(
+            160, payload, rng=rng, export_chunk_as="__st2"
+        ),
+    }
+    for cve in CVES:
+        cases[f"egg-hunt-{cve}"] = js.egg_hunt_script(160, payload, rng, cve)
+        cases[f"stage2-{cve}"] = js.exploit_call_for(cve).replace(
+            "__CHUNK__", "__st2"
+        )
+    return cases
+
+
+def benign_snippets():
+    rng = random.Random(12)
+    return {
+        "form": js.benign_form_script(rng),
+        "date": js.benign_date_script(rng),
+        "page": js.benign_page_script(),
+        "report-small": js.benign_report_script(16, 1024, rng),
+        "report-large": js.benign_report_script(660, 3072, rng),
+        "soap": js.benign_soap_script(),
+        "multi-0": js.benign_multiscript_part(0),
+        "multi-1": js.benign_multiscript_part(1),
+    }
+
+
+class TestSnippetCoverage:
+    @pytest.mark.parametrize("family", sorted(malicious_snippets()))
+    def test_every_malicious_family_flagged(self, family):
+        report = analyze_script(malicious_snippets()[family], label=family)
+        assert report.suspicious, (
+            f"{family}: no finding at/above triage severity "
+            f"(fired: {report.rules_fired()})"
+        )
+
+    @pytest.mark.parametrize("family", sorted(benign_snippets()))
+    def test_benign_snippets_never_suspicious(self, family):
+        report = analyze_script(benign_snippets()[family], label=family)
+        loud = [
+            f for f in report.findings if f.severity >= TRIAGE_SEVERITY
+        ]
+        assert loud == [], f"{family}: false positives {loud}"
+
+    def test_soap_is_clean_but_ineligible(self):
+        # F9 fires at runtime for the SOAP doc; triage must never skip
+        # it even though it carries zero suspicious findings.
+        report = analyze_script(js.benign_soap_script())
+        assert not report.suspicious
+        assert not report.triage_eligible
+        assert report.side_effect_apis
+
+
+@pytest.mark.slow
+class TestDocumentCoverage:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return build_dataset(
+            CorpusConfig(
+                n_benign=24,
+                n_benign_with_js=8,
+                n_malicious=32,
+                benign_seed=1963,
+                malicious_seed=2014,
+            )
+        )
+
+    def test_benign_documents_have_no_suspicious_findings(self, dataset):
+        for sample in dataset.benign:
+            document = PDFDocument.from_bytes(sample.data)
+            analysis = analyze_document(document)
+            assert not analysis.suspicious, (
+                f"{sample.name}: {analysis.rules_fired()}"
+            )
+
+    def test_malicious_documents_never_triage_eligible(self, dataset):
+        for sample in dataset.malicious:
+            document = PDFDocument.from_bytes(sample.data)
+            analysis = analyze_document(document)
+            assert not analysis.triage_eligible, sample.name

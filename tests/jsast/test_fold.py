@@ -1,0 +1,143 @@
+"""Constant folding / string-concat propagation."""
+
+from repro.js import nodes as ast
+from repro.js.parser import parse
+from repro.jsast.fold import (
+    MAX_FOLD_CHARS,
+    ConstantFolder,
+    fold_program,
+    js_unescape,
+)
+from repro.jsast.walk import walk
+
+
+def const_strings(program):
+    return [n.value for n in walk(program) if isinstance(n, ast.StringLiteral)]
+
+
+def fold_source(source):
+    return fold_program(parse(source))
+
+
+class TestJsUnescape:
+    def test_unicode_units(self):
+        assert js_unescape("%u0041%u0042") == "AB"
+
+    def test_byte_units(self):
+        assert js_unescape("%41%42") == "AB"
+
+    def test_mixed_and_literal(self):
+        assert js_unescape("a%u0062c%64") == "abcd"
+
+    def test_untouched_text(self):
+        assert js_unescape("hello %zz") == "hello %zz"
+
+
+class TestExpressionFolding:
+    def test_string_concat(self):
+        folded = fold_source('var x = "he" + "llo";')
+        assert "hello" in const_strings(folded)
+
+    def test_concat_chain_through_variables(self):
+        folded = fold_source('var a = "ev"; var b = "al"; var c = a + b;')
+        assert "eval" in const_strings(folded)
+
+    def test_fromcharcode(self):
+        folded = fold_source("var x = String.fromCharCode(104, 105);")
+        assert "hi" in const_strings(folded)
+
+    def test_unescape_call(self):
+        folded = fold_source('var x = unescape("%u4141");')
+        assert "䅁" in const_strings(folded)
+
+    def test_parseint(self):
+        folded = fold_source('var x = parseInt("ff", 16);')
+        numbers = [n.value for n in walk(folded) if isinstance(n, ast.NumberLiteral)]
+        assert 255.0 in numbers
+
+    def test_string_methods(self):
+        folded = fold_source('var x = "HELLO".toLowerCase().substring(0, 4);')
+        assert "hell" in const_strings(folded)
+
+    def test_array_join(self):
+        folded = fold_source('var x = ["a", "b", "c"].join("");')
+        assert "abc" in const_strings(folded)
+
+    def test_constant_ternary(self):
+        folded = fold_source('var x = (1 < 2) ? "yes" : "no";')
+        # The test 1 < 2 is not folded (comparison ops stay opaque), so
+        # the ternary survives — but both branches are still literals.
+        assert "yes" in const_strings(folded)
+
+    def test_member_length(self):
+        folded = fold_source('var s = "abcd"; var n = s.length;')
+        numbers = [n.value for n in walk(folded) if isinstance(n, ast.NumberLiteral)]
+        assert 4.0 in numbers
+
+
+class TestStability:
+    def test_reassigned_variable_stays_opaque(self):
+        folded = fold_source('var x = "a"; x = "b"; var y = x + "c";')
+        assert "ac" not in const_strings(folded)
+        assert "bc" not in const_strings(folded)
+
+    def test_loop_modified_variable_stays_opaque(self):
+        folded = fold_source(
+            'var s = "a"; while (s.length < 8) s += s; var t = s + "!";'
+        )
+        assert "a!" not in const_strings(folded)
+
+    def test_loops_never_executed(self):
+        # A doubling loop to an absurd bound must not blow up folding.
+        folded = fold_source(
+            'var s = "a"; while (s.length < 1e9) s += s;'
+        )
+        assert all(len(s) < 1024 for s in const_strings(folded))
+
+    def test_nested_var_declaration_disqualifies(self):
+        folded = fold_source(
+            'if (q) { var x = "a"; } var y = x + "b";'
+        )
+        assert "ab" not in const_strings(folded)
+
+    def test_duplicate_top_level_var_disqualifies(self):
+        folded = fold_source('var x = "a"; var x = "b"; var y = x + "!";')
+        assert "a!" not in const_strings(folded)
+        assert "b!" not in const_strings(folded)
+
+    def test_function_param_stays_opaque(self):
+        folded = fold_source('function f(x) { return x + "s"; }')
+        assert all("s" == s or "s" not in s for s in const_strings(folded))
+
+    def test_fold_size_cap(self):
+        folder = ConstantFolder(parse('var x = "a" + "b";'))
+        big = ast.BinaryExpression(
+            "+",
+            ast.StringLiteral("x" * MAX_FOLD_CHARS),
+            ast.StringLiteral("y"),
+        )
+        assert folder.fold_expr(big) is None
+
+    def test_original_tree_untouched(self):
+        program = parse('var x = "a" + "b";')
+        before = [type(n).__name__ for n in walk(program)]
+        fold_program(program)
+        after = [type(n).__name__ for n in walk(program)]
+        assert before == after
+
+
+class TestObfuscatedIdioms:
+    def test_sees_through_fragmented_unescape(self):
+        # The classic one-layer obfuscation: the %u string is assembled
+        # from fragments before being passed to unescape.
+        folded = fold_source(
+            'var p1 = "%u90"; var p2 = "90"; var sled = unescape(p1 + p2);'
+        )
+        assert "邐" in const_strings(folded)
+
+    def test_sees_through_fromcharcode_chain(self):
+        folded = fold_source(
+            "var s = String.fromCharCode(101) + String.fromCharCode(118) + "
+            "String.fromCharCode(97) + String.fromCharCode(108);"
+        )
+        assert "eval" in const_strings(folded)

@@ -1,0 +1,137 @@
+"""The benign-triage fast path through ``pipeline.scan`` and the batch
+layer around it."""
+
+import pytest
+
+from repro.batch.report import VerdictSummary
+from repro.batch.scanner import _settings_fingerprint
+from repro.core.pipeline import PipelineSettings, ProtectionPipeline
+from repro.corpus import js_snippets as js
+from repro.obs import MemorySink, Observability
+from repro.pdf.builder import DocumentBuilder
+from tests.conftest import spray_js
+
+
+def doc(script=None, **kwargs):
+    builder = DocumentBuilder()
+    builder.add_page("triage test")
+    if script is not None:
+        builder.add_javascript(script, **kwargs)
+    return builder.to_bytes()
+
+
+@pytest.fixture()
+def triage_pipeline():
+    return ProtectionPipeline(seed=99, triage=True)
+
+
+@pytest.fixture()
+def full_pipeline():
+    return ProtectionPipeline(seed=99, triage=False)
+
+
+class TestFastPath:
+    def test_no_js_document_is_triaged(self, triage_pipeline):
+        report = triage_pipeline.scan(doc(), "plain.pdf")
+        assert report.triaged
+        assert report.outcome is None
+        assert not report.verdict.malicious
+
+    def test_clean_js_document_is_triaged(self, triage_pipeline):
+        report = triage_pipeline.scan(doc("var x = 1 + 1;"), "clean.pdf")
+        assert report.triaged
+        assert not report.verdict.malicious
+
+    def test_malicious_document_gets_full_emulation(self, triage_pipeline):
+        report = triage_pipeline.scan(doc(spray_js()), "mal.pdf")
+        assert not report.triaged
+        assert report.outcome is not None
+        assert report.verdict.malicious
+
+    def test_soap_side_effect_blocks_triage(self, triage_pipeline):
+        report = triage_pipeline.scan(doc(js.benign_soap_script()), "soap.pdf")
+        assert not report.triaged  # F9 fires at runtime; must emulate
+        assert "network access (in-JS)" in report.verdict.reasons
+
+    def test_unparseable_js_blocks_triage(self, triage_pipeline):
+        report = triage_pipeline.scan(doc("var = ;;; <<<"), "broken-js.pdf")
+        assert not report.triaged
+
+    def test_triage_off_by_default(self, full_pipeline):
+        report = full_pipeline.scan(doc(), "plain.pdf")
+        assert not report.triaged
+        assert report.outcome is not None
+
+    def test_embedded_file_blocks_triage(self, triage_pipeline):
+        builder = DocumentBuilder()
+        builder.add_page("carrier")
+        builder.add_embedded_file("inner.bin", b"some-payload")
+        report = triage_pipeline.scan(builder.to_bytes(), "attach.pdf")
+        assert not report.triaged
+
+    def test_garbage_bytes_still_errored_not_raised(self, triage_pipeline):
+        report = triage_pipeline.scan(b"not a pdf at all", "junk.pdf")
+        assert report.errored
+        assert not report.triaged
+
+
+class TestVerdictEquivalence:
+    @pytest.mark.parametrize(
+        "name,script",
+        [
+            ("plain", None),
+            ("clean-js", "var x = 40 + 2;"),
+            ("form", 'var f = this.getField("total");'),
+        ],
+    )
+    def test_triaged_verdict_identical_to_full_run(
+        self, triage_pipeline, full_pipeline, name, script
+    ):
+        data = doc(script)
+        fast = triage_pipeline.scan(data, f"{name}.pdf")
+        slow = full_pipeline.scan(data, f"{name}.pdf")
+        assert fast.triaged and not slow.triaged
+        assert fast.verdict.malicious == slow.verdict.malicious
+        assert fast.verdict.malscore == slow.verdict.malscore
+        assert fast.verdict.features.bits == slow.verdict.features.bits
+        assert fast.verdict.reasons == slow.verdict.reasons
+        assert fast.did_nothing == slow.did_nothing
+
+
+class TestReporting:
+    def test_open_report_carries_static_evidence(self, triage_pipeline):
+        report = triage_pipeline.scan(doc(spray_js()), "mal.pdf")
+        assert report.js_analysis is not None
+        assert report.js_analysis.suspicious
+        payload = report.to_dict()
+        assert payload["triaged"] is False
+        assert payload["static_js"]["suspicious"] is True
+        assert payload["static_js"]["reports"]
+
+    def test_triage_metrics(self):
+        obs = Observability(MemorySink())
+        pipeline = ProtectionPipeline(seed=99, triage=True, obs=obs)
+        pipeline.scan(doc(), "plain.pdf")
+        pipeline.scan(doc(spray_js()), "mal.pdf")
+        assert obs.metrics.counter_value("triage", result="skipped") == 1
+        assert obs.metrics.counter_value("triage", result="full") == 1
+
+    def test_verdict_summary_roundtrips_triaged(self, triage_pipeline):
+        report = triage_pipeline.scan(doc(), "plain.pdf")
+        summary = VerdictSummary.from_report(report)
+        assert summary.triaged
+        assert VerdictSummary.from_dict(summary.to_dict()) == summary
+
+
+class TestCacheFingerprint:
+    def test_fingerprint_incorporates_triage_flag(self):
+        on = _settings_fingerprint(PipelineSettings(triage=True))
+        off = _settings_fingerprint(PipelineSettings(triage=False))
+        assert on != off
+
+    def test_fingerprint_incorporates_ruleset_version(self):
+        from repro.jsast.rules import ruleset_version
+
+        assert f"jsast:{ruleset_version()}" in _settings_fingerprint(
+            PipelineSettings()
+        )

@@ -1,0 +1,95 @@
+"""Walker/visitor framework over the repro.js AST."""
+
+from repro.js import nodes as ast
+from repro.js.parser import parse
+from repro.jsast.walk import NodeVisitor, iter_child_nodes, walk
+
+
+class TestIterChildNodes:
+    def test_plain_node_fields(self):
+        node = ast.BinaryExpression("+", ast.Identifier("a"), ast.Identifier("b"))
+        children = list(iter_child_nodes(node))
+        assert [c.name for c in children] == ["a", "b"]
+
+    def test_list_fields(self):
+        program = parse("f(1, 2, 3);")
+        call = program.body[0].expression
+        assert len(list(iter_child_nodes(call))) == 4  # callee + 3 args
+
+    def test_tuple_list_fields_var_declaration(self):
+        node = parse("var a = 1, b, c = 'x';").body[0]
+        inits = list(iter_child_nodes(node))
+        # b has no initialiser; only the two init nodes are children.
+        assert len(inits) == 2
+
+    def test_tuple_list_fields_object_literal(self):
+        obj = parse("x({a: 1, b: y});").body[0].expression.arguments[0]
+        assert isinstance(obj, ast.ObjectLiteral)
+        assert len(list(iter_child_nodes(obj))) == 2
+
+    def test_none_fields_skipped(self):
+        node = parse("if (a) b;").body[0]
+        assert all(isinstance(c, ast.Node) for c in iter_child_nodes(node))
+
+
+class TestWalk:
+    def test_yields_root_first(self):
+        program = parse("var a = 1;")
+        assert next(iter(walk(program))) is program
+
+    def test_reaches_deep_nodes(self):
+        program = parse("while (s.length < 10) { s += s; }")
+        kinds = {type(n).__name__ for n in walk(program)}
+        assert "WhileStatement" in kinds
+        assert "AssignmentExpression" in kinds
+        assert "MemberExpression" in kinds
+
+    def test_source_order(self):
+        program = parse("var a = 1; var b = 2;")
+        names = [
+            name
+            for node in walk(program)
+            if isinstance(node, ast.VarDeclaration)
+            for name, _init in node.declarations
+        ]
+        assert names == ["a", "b"]
+
+    def test_counts_every_node_once(self):
+        program = parse("f(a + b, c);")
+        nodes = list(walk(program))
+        assert len(nodes) == len({id(n) for n in nodes})
+
+
+class TestNodeVisitor:
+    def test_dispatch_by_type(self):
+        seen = []
+
+        class V(NodeVisitor):
+            def visit_Identifier(self, node):
+                seen.append(node.name)
+
+        # Unhandled types fall through to generic_visit, which recurses,
+        # so every identifier in the tree is reached.
+        V().visit(parse("a + b * c;"))
+        assert sorted(seen) == ["a", "b", "c"]
+
+    def test_handled_type_stops_recursion_unless_requested(self):
+        seen = []
+
+        class V(NodeVisitor):
+            def visit_BinaryExpression(self, node):
+                seen.append(node.op)  # no generic_visit: no recursion
+
+        V().visit(parse("a + b * c;"))
+        assert seen == ["+"]  # the nested * is never reached
+
+    def test_generic_visit_recurses_by_default(self):
+        calls = []
+
+        class V(NodeVisitor):
+            def visit_CallExpression(self, node):
+                calls.append(node)
+                self.generic_visit(node)
+
+        V().visit(parse("f(g(h()));"))
+        assert len(calls) == 3

@@ -8,7 +8,6 @@ entry table, /Index subsections, and a /Prev chain.
 import io
 import zlib
 
-import pytest
 
 from repro.pdf.document import PDFDocument
 from repro.pdf.objects import PDFArray, PDFDict, PDFName, PDFRef

@@ -1,6 +1,5 @@
 """Property-based tests for the JavaScript engine."""
 
-import math
 import string
 
 from hypothesis import given, settings, strategies as st
@@ -18,7 +17,6 @@ from repro.js.values import (
     strict_equals,
     to_int32,
     to_number,
-    to_string,
     to_uint32,
 )
 

@@ -1,0 +1,107 @@
+"""Triage-equivalence property (ISSUE 3, satellite 6).
+
+For any corpus drawn from a fixed document pool, the multiset of
+``pipeline.scan`` verdicts with the benign-triage fast path enabled is
+identical to the multiset with it disabled.  Triage may only change
+*how* a verdict is reached (skipping emulation for statically clean
+documents), never *what* the verdict is.
+
+The pool mixes triage-eligible documents (no JS, clean JS), documents
+that are clean but triage-ineligible (SOAP side-effect channel), a
+malicious spray document, and unparseable garbage, so the property
+exercises both branches of the fast path.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.pipeline import ProtectionPipeline
+from repro.corpus import js_snippets as js
+from repro.pdf.builder import DocumentBuilder
+from tests.conftest import spray_js
+
+pytestmark = pytest.mark.batch
+
+SEED = 7
+
+
+def _pool():
+    docs = []
+
+    plain = DocumentBuilder()
+    plain.add_page("no javascript at all")
+    docs.append(("plain.pdf", plain.to_bytes()))
+
+    benign_js = DocumentBuilder()
+    benign_js.add_page("benign js")
+    benign_js.add_javascript("var x = 2 + 2; app.alert('x=' + x);")
+    docs.append(("benign-js.pdf", benign_js.to_bytes()))
+
+    soap = DocumentBuilder()
+    soap.add_page("soap client")
+    soap.add_javascript(js.benign_soap_script())
+    docs.append(("soap.pdf", soap.to_bytes()))
+
+    malicious = DocumentBuilder()
+    malicious.add_page("")
+    malicious.add_javascript(spray_js())
+    docs.append(("malicious.pdf", malicious.to_bytes()))
+
+    broken_js = DocumentBuilder()
+    broken_js.add_page("broken js")
+    broken_js.add_javascript("var = ;;; <<<")
+    docs.append(("broken-js.pdf", broken_js.to_bytes()))
+
+    garbage = ("garbage.pdf", b"%PDF-1.4 truncated nonsense without objects")
+    docs.append(garbage)
+    return docs
+
+
+POOL = _pool()
+
+corpus_strategy = st.lists(
+    st.integers(min_value=0, max_value=len(POOL) - 1), min_size=0, max_size=6
+)
+
+
+def _verdict_multiset(triage, items):
+    pipeline = ProtectionPipeline(seed=SEED, triage=triage)
+    out = []
+    for name, data in items:
+        report = pipeline.scan(data, name)
+        out.append(
+            (
+                name,
+                report.verdict.malicious,
+                report.verdict.malscore,
+                report.verdict.features.bits,
+            )
+        )
+    return sorted(out)
+
+
+@given(picks=corpus_strategy)
+@settings(
+    max_examples=10, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_triage_never_changes_a_verdict(picks):
+    items = [POOL[i] for i in picks]
+    assert _verdict_multiset(True, items) == _verdict_multiset(False, items)
+
+
+def test_triage_actually_skips_on_this_pool():
+    # Guard against the property passing vacuously: the pool must
+    # contain both triaged and fully-emulated documents.
+    pipeline = ProtectionPipeline(seed=SEED, triage=True)
+    triaged = {
+        name
+        for name, data in POOL
+        if pipeline.scan(data, name).triaged
+    }
+    assert "plain.pdf" in triaged
+    assert "benign-js.pdf" in triaged
+    assert "malicious.pdf" not in triaged
+    assert "soap.pdf" not in triaged
+    assert "broken-js.pdf" not in triaged
+    assert "garbage.pdf" not in triaged

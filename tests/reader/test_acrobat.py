@@ -1,6 +1,5 @@
 """Focused tests for the Acrobat JavaScript object model surface."""
 
-import pytest
 
 from repro.pdf.builder import DocumentBuilder
 from repro.reader import Reader

@@ -1,6 +1,5 @@
 """Unit/integration tests for the simulated PDF reader."""
 
-import pytest
 
 from repro.corpus import js_snippets as js
 from repro.pdf.builder import DocumentBuilder

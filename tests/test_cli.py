@@ -181,3 +181,79 @@ class TestCorpus:
         assert len(manifest) == 10
         assert len(list((outdir / "benign").iterdir())) == 6
         assert len(list((outdir / "malicious").iterdir())) == 4
+
+
+class TestLint:
+    def test_benign_pdf_exit_zero(self, benign_file, capsys):
+        assert main(["lint", str(benign_file)]) == 0
+        out = capsys.readouterr().out
+        assert "triage-eligible" in out
+
+    def test_malicious_pdf_exit_one(self, malicious_file, capsys):
+        assert main(["lint", str(malicious_file)]) == 1
+        out = capsys.readouterr().out
+        assert "=> suspicious" in out
+
+    def test_bare_js_file(self, tmp_path, capsys):
+        path = tmp_path / "snippet.js"
+        path.write_text('var s = unescape("%u9090%u9090");')
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "unescape-sled" in out
+
+    def test_clean_js_file_exit_zero(self, tmp_path, capsys):
+        path = tmp_path / "clean.js"
+        path.write_text("var x = 1 + 1;")
+        assert main(["lint", str(path)]) == 0
+
+    def test_json_output(self, malicious_file, capsys):
+        assert main(["lint", str(malicious_file), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["suspicious"] is True
+        assert payload["reports"]
+        rules = {
+            f["rule"] for r in payload["reports"] for f in r["findings"]
+        }
+        assert rules  # at least one rule fired
+
+    def test_missing_file_exit_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope.pdf")]) == 2
+
+    def test_unparseable_pdf_exit_two(self, tmp_path, capsys):
+        path = tmp_path / "bad.pdf"
+        path.write_bytes(b"%PDF-1.4 truncated nonsense without objects")
+        assert main(["lint", str(path)]) == 2
+
+    def test_unparseable_js_is_flagged_not_crashed(self, tmp_path, capsys):
+        path = tmp_path / "broken.js"
+        path.write_text("var = ;;; <<<")
+        assert main(["lint", str(path)]) == 1
+        assert "unparseable-js" in capsys.readouterr().out
+
+
+class TestScanTriage:
+    def test_benign_triaged(self, tmp_path, simple_doc_bytes, capsys):
+        path = tmp_path / "plain.pdf"
+        path.write_bytes(simple_doc_bytes)
+        assert main(["scan", str(path), "--triage"]) == 0
+        out = capsys.readouterr().out
+        assert "triaged: emulation skipped" in out
+
+    def test_malicious_not_triaged(self, malicious_file, capsys):
+        assert main(["scan", str(malicious_file), "--triage"]) == 1
+        out = capsys.readouterr().out
+        assert "triaged" not in out
+        assert "MALICIOUS" in out
+
+    @pytest.mark.batch
+    def test_batch_triage_summary(self, tmp_path, simple_doc_bytes,
+                                  malicious_doc_bytes, capsys):
+        root = tmp_path / "corpus"
+        root.mkdir()
+        (root / "plain.pdf").write_bytes(simple_doc_bytes)
+        (root / "mal.pdf").write_bytes(malicious_doc_bytes)
+        code = main(["batch", str(root), "--jobs", "1", "--backend", "thread",
+                     "--triage"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "triaged   : 1 (emulation skipped)" in out

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.winapi.clock import VirtualClock
-from repro.winapi.process import Process, ProcessState, System, READER_BASE_MEMORY
+from repro.winapi.process import ProcessState, System, READER_BASE_MEMORY
 
 
 class TestVirtualClock:
