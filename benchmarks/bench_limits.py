@@ -1,0 +1,88 @@
+"""Hostile-input rejection benchmark (``BENCH_limits.json``).
+
+Measures time-to-structured-rejection for each malformed-corpus bomb
+under the default budgets, and the overhead the budget layer adds to a
+normal benign scan.  The acceptance bar: every bomb is rejected with a
+named limit kind well inside its deadline — no hangs, no tracebacks.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.pipeline import ProtectionPipeline
+from repro.limits import ScanLimits
+from tests.data import malformed
+
+LIMITS = ScanLimits(
+    max_stream_bytes=1024 * 1024,
+    max_document_bytes=4 * 1024 * 1024,
+    max_filter_depth=8,
+    max_objects=2000,
+    deadline_seconds=10.0,
+)
+
+BOMBS = [
+    "decompression_bomb",
+    "filter_cascade_bomb",
+    "cyclic_reference",
+    "deep_page_tree",
+    "object_flood",
+]
+
+
+@pytest.mark.slow
+def test_bench_limits(artifact, emit):
+    pipeline = ProtectionPipeline(limits=LIMITS)
+    rows = {}
+    for name in BOMBS:
+        data = malformed.BUILDERS[name]()
+        start = time.perf_counter()
+        report = pipeline.scan(data, f"{name}.pdf")
+        elapsed = time.perf_counter() - start
+        assert report.errored, f"{name} was not rejected"
+        assert report.limit_kind, f"{name} rejection lacks a limit kind"
+        assert elapsed < LIMITS.deadline_seconds + 5
+        rows[name] = {
+            "input_bytes": len(data),
+            "limit_kind": report.limit_kind,
+            "reject_seconds": round(elapsed, 4),
+        }
+
+    # budget-layer overhead on a benign scan (same doc, limits on/off)
+    from repro.pdf.builder import DocumentBuilder
+
+    builder = DocumentBuilder()
+    builder.add_page("benign")
+    benign = builder.to_bytes()
+    start = time.perf_counter()
+    ProtectionPipeline(limits=LIMITS).scan(benign, "benign.pdf")
+    with_limits = time.perf_counter() - start
+    start = time.perf_counter()
+    ProtectionPipeline(limits=ScanLimits.unlimited()).scan(benign, "benign.pdf")
+    without_limits = time.perf_counter() - start
+
+    payload = {
+        "limits": LIMITS.to_dict(),
+        "bombs": rows,
+        "benign_scan_seconds": {
+            "with_limits": round(with_limits, 4),
+            "unlimited": round(without_limits, 4),
+        },
+    }
+    path = artifact("BENCH_limits.json", payload)
+
+    lines = ["bomb rejection under default-ish budgets:"]
+    for name, row in rows.items():
+        lines.append(
+            f"  {name:<22} {row['input_bytes']:>9}B -> "
+            f"{row['limit_kind']:<14} in {row['reject_seconds'] * 1000:8.1f}ms"
+        )
+    lines.append(
+        f"  benign overhead: {with_limits * 1000:.1f}ms with limits vs "
+        f"{without_limits * 1000:.1f}ms unlimited"
+    )
+    lines.append(f"  artifact: {path}")
+    emit("\n".join(lines))

@@ -42,6 +42,9 @@ class VerdictSummary:
     #: Verdict synthesised by the benign-triage fast path (no reader
     #: session was opened for this document).
     triaged: bool = False
+    #: Which resource budget aborted the scan (None unless the scan was
+    #: budget-errored, e.g. ``"stream-bytes"`` for a decompression bomb).
+    limit_kind: Optional[str] = None
 
     @classmethod
     def from_report(cls, report: Any) -> "VerdictSummary":
@@ -56,6 +59,7 @@ class VerdictSummary:
             errored=bool(getattr(report, "errored", False)),
             error=getattr(report, "error", None),
             triaged=bool(getattr(report, "triaged", False)),
+            limit_kind=getattr(report, "limit_kind", None),
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -68,6 +72,7 @@ class VerdictSummary:
             "errored": self.errored,
             "error": self.error,
             "triaged": self.triaged,
+            "limit_kind": self.limit_kind,
         }
 
     @classmethod
@@ -81,6 +86,7 @@ class VerdictSummary:
             errored=bool(payload.get("errored", False)),
             error=payload.get("error"),
             triaged=bool(payload.get("triaged", False)),
+            limit_kind=payload.get("limit_kind"),
         )
 
 
@@ -189,6 +195,16 @@ class BatchReport:
         return failures
 
     @property
+    def limit_hits(self) -> Dict[str, int]:
+        """Budget-aborted scans, grouped by the budget kind that fired."""
+        out: Dict[str, int] = {}
+        for item in self.items:
+            if item.verdict is not None and item.verdict.limit_kind:
+                kind = item.verdict.limit_kind
+                out[kind] = out.get(kind, 0) + 1
+        return out
+
+    @property
     def triaged_count(self) -> int:
         """Documents answered by the benign-triage fast path."""
         return sum(
@@ -252,6 +268,7 @@ class BatchReport:
             "timeouts": self.timeouts,
             "retries_used": self.retries_used,
             "triaged": self.triaged_count,
+            "limit_hits": self.limit_hits,
             "errors": self.errors,
             "items": [item.to_dict() for item in self.items],
         }
@@ -276,6 +293,12 @@ class BatchReport:
             lines.insert(
                 5, f"  triaged   : {self.triaged_count} (emulation skipped)"
             )
+        limit_hits = self.limit_hits
+        if limit_hits:
+            detail = ", ".join(
+                f"{kind}: {count}" for kind, count in sorted(limit_hits.items())
+            )
+            lines.append(f"  limits    : {detail}")
         for failure in self.errors:
             lines.append(
                 f"  ! {failure['name']} [{failure['status']}] {failure['error']}"

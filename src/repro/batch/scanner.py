@@ -36,7 +36,7 @@ from __future__ import annotations
 import concurrent.futures as cf
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import (
     Any,
     Callable,
@@ -85,6 +85,7 @@ def _settings_fingerprint(settings: PipelineSettings) -> str:
         f"v{settings.reader_version}|seed{settings.seed}"
         f"|{settings.hook_mode.value}|{settings.config!r}"
         f"|jsast:{ruleset_version()}|triage:{int(settings.triage)}"
+        f"|limits:{settings.limits.describe()}"
     )
 
 
@@ -220,6 +221,17 @@ class BatchScanner:
         self.backoff = backoff
         self.max_backoff = max_backoff
         self.settings = settings if settings is not None else PipelineSettings()
+        if timeout is not None:
+            # A thread worker that blows its per-attempt timeout cannot
+            # be killed — only abandoned, still burning its pool slot.
+            # Cap the in-scan parse deadline to the timeout so a hung
+            # parse aborts *itself* instead of squatting the pool.
+            lim = self.settings.limits
+            if lim.deadline_seconds is None or lim.deadline_seconds > timeout:
+                self.settings = replace(
+                    self.settings,
+                    limits=replace(lim, deadline_seconds=timeout),
+                )
         self.pipeline_factory = pipeline_factory
         self.obs = obs if obs is not None else obs_mod.get_default()
         if cache is False:

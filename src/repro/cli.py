@@ -75,6 +75,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip runtime emulation when static JS analysis is provably "
         "clean (fail-open; verdicts are unchanged)",
     )
+    scan.add_argument(
+        "--limits",
+        metavar="K=V,...",
+        help="resource-budget overrides, e.g. "
+        "'stream-bytes=8mb,deadline=5' ('off' disables a budget; "
+        "see docs/HARDENING.md)",
+    )
 
     lint = sub.add_parser("lint", help="static JS analysis only")
     lint.add_argument("file", type=Path, help="a PDF or a bare .js source file")
@@ -151,6 +158,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="benign-triage fast path: skip runtime emulation for "
         "documents whose static JS analysis is provably clean",
     )
+    batch.add_argument(
+        "--limits",
+        metavar="K=V,...",
+        help="per-document resource-budget overrides, e.g. "
+        "'stream-bytes=8mb,deadline=5' (see docs/HARDENING.md)",
+    )
 
     report = sub.add_parser("report", help="aggregate a scan trace")
     report.add_argument("trace", type=Path)
@@ -169,6 +182,16 @@ def _build_scan_obs(args: argparse.Namespace):
     return None
 
 
+def _parse_limits_arg(args: argparse.Namespace):
+    """Resolve ``--limits`` to a ScanLimits (None = defaults)."""
+    from repro.limits import ScanLimits
+
+    spec = getattr(args, "limits", None)
+    if spec is None:
+        return None
+    return ScanLimits.parse(spec)
+
+
 def _cmd_scan(args: argparse.Namespace) -> int:
     data = args.file.read_bytes()
     try:
@@ -176,8 +199,14 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     except OSError as error:
         print(f"error: cannot open trace file: {error}", file=sys.stderr)
         return 2
+    try:
+        limits = _parse_limits_arg(args)
+    except ValueError as error:
+        print(f"error: bad --limits: {error}", file=sys.stderr)
+        return 2
     pipeline = ProtectionPipeline(
-        reader_version=args.reader_version, triage=args.triage, obs=obs
+        reader_version=args.reader_version, triage=args.triage,
+        limits=limits, obs=obs,
     )
     report = pipeline.scan(data, args.file.name)
     verdict = report.verdict
@@ -185,6 +214,8 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         print(json.dumps(report.to_dict()))
     else:
         print(verdict.summary())
+        if report.limit_kind is not None:
+            print(f"  resource limit hit: {report.limit_kind} ({report.error})")
         if report.triaged:
             print("  triaged: emulation skipped (static analysis clean)")
         if report.crashed:
@@ -364,9 +395,19 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"error: no PDF files under {args.dir}", file=sys.stderr)
         return 2
 
-    settings = PipelineSettings(
-        reader_version=args.reader_version, triage=args.triage
-    )
+    try:
+        limits = _parse_limits_arg(args)
+    except ValueError as error:
+        print(f"error: bad --limits: {error}", file=sys.stderr)
+        return 2
+    if limits is not None:
+        settings = PipelineSettings(
+            reader_version=args.reader_version, triage=args.triage, limits=limits
+        )
+    else:
+        settings = PipelineSettings(
+            reader_version=args.reader_version, triage=args.triage
+        )
     if args.no_cache:
         cache = False
     elif args.cache is not None:

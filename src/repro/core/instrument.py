@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro import obs as obs_mod
+from repro.limits import ResourceLimitExceeded
 
 from repro.core import monitor_code as mc
 from repro.core.chains import ChainAnalysis, analyze_chains
@@ -267,6 +268,10 @@ class Instrumenter:
             if isinstance(value, PDFStream):
                 try:
                     value.decoded_data()
+                except ResourceLimitExceeded:
+                    # A blown scan budget (decompression bomb, deadline)
+                    # must abort the whole scan, not skip one stream.
+                    raise
                 except Exception:  # noqa: BLE001 - undecodable ≠ fatal
                     continue
 
@@ -293,6 +298,8 @@ class Instrumenter:
                 continue
             try:
                 payload = value.decoded_data()
+            except ResourceLimitExceeded:
+                raise
             except Exception:  # noqa: BLE001 - undecodable attachment
                 continue
             if b"%PDF-" not in payload[:1024]:
@@ -302,6 +309,8 @@ class Instrumenter:
                 sub = self.instrument(
                     payload, f"{host_name}::embedded{counter}.pdf", _depth=depth + 1
                 )
+            except ResourceLimitExceeded:
+                raise
             except Exception:  # noqa: BLE001 - corrupt inner document
                 continue
             if sub.instrumented_scripts or sub.embedded:

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import limits as limits_mod
 from repro import obs as obs_mod
 from repro.core.confine import build_hook_rules
 from repro.core.deinstrument import (
@@ -37,6 +38,7 @@ from repro.core.keys import KeyStore
 from repro.core.runtime_monitor import Alert, RuntimeMonitor
 from repro.core.soap import TinySOAPServer
 from repro.core.static_features import StaticFeatures
+from repro.limits import DEFAULT_LIMITS, ResourceLimitExceeded, ScanLimits
 from repro.pdf.filters import FilterError
 from repro.pdf.lexer import LexerError
 from repro.pdf.parser import PDFParseError
@@ -47,8 +49,9 @@ from repro.winapi.process import System
 #: Exceptions a hostile/corrupt download can legitimately raise out of
 #: the parsing front-end.  ``scan`` converts these into an ``errored``
 #: :class:`OpenReport` instead of letting them escape — a gateway
-#: filter must keep running whatever bytes arrive.
-PARSE_ERRORS = (PDFParseError, LexerError, FilterError)
+#: filter must keep running whatever bytes arrive.  ``RecursionError``
+#: is the belt-and-braces backstop behind the nesting-depth budget.
+PARSE_ERRORS = (PDFParseError, LexerError, FilterError, RecursionError)
 
 
 @dataclass
@@ -99,6 +102,9 @@ class OpenReport:
     error: Optional[str] = None
     #: Phase-II emulation was skipped on static-analysis evidence.
     triaged: bool = False
+    #: Which resource budget aborted the scan (``"stream-bytes"``,
+    #: ``"deadline"``, ...) — set only for budget-errored reports.
+    limit_kind: Optional[str] = None
 
     @classmethod
     def errored_report(cls, name: str, error: str) -> "OpenReport":
@@ -111,6 +117,34 @@ class OpenReport:
             reasons=[f"scan errored: {error}"],
         )
         return cls(protected=None, outcome=None, verdict=verdict, error=error)
+
+    @classmethod
+    def limit_report(cls, name: str, exc: ResourceLimitExceeded) -> "OpenReport":
+        """A structured report for a scan aborted by a resource budget.
+
+        The evidence names the exact budget (kind, configured limit,
+        what blew it) so operators can distinguish a decompression bomb
+        from a slow parse from a runaway script.
+        """
+        evidence = exc.evidence()
+        detail = f" ({evidence['detail']})" if evidence.get("detail") else ""
+        verdict = Verdict(
+            malicious=False,
+            malscore=0.0,
+            features=FeatureVector(tuple([0] * 13)),
+            document=name,
+            reasons=[
+                f"resource limit exceeded: {evidence['kind']}"
+                f" (limit {evidence['limit']}){detail}"
+            ],
+        )
+        return cls(
+            protected=None,
+            outcome=None,
+            verdict=verdict,
+            error=str(exc),
+            limit_kind=exc.kind,
+        )
 
     @property
     def errored(self) -> bool:
@@ -148,6 +182,7 @@ class OpenReport:
             "crash_reason": self.outcome.crash_reason if self.outcome else None,
             "errored": self.errored,
             "error": self.error,
+            "limit_kind": self.limit_kind,
             "inert": self.did_nothing,
             "triaged": self.triaged,
             "static_js": self.js_analysis.to_dict() if self.js_analysis else None,
@@ -175,9 +210,11 @@ class MonitoredSession:
         reader_version: str = "9.0",
         hook_mode: HookMode = HookMode.IAT,
         persistent_executables: Optional[Dict[str, str]] = None,
+        limits: Optional[ScanLimits] = None,
         obs: Optional[obs_mod.Observability] = None,
     ) -> None:
         self.system = System()
+        self.limits = limits if limits is not None else DEFAULT_LIMITS
         self.obs = obs if obs is not None else obs_mod.get_default()
         self.config = config if config is not None else DetectorConfig()
         self.monitor = RuntimeMonitor(
@@ -198,11 +235,13 @@ class MonitoredSession:
             rules=build_hook_rules(self.system.config.whitelisted_programs),
             hook_mode=hook_mode,
         )
+        js_steps = self.limits.max_js_steps
         self.reader = Reader(
             system=self.system,
             version=reader_version,
             trampoline=trampoline,
             detector_channel=self.event_channel,
+            max_js_steps=js_steps if js_steps is not None else 20_000_000,
             obs=self.obs,
         )
 
@@ -277,6 +316,8 @@ class PipelineSettings:
     #: Opt-in benign-triage fast path: skip Phase-II emulation when
     #: static analysis proves the skip cannot change the verdict.
     triage: bool = False
+    #: Resource budgets enforced over every scan (hostile-input armour).
+    limits: ScanLimits = DEFAULT_LIMITS
 
     def build(self, obs: Optional[obs_mod.Observability] = None) -> "ProtectionPipeline":
         """A fresh, fully independent pipeline with these settings."""
@@ -286,6 +327,7 @@ class PipelineSettings:
             seed=self.seed,
             hook_mode=self.hook_mode,
             triage=self.triage,
+            limits=self.limits,
             obs=obs,
         )
 
@@ -301,18 +343,21 @@ class ProtectionPipeline:
         deinstrument_policy: Optional[DeinstrumentationPolicy] = None,
         hook_mode: HookMode = HookMode.IAT,
         triage: bool = False,
+        limits: Optional[ScanLimits] = None,
         obs: Optional[obs_mod.Observability] = None,
     ) -> None:
         self.config = config if config is not None else DetectorConfig()
         self.reader_version = reader_version
         self.hook_mode = hook_mode
         self.triage = triage
+        self.limits = limits if limits is not None else DEFAULT_LIMITS
         self.settings = PipelineSettings(
             reader_version=reader_version,
             seed=seed,
             hook_mode=hook_mode,
             config=config,
             triage=triage,
+            limits=self.limits,
         )
         self.obs = obs if obs is not None else obs_mod.get_default()
         self.key_store = KeyStore.create(seed)
@@ -350,8 +395,9 @@ class ProtectionPipeline:
     # -- Phase I -----------------------------------------------------------
 
     def protect(self, data: bytes, name: str = "document.pdf") -> ProtectedDocument:
-        with self.obs.tracer.span("pipeline.protect", document=name):
-            result = self.instrumenter.instrument(data, name)
+        with limits_mod.activate(self.limits):
+            with self.obs.tracer.span("pipeline.protect", document=name):
+                result = self.instrumenter.instrument(data, name)
         if self.obs.enabled:
             self.obs.metrics.inc("docs_protected")
         return self._wrap_result(result, name)
@@ -379,6 +425,7 @@ class ProtectionPipeline:
             reader_version=self.reader_version,
             hook_mode=self.hook_mode,
             persistent_executables=self.persistent_executables,
+            limits=self.limits,
             obs=self.obs,
         )
 
@@ -413,12 +460,17 @@ class ProtectionPipeline:
         """
         with self.obs.tracer.span("pipeline.scan", document=name) as span:
             try:
-                protected = self.protect(data, name)
-                if self.triage and protected.triage_eligible:
-                    report = self._triage_report(protected)
-                    span.set_tag("triaged", True)
-                else:
-                    report = self.open_protected(protected)
+                with limits_mod.activate(self.limits):
+                    protected = self.protect(data, name)
+                    if self.triage and protected.triage_eligible:
+                        report = self._triage_report(protected)
+                        span.set_tag("triaged", True)
+                    else:
+                        report = self.open_protected(protected)
+            except ResourceLimitExceeded as error:
+                report = OpenReport.limit_report(name, error)
+                span.set_tag("errored", True)
+                span.set_tag("limit_kind", error.kind)
             except PARSE_ERRORS as error:
                 report = OpenReport.errored_report(
                     name, f"{type(error).__name__}: {error}"
@@ -431,6 +483,8 @@ class ProtectionPipeline:
                 metrics.inc(
                     "triage", result="skipped" if report.triaged else "full"
                 )
+            if report.limit_kind is not None:
+                metrics.inc("limits_hit", kind=report.limit_kind)
             if report.errored:
                 metrics.inc("scan_errors")
             else:

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.limits import ResourceLimitExceeded as _BaseResourceLimitExceeded
+
 
 class JSError(Exception):
     """Base class for everything the JS engine raises."""
@@ -34,13 +36,15 @@ class JSThrow(JSError):
         self.value = value
 
 
-class ResourceLimitExceeded(JSError):
-    """Step or memory budget blown — the engine's infinite-loop guard."""
+class ResourceLimitExceeded(JSError, _BaseResourceLimitExceeded):
+    """Step or memory budget blown — the engine's infinite-loop guard.
 
-    def __init__(self, resource: str, limit: int) -> None:
-        super().__init__(f"{resource} limit exceeded ({limit})")
-        self.resource = resource
-        self.limit = limit
+    Doubly rooted on purpose: ``except JSError`` keeps treating a
+    runaway script as a script failure (the reader records it and moves
+    on), while ``except repro.limits.ResourceLimitExceeded`` — the
+    pipeline's budget handler — sees it alongside every other blown
+    budget.
+    """
 
 
 class ReaderCrash(JSError):

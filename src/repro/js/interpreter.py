@@ -171,7 +171,9 @@ class Interpreter:
     def _tick(self) -> None:
         self.steps += 1
         if self.steps > self.max_steps:
-            raise ResourceLimitExceeded("steps", self.max_steps)
+            raise ResourceLimitExceeded(
+                "js-steps", self.max_steps, "script exceeded its step budget"
+            )
 
     def _record_string(self, value: str) -> str:
         if len(value) >= 2:

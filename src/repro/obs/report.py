@@ -152,6 +152,21 @@ def aggregate_jsast(spans: Iterable[SpanRecord]) -> List[List[str]]:
     return rows
 
 
+def aggregate_limits(metrics: Iterable[Dict[str, Any]]) -> List[List[str]]:
+    """Rows for ``limits_hit{kind=...}`` counters: which resource
+    budgets aborted scans, and how often."""
+    rows = []
+    for record in metrics:
+        key = str(record.get("key", record.get("name", "")))
+        if not key.startswith("limits_hit"):
+            continue
+        kind = "?"
+        if "kind=" in key:
+            kind = key.split("kind=", 1)[1].rstrip("}")
+        rows.append([kind, str(record.get("value"))])
+    return sorted(rows)
+
+
 def render_report(path: Union[str, Path]) -> str:
     """The full ``repro report`` output for one JSONL trace."""
     from repro.analysis import format_table
@@ -184,6 +199,12 @@ def render_report(path: Union[str, Path]) -> str:
             + format_table(
                 ["span", "count", "total (s)", "mean (s)", "max (s)"], span_rows
             )
+        )
+    limit_rows = aggregate_limits(trace["metrics"])
+    if limit_rows:
+        sections.append(
+            "Resource limits hit\n"
+            + format_table(["limit kind", "scans aborted"], limit_rows)
         )
     event_rows = aggregate_events(trace["events"])
     if event_rows:

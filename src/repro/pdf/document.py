@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple, Union
 
+from repro import limits as limits_mod
 from repro.pdf.objects import (
     IndirectObject,
     ObjectStore,
@@ -126,26 +127,50 @@ class PDFDocument:
     # -- pages --------------------------------------------------------------
 
     def pages(self) -> List[PDFDict]:
-        """Flatten the page tree (cycle-safe)."""
+        """Flatten the page tree (cycle-safe, depth-bounded).
+
+        The walk is iterative: a hostile tree of deeply nested *inline*
+        ``/Kids`` dictionaries (which the cycle set cannot catch — no
+        refs to remember) would otherwise blow Python's recursion limit.
+        Branches deeper than the nesting budget are dropped with a
+        warning rather than crashing the scan.
+        """
+        budget = limits_mod.active()
+        max_depth = (
+            budget.limits.max_nesting_depth if budget is not None
+            else limits_mod.DEFAULT_LIMITS.max_nesting_depth
+        )
+
         result: List[PDFDict] = []
         root = self.catalog.get("Pages")
+        if root is None:
+            return result
         seen = set()
-
-        def walk(node_ref: PDFObject) -> None:
+        truncated = False
+        stack: List[Tuple[PDFObject, int]] = [(root, 0)]
+        while stack:
+            node_ref, depth = stack.pop()
+            if max_depth is not None and depth > max_depth:
+                truncated = True
+                continue
             if isinstance(node_ref, PDFRef):
                 if node_ref in seen:
-                    return
+                    continue
                 seen.add(node_ref)
             node = self.resolve_dict(node_ref)
             node_type = str(node.get("Type", ""))
             if node_type == "Page":
                 result.append(node)
-                return
-            for kid in node.get("Kids", PDFArray()):
-                walk(kid)
-
-        if root is not None:
-            walk(root)
+                continue
+            kids = node.get("Kids", PDFArray())
+            if isinstance(kids, PDFArray):
+                # Reversed push keeps the original DFS pre-order.
+                for kid in reversed(kids):
+                    stack.append((kid, depth + 1))
+        if truncated:
+            message = f"page tree deeper than {max_depth} levels; truncated"
+            if message not in self.warnings:
+                self.warnings.append(message)
         return result
 
     @property
@@ -250,6 +275,8 @@ class PDFDocument:
         if isinstance(resolved, PDFStream):
             try:
                 return resolved.decoded_data().decode("latin-1", errors="replace")
+            except limits_mod.ResourceLimitExceeded:
+                raise
             except Exception:  # noqa: BLE001 - corrupt stream data
                 return ""
         if isinstance(resolved, PDFString):

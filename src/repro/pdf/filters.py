@@ -4,14 +4,23 @@ Implements the decode *and* encode directions for the five filters the
 corpus uses — FlateDecode, ASCIIHexDecode, ASCII85Decode,
 RunLengthDecode and LZWDecode — plus cascade handling.  Malicious
 documents in the paper stack multiple filters ("levels of encoding",
-static feature F5), so cascades of arbitrary depth are supported.
+static feature F5).
+
+Decoding treats its input as hostile: every expanding decoder accepts
+a ``max_output`` bound and stops *before* materialising more than that
+(a decompression bomb must not OOM the scanner), and
+:func:`decode_stream` enforces the active :class:`~repro.limits.ScanBudget`
+— cascade depth, per-stream and per-document output bytes, and the
+scan deadline.
 """
 
 from __future__ import annotations
 
 import zlib
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
+from repro import limits as limits_mod
+from repro.limits import ResourceLimitExceeded
 from repro.pdf.objects import PDFName, PDFStream
 
 
@@ -19,26 +28,48 @@ class FilterError(ValueError):
     """Raised when stream data cannot be decoded by the declared filter."""
 
 
+def _check_output(size: int, max_output: Optional[int], filter_name: str) -> None:
+    if max_output is not None and size > max_output:
+        raise ResourceLimitExceeded(
+            "stream-bytes", max_output,
+            f"{filter_name} output exceeded the per-stream budget",
+        )
+
+
 # ---------------------------------------------------------------------------
 # Flate
 
+#: Inflate in bounded steps so a bomb is caught long before it is
+#: materialised (zlib routinely expands 1:1000+ on crafted input).
+_FLATE_CHUNK = 1 << 20
 
-def flate_decode(data: bytes) -> bytes:
+
+def flate_decode(data: bytes, max_output: Optional[int] = None) -> bytes:
+    if not data:
+        raise FilterError("bad Flate data: empty input")
+    out = bytearray()
+    decomp = zlib.decompressobj()
+    pending = data
     try:
-        return zlib.decompress(data)
+        while pending:
+            out += decomp.decompress(pending, _FLATE_CHUNK)
+            _check_output(len(out), max_output, "FlateDecode")
+            if decomp.eof:
+                break
+            # Feed back exactly the bytes zlib withheld to honour
+            # max_length — never a re-slice of the raw input.
+            pending = decomp.unconsumed_tail
+        # flush() drains zlib's window; without it the tail of a
+        # truncated stream is silently dropped.
+        out += decomp.flush()
+        _check_output(len(out), max_output, "FlateDecode")
     except zlib.error as exc:
         # Tolerate truncated/corrupt streams the way real readers do:
-        # inflate as much as possible and keep whatever came out.
-        out = bytearray()
-        decomp = zlib.decompressobj()
-        for start in range(0, len(data), 1024):
-            try:
-                out += decomp.decompress(data[start : start + 1024])
-            except zlib.error:
-                break
+        # keep whatever inflated before the error.
         if out:
             return bytes(out)
         raise FilterError(f"bad Flate data: {exc}") from exc
+    return bytes(out)
 
 
 def flate_encode(data: bytes) -> bytes:
@@ -49,7 +80,8 @@ def flate_encode(data: bytes) -> bytes:
 # ASCIIHex
 
 
-def ascii_hex_decode(data: bytes) -> bytes:
+def ascii_hex_decode(data: bytes, max_output: Optional[int] = None) -> bytes:
+    del max_output  # output is at most half the input size
     out = bytearray()
     digits: List[str] = []
     for byte in data:
@@ -77,7 +109,8 @@ def ascii_hex_encode(data: bytes) -> bytes:
 # ASCII85
 
 
-def ascii85_decode(data: bytes) -> bytes:
+def ascii85_decode(data: bytes, max_output: Optional[int] = None) -> bytes:
+    del max_output  # output is at most 4/5 of the input size
     text = data.rstrip()
     if text.endswith(b"~>"):
         text = text[:-2]
@@ -141,10 +174,11 @@ def ascii85_encode(data: bytes) -> bytes:
 # RunLength
 
 
-def run_length_decode(data: bytes) -> bytes:
+def run_length_decode(data: bytes, max_output: Optional[int] = None) -> bytes:
     out = bytearray()
     i = 0
     while i < len(data):
+        _check_output(len(out), max_output, "RunLengthDecode")
         length = data[i]
         if length == 128:  # EOD
             break
@@ -197,7 +231,7 @@ _LZW_CLEAR = 256
 _LZW_EOD = 257
 
 
-def lzw_decode(data: bytes) -> bytes:
+def lzw_decode(data: bytes, max_output: Optional[int] = None) -> bytes:
     out = bytearray()
     table: Dict[int, bytes] = {}
 
@@ -234,6 +268,7 @@ def lzw_decode(data: bytes) -> bytes:
             else:
                 raise FilterError(f"bad LZW code {code}")
             out.extend(entry)
+            _check_output(len(out), max_output, "LZWDecode")
             if prev:
                 table[next_code] = prev + entry[:1]
                 next_code += 1
@@ -293,7 +328,7 @@ def lzw_encode(data: bytes) -> bytes:
 # Registry and cascade handling
 
 
-_DECODERS: Dict[str, Callable[[bytes], bytes]] = {
+_DECODERS: Dict[str, Callable[..., bytes]] = {
     "FlateDecode": flate_decode,
     "Fl": flate_decode,
     "ASCIIHexDecode": ascii_hex_decode,
@@ -322,12 +357,12 @@ _ENCODERS: Dict[str, Callable[[bytes], bytes]] = {
 SUPPORTED_FILTERS = tuple(sorted(set(_DECODERS) - {"Fl", "AHx", "A85", "RL", "LZW"}))
 
 
-def decode(filter_name: str, data: bytes) -> bytes:
-    """Apply one decode filter by name."""
+def decode(filter_name: str, data: bytes, max_output: Optional[int] = None) -> bytes:
+    """Apply one decode filter by name, bounding expansion if asked."""
     decoder = _DECODERS.get(str(filter_name))
     if decoder is None:
         raise FilterError(f"unsupported filter: {filter_name}")
-    return decoder(data)
+    return decoder(data, max_output=max_output)
 
 
 def encode(filter_name: str, data: bytes) -> bytes:
@@ -338,11 +373,28 @@ def encode(filter_name: str, data: bytes) -> bytes:
     return encoder(data)
 
 
-def decode_stream(stream: PDFStream) -> bytes:
-    """Run a stream's full filter cascade, outermost filter first."""
+def decode_stream(
+    stream: PDFStream, budget: Optional["limits_mod.ScanBudget"] = None
+) -> bytes:
+    """Run a stream's full filter cascade, outermost filter first.
+
+    Enforces the active :class:`~repro.limits.ScanBudget` (or an
+    explicit one): cascade depth, per-stream output bytes charged
+    against the per-document total, and the scan deadline.
+    """
+    if budget is None:
+        budget = limits_mod.active()
     data = stream.raw_data
-    for name in stream.filters:
-        data = decode(str(name), data)
+    names = stream.filters
+    max_output: Optional[int] = None
+    if budget is not None:
+        budget.check_deadline()
+        budget.check_filter_depth(len(names))
+        max_output = budget.max_stream_output
+    for name in names:
+        data = decode(str(name), data, max_output=max_output)
+    if budget is not None:
+        budget.charge_stream(id(stream), len(data))
     return data
 
 

@@ -244,12 +244,35 @@ class ObjectStore:
             return entry.value if entry is not None else PDFNull
         return value
 
-    def deep_resolve(self, value: PDFObject, _depth: int = 0) -> PDFObject:
-        """Resolve references transitively (bounded against cycles)."""
-        seen = 0
-        while isinstance(value, PDFRef) and seen < 64:
+    def deep_resolve(self, value: PDFObject, max_hops: Optional[int] = None) -> PDFObject:
+        """Resolve references transitively (bounded against cycles).
+
+        A chain that is still a reference after ``max_hops`` hops is a
+        cycle or an absurdly long indirection ladder.  Under an active
+        scan budget that blows the ``ref-hops`` budget (the scan aborts
+        with structured evidence); otherwise it resolves to ``PDFNull``
+        — callers expect a *resolved* value and must never see a leaked
+        :class:`PDFRef`.
+        """
+        if not isinstance(value, PDFRef):
+            return value
+        budget = None
+        if max_hops is None:
+            from repro import limits as limits_mod
+
+            budget = limits_mod.active()
+            max_hops = (
+                budget.limits.max_ref_hops if budget is not None
+                else limits_mod.DEFAULT_LIMITS.max_ref_hops
+            )
+        hops = 0
+        while isinstance(value, PDFRef) and hops < max_hops:
             value = self.resolve(value)
-            seen += 1
+            hops += 1
+        if isinstance(value, PDFRef):
+            if budget is not None:
+                budget.exhaust_ref_hops(hops)
+            return PDFNull
         return value
 
     def next_num(self) -> int:

@@ -18,6 +18,8 @@ import re
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro import limits as limits_mod
+from repro.limits import ResourceLimitExceeded, ScanBudget, ScanLimits
 from repro.pdf.lexer import Lexer, LexerError, Token, TokenType
 from repro.pdf.objects import (
     IndirectObject,
@@ -97,13 +99,26 @@ class ParsedPDF:
 
 
 class PDFParser:
-    """Parses a byte buffer into a :class:`ParsedPDF`."""
+    """Parses a byte buffer into a :class:`ParsedPDF`.
 
-    def __init__(self, data: bytes) -> None:
+    Parsing is budgeted: the parser enforces the enclosing scan's
+    :class:`~repro.limits.ScanBudget` when one is active, else builds a
+    private one from ``limits`` (default: :data:`~repro.limits.DEFAULT_LIMITS`)
+    so even standalone ``parse_pdf`` calls are bounded.  The deadline is
+    checked *inside* the per-object loops — a hostile document aborts
+    its own parse instead of hanging a worker that cannot be killed.
+    """
+
+    def __init__(self, data: bytes, limits: Optional[ScanLimits] = None) -> None:
         if not isinstance(data, (bytes, bytearray)):
             raise TypeError("PDFParser expects bytes")
         self.data = bytes(data)
         self.result = ParsedPDF(data=self.data)
+        active = limits_mod.active()
+        if limits is None and active is not None:
+            self.budget = active
+        else:
+            self.budget = ScanBudget(limits)
 
     # -- public entry --------------------------------------------------
 
@@ -114,6 +129,7 @@ class PDFParser:
         offsets = self._collect_xref_offsets()
         parsed_any = False
         for offset in offsets:
+            self.budget.check_deadline()
             if self._parse_object_at(offset):
                 parsed_any = True
         # Recovery scan: pick up objects the xref missed (or everything,
@@ -187,16 +203,36 @@ class PDFParser:
             self.result.warnings.append(f"bad xref section at {offset}: {exc}")
             return None
 
+    #: Bytes one classic xref entry occupies at minimum ("NNNNNNNNNN
+    #: GGGGG n" plus separators is 20 by spec; 18 tolerates sloppy EOLs).
+    _XREF_ENTRY_MIN_BYTES = 18
+
     def _parse_xref_table(self, lexer: Lexer, offsets: List[int]) -> Optional[int]:
         while True:
             pair = lexer.read_integer_pair()
             if pair is None:
                 break
             start, count = pair
-            for _ in range(count):
+            # The entry count is attacker-controlled: a subsection
+            # claiming 2^31 entries would tokenize past the end of the
+            # buffer for hours.  Clamp against the bytes actually left.
+            remaining = max(0, len(self.data) - lexer.pos)
+            max_entries = remaining // self._XREF_ENTRY_MIN_BYTES + 1
+            if count > max_entries:
+                self.result.warnings.append(
+                    f"xref subsection at {start} claims {count} entries; "
+                    f"clamped to {max_entries} (file too small)"
+                )
+                count = max_entries
+            self.budget.check_object_count(count)
+            for index in range(count):
+                if index % 1024 == 0:
+                    self.budget.check_deadline()
                 entry_off = lexer.next_token()
                 entry_gen = lexer.next_token()
                 entry_kind = lexer.next_token()
+                if entry_kind.type is TokenType.EOF:
+                    break
                 if (
                     entry_kind.type is TokenType.KEYWORD
                     and entry_kind.value == "n"
@@ -242,6 +278,7 @@ class PDFParser:
             return int.from_bytes(row[start : start + width], "big")
 
         for _first, count in sections:
+            self.budget.check_deadline()
             for _i in range(count):
                 row = data[pos : pos + row_len]
                 pos += row_len
@@ -255,18 +292,23 @@ class PDFParser:
         for key, value in info.items():
             if key not in ("W", "Index", "Type", "Length", "Filter"):
                 self.result.trailer.setdefault(key, value)
-        self.result.store.add(obj)
+        self._store_add(obj)
         prev = info.get("Prev")
         return int(prev) if isinstance(prev, int) else None
 
     # -- object parsing ------------------------------------------------------
+
+    def _store_add(self, obj: IndirectObject) -> None:
+        """Add to the store, enforcing the object-count budget."""
+        self.result.store.add(obj)
+        self.budget.check_object_count(len(self.result.store.objects))
 
     def _parse_object_at(self, offset: int) -> bool:
         obj = self._parse_indirect_at(offset)
         if obj is None:
             return False
         if obj.ref not in self.result.store:
-            self.result.store.add(obj)
+            self._store_add(obj)
         return True
 
     def _parse_indirect_at(self, offset: int) -> Optional[IndirectObject]:
@@ -319,11 +361,11 @@ class PDFParser:
         lexer.pos = self.data.find(b"endstream", end) + len(b"endstream")
         return PDFStream(value, raw)
 
-    def _parse_value(self, lexer: Lexer) -> PDFObject:
+    def _parse_value(self, lexer: Lexer, depth: int = 0) -> PDFObject:
         token = lexer.next_token()
-        return self._parse_value_from(lexer, token)
+        return self._parse_value_from(lexer, token, depth)
 
-    def _parse_value_from(self, lexer: Lexer, token: Token) -> PDFObject:
+    def _parse_value_from(self, lexer: Lexer, token: Token, depth: int = 0) -> PDFObject:
         if token.type is TokenType.NUMBER:
             return self._number_or_ref(lexer, token)
         if token.type is TokenType.NAME:
@@ -333,6 +375,10 @@ class PDFParser:
         if token.type is TokenType.HEX_STRING:
             return PDFString(token.value, hex_form=True)
         if token.type is TokenType.ARRAY_OPEN:
+            # Containers recurse ~2 Python frames per level, so a few
+            # hundred nested brackets would hit RecursionError long
+            # before any byte budget; bound the nesting instead.
+            self.budget.check_nesting_depth(depth)
             array = PDFArray()
             while True:
                 item = lexer.next_token()
@@ -340,8 +386,9 @@ class PDFParser:
                     return array
                 if item.type is TokenType.EOF:
                     raise LexerError("unterminated array", token.pos)
-                array.append(self._parse_value_from(lexer, item))
+                array.append(self._parse_value_from(lexer, item, depth + 1))
         if token.type is TokenType.DICT_OPEN:
+            self.budget.check_nesting_depth(depth)
             result = PDFDict()
             while True:
                 key = lexer.next_token()
@@ -353,7 +400,9 @@ class PDFParser:
                     raise LexerError(
                         f"dictionary key must be a name, got {key.value!r}", key.pos
                     )
-                result[PDFName.from_raw(str(key.value))] = self._parse_value(lexer)
+                result[PDFName.from_raw(str(key.value))] = self._parse_value(
+                    lexer, depth + 1
+                )
         if token.type is TokenType.KEYWORD:
             word = str(token.value)
             if word == "true":
@@ -383,13 +432,14 @@ class PDFParser:
     def _recovery_scan(self) -> bool:
         found = False
         for match in _OBJ_RE.finditer(self.data):
+            self.budget.check_deadline()
             num, gen = int(match.group(1)), int(match.group(2))
             ref = PDFRef(num, gen)
             if ref in self.result.store:
                 continue
             obj = self._parse_indirect_at(match.start())
             if obj is not None and obj.num == num and obj.gen == gen:
-                self.result.store.add(obj)
+                self._store_add(obj)
                 found = True
         return found
 
@@ -397,6 +447,7 @@ class PDFParser:
 
     def _expand_object_streams(self) -> None:
         for entry in list(self.result.store):
+            self.budget.check_deadline()
             value = entry.value
             if not isinstance(value, PDFStream):
                 continue
@@ -404,6 +455,10 @@ class PDFParser:
                 continue
             try:
                 self._expand_one_objstm(value)
+            except ResourceLimitExceeded:
+                # A blown budget is the whole scan's problem, not a
+                # single corrupt container's — never swallow it.
+                raise
             except Exception as exc:  # noqa: BLE001 - diagnostics only
                 self.result.warnings.append(
                     f"bad object stream {entry.num} {entry.gen}: {exc}"
@@ -425,7 +480,9 @@ class PDFParser:
             if pair is None:
                 break
             pairs.append(pair)
-        for num, rel_offset in pairs:
+        for index, (num, rel_offset) in enumerate(pairs):
+            if index % 256 == 0:
+                self.budget.check_deadline()
             ref = PDFRef(num, 0)
             if ref in self.result.store:
                 continue
@@ -435,12 +492,13 @@ class PDFParser:
             except LexerError as exc:
                 self.result.warnings.append(f"bad compressed object {num}: {exc}")
                 continue
-            self.result.store.add(IndirectObject(num, 0, value))
+            self._store_add(IndirectObject(num, 0, value))
 
     # -- trailer fallbacks -----------------------------------------------------------
 
     def _scan_trailers(self) -> None:
         for match in re.finditer(rb"\btrailer\b", self.data):
+            self.budget.check_deadline()
             lexer = Lexer(self.data, match.end())
             try:
                 value = self._parse_value(lexer)
@@ -461,6 +519,6 @@ class PDFParser:
         self.result.warnings.append("no trailer and no catalog found")
 
 
-def parse_pdf(data: bytes) -> ParsedPDF:
+def parse_pdf(data: bytes, limits: Optional[ScanLimits] = None) -> ParsedPDF:
     """Parse ``data`` into a :class:`ParsedPDF` (convenience wrapper)."""
-    return PDFParser(data).parse()
+    return PDFParser(data, limits=limits).parse()

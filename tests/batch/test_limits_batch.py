@@ -1,0 +1,94 @@
+"""Batch-level hostile-input isolation: one bombed document must not
+poison sibling results, the verdict cache, or the worker pool."""
+
+from __future__ import annotations
+
+from repro.batch import BatchScanner
+from repro.batch.scanner import _settings_fingerprint
+from repro.core.pipeline import PipelineSettings
+from repro.limits import ScanLimits
+from tests.data import malformed
+
+TIGHT = ScanLimits(
+    max_stream_bytes=256 * 1024,
+    max_document_bytes=1024 * 1024,
+    max_filter_depth=8,
+    deadline_seconds=10.0,
+)
+
+
+def _settings() -> PipelineSettings:
+    return PipelineSettings(seed=99, limits=TIGHT)
+
+
+class TestBombIsolation:
+    def test_bomb_does_not_poison_siblings(self, simple_doc_bytes, js_doc_bytes):
+        items = [
+            ("benign-1.pdf", simple_doc_bytes),
+            ("bomb.pdf", malformed.decompression_bomb(2 * 1024 * 1024)),
+            ("benign-2.pdf", js_doc_bytes),
+        ]
+        scanner = BatchScanner(jobs=2, backend="thread", settings=_settings())
+        report = scanner.scan_items(items)
+        by_name = {item.name: item for item in report.items}
+        # the bomb comes back as a structured budget-errored verdict
+        bomb = by_name["bomb.pdf"]
+        assert bomb.verdict is not None
+        assert bomb.verdict.errored
+        assert bomb.verdict.limit_kind == "stream-bytes"
+        # siblings produce normal verdicts
+        for name in ("benign-1.pdf", "benign-2.pdf"):
+            assert by_name[name].verdict is not None
+            assert not by_name[name].verdict.errored
+        assert report.limit_hits == {"stream-bytes": 1}
+        assert "limits" in report.summary()
+
+    def test_bomb_verdict_matches_solo_scan(self, simple_doc_bytes):
+        """The cache/dedup layer must not leak a bomb's errored verdict
+        onto other documents or vice versa."""
+        bomb = malformed.filter_cascade_bomb(64)
+        solo = BatchScanner(
+            jobs=1, backend="thread", settings=_settings()
+        ).scan_items([("benign.pdf", simple_doc_bytes)])
+        mixed = BatchScanner(
+            jobs=2, backend="thread", settings=_settings()
+        ).scan_items([("benign.pdf", simple_doc_bytes), ("bomb.pdf", bomb)])
+        solo_verdict = solo.items[0].verdict
+        mixed_verdict = next(
+            i.verdict for i in mixed.items if i.name == "benign.pdf"
+        )
+        assert solo_verdict is not None and mixed_verdict is not None
+        assert solo_verdict.malicious == mixed_verdict.malicious
+        assert solo_verdict.malscore == mixed_verdict.malscore
+        assert not mixed_verdict.errored
+
+    def test_limits_in_cache_fingerprint(self):
+        loose = PipelineSettings(seed=99)
+        tight = _settings()
+        assert _settings_fingerprint(loose) != _settings_fingerprint(tight)
+
+    def test_timeout_caps_worker_deadline(self):
+        scanner = BatchScanner(
+            jobs=1, backend="thread", timeout=2.0,
+            settings=PipelineSettings(limits=ScanLimits(deadline_seconds=None)),
+        )
+        assert scanner.settings.limits.deadline_seconds == 2.0
+
+    def test_timeout_does_not_loosen_deadline(self):
+        scanner = BatchScanner(
+            jobs=1, backend="thread", timeout=60.0,
+            settings=PipelineSettings(limits=ScanLimits(deadline_seconds=5.0)),
+        )
+        assert scanner.settings.limits.deadline_seconds == 5.0
+
+    def test_limit_kind_survives_summary_roundtrip(self):
+        from repro.batch.report import VerdictSummary
+
+        scanner = BatchScanner(jobs=1, backend="thread", settings=_settings())
+        report = scanner.scan_items(
+            [("bomb.pdf", malformed.decompression_bomb(2 * 1024 * 1024))]
+        )
+        summary = report.items[0].verdict
+        assert summary is not None
+        again = VerdictSummary.from_dict(summary.to_dict())
+        assert again.limit_kind == summary.limit_kind == "stream-bytes"

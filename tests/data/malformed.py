@@ -1,0 +1,148 @@
+"""Malformed/hostile PDF builders for the resource-limit regression corpus.
+
+Every builder returns raw bytes crafted by hand (not through
+``DocumentBuilder`` — the writer would itself recurse over a hostile
+page tree).  Sizes are parameters so tests can use tight
+:class:`~repro.limits.ScanLimits` against small documents instead of
+slow multi-hundred-megabyte ones.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Dict, List, Tuple
+
+
+def _pdf(objects: List[bytes], trailer_extra: bytes = b"/Root 1 0 R") -> bytes:
+    """Assemble numbered objects into a minimal, trailer-only PDF."""
+    parts = [b"%PDF-1.4\n"]
+    for num, body in enumerate(objects, start=1):
+        parts.append(b"%d 0 obj\n" % num)
+        parts.append(body)
+        parts.append(b"\nendobj\n")
+    parts.append(b"trailer\n<< ")
+    parts.append(trailer_extra)
+    parts.append(b" >>\n%%EOF\n")
+    return b"".join(parts)
+
+
+def _catalog_and_pages() -> List[bytes]:
+    return [
+        b"<< /Type /Catalog /Pages 2 0 R >>",
+        b"<< /Type /Pages /Kids [] /Count 0 >>",
+    ]
+
+
+def _stream_obj(dict_body: bytes, payload: bytes) -> bytes:
+    return (
+        b"<< "
+        + dict_body
+        + b" /Length %d >>\nstream\n" % len(payload)
+        + payload
+        + b"\nendstream"
+    )
+
+
+def decompression_bomb(inflated_size: int = 8 * 1024 * 1024) -> bytes:
+    """A tiny Flate stream that inflates to ``inflated_size`` bytes."""
+    payload = zlib.compress(b"\x00" * inflated_size, 9)
+    objects = _catalog_and_pages()
+    objects.append(_stream_obj(b"/Filter /FlateDecode", payload))
+    return _pdf(objects)
+
+
+def filter_cascade_bomb(depth: int = 64) -> bytes:
+    """A stream declaring ``depth`` stacked FlateDecode filters.
+
+    The payload really is Flate-encoded ``depth`` times, so without a
+    cascade-depth budget the decoder would peel every layer.
+    """
+    payload = b"hello hostile world"
+    for _ in range(depth):
+        payload = zlib.compress(payload)
+    filters = b"[" + b" ".join([b"/FlateDecode"] * depth) + b"]"
+    objects = _catalog_and_pages()
+    objects.append(_stream_obj(b"/Filter " + filters, payload))
+    return _pdf(objects)
+
+
+def cyclic_reference() -> bytes:
+    """A catalog whose ``/Pages`` chain is a two-object reference cycle."""
+    return _pdf(
+        [
+            b"<< /Type /Catalog /Pages 2 0 R >>",
+            b"3 0 R",  # 2 0 obj -> 3 0 obj
+            b"2 0 R",  # 3 0 obj -> 2 0 obj: never resolves
+        ]
+    )
+
+
+def huge_xref_count(claimed: int = 2_000_000_000) -> bytes:
+    """A classic xref whose subsection claims ``claimed`` entries.
+
+    The file itself holds only two real entries; without the clamp the
+    tokenizer would chew ``claimed * 20`` nonexistent bytes.
+    """
+    body = [b"%PDF-1.4\n"]
+    offsets = []
+    objects = [
+        b"<< /Type /Catalog /Pages 2 0 R >>",
+        b"<< /Type /Pages /Kids [] /Count 0 >>",
+    ]
+    for num, obj in enumerate(objects, start=1):
+        offsets.append(sum(len(p) for p in body))
+        body.append(b"%d 0 obj\n" % num)
+        body.append(obj)
+        body.append(b"\nendobj\n")
+    xref_at = sum(len(p) for p in body)
+    body.append(b"xref\n0 %d\n" % claimed)
+    body.append(b"0000000000 65535 f \n")
+    for offset in offsets:
+        body.append(b"%010d 00000 n \n" % offset)
+    body.append(b"trailer\n<< /Root 1 0 R /Size %d >>\n" % claimed)
+    body.append(b"startxref\n%d\n%%%%EOF\n" % xref_at)
+    return b"".join(body)
+
+
+def deep_page_tree(depth: int = 2000) -> bytes:
+    """A page tree of ``depth`` *inline* nested ``/Kids`` dictionaries.
+
+    Inline nesting defeats cycle detection (no refs to remember) and,
+    unbounded, blows Python's recursion limit around ~450 levels.
+    """
+    node = b"<< /Type /Page >>"
+    for _ in range(depth):
+        node = b"<< /Type /Pages /Kids [" + node + b"] >>"
+    return _pdf([b"<< /Type /Catalog /Pages 2 0 R >>", node])
+
+
+def truncated_stream(inflated_size: int = 4096, keep: int = 40) -> bytes:
+    """A Flate stream whose encoded data is cut off after ``keep`` bytes."""
+    payload = zlib.compress(b"A" * inflated_size)[:keep]
+    objects = _catalog_and_pages()
+    objects.append(_stream_obj(b"/Filter /FlateDecode", payload))
+    return _pdf(objects)
+
+
+def object_flood(count: int = 3000) -> bytes:
+    """``count`` trivial indirect objects (object-count budget fodder)."""
+    objects = _catalog_and_pages()
+    objects.extend(b"<< /I %d >>" % i for i in range(count))
+    return _pdf(objects)
+
+
+#: name -> builder with scaled-down default sizes suitable for tests.
+BUILDERS: Dict[str, Callable[[], bytes]] = {
+    "decompression_bomb": lambda: decompression_bomb(2 * 1024 * 1024),
+    "filter_cascade_bomb": lambda: filter_cascade_bomb(64),
+    "cyclic_reference": cyclic_reference,
+    "huge_xref_count": lambda: huge_xref_count(50_000_000),
+    "deep_page_tree": lambda: deep_page_tree(2000),
+    "truncated_stream": truncated_stream,
+    "object_flood": lambda: object_flood(3000),
+}
+
+
+def corpus() -> List[Tuple[str, bytes]]:
+    """The full regression corpus as ``(name, bytes)`` pairs."""
+    return [(name, build()) for name, build in BUILDERS.items()]

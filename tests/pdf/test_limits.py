@@ -1,0 +1,275 @@
+"""Unit tests for the ``repro.limits`` budget layer and its parser,
+filter and object-store enforcement points."""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+
+from repro import limits as limits_mod
+from repro.limits import (
+    DEFAULT_LIMITS,
+    ResourceLimitExceeded,
+    ScanBudget,
+    ScanLimits,
+)
+from repro.pdf.filters import FilterError, decode_stream, flate_decode
+from repro.pdf.objects import (
+    IndirectObject,
+    ObjectStore,
+    PDFDict,
+    PDFName,
+    PDFNull,
+    PDFRef,
+    PDFStream,
+)
+from repro.pdf.parser import parse_pdf
+from tests.data import malformed
+
+
+class TestScanLimitsConfig:
+    def test_defaults_are_bounded(self):
+        limits = ScanLimits()
+        assert limits.max_stream_bytes is not None
+        assert limits.deadline_seconds is not None
+
+    def test_unlimited_keeps_js_steps(self):
+        limits = ScanLimits.unlimited()
+        assert limits.max_stream_bytes is None
+        assert limits.deadline_seconds is None
+        assert limits.max_js_steps == DEFAULT_LIMITS.max_js_steps
+
+    def test_parse_overrides(self):
+        limits = ScanLimits.parse("stream-bytes=8mb,deadline=5,objects=100")
+        assert limits.max_stream_bytes == 8 * 1024 * 1024
+        assert limits.deadline_seconds == 5.0
+        assert limits.max_objects == 100
+        # untouched fields keep their defaults
+        assert limits.max_filter_depth == DEFAULT_LIMITS.max_filter_depth
+
+    def test_parse_off_disables(self):
+        limits = ScanLimits.parse("stream-bytes=off,deadline=none")
+        assert limits.max_stream_bytes is None
+        assert limits.deadline_seconds is None
+
+    def test_parse_unknown_key_raises(self):
+        with pytest.raises(ValueError, match="unknown limit"):
+            ScanLimits.parse("bogus=1")
+
+    def test_parse_malformed_raises(self):
+        with pytest.raises(ValueError, match="key=value"):
+            ScanLimits.parse("deadline")
+
+    def test_roundtrip_dict(self):
+        limits = ScanLimits(max_stream_bytes=123, deadline_seconds=None)
+        assert ScanLimits.from_dict(limits.to_dict()) == limits
+
+    def test_describe_mentions_every_alias(self):
+        text = ScanLimits().describe()
+        for alias in ScanLimits.ALIASES:
+            assert alias in text
+
+
+class TestScanBudget:
+    def test_deadline_fires(self):
+        budget = ScanBudget(ScanLimits(deadline_seconds=0.0))
+        budget._deadline_at = budget._clock() - 1.0
+        with pytest.raises(ResourceLimitExceeded) as err:
+            budget.check_deadline()
+        assert err.value.kind == "deadline"
+        assert "deadline" in budget.hits
+
+    def test_stream_bytes_not_double_counted(self):
+        budget = ScanBudget(
+            ScanLimits(max_stream_bytes=1000, max_document_bytes=1500)
+        )
+        budget.charge_stream(1, 900)
+        budget.charge_stream(1, 900)  # re-decode of the same stream
+        assert budget.total_decompressed == 900
+        budget.charge_stream(2, 500)
+        with pytest.raises(ResourceLimitExceeded) as err:
+            budget.charge_stream(3, 200)
+        assert err.value.kind == "document-bytes"
+
+    def test_per_stream_bound(self):
+        budget = ScanBudget(ScanLimits(max_stream_bytes=100))
+        with pytest.raises(ResourceLimitExceeded) as err:
+            budget.charge_stream(1, 101)
+        assert err.value.kind == "stream-bytes"
+
+    def test_evidence_shape(self):
+        err = ResourceLimitExceeded("stream-bytes", 64, "inflated")
+        assert err.evidence() == {
+            "kind": "stream-bytes", "limit": 64, "detail": "inflated",
+        }
+        assert err.resource == "stream-bytes"
+
+    def test_activate_is_reentrant(self):
+        with limits_mod.activate(ScanLimits(max_stream_bytes=7)) as outer:
+            with limits_mod.activate(ScanLimits()) as inner:
+                assert inner is outer
+            assert limits_mod.active() is outer
+        assert limits_mod.active() is None
+
+
+class TestFlateDecode:
+    def test_empty_input_still_raises(self):
+        with pytest.raises(FilterError):
+            flate_decode(b"")
+
+    def test_garbage_still_raises(self):
+        with pytest.raises(FilterError):
+            flate_decode(b"this is not zlib data")
+
+    def test_truncated_stream_keeps_buffered_tail(self):
+        # The flush() fix: truncating mid-stream must still surface the
+        # bytes already inflated, not just whole consumed blocks.
+        original = bytes(range(256)) * 64
+        truncated = zlib.compress(original)[:-4]
+        out = flate_decode(truncated)
+        assert out  # partial data survives
+        assert original.startswith(out)
+
+    def test_max_output_enforced(self):
+        bomb = zlib.compress(b"\x00" * 1_000_000)
+        with pytest.raises(ResourceLimitExceeded) as err:
+            flate_decode(bomb, max_output=1024)
+        assert err.value.kind == "stream-bytes"
+
+    def test_decode_stream_charges_budget(self):
+        stream = PDFStream(
+            PDFDict({PDFName("Filter"): PDFName("FlateDecode")}),
+            zlib.compress(b"x" * 5000),
+        )
+        with limits_mod.activate(ScanLimits(max_document_bytes=4000)):
+            with pytest.raises(ResourceLimitExceeded) as err:
+                decode_stream(stream)
+        assert err.value.kind == "document-bytes"
+
+    def test_filter_depth_budget(self):
+        payload = b"data"
+        for _ in range(5):
+            payload = zlib.compress(payload)
+        stream = PDFStream(
+            PDFDict({PDFName("Filter"): PDFName("FlateDecode")}), payload
+        )
+        stream.dictionary[PDFName("Filter")] = type(stream.filters)()
+        from repro.pdf.objects import PDFArray
+
+        stream.dictionary[PDFName("Filter")] = PDFArray(
+            [PDFName("FlateDecode")] * 5
+        )
+        with limits_mod.activate(ScanLimits(max_filter_depth=3)):
+            with pytest.raises(ResourceLimitExceeded) as err:
+                decode_stream(stream)
+        assert err.value.kind == "filter-depth"
+
+
+class TestDeepResolve:
+    def _cyclic_store(self) -> ObjectStore:
+        store = ObjectStore()
+        store.add(IndirectObject(2, 0, PDFRef(3, 0)))
+        store.add(IndirectObject(3, 0, PDFRef(2, 0)))
+        return store
+
+    def test_cycle_resolves_to_null_not_ref(self):
+        # Regression: the old code returned the unresolved PDFRef after
+        # exhausting its hop bound, leaking a reference to callers that
+        # expect resolved values.
+        store = self._cyclic_store()
+        result = store.deep_resolve(PDFRef(2, 0))
+        assert result is PDFNull
+        assert not isinstance(result, PDFRef)
+
+    def test_cycle_blows_ref_hops_budget_under_scan(self):
+        store = self._cyclic_store()
+        with limits_mod.activate(ScanLimits()):
+            with pytest.raises(ResourceLimitExceeded) as err:
+                store.deep_resolve(PDFRef(2, 0))
+        assert err.value.kind == "ref-hops"
+
+    def test_explicit_max_hops_returns_null(self):
+        store = self._cyclic_store()
+        assert store.deep_resolve(PDFRef(2, 0), max_hops=5) is PDFNull
+
+    def test_non_ref_passthrough(self):
+        store = ObjectStore()
+        assert store.deep_resolve(42) == 42
+
+    def test_depth_param_removed(self):
+        import inspect
+
+        params = inspect.signature(ObjectStore.deep_resolve).parameters
+        assert "_depth" not in params
+
+
+class TestParserBudgets:
+    def test_huge_xref_count_clamped_with_warning(self):
+        parsed = parse_pdf(malformed.huge_xref_count(50_000_000))
+        assert any("clamped" in w for w in parsed.warnings)
+        assert parsed.root  # document still usable
+
+    def test_nesting_depth_bounded(self):
+        with pytest.raises(ResourceLimitExceeded) as err:
+            parse_pdf(malformed.deep_page_tree(2000))
+        assert err.value.kind == "nesting-depth"
+
+    def test_object_flood_bounded(self):
+        with pytest.raises(ResourceLimitExceeded) as err:
+            parse_pdf(
+                malformed.object_flood(300),
+                limits=ScanLimits(max_objects=100),
+            )
+        assert err.value.kind == "object-count"
+
+    def test_cascade_bomb_bounded(self):
+        parsed = parse_pdf(malformed.filter_cascade_bomb(64))
+        stream = next(
+            entry.value for entry in parsed.store
+            if isinstance(entry.value, PDFStream)
+        )
+        with limits_mod.activate(ScanLimits()):
+            with pytest.raises(ResourceLimitExceeded) as err:
+                decode_stream(stream)
+        assert err.value.kind == "filter-depth"
+
+    def test_truncated_stream_parses(self):
+        parsed = parse_pdf(malformed.truncated_stream())
+        assert parsed.root
+
+
+class TestDeepPageTree:
+    def test_in_memory_deep_tree_does_not_recurse(self):
+        # Regression: pages() recursed one Python frame per tree level;
+        # 5000 inline levels guarantee a RecursionError without the
+        # iterative rewrite.
+        from repro.pdf.document import PDFDocument
+
+        node = PDFDict({PDFName("Type"): PDFName("Page")})
+        for _ in range(5000):
+            from repro.pdf.objects import PDFArray
+
+            node = PDFDict(
+                {PDFName("Type"): PDFName("Pages"),
+                 PDFName("Kids"): PDFArray([node])}
+            )
+        document = PDFDocument()
+        pages_ref = document.add_object(node)
+        catalog = PDFDict(
+            {PDFName("Type"): PDFName("Catalog"), PDFName("Pages"): pages_ref}
+        )
+        document.trailer[PDFName("Root")] = document.add_object(catalog)
+        pages = document.pages()  # must not raise RecursionError
+        assert pages == []  # deeper than the budget: truncated
+        assert any("truncated" in w for w in document.warnings)
+
+    def test_shallow_tree_order_preserved(self):
+        from repro.pdf.builder import DocumentBuilder
+        from repro.pdf.document import PDFDocument
+
+        builder = DocumentBuilder()
+        builder.add_page("one")
+        builder.add_page("two")
+        document = PDFDocument.from_bytes(builder.to_bytes())
+        assert len(document.pages()) == 2

@@ -123,9 +123,9 @@ class TestObjectStore:
         store = ObjectStore()
         store.add(IndirectObject(1, 0, PDFRef(2, 0)))
         store.add(IndirectObject(2, 0, PDFRef(1, 0)))
-        # must terminate, value is one of the refs
-        result = store.deep_resolve(PDFRef(1, 0))
-        assert isinstance(result, PDFRef)
+        # must terminate; an exhausted chain resolves to null, never a
+        # dangling ref the caller would mistake for a value
+        assert store.deep_resolve(PDFRef(1, 0)) is PDFNull
 
     def test_next_num(self):
         store = ObjectStore()

@@ -1,0 +1,72 @@
+"""Property: scanning any document from the malformed corpus (at any
+size parameter) either completes with a verdict or yields a structured
+budget-errored report — never an unhandled exception, hang or crash."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import ProtectionPipeline
+from repro.limits import ScanLimits
+from tests.data import malformed
+
+TIGHT = ScanLimits(
+    max_stream_bytes=128 * 1024,
+    max_document_bytes=512 * 1024,
+    max_filter_depth=6,
+    max_objects=1500,
+    max_nesting_depth=60,
+    deadline_seconds=10.0,
+)
+
+KNOWN_KINDS = {
+    "stream-bytes", "document-bytes", "filter-depth", "object-count",
+    "ref-hops", "nesting-depth", "deadline", "js-steps",
+}
+
+
+def _assert_structured(report):
+    """Completed-or-budget-errored, with well-formed evidence."""
+    if report.errored:
+        assert report.error
+        if report.limit_kind is not None:
+            assert report.limit_kind in KNOWN_KINDS
+            assert report.limit_kind in report.verdict.reasons[0]
+    else:
+        assert report.verdict is not None
+    # serialisation never chokes on any outcome
+    assert isinstance(report.to_dict(), dict)
+
+
+@pytest.mark.parametrize("name", sorted(malformed.BUILDERS))
+def test_corpus_member_is_structured(name):
+    pipeline = ProtectionPipeline(limits=TIGHT)
+    report = pipeline.scan(malformed.BUILDERS[name](), f"{name}.pdf")
+    _assert_structured(report)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    builder=st.sampled_from(
+        ["decompression_bomb", "filter_cascade_bomb", "deep_page_tree",
+         "object_flood", "truncated_stream"]
+    ),
+    scale=st.integers(min_value=1, max_value=40),
+)
+def test_scaled_bombs_are_structured(builder, scale):
+    data = {
+        "decompression_bomb": lambda: malformed.decompression_bomb(
+            scale * 64 * 1024
+        ),
+        "filter_cascade_bomb": lambda: malformed.filter_cascade_bomb(scale),
+        "deep_page_tree": lambda: malformed.deep_page_tree(scale * 20),
+        "object_flood": lambda: malformed.object_flood(scale * 100),
+        "truncated_stream": lambda: malformed.truncated_stream(
+            scale * 256, keep=scale
+        ),
+    }[builder]()
+    pipeline = ProtectionPipeline(limits=TIGHT)
+    report = pipeline.scan(data, f"{builder}-{scale}.pdf")
+    _assert_structured(report)
