@@ -1,0 +1,191 @@
+"""Scan-service throughput and overload behaviour (``repro.serve``).
+
+Two measurements, mirroring how a resident scan daemon is operated:
+
+* **steady state** — a corpus fired by a small client pool at a server
+  with matching capacity.  Reports requests/second and client-observed
+  p50/p95 latency, plus the per-document overhead of the HTTP + admission
+  path over bare ``pipeline.scan`` (the number quoted in EXPERIMENTS.md).
+* **2x overload** — the same corpus fired by twice as many clients as
+  the server has capacity (one worker, depth-2 queue).  The admission
+  controller must shed the excess with 429/503 + Retry-After while every
+  request still reaches a terminal status; reports the shed rate.
+
+Emits ``BENCH_serve.json``.  ``REPRO_PAPER_SCALE`` scales the corpus.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import json
+import os
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+
+from repro.analysis import format_table
+from repro.core.pipeline import PipelineSettings, ProtectionPipeline
+from repro.corpus import CorpusConfig, build_dataset, dataset_items
+from repro.serve import AdmissionConfig, ScanService, start_server
+
+SEED = 1404
+JOBS = 4
+OVERLOAD_FACTOR = 2
+
+
+def bench_corpus() -> CorpusConfig:
+    if os.environ.get("REPRO_PAPER_SCALE"):
+        return CorpusConfig(n_benign=200, n_benign_with_js=40, n_malicious=150)
+    return CorpusConfig(n_benign=12, n_benign_with_js=4, n_malicious=8)
+
+
+def http_post(url, data, timeout=300.0):
+    """POST raw bytes; (status, payload, headers), no raise on 4xx/5xx."""
+    request = urllib.request.Request(url, data=data, method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.load(response), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        body = json.loads(error.read().decode("utf-8"))
+        return error.code, body, dict(error.headers)
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _fire(url_base, items, clients):
+    """POST every item from ``clients`` threads; returns
+    (wall_seconds, [(status, latency_seconds, headers)])."""
+
+    def one(item):
+        name, data = item
+        url = f"{url_base}/scan?" + urllib.parse.urlencode({"name": name})
+        start = time.perf_counter()
+        status, _payload, headers = http_post(url, data, timeout=300.0)
+        return status, time.perf_counter() - start, headers
+
+    start = time.perf_counter()
+    with cf.ThreadPoolExecutor(max_workers=clients) as pool:
+        results = list(pool.map(one, items))
+    return time.perf_counter() - start, results
+
+
+def test_bench_serve(benchmark, emit, artifact):
+    items = dataset_items(build_dataset(bench_corpus()))
+    settings = PipelineSettings(seed=SEED)
+
+    # -- sequential baseline (no service in the way) ---------------------
+    pipeline = ProtectionPipeline(seed=SEED)
+    start = time.perf_counter()
+    for name, data in items:
+        pipeline.scan(data, name)
+    sequential_seconds = time.perf_counter() - start
+    per_doc_sequential = sequential_seconds / len(items)
+
+    # -- steady state: capacity matches offered concurrency --------------
+    service = ScanService(
+        settings=settings, jobs=JOBS, cache=False,
+        admission=AdmissionConfig(
+            max_in_flight=JOBS, max_queue_depth=64, deadline_seconds=300.0
+        ),
+    )
+    handle = start_server(service)
+    try:
+        def run_steady():
+            return _fire(handle.url, items, clients=JOBS)
+
+        wall_seconds, results = benchmark.pedantic(
+            run_steady, rounds=1, iterations=1
+        )
+    finally:
+        handle.stop()
+
+    statuses = [status for status, _, _ in results]
+    assert statuses == [200] * len(items), statuses
+    latencies = [latency for _, latency, _ in results]
+    throughput = len(items) / wall_seconds
+    p50, p95 = _percentile(latencies, 0.50), _percentile(latencies, 0.95)
+    # Client-observed per-request cost vs bare pipeline.scan.  With JOBS
+    # parallel clients the *wall* time improves; per-request latency
+    # carries the HTTP + admission + queueing overhead measured here.
+    per_doc_service = wall_seconds / len(items)
+    overhead = per_doc_service / per_doc_sequential
+
+    # -- 2x overload: one worker, tiny queue, 2x the clients -------------
+    capacity = 1 + 2  # one in flight + depth-2 queue
+    clients = capacity * OVERLOAD_FACTOR
+    overload_service = ScanService(
+        settings=settings, jobs=1, cache=False,
+        admission=AdmissionConfig(
+            max_in_flight=1, max_queue_depth=2, deadline_seconds=300.0
+        ),
+    )
+    overload_handle = start_server(overload_service)
+    try:
+        overload_items = (items * 2)[: clients * 4]
+        overload_wall, overload_results = _fire(
+            overload_handle.url, overload_items, clients=clients
+        )
+    finally:
+        overload_handle.stop()
+
+    overload_statuses = [status for status, _, _ in overload_results]
+    assert all(s in (200, 429, 503) for s in overload_statuses), overload_statuses
+    served = overload_statuses.count(200)
+    shed = len(overload_statuses) - served
+    shed_rate = shed / len(overload_statuses)
+    assert served > 0, "overload shed everything"
+    for status, _, headers in overload_results:
+        if status in (429, 503):
+            assert "Retry-After" in headers
+    snap = overload_service.admission.snapshot()
+    assert snap["peak_queue_depth"] <= 2
+    assert snap["queue_depth"] == 0 and snap["in_flight"] == 0
+
+    rows = [
+        ["steady state", len(items), f"{throughput:.1f}",
+         f"{p50 * 1000:.0f}", f"{p95 * 1000:.0f}", "0%"],
+        [f"{OVERLOAD_FACTOR}x overload", len(overload_items),
+         f"{served / overload_wall:.1f}", "-", "-", f"{shed_rate:.0%}"],
+    ]
+    emit(
+        f"Scan service ({JOBS} workers steady / 1 worker overloaded, "
+        f"{os.cpu_count() or 1} core(s))\n"
+        + format_table(
+            ["workload", "requests", "req/s", "p50 (ms)", "p95 (ms)",
+             "shed rate"],
+            rows,
+        )
+        + f"\nservice overhead vs pipeline.scan: {overhead:.2f}x per document"
+    )
+
+    artifact(
+        "BENCH_serve.json",
+        {
+            "jobs": JOBS,
+            "cores": os.cpu_count() or 1,
+            "steady_state": {
+                "requests": len(items),
+                "wall_seconds": wall_seconds,
+                "requests_per_second": throughput,
+                "p50_seconds": p50,
+                "p95_seconds": p95,
+                "sequential_seconds": sequential_seconds,
+                "overhead_vs_sequential": overhead,
+            },
+            "overload": {
+                "factor": OVERLOAD_FACTOR,
+                "clients": clients,
+                "requests": len(overload_items),
+                "served": served,
+                "shed": shed,
+                "shed_rate": shed_rate,
+                "peak_queue_depth": snap["peak_queue_depth"],
+                "sheds_by_reason": snap["shed"],
+            },
+        },
+    )

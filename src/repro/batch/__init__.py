@@ -28,7 +28,13 @@ from repro.batch.report import (
     VerdictSummary,
     percentile,
 )
-from repro.batch.scanner import BatchItem, BatchScanner, scan_corpus
+from repro.batch.scanner import (
+    BatchItem,
+    BatchScanner,
+    ScanHandle,
+    ScanOutcome,
+    scan_corpus,
+)
 
 __all__ = [
     "BatchItem",
@@ -39,6 +45,8 @@ __all__ = [
     "STATUS_ERRORED",
     "STATUS_OK",
     "STATUS_TIMEOUT",
+    "ScanHandle",
+    "ScanOutcome",
     "VerdictCache",
     "VerdictSummary",
     "content_digest",

@@ -49,6 +49,7 @@ from typing import (
     Union,
 )
 
+from repro import limits as limits_mod
 from repro import obs as obs_mod
 from repro.batch.cache import VerdictCache, content_digest
 from repro.batch.report import (
@@ -60,6 +61,7 @@ from repro.batch.report import (
     VerdictSummary,
 )
 from repro.core.pipeline import PipelineSettings, ProtectionPipeline
+from repro.limits import ScanLimits, cap_deadline
 
 #: (name, data) pairs are the universal input shape.
 BatchItem = Tuple[str, bytes]
@@ -99,6 +101,42 @@ def _run_scan(pipeline: Any, name: str, data: bytes, delay: float) -> Tuple[Verd
     return VerdictSummary.from_report(report), time.perf_counter() - start
 
 
+def _run_scan_report(
+    pipeline: Any,
+    name: str,
+    data: bytes,
+    limits: Optional[ScanLimits],
+    deadline_at: Optional[float],
+) -> Tuple[VerdictSummary, Dict[str, Any], float]:
+    """Service-mode scan: one request, full report payload back.
+
+    ``limits`` is the request's effective budget (already capped by the
+    scanner's per-attempt timeout); ``deadline_at`` is a
+    ``time.monotonic`` instant by which the *whole request* — queue
+    wait included — must finish, so the remaining time further caps the
+    in-scan deadline.  A request whose deadline passed while it queued
+    aborts on the first budget check and comes back as a structured
+    ``deadline`` limit report instead of burning a worker slot.
+
+    Returns ``(summary, report_dict, seconds)``: the cacheable verdict
+    core plus the JSON-ready ``OpenReport.to_dict()`` payload (kept as
+    a plain dict so the process backend can pickle it).
+    """
+    if limits is None:
+        limits = ScanLimits()
+    if deadline_at is not None:
+        remaining = max(0.0, deadline_at - time.monotonic())
+        limits = cap_deadline(limits, remaining)
+    start = time.perf_counter()
+    # The outer activation wins over the pipeline's own (re-entrant
+    # scope), so per-request overrides govern the whole scan; blown
+    # budgets are still converted to limit reports by ``pipeline.scan``.
+    with limits_mod.activate(limits):
+        report = pipeline.scan(data, name)
+    seconds = time.perf_counter() - start
+    return VerdictSummary.from_report(report), report.to_dict(), seconds
+
+
 class _ThreadWorker:
     """Thread-pool task target: one lazily-built pipeline per thread."""
 
@@ -106,12 +144,28 @@ class _ThreadWorker:
         self._factory = factory
         self._local = threading.local()
 
-    def __call__(self, name: str, data: bytes, delay: float) -> Tuple[VerdictSummary, float]:
+    def _pipeline(self) -> Any:
         pipeline = getattr(self._local, "pipeline", None)
         if pipeline is None:
             pipeline = self._factory()
             self._local.pipeline = pipeline
-        return _run_scan(pipeline, name, data, delay)
+        return pipeline
+
+    def __call__(self, name: str, data: bytes, delay: float) -> Tuple[VerdictSummary, float]:
+        return _run_scan(self._pipeline(), name, data, delay)
+
+
+class _ServiceThreadWorker(_ThreadWorker):
+    """Thread-pool target for per-request (service-mode) submissions."""
+
+    def __call__(  # type: ignore[override]
+        self,
+        name: str,
+        data: bytes,
+        limits: Optional[ScanLimits],
+        deadline_at: Optional[float],
+    ) -> Tuple[VerdictSummary, Dict[str, Any], float]:
+        return _run_scan_report(self._pipeline(), name, data, limits, deadline_at)
 
 
 #: Per-process pipeline for the ``process`` backend (set by the pool
@@ -127,6 +181,72 @@ def _process_initializer(settings: PipelineSettings) -> None:
 def _process_worker(name: str, data: bytes, delay: float) -> Tuple[VerdictSummary, float]:
     assert _process_pipeline is not None, "pool initializer did not run"
     return _run_scan(_process_pipeline, name, data, delay)
+
+
+def _service_process_worker(
+    name: str,
+    data: bytes,
+    limits: Optional[ScanLimits],
+    deadline_at: Optional[float],
+) -> Tuple[VerdictSummary, Dict[str, Any], float]:
+    assert _process_pipeline is not None, "pool initializer did not run"
+    return _run_scan_report(_process_pipeline, name, data, limits, deadline_at)
+
+
+@dataclass(frozen=True)
+class ScanOutcome:
+    """What one service-mode scan produced.
+
+    ``report`` is the JSON-ready ``OpenReport.to_dict()`` payload for
+    scans that actually ran; cache answers carry only the ``summary``
+    (the cache stores verdict cores, not full reports).
+    """
+
+    summary: VerdictSummary
+    report: Optional[Dict[str, Any]]
+    seconds: float
+    cached: bool = False
+
+
+class ScanHandle:
+    """Handle for one document submitted via :meth:`BatchScanner.submit_one`.
+
+    Resolves either immediately (verdict-cache hit) or when the worker
+    pool finishes the scan.  :meth:`result` re-raises worker exceptions
+    and ``concurrent.futures.TimeoutError`` on wait expiry — callers
+    that must never raise (the scan service) wrap it.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        digest: str,
+        future: Optional["cf.Future[Tuple[VerdictSummary, Dict[str, Any], float]]"] = None,
+        outcome: Optional[ScanOutcome] = None,
+    ) -> None:
+        if (future is None) == (outcome is None):
+            raise ValueError("exactly one of future/outcome required")
+        self.name = name
+        self.digest = digest
+        self._future = future
+        self._outcome = outcome
+
+    @property
+    def cached(self) -> bool:
+        """True when the handle was answered from the verdict cache."""
+        return self._outcome is not None and self._outcome.cached
+
+    def done(self) -> bool:
+        return self._outcome is not None or (
+            self._future is not None and self._future.done()
+        )
+
+    def result(self, timeout: Optional[float] = None) -> ScanOutcome:
+        if self._outcome is None:
+            assert self._future is not None
+            summary, report, seconds = self._future.result(timeout)
+            self._outcome = ScanOutcome(summary, report, seconds)
+        return self._outcome
 
 
 # -- orchestration -----------------------------------------------------------
@@ -226,12 +346,10 @@ class BatchScanner:
             # be killed — only abandoned, still burning its pool slot.
             # Cap the in-scan parse deadline to the timeout so a hung
             # parse aborts *itself* instead of squatting the pool.
-            lim = self.settings.limits
-            if lim.deadline_seconds is None or lim.deadline_seconds > timeout:
-                self.settings = replace(
-                    self.settings,
-                    limits=replace(lim, deadline_seconds=timeout),
-                )
+            self.settings = replace(
+                self.settings,
+                limits=cap_deadline(self.settings.limits, timeout),
+            )
         self.pipeline_factory = pipeline_factory
         self.obs = obs if obs is not None else obs_mod.get_default()
         if cache is False:
@@ -240,6 +358,11 @@ class BatchScanner:
             self.cache = VerdictCache(fingerprint=_settings_fingerprint(self.settings))
         else:
             self.cache = cache
+        #: Persistent executor for service-mode submissions (see
+        #: :meth:`start`); batch runs keep building their own.
+        self._service_executor: Optional[cf.Executor] = None
+        self._service_worker: Optional[Callable[..., Any]] = None
+        self._service_lock = threading.Lock()
 
     # -- input conveniences ----------------------------------------------
 
@@ -266,6 +389,114 @@ class BatchScanner:
         from repro.corpus.files import iter_pdf_paths
 
         return self.scan_paths(list(iter_pdf_paths(root)))
+
+    # -- service mode ------------------------------------------------------
+
+    def start(self) -> "BatchScanner":
+        """Bring up the persistent worker pool for per-request scans.
+
+        Batch runs (:meth:`scan_items`) build and tear down their own
+        executor; a long-running service instead submits one document
+        at a time against a pool that outlives individual requests.
+        Idempotent and thread-safe; pair with :meth:`shutdown`.
+        """
+        with self._service_lock:
+            if self._service_executor is None:
+                self._service_executor = self._make_executor()
+                if self.backend == "process":
+                    self._service_worker = _service_process_worker
+                else:
+                    factory = self.pipeline_factory
+                    if factory is None:
+                        settings = self.settings
+                        factory = lambda: settings.build()  # noqa: E731
+                    self._service_worker = _ServiceThreadWorker(factory)
+        return self
+
+    @property
+    def started(self) -> bool:
+        return self._service_executor is not None
+
+    def effective_limits(self, limits: Optional[ScanLimits] = None) -> ScanLimits:
+        """The budget one request actually runs under.
+
+        Per-request overrides are re-derived against the scanner's
+        per-attempt ``timeout`` *at submission time* — construction-time
+        capping alone would let a request overriding ``--limits`` with a
+        huge deadline outlive its admission deadline and squat a worker
+        slot (the ISSUE-5 regression).
+        """
+        base = limits if limits is not None else self.settings.limits
+        return cap_deadline(base, self.timeout)
+
+    def submit_one(
+        self,
+        name: str,
+        data: bytes,
+        limits: Optional[ScanLimits] = None,
+        deadline_at: Optional[float] = None,
+        use_cache: bool = True,
+    ) -> ScanHandle:
+        """Submit one document to the persistent pool (service mode).
+
+        ``limits`` overrides the pipeline budgets for this request only
+        (its deadline still re-capped by the scanner timeout);
+        ``deadline_at`` is a ``time.monotonic`` instant bounding the
+        whole request — remaining time at scan start caps the in-scan
+        deadline, so queue wait counts against the request.  Cache hits
+        resolve immediately; custom-limits requests bypass the cache
+        both ways (a verdict produced under tighter budgets must not be
+        served to default-budget requests, and vice versa).
+        """
+        self.start()
+        digest = content_digest(data)
+        custom = limits is not None
+        cache = self.cache if (use_cache and not custom) else None
+        if cache is not None:
+            hit = cache.get(digest)
+            self._count_cache(hit=hit is not None)
+            if hit is not None:
+                return ScanHandle(
+                    name, digest,
+                    outcome=ScanOutcome(hit, None, 0.0, cached=True),
+                )
+        assert self._service_executor is not None and self._service_worker is not None
+        future = self._service_executor.submit(
+            self._service_worker, name, data,
+            self.effective_limits(limits), deadline_at,
+        )
+        if cache is not None:
+            def _store(done: "cf.Future[Tuple[VerdictSummary, Dict[str, Any], float]]") -> None:
+                if done.cancelled() or done.exception() is not None:
+                    return
+                summary, _report, _seconds = done.result()
+                cache.put(digest, summary)
+
+            future.add_done_callback(_store)
+        return ScanHandle(name, digest, future=future)
+
+    def scan_one(
+        self,
+        name: str,
+        data: bytes,
+        limits: Optional[ScanLimits] = None,
+        deadline_at: Optional[float] = None,
+        wait_timeout: Optional[float] = None,
+    ) -> ScanOutcome:
+        """Blocking convenience wrapper around :meth:`submit_one`."""
+        return self.submit_one(
+            name, data, limits=limits, deadline_at=deadline_at
+        ).result(wait_timeout)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Tear down the persistent pool (no-op when never started)."""
+        with self._service_lock:
+            executor, self._service_executor = self._service_executor, None
+            self._service_worker = None
+        if executor is not None:
+            executor.shutdown(wait=wait)
+        if self.cache is not None and self.cache.path is not None:
+            self.cache.save()
 
     # -- the batch run ----------------------------------------------------
 

@@ -22,6 +22,11 @@ Commands
 ``batch DIR [--jobs N] [--timeout S] [--cache FILE] [--json OUT]``
     Scan every PDF under DIR in parallel (``repro.batch``): content-hash
     verdict caching, per-document timeouts/retries, aggregated report.
+``serve [--host H] [--port P] [--jobs N] [--queue-depth N] [--deadline S]``
+    Long-running scan service daemon (``repro.serve``): ``POST /scan``,
+    ``POST /batch``, ``GET /healthz``, ``GET /metrics``,
+    ``GET /jobs/<id>``; bounded-queue admission control with 429/503
+    shedding, graceful drain on SIGTERM.  See ``docs/SERVICE.md``.
 ``report TRACE.jsonl``
     Aggregate a trace produced by ``scan --trace`` into per-phase
     latency and event-count tables.
@@ -163,6 +168,63 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="K=V,...",
         help="per-document resource-budget overrides, e.g. "
         "'stream-bytes=8mb,deadline=5' (see docs/HARDENING.md)",
+    )
+
+    serve = sub.add_parser("serve", help="long-running scan service daemon")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8291,
+        help="listen port (0 = ephemeral; default 8291)",
+    )
+    serve.add_argument("--jobs", type=int, default=4, help="scan worker count")
+    serve.add_argument(
+        "--backend", default="thread", choices=("thread", "process"),
+        help="worker pool kind (default thread: workers share the "
+        "verdict cache cheaply)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=32, metavar="N",
+        help="admitted requests allowed to wait for a worker (beyond "
+        "this, requests are shed with 429 + Retry-After)",
+    )
+    serve.add_argument(
+        "--max-in-flight", type=int, default=None, metavar="N",
+        help="concurrent scans (default: --jobs)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=30.0, metavar="S",
+        help="per-request wall-clock budget, queue wait included "
+        "(default 30; 0 = unlimited)",
+    )
+    serve.add_argument(
+        "--retry-after", type=float, default=1.0, metavar="S",
+        help="Retry-After hint on shed responses (default 1)",
+    )
+    serve.add_argument(
+        "--cache", type=Path, metavar="FILE",
+        help="persistent JSON verdict cache (created if missing)",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="disable verdict caching and deduplication",
+    )
+    serve.add_argument("--reader-version", default="9.0", choices=("8.0", "9.0"))
+    serve.add_argument(
+        "--triage", action="store_true",
+        help="benign-triage fast path for provably clean documents",
+    )
+    serve.add_argument(
+        "--limits", metavar="K=V,...",
+        help="default per-request resource budgets (clients may "
+        "override per request via ?limits=...)",
+    )
+    serve.add_argument(
+        "--trace", type=Path, metavar="FILE.jsonl",
+        help="write a JSONL span/metric trace of all requests",
+    )
+    serve.add_argument(
+        "--metrics", action="store_true",
+        help="print an aggregated metrics summary to stderr on exit",
     )
 
     report = sub.add_parser("report", help="aggregate a scan trace")
@@ -449,6 +511,91 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 1 if counts["malicious"] else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.batch import VerdictCache
+    from repro.batch.scanner import _settings_fingerprint
+    from repro.core.pipeline import PipelineSettings
+    from repro.serve import AdmissionConfig, ScanService, start_server
+
+    try:
+        obs = _build_scan_obs(args)
+    except OSError as error:
+        print(f"error: cannot open trace file: {error}", file=sys.stderr)
+        return 2
+    try:
+        limits = _parse_limits_arg(args)
+    except ValueError as error:
+        print(f"error: bad --limits: {error}", file=sys.stderr)
+        return 2
+    if limits is not None:
+        settings = PipelineSettings(
+            reader_version=args.reader_version, triage=args.triage, limits=limits
+        )
+    else:
+        settings = PipelineSettings(
+            reader_version=args.reader_version, triage=args.triage
+        )
+    if args.no_cache:
+        cache = False
+    elif args.cache is not None:
+        cache = VerdictCache(
+            path=args.cache, fingerprint=_settings_fingerprint(settings)
+        )
+    else:
+        cache = None  # private in-memory cache
+    admission = AdmissionConfig(
+        max_queue_depth=args.queue_depth,
+        max_in_flight=(
+            args.max_in_flight if args.max_in_flight is not None else args.jobs
+        ),
+        deadline_seconds=args.deadline if args.deadline > 0 else None,
+        retry_after_seconds=args.retry_after,
+    )
+    service = ScanService(
+        settings=settings,
+        jobs=args.jobs,
+        backend=args.backend,
+        admission=admission,
+        cache=cache,
+        obs=obs,
+    )
+    handle = start_server(service, host=args.host, port=args.port)
+    print(f"repro serve listening on {handle.url} "
+          f"({args.jobs} {args.backend} worker(s), "
+          f"queue {admission.max_queue_depth}, "
+          f"in-flight {admission.max_in_flight})")
+
+    stop = threading.Event()
+
+    def _on_signal(_signum: int, _frame: object) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    try:
+        stop.wait()
+    finally:
+        print("draining...", file=sys.stderr)
+        drained = handle.stop()
+        snap = service.admission.snapshot()
+        shed_total = sum(snap["shed"].values())
+        print(
+            f"served {snap['completed']} request(s), shed {shed_total}; "
+            f"drain {'clean' if drained else 'timed out'}",
+            file=sys.stderr,
+        )
+        if obs is not None:
+            if args.metrics:
+                print(obs.metrics.render(), file=sys.stderr)
+            obs.close()
+            if args.trace is not None:
+                print(f"trace written to {args.trace}", file=sys.stderr)
+    return 0
+
+
 _COMMANDS = {
     "scan": _cmd_scan,
     "lint": _cmd_lint,
@@ -457,6 +604,7 @@ _COMMANDS = {
     "deinstrument": _cmd_deinstrument,
     "features": _cmd_features,
     "corpus": _cmd_corpus,
+    "serve": _cmd_serve,
     "report": _cmd_report,
 }
 

@@ -191,6 +191,23 @@ class ScanLimits:
 DEFAULT_LIMITS = ScanLimits()
 
 
+def cap_deadline(limits: ScanLimits, seconds: Optional[float]) -> ScanLimits:
+    """Return ``limits`` with its wall-clock deadline capped at ``seconds``.
+
+    The batch scanner and the scan service both run scans on worker
+    threads that cannot be killed, so any externally imposed deadline
+    (per-attempt timeout, admission deadline) must be folded into the
+    in-parser budget — a hung parse then aborts *itself* instead of
+    squatting a pool slot.  ``seconds=None`` leaves ``limits``
+    untouched; a tighter existing deadline is kept.
+    """
+    if seconds is None:
+        return limits
+    if limits.deadline_seconds is None or limits.deadline_seconds > seconds:
+        return replace(limits, deadline_seconds=seconds)
+    return limits
+
+
 class ScanBudget:
     """Mutable per-scan state enforcing one :class:`ScanLimits`.
 
@@ -316,4 +333,5 @@ __all__ = [
     "ScanLimits",
     "activate",
     "active",
+    "cap_deadline",
 ]

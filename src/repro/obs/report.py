@@ -128,6 +128,43 @@ def aggregate_batch(spans: Iterable[SpanRecord]) -> List[List[str]]:
     return rows
 
 
+def aggregate_serve(spans: Iterable[SpanRecord]) -> List[List[str]]:
+    """Service rows from ``serve.request`` spans (``repro serve
+    --trace``): per-HTTP-status request counts, cache hits, queue wait
+    and end-to-end latency."""
+    by_status: Dict[str, List[SpanRecord]] = defaultdict(list)
+    for span in spans_named(spans, "serve.request"):
+        tags = span.get("tags", {})
+        status = str(tags.get("status", "?"))
+        reason = tags.get("shed_reason")
+        if reason:
+            status += f" ({reason})"
+        by_status[status].append(span)
+    all_spans = list(spans)
+    rows = []
+    for status in sorted(by_status):
+        group = by_status[status]
+        cached = sum(1 for s in group if s.get("tags", {}).get("cached"))
+        waits = [
+            child["duration"]
+            for root in group
+            for child in children_of(all_spans, root)
+            if child["name"] == "serve.queue_wait"
+        ]
+        durations = [s["duration"] for s in group]
+        rows.append(
+            [
+                status,
+                str(len(group)),
+                str(cached),
+                f"{max(waits):.4f}" if waits else "-",
+                f"{sum(durations) / len(durations):.4f}",
+                f"{max(durations):.4f}",
+            ]
+        )
+    return rows
+
+
 def aggregate_jsast(spans: Iterable[SpanRecord]) -> List[List[str]]:
     """Static-analysis rows from ``jsast.analyze`` spans: per-outcome
     script counts and analysis latency."""
@@ -182,6 +219,16 @@ def render_report(path: Union[str, Path]) -> str:
                 ["status", "documents", "attempts", "scan total (s)",
                  "scan max (s)"],
                 batch_rows,
+            )
+        )
+    serve_rows = aggregate_serve(trace["spans"])
+    if serve_rows:
+        sections.append(
+            "Service requests (serve.request spans)\n"
+            + format_table(
+                ["status", "requests", "cached", "queue max (s)",
+                 "latency mean (s)", "latency max (s)"],
+                serve_rows,
             )
         )
     jsast_rows = aggregate_jsast(trace["spans"])

@@ -1,0 +1,68 @@
+"""Scan service daemon (``repro.serve``).
+
+Turns the one-shot ``repro scan`` pipeline into a deployable detector:
+a long-running HTTP service with admission control in front of the
+``repro.batch`` worker pool, reusing the SHA-256 verdict cache, the
+``repro.limits`` resource budgets and the ``repro.obs`` telemetry.
+
+Quickstart::
+
+    from repro.serve import AdmissionConfig, ScanService, start_server
+
+    service = ScanService(jobs=4, admission=AdmissionConfig(max_in_flight=4))
+    with start_server(service, port=8291) as handle:
+        print("listening on", handle.url)
+        ...
+
+CLI: ``repro serve --port 8291 --jobs 4``.  See ``docs/SERVICE.md`` for
+endpoints, admission tuning and shedding semantics.
+"""
+
+from repro.serve.admission import (
+    SHED_DEADLINE,
+    SHED_DRAINING,
+    SHED_QUEUE_FULL,
+    AdmissionConfig,
+    AdmissionController,
+    RequestShed,
+    Ticket,
+)
+from repro.serve.app import ScanService, ServeResult
+from repro.serve.http import (
+    MAX_BODY_BYTES,
+    ScanHTTPServer,
+    ScanRequestHandler,
+    ServerHandle,
+    start_server,
+)
+from repro.serve.jobs import (
+    JOB_DONE,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    JOB_SHED,
+    Job,
+    JobRegistry,
+)
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "JOB_DONE",
+    "JOB_QUEUED",
+    "JOB_RUNNING",
+    "JOB_SHED",
+    "Job",
+    "JobRegistry",
+    "MAX_BODY_BYTES",
+    "RequestShed",
+    "SHED_DEADLINE",
+    "SHED_DRAINING",
+    "SHED_QUEUE_FULL",
+    "ScanHTTPServer",
+    "ScanRequestHandler",
+    "ScanService",
+    "ServeResult",
+    "ServerHandle",
+    "Ticket",
+    "start_server",
+]

@@ -1,0 +1,368 @@
+"""The scan service core (``repro.serve``): transport-free request paths.
+
+:class:`ScanService` is everything the daemon does *except* HTTP: it
+owns a persistent :class:`~repro.batch.scanner.BatchScanner` worker
+pool, an :class:`~repro.serve.admission.AdmissionController` in front
+of it, and a :class:`~repro.serve.jobs.JobRegistry` for async
+submissions.  The HTTP layer (``repro.serve.http``) only decodes
+requests into these methods and encodes :class:`ServeResult` back —
+which keeps every service semantic (admission, deadlines, shedding,
+caching, drain) testable in-process without sockets.
+
+Request flow for one ``POST /scan``::
+
+    admit  ──429/503──▶ shed (Retry-After)
+      │
+    acquire worker slot (bounded queue; deadline keeps ticking)
+      │
+    scanner.submit_one(..., deadline_at=ticket.deadline_at)
+      │            └── remaining time caps the in-scan resource budget
+    verdict / structured limit report / errored report
+      │
+    release slot, record metrics (serve.request span, counters)
+
+Verdicts are byte-identical to one-shot ``pipeline.scan`` — the service
+adds scheduling around the pipeline, never detection logic (asserted by
+``tests/serve`` and the service property tests).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro import obs as obs_mod
+from repro.batch.cache import VerdictCache
+from repro.batch.scanner import BatchScanner
+from repro.core.pipeline import PipelineSettings
+from repro.limits import ScanLimits
+from repro.serve.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    RequestShed,
+)
+from repro.serve.jobs import JOB_DONE, JOB_SHED, JobRegistry
+
+#: Extra seconds past the request deadline we wait for a worker that
+#: should have aborted itself (in-scan budget) before abandoning it.
+HANG_GRACE_SECONDS = 2.0
+
+
+@dataclass
+class ServeResult:
+    """One request's outcome, transport-agnostic.
+
+    ``status`` uses HTTP codes as the shared vocabulary (200 verdict,
+    202 job accepted, 400 bad request, 404 unknown job, 429/503 shed,
+    500 internal); ``retry_after`` is set on shed responses.
+    """
+
+    status: int
+    payload: Dict[str, Any]
+    retry_after: Optional[float] = None
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class ScanService:
+    """Long-running scan service over a persistent worker pool."""
+
+    def __init__(
+        self,
+        settings: Optional[PipelineSettings] = None,
+        jobs: int = 4,
+        backend: str = "thread",
+        timeout: Optional[float] = None,
+        admission: Optional[AdmissionConfig] = None,
+        cache: Union[VerdictCache, None, bool] = None,
+        max_jobs: int = 1024,
+        hang_grace: float = HANG_GRACE_SECONDS,
+        obs: Optional[obs_mod.Observability] = None,
+        scanner: Optional[BatchScanner] = None,
+    ) -> None:
+        self.obs = obs if obs is not None else obs_mod.get_default()
+        if scanner is None:
+            scanner = BatchScanner(
+                jobs=jobs,
+                backend=backend,
+                timeout=timeout,
+                settings=settings,
+                cache=cache,
+                obs=self.obs,
+            )
+        self.scanner = scanner
+        if admission is None:
+            admission = AdmissionConfig(max_in_flight=self.scanner.jobs)
+        self.admission = AdmissionController(admission)
+        self.jobs = JobRegistry(max_jobs=max_jobs)
+        self.hang_grace = hang_grace
+        self.started_at = time.time()
+        self._async_pool: Optional[cf.ThreadPoolExecutor] = None
+        self._lock = threading.Lock()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ScanService":
+        """Bring up the worker pool and the async-job runner."""
+        self.scanner.start()
+        with self._lock:
+            if self._async_pool is None:
+                self._async_pool = cf.ThreadPoolExecutor(
+                    max_workers=max(2, self.scanner.jobs),
+                    thread_name_prefix="repro-serve-job",
+                )
+        return self
+
+    def drain(self, timeout: Optional[float] = 30.0) -> bool:
+        """Graceful shutdown: shed new requests, finish admitted ones.
+
+        Returns True when everything in flight finished inside
+        ``timeout`` (False = somebody was abandoned).  Idempotent.
+        """
+        self.admission.start_drain()
+        idle = self.admission.wait_idle(timeout)
+        with self._lock:
+            pool, self._async_pool = self._async_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        self.scanner.shutdown(wait=False)
+        return idle
+
+    # -- the synchronous scan path -----------------------------------------
+
+    def handle_scan(
+        self,
+        data: bytes,
+        name: str = "document.pdf",
+        limits_spec: Optional[str] = None,
+    ) -> ServeResult:
+        """Full admission-controlled scan of one document."""
+        limits: Optional[ScanLimits] = None
+        if limits_spec:
+            try:
+                # The exact parser behind ``repro scan --limits``.
+                limits = ScanLimits.parse(limits_spec)
+            except ValueError as error:
+                return self._finish(ServeResult(
+                    400, {"error": f"bad limits: {error}", "name": name},
+                ))
+        if not data:
+            return self._finish(ServeResult(
+                400, {"error": "empty request body", "name": name},
+            ))
+
+        start = time.perf_counter()
+        with self.obs.tracer.span("serve.request", document=name) as span:
+            try:
+                ticket = self.admission.admit()
+            except RequestShed as shed:
+                return self._finish(self._shed_result(shed, name), span=span)
+            try:
+                try:
+                    with self.obs.tracer.span("serve.queue_wait"):
+                        self.admission.acquire(ticket)
+                except RequestShed as shed:
+                    return self._finish(self._shed_result(shed, name), span=span)
+                if self.obs.enabled:
+                    self.obs.metrics.observe(
+                        "serve_queue_wait_seconds", ticket.queue_wait,
+                        buckets=(0.001, 0.01, 0.1, 0.5, 1, 5, 30),
+                    )
+                result = self._run_admitted(data, name, limits, ticket, span)
+            finally:
+                self.admission.release(ticket)
+            if self.obs.enabled:
+                self.obs.metrics.observe(
+                    "serve_latency_seconds", time.perf_counter() - start,
+                    buckets=(0.01, 0.05, 0.1, 0.5, 1, 5, 30),
+                )
+            return self._finish(result, span=span)
+
+    def _run_admitted(self, data, name, limits, ticket, span) -> ServeResult:
+        """The in-slot part: submit to the pool and wait it out."""
+        try:
+            handle = self.scanner.submit_one(
+                name, data, limits=limits, deadline_at=ticket.deadline_at
+            )
+        except RuntimeError as error:  # pool torn down under us (drain race)
+            return ServeResult(
+                503, {"error": f"service stopping: {error}", "name": name},
+                retry_after=self.admission.config.retry_after_seconds,
+            )
+        wait: Optional[float] = None
+        if ticket.deadline_at is not None:
+            # The in-scan budget aborts the worker at the deadline; the
+            # grace covers budget-check granularity.  Past it, the
+            # worker is presumed hung and the request abandoned.
+            wait = ticket.remaining(time.monotonic()) + self.hang_grace
+        try:
+            outcome = handle.result(wait)
+        except cf.TimeoutError:
+            if self.obs.enabled:
+                self.obs.metrics.inc("serve_abandoned")
+            span.set_tag("abandoned", True)
+            return ServeResult(
+                503,
+                {"error": "scan exceeded its deadline and was abandoned",
+                 "name": name, "sha256": handle.digest},
+                retry_after=self.admission.config.retry_after_seconds,
+            )
+        except Exception as error:  # worker bug — never takes the daemon down
+            return ServeResult(
+                500,
+                {"error": f"{type(error).__name__}: {error}", "name": name},
+            )
+        span.set_tag("cached", outcome.cached)
+        span.set_tag("malicious", outcome.summary.malicious)
+        payload: Dict[str, Any] = {
+            "name": name,
+            "sha256": handle.digest,
+            "cached": outcome.cached,
+            "seconds": outcome.seconds,
+            "queue_wait": ticket.queue_wait,
+            "verdict": outcome.summary.to_dict(),
+            "report": outcome.report,
+        }
+        return ServeResult(200, payload)
+
+    # -- batch + async -----------------------------------------------------
+
+    def handle_batch(
+        self,
+        items: Sequence[Tuple[str, bytes]],
+        limits_spec: Optional[str] = None,
+    ) -> ServeResult:
+        """Scan several documents; each passes admission individually.
+
+        The response is multi-status: overall 200 with a per-item
+        ``status`` (some may be 429/503 under overload).
+        """
+        pool = self._require_pool()
+        if pool is None:
+            return ServeResult(
+                503, {"error": "service stopping"},
+                retry_after=self.admission.config.retry_after_seconds,
+            )
+        futures = [
+            pool.submit(self.handle_scan, data, name, limits_spec)
+            for name, data in items
+        ]
+        entries: List[Dict[str, Any]] = []
+        counts = {"ok": 0, "shed": 0, "failed": 0}
+        for (name, _), future in zip(items, futures):
+            result = future.result()
+            entry = {"name": name, "status": result.status, **result.payload}
+            entries.append(entry)
+            if result.ok:
+                counts["ok"] += 1
+            elif result.status in (429, 503):
+                counts["shed"] += 1
+            else:
+                counts["failed"] += 1
+        return ServeResult(
+            200, {"total": len(entries), "counts": counts, "items": entries}
+        )
+
+    def handle_async_submit(
+        self,
+        data: bytes,
+        name: str = "document.pdf",
+        limits_spec: Optional[str] = None,
+    ) -> ServeResult:
+        """Accept a scan for background execution; poll ``/jobs/<id>``."""
+        pool = self._require_pool()
+        if pool is None:
+            return ServeResult(
+                503, {"error": "service stopping"},
+                retry_after=self.admission.config.retry_after_seconds,
+            )
+        job = self.jobs.create(name)
+
+        def run() -> None:
+            self.jobs.mark_running(job.id)
+            result = self.handle_scan(data, name, limits_spec)
+            state = JOB_SHED if result.status in (429, 503) else JOB_DONE
+            self.jobs.finish(job.id, state, result.status, result.payload)
+
+        try:
+            pool.submit(run)
+        except RuntimeError:  # drained between _require_pool and submit
+            return ServeResult(
+                503, {"error": "service stopping"},
+                retry_after=self.admission.config.retry_after_seconds,
+            )
+        if self.obs.enabled:
+            self.obs.metrics.inc("serve_jobs_submitted")
+        return ServeResult(
+            202, {"job": job.id, "state": job.state, "poll": f"/jobs/{job.id}"}
+        )
+
+    def handle_job_status(self, job_id: str) -> ServeResult:
+        job = self.jobs.get(job_id)
+        if job is None:
+            return ServeResult(404, {"error": f"unknown job {job_id!r}"})
+        return ServeResult(200, job.to_dict())
+
+    # -- introspection -----------------------------------------------------
+
+    def health(self) -> ServeResult:
+        """``GET /healthz``: 200 while serving, 503 once draining (so a
+        load balancer stops routing before the listener goes away)."""
+        snap = self.admission.snapshot()
+        payload = {
+            "status": "draining" if snap["draining"] else "ok",
+            "uptime_seconds": time.time() - self.started_at,
+            "workers": self.scanner.jobs,
+            "backend": self.scanner.backend,
+            "queue_depth": snap["queue_depth"],
+            "in_flight": snap["in_flight"],
+        }
+        return ServeResult(503 if snap["draining"] else 200, payload)
+
+    def metrics(self) -> ServeResult:
+        """``GET /metrics``: admission/job/cache state + obs counters."""
+        payload: Dict[str, Any] = {
+            "admission": self.admission.snapshot(),
+            "jobs": self.jobs.snapshot(),
+        }
+        if self.scanner.cache is not None:
+            payload["cache"] = self.scanner.cache.stats
+        if self.obs.enabled:
+            payload["metrics"] = self.obs.metrics.snapshot()
+        return ServeResult(200, payload)
+
+    # -- internals ---------------------------------------------------------
+
+    def _require_pool(self) -> Optional[cf.ThreadPoolExecutor]:
+        self.start()
+        with self._lock:
+            return self._async_pool
+
+    def _shed_result(self, shed: RequestShed, name: str) -> ServeResult:
+        if self.obs.enabled:
+            self.obs.metrics.inc("serve_shed", reason=shed.reason)
+        return ServeResult(
+            shed.status,
+            {"error": str(shed), "reason": shed.reason, "name": name},
+            retry_after=shed.retry_after,
+        )
+
+    def _finish(self, result: ServeResult, span: Any = None) -> ServeResult:
+        if span is not None:
+            span.set_tag("status", result.status)
+            if "reason" in result.payload:
+                span.set_tag("shed_reason", result.payload["reason"])
+        if self.obs.enabled:
+            self.obs.metrics.inc("serve_requests", status=result.status)
+            self.obs.metrics.set_gauge(
+                "serve_queue_depth", self.admission.queue_depth
+            )
+            self.obs.metrics.set_gauge(
+                "serve_in_flight", self.admission.in_flight
+            )
+        return result

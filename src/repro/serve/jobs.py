@@ -1,0 +1,144 @@
+"""Async job handles for the scan service (``POST /scan?mode=async``).
+
+A gateway client that uploads a large attachment does not want to hold
+an HTTP connection open for the whole two-phase scan.  Async mode
+returns ``202 Accepted`` with a job id immediately; the scan runs in
+the background (through the *same* admission controller as synchronous
+requests — async is a delivery mode, not a priority lane) and the
+client polls ``GET /jobs/<id>``.
+
+The registry is bounded: finished jobs are retained FIFO up to
+``max_jobs`` so a polling client has a grace window, while an abandoned
+firehose of submissions cannot grow memory without bound.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: Job states (terminal ones are DONE and SHED — ``error`` outcomes are
+#: DONE jobs whose payload carries the errored report).
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_SHED = "shed"
+
+TERMINAL_STATES = (JOB_DONE, JOB_SHED)
+
+
+@dataclass
+class Job:
+    """One async submission's lifecycle record."""
+
+    id: str
+    name: str
+    state: str = JOB_QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    finished_at: Optional[float] = None
+    #: HTTP status the synchronous path would have answered with.
+    status: Optional[int] = None
+    #: The response payload (report envelope or shed notice).
+    payload: Optional[Dict[str, Any]] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "job": self.id,
+            "name": self.name,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+        }
+        if self.finished_at is not None:
+            out["finished_at"] = self.finished_at
+        if self.status is not None:
+            out["status"] = self.status
+        if self.payload is not None:
+            out["result"] = self.payload
+        return out
+
+
+class JobRegistry:
+    """Bounded, thread-safe ``job id -> Job`` store."""
+
+    def __init__(self, max_jobs: int = 1024) -> None:
+        if max_jobs < 1:
+            raise ValueError("max_jobs must be >= 1")
+        self.max_jobs = max_jobs
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.created = 0
+        self.evicted = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    def create(self, name: str) -> Job:
+        job = Job(id=secrets.token_hex(8), name=name)
+        with self._lock:
+            self._jobs[job.id] = job
+            self.created += 1
+            self._evict_locked()
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def mark_running(self, job_id: str) -> None:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is not None and not job.terminal:
+                job.state = JOB_RUNNING
+
+    def finish(
+        self,
+        job_id: str,
+        state: str,
+        status: int,
+        payload: Dict[str, Any],
+    ) -> None:
+        if state not in TERMINAL_STATES:
+            raise ValueError(f"not a terminal state: {state!r}")
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return  # evicted while running; nothing left to record
+            job.state = state
+            job.status = status
+            job.payload = payload
+            job.finished_at = time.time()
+
+    def _evict_locked(self) -> None:
+        """Drop oldest *terminal* jobs over the cap (never live ones —
+        a running scan must keep its record so the poller sees the
+        result; the cap can be transiently exceeded by live jobs, which
+        admission control itself bounds)."""
+        if len(self._jobs) <= self.max_jobs:
+            return
+        for job_id in list(self._jobs):
+            if len(self._jobs) <= self.max_jobs:
+                break
+            if self._jobs[job_id].terminal:
+                del self._jobs[job_id]
+                self.evicted += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            by_state: Dict[str, int] = {}
+            for job in self._jobs.values():
+                by_state[job.state] = by_state.get(job.state, 0) + 1
+            return {
+                "jobs": len(self._jobs),
+                "created": self.created,
+                "evicted": self.evicted,
+                "by_state": by_state,
+            }

@@ -1,0 +1,157 @@
+"""Service-mode submission API of ``BatchScanner`` (ISSUE 5, satellite 4).
+
+The headline regression: the per-item ``timeout`` used to be folded
+into the worker limits once, at construction — a per-request limits
+override then silently escaped the scanner's deadline cap.
+``effective_limits`` now re-derives the cap at submission time.
+"""
+
+import time
+
+import pytest
+
+from repro.batch import BatchScanner, ScanOutcome
+from repro.core.pipeline import PipelineSettings
+from repro.limits import ScanLimits
+
+pytestmark = pytest.mark.batch
+
+SETTINGS = PipelineSettings(seed=7)
+
+
+def benign_doc():
+    from repro.pdf.builder import DocumentBuilder
+
+    builder = DocumentBuilder()
+    builder.add_page("benign js")
+    builder.add_javascript("var x = 2 + 2;")
+    return builder.to_bytes()
+
+
+class TestEffectiveLimits:
+    def test_request_override_cannot_exceed_scanner_timeout(self):
+        """The regression: a generous per-request deadline must still be
+        capped by the scanner's own per-item timeout."""
+        scanner = BatchScanner(jobs=1, settings=SETTINGS, timeout=2.0)
+        limits = scanner.effective_limits(ScanLimits(deadline_seconds=500.0))
+        assert limits.deadline_seconds == 2.0
+
+    def test_tighter_request_deadline_is_kept(self):
+        scanner = BatchScanner(jobs=1, settings=SETTINGS, timeout=10.0)
+        limits = scanner.effective_limits(ScanLimits(deadline_seconds=0.5))
+        assert limits.deadline_seconds == 0.5
+
+    def test_default_limits_inherit_scanner_timeout(self):
+        scanner = BatchScanner(jobs=1, settings=SETTINGS, timeout=3.0)
+        assert scanner.effective_limits().deadline_seconds == 3.0
+
+    def test_no_timeout_leaves_request_limits_untouched(self):
+        scanner = BatchScanner(jobs=1, settings=SETTINGS)
+        limits = ScanLimits(deadline_seconds=7.0, max_stream_bytes=1024)
+        assert scanner.effective_limits(limits) == limits
+
+    def test_non_deadline_fields_survive_the_cap(self):
+        scanner = BatchScanner(jobs=1, settings=SETTINGS, timeout=1.0)
+        limits = scanner.effective_limits(
+            ScanLimits(deadline_seconds=99.0, max_stream_bytes=4096)
+        )
+        assert limits.deadline_seconds == 1.0
+        assert limits.max_stream_bytes == 4096
+
+
+class TestSubmitOne:
+    def test_submit_and_result(self):
+        scanner = BatchScanner(jobs=1, settings=SETTINGS, cache=False).start()
+        try:
+            handle = scanner.submit_one("a.pdf", benign_doc())
+            outcome = handle.result(timeout=60.0)
+            assert isinstance(outcome, ScanOutcome)
+            assert outcome.cached is False
+            assert handle.name == "a.pdf"
+            assert outcome.summary.errored is False
+            assert outcome.report is not None
+            assert outcome.seconds >= 0.0
+            assert handle.done()
+            assert len(handle.digest) == 64
+        finally:
+            scanner.shutdown()
+
+    def test_cache_hit_resolves_without_a_scan(self):
+        scanner = BatchScanner(jobs=1, settings=SETTINGS).start()
+        try:
+            data = benign_doc()
+            first = scanner.submit_one("a.pdf", data).result(timeout=60.0)
+            hit = scanner.submit_one("a.pdf", data)
+            assert hit.cached
+            assert hit.done()
+            outcome = hit.result()
+            assert outcome.cached is True
+            assert outcome.report is None  # summaries only from the cache
+            assert outcome.summary.malicious == first.summary.malicious
+            assert outcome.summary.malscore == first.summary.malscore
+        finally:
+            scanner.shutdown()
+
+    def test_custom_limits_bypass_the_cache(self):
+        scanner = BatchScanner(jobs=1, settings=SETTINGS).start()
+        try:
+            data = benign_doc()
+            scanner.submit_one("a.pdf", data).result(timeout=60.0)
+            override = scanner.submit_one(
+                "a.pdf", data, limits=ScanLimits(deadline_seconds=25.0)
+            )
+            assert not override.cached
+            assert override.result(timeout=60.0).cached is False
+        finally:
+            scanner.shutdown()
+
+    def test_expired_deadline_yields_structured_limit_report(self):
+        scanner = BatchScanner(jobs=1, settings=SETTINGS, cache=False).start()
+        try:
+            handle = scanner.submit_one(
+                "late.pdf", benign_doc(),
+                deadline_at=time.monotonic() - 1.0,
+            )
+            outcome = handle.result(timeout=60.0)
+            assert outcome.summary.errored is True
+            assert outcome.summary.limit_kind == "deadline"
+        finally:
+            scanner.shutdown()
+
+    def test_submit_auto_starts_the_pool(self):
+        scanner = BatchScanner(jobs=1, settings=SETTINGS, cache=False)
+        assert not scanner.started
+        try:
+            handle = scanner.submit_one("a.pdf", benign_doc())
+            assert scanner.started
+            assert handle.result(timeout=60.0).summary.errored is False
+        finally:
+            scanner.shutdown()
+        assert not scanner.started
+
+    def test_start_is_idempotent_and_shutdown_restartable(self):
+        scanner = BatchScanner(jobs=1, settings=SETTINGS, cache=False)
+        scanner.start()
+        scanner.start()
+        assert scanner.started
+        scanner.shutdown()
+        scanner.shutdown()  # second shutdown is a no-op
+        assert not scanner.started
+        scanner.start()
+        try:
+            outcome = scanner.scan_one("b.pdf", benign_doc())
+            assert outcome.summary.errored is False
+        finally:
+            scanner.shutdown()
+
+    @pytest.mark.slow
+    def test_process_backend_submission(self):
+        scanner = BatchScanner(
+            jobs=2, settings=SETTINGS, backend="process", cache=False
+        ).start()
+        try:
+            outcome = scanner.scan_one("p.pdf", benign_doc())
+            assert outcome.report is not None
+            assert outcome.summary.errored is False
+        finally:
+            scanner.shutdown()

@@ -1,0 +1,161 @@
+"""Scan-service properties (ISSUE 5, satellite 3).
+
+1. For any request ordering/interleaving (hypothesis picks the corpus,
+   the submission order, and the client thread count), the multiset of
+   service verdicts equals the multiset of sequential ``pipeline.scan``
+   verdicts.
+2. Cache hits never change a verdict: a request served from the cache
+   reports exactly the verdict of the original scan.
+
+The queue is kept deep and deadlines generous so no request is shed —
+these properties are about verdict identity, not overload (the stress
+harness covers shedding).
+"""
+
+import concurrent.futures as cf
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.pipeline import PipelineSettings, ProtectionPipeline
+from repro.pdf.builder import DocumentBuilder
+from repro.serve import AdmissionConfig, ScanService
+
+pytestmark = pytest.mark.serve
+
+SEED = 77
+SETTINGS = PipelineSettings(seed=SEED)
+
+
+def _pool():
+    docs = []
+
+    plain = DocumentBuilder()
+    plain.add_page("no javascript at all")
+    docs.append(("plain.pdf", plain.to_bytes()))
+
+    benign_js = DocumentBuilder()
+    benign_js.add_page("benign js")
+    benign_js.add_javascript("var x = 2 + 2; app.alert('x=' + x);")
+    docs.append(("benign-js.pdf", benign_js.to_bytes()))
+
+    from tests.conftest import spray_js
+
+    malicious = DocumentBuilder()
+    malicious.add_page("")
+    malicious.add_javascript(spray_js())
+    docs.append(("malicious.pdf", malicious.to_bytes()))
+
+    docs.append(("garbage.pdf", b"%PDF-1.4 truncated nonsense without objects"))
+    return docs
+
+
+POOL = _pool()
+
+
+def _sequential_verdicts():
+    pipeline = ProtectionPipeline(seed=SEED)
+    verdicts = {}
+    for name, data in POOL:
+        report = pipeline.scan(data, name)
+        verdicts[name] = (
+            report.verdict.malicious,
+            report.verdict.malscore,
+            report.errored,
+        )
+    return verdicts
+
+
+SEQUENTIAL = _sequential_verdicts()
+
+
+def _service():
+    return ScanService(
+        settings=SETTINGS,
+        jobs=2,
+        admission=AdmissionConfig(
+            max_queue_depth=64, max_in_flight=2, deadline_seconds=120.0
+        ),
+    ).start()
+
+
+def _verdict_key(name, payload):
+    verdict = payload["verdict"]
+    return (name, verdict["malicious"], verdict["malscore"], verdict["errored"])
+
+
+@given(
+    picks=st.lists(
+        st.integers(min_value=0, max_value=len(POOL) - 1),
+        min_size=0, max_size=6,
+    ),
+    clients=st.sampled_from([1, 2, 4]),
+)
+@settings(
+    max_examples=8, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_any_interleaving_equals_sequential_multiset(picks, clients):
+    items = [POOL[i] for i in picks]
+    service = _service()
+    try:
+        with cf.ThreadPoolExecutor(max_workers=clients) as pool:
+            futures = [
+                pool.submit(service.handle_scan, data, name)
+                for name, data in items
+            ]
+            results = [f.result(timeout=120.0) for f in futures]
+    finally:
+        assert service.drain(timeout=60.0) is True
+    assert all(r.status == 200 for r in results)
+    got = sorted(
+        _verdict_key(name, result.payload)
+        for (name, _), result in zip(items, results)
+    )
+    expected = sorted((name, *SEQUENTIAL[name]) for name, _ in items)
+    assert got == expected
+
+
+@given(
+    picks=st.lists(
+        st.integers(min_value=0, max_value=len(POOL) - 1),
+        min_size=1, max_size=4,
+    ),
+    copies=st.integers(min_value=2, max_value=3),
+)
+@settings(
+    max_examples=6, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_cache_hits_never_change_a_verdict(picks, copies):
+    unique = sorted(set(picks))
+    items = [POOL[i] for i in unique] * copies
+    service = _service()
+    try:
+        with cf.ThreadPoolExecutor(max_workers=2) as pool:
+            futures = [
+                pool.submit(service.handle_scan, data, name)
+                for name, data in items
+            ]
+            results = [f.result(timeout=120.0) for f in futures]
+    finally:
+        assert service.drain(timeout=60.0) is True
+    assert all(r.status == 200 for r in results)
+    by_name = {}
+    for (name, _), result in zip(items, results):
+        key = _verdict_key(name, result.payload)
+        by_name.setdefault(name, set()).add(key[1:])
+    # Cached or not, every repeat of a document reports one verdict.
+    for name, verdicts in by_name.items():
+        assert len(verdicts) == 1, name
+        assert next(iter(verdicts)) == SEQUENTIAL[name], name
+    # Interleaving decides how many hits occur, but some repeats of a
+    # cacheable (non-errored) document should have been served cached.
+    cacheable = [
+        (name, result.payload["cached"])
+        for (name, _), result in zip(items, results)
+        if not SEQUENTIAL[name][2]
+    ]
+    if cacheable:
+        names = {name for name, _ in cacheable}
+        assert len(cacheable) >= len(names)

@@ -1,0 +1,96 @@
+"""Unit tests for the async job registry."""
+
+import pytest
+
+from repro.serve.jobs import (
+    JOB_DONE,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    JOB_SHED,
+    JobRegistry,
+)
+
+pytestmark = pytest.mark.serve
+
+
+class TestLifecycle:
+    def test_create_run_finish(self):
+        registry = JobRegistry()
+        job = registry.create("a.pdf")
+        assert job.state == JOB_QUEUED
+        assert not job.terminal
+        registry.mark_running(job.id)
+        assert registry.get(job.id).state == JOB_RUNNING
+        registry.finish(job.id, JOB_DONE, 200, {"verdict": {"malicious": False}})
+        done = registry.get(job.id)
+        assert done.terminal
+        assert done.status == 200
+        assert done.finished_at is not None
+        payload = done.to_dict()
+        assert payload["job"] == job.id
+        assert payload["state"] == JOB_DONE
+        assert payload["result"] == {"verdict": {"malicious": False}}
+
+    def test_shed_is_terminal(self):
+        registry = JobRegistry()
+        job = registry.create("b.pdf")
+        registry.finish(job.id, JOB_SHED, 429, {"reason": "queue-full"})
+        assert registry.get(job.id).terminal
+        # A late mark_running must not resurrect a terminal job.
+        registry.mark_running(job.id)
+        assert registry.get(job.id).state == JOB_SHED
+
+    def test_finish_requires_terminal_state(self):
+        registry = JobRegistry()
+        job = registry.create("c.pdf")
+        with pytest.raises(ValueError):
+            registry.finish(job.id, JOB_RUNNING, 200, {})
+
+    def test_unknown_ids(self):
+        registry = JobRegistry()
+        assert registry.get("nope") is None
+        registry.finish("nope", JOB_DONE, 200, {})  # silently ignored
+        registry.mark_running("nope")
+
+    def test_ids_are_unique(self):
+        registry = JobRegistry()
+        ids = {registry.create("x.pdf").id for _ in range(64)}
+        assert len(ids) == 64
+
+
+class TestRetention:
+    def test_oldest_terminal_jobs_evicted(self):
+        registry = JobRegistry(max_jobs=3)
+        jobs = [registry.create(f"{i}.pdf") for i in range(3)]
+        for job in jobs:
+            registry.finish(job.id, JOB_DONE, 200, {})
+        extra = registry.create("late.pdf")
+        assert len(registry) == 3
+        assert registry.get(jobs[0].id) is None  # oldest terminal evicted
+        assert registry.get(extra.id) is not None
+        assert registry.evicted == 1
+
+    def test_live_jobs_never_evicted(self):
+        registry = JobRegistry(max_jobs=2)
+        live = [registry.create(f"{i}.pdf") for i in range(4)]
+        # All four still queued: nothing is terminal, nothing evictable.
+        assert len(registry) == 4
+        for job in live:
+            assert registry.get(job.id) is not None
+        registry.finish(live[0].id, JOB_DONE, 200, {})
+        registry.create("new.pdf")
+        assert registry.get(live[0].id) is None  # now evictable
+
+    def test_snapshot(self):
+        registry = JobRegistry()
+        job = registry.create("a.pdf")
+        registry.create("b.pdf")
+        registry.finish(job.id, JOB_DONE, 200, {})
+        snap = registry.snapshot()
+        assert snap["jobs"] == 2
+        assert snap["created"] == 2
+        assert snap["by_state"] == {JOB_DONE: 1, JOB_QUEUED: 1}
+
+    def test_max_jobs_validation(self):
+        with pytest.raises(ValueError):
+            JobRegistry(max_jobs=0)
