@@ -107,7 +107,7 @@ def _run_scan_report(
     data: bytes,
     limits: Optional[ScanLimits],
     deadline_at: Optional[float],
-) -> Tuple[VerdictSummary, Dict[str, Any], float]:
+) -> Tuple[VerdictSummary, Dict[str, Any], float, bool]:
     """Service-mode scan: one request, full report payload back.
 
     ``limits`` is the request's effective budget (already capped by the
@@ -118,23 +118,37 @@ def _run_scan_report(
     aborts on the first budget check and comes back as a structured
     ``deadline`` limit report instead of burning a worker slot.
 
-    Returns ``(summary, report_dict, seconds)``: the cacheable verdict
-    core plus the JSON-ready ``OpenReport.to_dict()`` payload (kept as
-    a plain dict so the process backend can pickle it).
+    Returns ``(summary, report_dict, seconds, cacheable)``: the verdict
+    core, the JSON-ready ``OpenReport.to_dict()`` payload (kept as a
+    plain dict so the process backend can pickle it), and whether the
+    verdict may be cached under the scanner's settings fingerprint.
+    ``cacheable`` is False when ``deadline_at`` tightened the budget
+    *and* the scan aborted on a budget: that abort may be an artifact
+    of this request's remaining queue time, not of the configured
+    limits the cache fingerprint describes — caching it would serve a
+    possibly-wrong verdict to every later request for the digest.
     """
     if limits is None:
         limits = ScanLimits()
+    effective = limits
     if deadline_at is not None:
         remaining = max(0.0, deadline_at - time.monotonic())
-        limits = cap_deadline(limits, remaining)
+        effective = cap_deadline(limits, remaining)
+    tightened = effective.deadline_seconds != limits.deadline_seconds
     start = time.perf_counter()
     # The outer activation wins over the pipeline's own (re-entrant
     # scope), so per-request overrides govern the whole scan; blown
     # budgets are still converted to limit reports by ``pipeline.scan``.
-    with limits_mod.activate(limits):
+    with limits_mod.activate(effective):
         report = pipeline.scan(data, name)
     seconds = time.perf_counter() - start
-    return VerdictSummary.from_report(report), report.to_dict(), seconds
+    summary = VerdictSummary.from_report(report)
+    # A clean verdict under a tighter deadline equals the full-budget
+    # verdict (budgets only abort scans, never change detection logic).
+    cacheable = not tightened or (
+        summary.limit_kind is None and not summary.errored
+    )
+    return summary, report.to_dict(), seconds, cacheable
 
 
 class _ThreadWorker:
@@ -164,7 +178,7 @@ class _ServiceThreadWorker(_ThreadWorker):
         data: bytes,
         limits: Optional[ScanLimits],
         deadline_at: Optional[float],
-    ) -> Tuple[VerdictSummary, Dict[str, Any], float]:
+    ) -> Tuple[VerdictSummary, Dict[str, Any], float, bool]:
         return _run_scan_report(self._pipeline(), name, data, limits, deadline_at)
 
 
@@ -188,7 +202,7 @@ def _service_process_worker(
     data: bytes,
     limits: Optional[ScanLimits],
     deadline_at: Optional[float],
-) -> Tuple[VerdictSummary, Dict[str, Any], float]:
+) -> Tuple[VerdictSummary, Dict[str, Any], float, bool]:
     assert _process_pipeline is not None, "pool initializer did not run"
     return _run_scan_report(_process_pipeline, name, data, limits, deadline_at)
 
@@ -221,7 +235,7 @@ class ScanHandle:
         self,
         name: str,
         digest: str,
-        future: Optional["cf.Future[Tuple[VerdictSummary, Dict[str, Any], float]]"] = None,
+        future: Optional["cf.Future[Tuple[VerdictSummary, Dict[str, Any], float, bool]]"] = None,
         outcome: Optional[ScanOutcome] = None,
     ) -> None:
         if (future is None) == (outcome is None):
@@ -241,10 +255,19 @@ class ScanHandle:
             self._future is not None and self._future.done()
         )
 
+    def add_done_callback(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` (no arguments) once the scan resolves — fires
+        immediately for cache hits.  The service uses this to notice
+        when an abandoned worker finally returns its pool slot."""
+        if self._future is not None:
+            self._future.add_done_callback(lambda _future: fn())
+        else:
+            fn()
+
     def result(self, timeout: Optional[float] = None) -> ScanOutcome:
         if self._outcome is None:
             assert self._future is not None
-            summary, report, seconds = self._future.result(timeout)
+            summary, report, seconds, _cacheable = self._future.result(timeout)
             self._outcome = ScanOutcome(summary, report, seconds)
         return self._outcome
 
@@ -446,7 +469,9 @@ class BatchScanner:
         deadline, so queue wait counts against the request.  Cache hits
         resolve immediately; custom-limits requests bypass the cache
         both ways (a verdict produced under tighter budgets must not be
-        served to default-budget requests, and vice versa).
+        served to default-budget requests, and vice versa).  For the
+        same reason a scan whose budget was tightened by ``deadline_at``
+        and that aborted on a limit is never written to the cache.
         """
         self.start()
         digest = content_digest(data)
@@ -466,11 +491,17 @@ class BatchScanner:
             self.effective_limits(limits), deadline_at,
         )
         if cache is not None:
-            def _store(done: "cf.Future[Tuple[VerdictSummary, Dict[str, Any], float]]") -> None:
+            def _store(done: "cf.Future[Tuple[VerdictSummary, Dict[str, Any], float, bool]]") -> None:
                 if done.cancelled() or done.exception() is not None:
                     return
-                summary, _report, _seconds = done.result()
-                cache.put(digest, summary)
+                summary, _report, _seconds, cacheable = done.result()
+                # Verdicts produced under a budget tightened by the
+                # request deadline (queue wait shrank the in-scan
+                # budget) that aborted on a limit are artifacts of this
+                # request's timing, not of the configured limits the
+                # fingerprint describes — never cache those.
+                if cacheable:
+                    cache.put(digest, summary)
 
             future.add_done_callback(_store)
         return ScanHandle(name, digest, future=future)

@@ -201,6 +201,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="Retry-After hint on shed responses (default 1)",
     )
     serve.add_argument(
+        "--max-pending-async", type=int, default=None, metavar="N",
+        help="async (mode=async) jobs allowed to be queued/running at "
+        "once; the excess is shed with 429 at submission time "
+        "(default: queue depth + in-flight slots)",
+    )
+    serve.add_argument(
         "--cache", type=Path, metavar="FILE",
         help="persistent JSON verdict cache (created if missing)",
     )
@@ -560,6 +566,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         backend=args.backend,
         admission=admission,
         cache=cache,
+        max_pending_async=args.max_pending_async,
         obs=obs,
     )
     handle = start_server(service, host=args.host, port=args.port)

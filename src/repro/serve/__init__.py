@@ -19,6 +19,7 @@ endpoints, admission tuning and shedding semantics.
 """
 
 from repro.serve.admission import (
+    SHED_ASYNC_BACKLOG,
     SHED_DEADLINE,
     SHED_DRAINING,
     SHED_QUEUE_FULL,
@@ -55,6 +56,7 @@ __all__ = [
     "JobRegistry",
     "MAX_BODY_BYTES",
     "RequestShed",
+    "SHED_ASYNC_BACKLOG",
     "SHED_DEADLINE",
     "SHED_DRAINING",
     "SHED_QUEUE_FULL",

@@ -34,12 +34,15 @@ from typing import Any, Callable, Dict, Optional
 SHED_QUEUE_FULL = "queue-full"
 SHED_DRAINING = "draining"
 SHED_DEADLINE = "queue-deadline"
+#: Async submission refused: too many jobs still queued/running.
+SHED_ASYNC_BACKLOG = "async-backlog"
 
 #: Reason -> HTTP status the front-end maps the shed to.
 SHED_STATUS = {
     SHED_QUEUE_FULL: 429,
     SHED_DRAINING: 503,
     SHED_DEADLINE: 503,
+    SHED_ASYNC_BACKLOG: 429,
 }
 
 
@@ -185,6 +188,12 @@ class AdmissionController:
             ticket._state = "in-flight"
             self.peak_in_flight = max(self.peak_in_flight, self._in_flight)
             ticket.queue_wait = self._clock() - ticket.admitted_at
+
+    def record_shed(self, reason: str) -> None:
+        """Count a shed decided outside the controller (e.g. the async
+        submission backlog cap) so ``/metrics`` sees every shed."""
+        with self._cond:
+            self.shed[reason] = self.shed.get(reason, 0) + 1
 
     def release(self, ticket: Ticket) -> None:
         """Return the request's slot; safe to call exactly once per ticket."""

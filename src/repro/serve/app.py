@@ -40,6 +40,8 @@ from repro.batch.scanner import BatchScanner
 from repro.core.pipeline import PipelineSettings
 from repro.limits import ScanLimits
 from repro.serve.admission import (
+    SHED_ASYNC_BACKLOG,
+    SHED_DRAINING,
     AdmissionConfig,
     AdmissionController,
     RequestShed,
@@ -81,6 +83,7 @@ class ScanService:
         admission: Optional[AdmissionConfig] = None,
         cache: Union[VerdictCache, None, bool] = None,
         max_jobs: int = 1024,
+        max_pending_async: Optional[int] = None,
         hang_grace: float = HANG_GRACE_SECONDS,
         obs: Optional[obs_mod.Observability] = None,
         scanner: Optional[BatchScanner] = None,
@@ -100,15 +103,41 @@ class ScanService:
             admission = AdmissionConfig(max_in_flight=self.scanner.jobs)
         self.admission = AdmissionController(admission)
         self.jobs = JobRegistry(max_jobs=max_jobs)
+        #: Async submissions allowed to be queued/running at once; the
+        #: excess is shed with 429 *at submission time* so an async
+        #: firehose cannot park unbounded request bodies on the job
+        #: pool's work queue.  Defaults to the same backlog the sync
+        #: path tolerates (queue depth + in-flight slots).
+        if max_pending_async is None:
+            max_pending_async = (
+                self.admission.config.max_queue_depth
+                + self.admission.config.max_in_flight
+            )
+        self.max_pending_async = max_pending_async
         self.hang_grace = hang_grace
         self.started_at = time.time()
         self._async_pool: Optional[cf.ThreadPoolExecutor] = None
         self._lock = threading.Lock()
+        #: Requests abandoned past deadline + grace whose workers are
+        #: still occupying pool slots (hung scans the thread backend
+        #: cannot kill) — true pool occupancy is in_flight + this.
+        self._abandoned = 0
+        self._stopped = False
 
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> "ScanService":
-        """Bring up the worker pool and the async-job runner."""
+        """Bring up the worker pool and the async-job runner.
+
+        Raises ``RuntimeError`` on a drained service: drain is
+        terminal (admission stays in draining mode), so resurrecting
+        the pools would only accept work it then sheds.
+        """
+        with self._lock:
+            if self._stopped:
+                raise RuntimeError(
+                    "service has been drained; build a new ScanService"
+                )
         self.scanner.start()
         with self._lock:
             if self._async_pool is None:
@@ -122,8 +151,12 @@ class ScanService:
         """Graceful shutdown: shed new requests, finish admitted ones.
 
         Returns True when everything in flight finished inside
-        ``timeout`` (False = somebody was abandoned).  Idempotent.
+        ``timeout`` (False = somebody was abandoned).  Idempotent and
+        terminal: requests arriving afterwards are shed with 503 and
+        the torn-down pools are never rebuilt.
         """
+        with self._lock:
+            self._stopped = True
         self.admission.start_drain()
         idle = self.admission.wait_idle(timeout)
         with self._lock:
@@ -140,8 +173,15 @@ class ScanService:
         data: bytes,
         name: str = "document.pdf",
         limits_spec: Optional[str] = None,
+        use_cache: bool = True,
     ) -> ServeResult:
-        """Full admission-controlled scan of one document."""
+        """Full admission-controlled scan of one document.
+
+        ``use_cache=False`` (the ``nocache=1`` query parameter) forces
+        a fresh scan — cache hits answer with the summarised verdict
+        only (``"report": null``), so clients that need the full
+        OpenReport payload opt out of the cache.
+        """
         limits: Optional[ScanLimits] = None
         if limits_spec:
             try:
@@ -173,7 +213,9 @@ class ScanService:
                         "serve_queue_wait_seconds", ticket.queue_wait,
                         buckets=(0.001, 0.01, 0.1, 0.5, 1, 5, 30),
                     )
-                result = self._run_admitted(data, name, limits, ticket, span)
+                result = self._run_admitted(
+                    data, name, limits, ticket, span, use_cache
+                )
             finally:
                 self.admission.release(ticket)
             if self.obs.enabled:
@@ -183,11 +225,14 @@ class ScanService:
                 )
             return self._finish(result, span=span)
 
-    def _run_admitted(self, data, name, limits, ticket, span) -> ServeResult:
+    def _run_admitted(
+        self, data, name, limits, ticket, span, use_cache=True
+    ) -> ServeResult:
         """The in-slot part: submit to the pool and wait it out."""
         try:
             handle = self.scanner.submit_one(
-                name, data, limits=limits, deadline_at=ticket.deadline_at
+                name, data, limits=limits, deadline_at=ticket.deadline_at,
+                use_cache=use_cache,
             )
         except RuntimeError as error:  # pool torn down under us (drain race)
             return ServeResult(
@@ -203,8 +248,7 @@ class ScanService:
         try:
             outcome = handle.result(wait)
         except cf.TimeoutError:
-            if self.obs.enabled:
-                self.obs.metrics.inc("serve_abandoned")
+            self._note_abandoned(handle)
             span.set_tag("abandoned", True)
             return ServeResult(
                 503,
@@ -273,28 +317,54 @@ class ScanService:
         data: bytes,
         name: str = "document.pdf",
         limits_spec: Optional[str] = None,
+        use_cache: bool = True,
     ) -> ServeResult:
-        """Accept a scan for background execution; poll ``/jobs/<id>``."""
+        """Accept a scan for background execution; poll ``/jobs/<id>``.
+
+        Acceptance is *not* unconditional: a submission arriving while
+        ``max_pending_async`` jobs are still queued/running is shed
+        with 429 right here — before its body is parked on the job
+        pool's work queue — so an async firehose is bounded exactly
+        like the synchronous path (admission still runs again when the
+        job executes).
+        """
         pool = self._require_pool()
         if pool is None:
             return ServeResult(
                 503, {"error": "service stopping"},
                 retry_after=self.admission.config.retry_after_seconds,
             )
-        job = self.jobs.create(name)
+        retry_after = self.admission.config.retry_after_seconds
+        if self.admission.draining:
+            self.admission.record_shed(SHED_DRAINING)
+            return self._finish(
+                self._shed_result(RequestShed(SHED_DRAINING, retry_after), name)
+            )
+        job = self.jobs.create(name, max_pending=self.max_pending_async)
+        if job is None:
+            self.admission.record_shed(SHED_ASYNC_BACKLOG)
+            return self._finish(
+                self._shed_result(
+                    RequestShed(SHED_ASYNC_BACKLOG, retry_after), name
+                )
+            )
 
         def run() -> None:
             self.jobs.mark_running(job.id)
-            result = self.handle_scan(data, name, limits_spec)
+            result = self.handle_scan(data, name, limits_spec, use_cache)
             state = JOB_SHED if result.status in (429, 503) else JOB_DONE
             self.jobs.finish(job.id, state, result.status, result.payload)
 
         try:
             pool.submit(run)
         except RuntimeError:  # drained between _require_pool and submit
+            # Close out the record so it never lingers as pending.
+            self.jobs.finish(
+                job.id, JOB_SHED, 503, {"error": "service stopping"}
+            )
             return ServeResult(
                 503, {"error": "service stopping"},
-                retry_after=self.admission.config.retry_after_seconds,
+                retry_after=retry_after,
             )
         if self.obs.enabled:
             self.obs.metrics.inc("serve_jobs_submitted")
@@ -321,6 +391,11 @@ class ScanService:
             "backend": self.scanner.backend,
             "queue_depth": snap["queue_depth"],
             "in_flight": snap["in_flight"],
+            #: Hung workers still burning pool slots after their
+            #: requests were abandoned; true occupancy is
+            #: in_flight + abandoned_workers.
+            "abandoned_workers": self.abandoned_workers,
+            "pending_jobs": self.jobs.pending_count(),
         }
         return ServeResult(503 if snap["draining"] else 200, payload)
 
@@ -329,6 +404,7 @@ class ScanService:
         payload: Dict[str, Any] = {
             "admission": self.admission.snapshot(),
             "jobs": self.jobs.snapshot(),
+            "abandoned_workers": self.abandoned_workers,
         }
         if self.scanner.cache is not None:
             payload["cache"] = self.scanner.cache.stats
@@ -339,9 +415,54 @@ class ScanService:
     # -- internals ---------------------------------------------------------
 
     def _require_pool(self) -> Optional[cf.ThreadPoolExecutor]:
-        self.start()
+        """The async-job pool, or None (503) once drained.
+
+        Lazy-starts an un-started service but never resurrects a
+        drained one — ``drain`` is terminal and only an explicit
+        (pre-drain) :meth:`start` creates pools.
+        """
         with self._lock:
-            return self._async_pool
+            if self._stopped:
+                return None
+            pool = self._async_pool
+        if pool is None:
+            try:
+                self.start()
+            except RuntimeError:  # drained while we decided to start
+                return None
+            with self._lock:
+                pool = self._async_pool
+        return pool
+
+    @property
+    def abandoned_workers(self) -> int:
+        """Abandoned requests whose workers still hold pool slots."""
+        with self._lock:
+            return self._abandoned
+
+    def _note_abandoned(self, handle: Any) -> None:
+        """Track a hung worker past its grace: the request is answered
+        503, but the worker thread keeps its pool slot until the scan
+        self-aborts — while it does, ``max_in_flight`` under-reports
+        true pool occupancy, so the discrepancy is surfaced as a gauge
+        and in ``/healthz`` for operators."""
+        with self._lock:
+            self._abandoned += 1
+        if self.obs.enabled:
+            self.obs.metrics.inc("serve_abandoned")
+            self.obs.metrics.set_gauge(
+                "serve_abandoned_workers", self.abandoned_workers
+            )
+
+        def _slot_returned() -> None:
+            with self._lock:
+                self._abandoned -= 1
+            if self.obs.enabled:
+                self.obs.metrics.set_gauge(
+                    "serve_abandoned_workers", self.abandoned_workers
+                )
+
+        handle.add_done_callback(_slot_returned)
 
     def _shed_result(self, shed: RequestShed, name: str) -> ServeResult:
         if self.obs.enabled:

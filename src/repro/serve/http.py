@@ -13,7 +13,9 @@ Endpoints
 ``POST /scan``
     Body = raw PDF bytes.  Query: ``name=<label>``,
     ``limits=<k=v,...>`` (same grammar as ``repro scan --limits``),
-    ``mode=async`` to get ``202 {"job": ...}`` instead of blocking.
+    ``mode=async`` to get ``202 {"job": ...}`` instead of blocking,
+    ``nocache=1`` to bypass the verdict cache (cache hits answer with
+    ``"report": null`` — opt out when the full OpenReport is needed).
 ``POST /batch``
     JSON body ``{"items": [{"name": ..., "data_b64": ...}, ...],
     "limits": "..."}``; multi-status response.
@@ -107,10 +109,15 @@ class ScanRequestHandler(BaseHTTPRequestHandler):
         if path == "/scan":
             name = query.get("name", "document.pdf")
             limits = query.get("limits")
+            use_cache = query.get("nocache", "") not in ("1", "true", "yes")
             if query.get("mode") == "async":
-                self._send(self.service.handle_async_submit(body, name, limits))
+                self._send(self.service.handle_async_submit(
+                    body, name, limits, use_cache
+                ))
             else:
-                self._send(self.service.handle_scan(body, name, limits))
+                self._send(self.service.handle_scan(
+                    body, name, limits, use_cache
+                ))
         elif path == "/batch":
             self._send(self._handle_batch(body))
         else:

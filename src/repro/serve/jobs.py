@@ -7,9 +7,12 @@ the background (through the *same* admission controller as synchronous
 requests — async is a delivery mode, not a priority lane) and the
 client polls ``GET /jobs/<id>``.
 
-The registry is bounded: finished jobs are retained FIFO up to
-``max_jobs`` so a polling client has a grace window, while an abandoned
-firehose of submissions cannot grow memory without bound.
+The registry is bounded on both ends: finished jobs are retained FIFO
+up to ``max_jobs`` so a polling client has a grace window, and *live*
+(queued/running) jobs are capped at submission time — ``create`` with
+``max_pending`` refuses a new job while that many are still
+non-terminal, which is how the service sheds an async firehose with
+429 *before* the request body is parked on the executor queue.
 """
 
 from __future__ import annotations
@@ -76,16 +79,33 @@ class JobRegistry:
         self._lock = threading.Lock()
         self.created = 0
         self.evicted = 0
+        #: Live (non-terminal) jobs; kept incrementally so the
+        #: submission-time backlog check is O(1) under the lock.
+        self._pending = 0
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._jobs)
 
-    def create(self, name: str) -> Job:
+    def pending_count(self) -> int:
+        """Jobs still queued or running (the async backlog)."""
+        with self._lock:
+            return self._pending
+
+    def create(self, name: str, max_pending: Optional[int] = None) -> Optional[Job]:
+        """Register a new queued job, or refuse one.
+
+        With ``max_pending`` set, returns None when that many jobs are
+        already non-terminal — the check and the insert are atomic, so
+        concurrent submitters cannot overshoot the cap.
+        """
         job = Job(id=secrets.token_hex(8), name=name)
         with self._lock:
+            if max_pending is not None and self._pending >= max_pending:
+                return None
             self._jobs[job.id] = job
             self.created += 1
+            self._pending += 1
             self._evict_locked()
         return job
 
@@ -111,7 +131,9 @@ class JobRegistry:
         with self._lock:
             job = self._jobs.get(job_id)
             if job is None:
-                return  # evicted while running; nothing left to record
+                return  # never registered; nothing left to record
+            if not job.terminal:
+                self._pending -= 1
             job.state = state
             job.status = status
             job.payload = payload
@@ -121,7 +143,7 @@ class JobRegistry:
         """Drop oldest *terminal* jobs over the cap (never live ones —
         a running scan must keep its record so the poller sees the
         result; the cap can be transiently exceeded by live jobs, which
-        admission control itself bounds)."""
+        the submission-time ``max_pending`` check bounds)."""
         if len(self._jobs) <= self.max_jobs:
             return
         for job_id in list(self._jobs):
@@ -138,6 +160,7 @@ class JobRegistry:
                 by_state[job.state] = by_state.get(job.state, 0) + 1
             return {
                 "jobs": len(self._jobs),
+                "pending": self._pending,
                 "created": self.created,
                 "evicted": self.evicted,
                 "by_state": by_state,

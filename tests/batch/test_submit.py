@@ -118,6 +118,46 @@ class TestSubmitOne:
         finally:
             scanner.shutdown()
 
+    def test_deadline_aborted_verdict_is_never_cached(self):
+        """The cache-poisoning regression: a request whose admission
+        deadline expired while queued produces a ``deadline`` limit
+        report — caching that under the default-settings fingerprint
+        would serve the bogus verdict to every later request."""
+        scanner = BatchScanner(jobs=1, settings=SETTINGS).start()
+        try:
+            data = benign_doc()
+            late = scanner.submit_one(
+                "late.pdf", data, deadline_at=time.monotonic() - 1.0
+            )
+            outcome = late.result(timeout=60.0)
+            assert outcome.summary.limit_kind == "deadline"
+            time.sleep(0.2)  # let the done-callback (if any) run
+            assert scanner.cache.get(late.digest) is None
+            fresh = scanner.submit_one("late.pdf", data)
+            assert not fresh.cached
+            assert fresh.result(timeout=60.0).summary.errored is False
+        finally:
+            scanner.shutdown()
+
+    def test_clean_scan_under_tightened_deadline_is_cached(self):
+        """Tightening alone is harmless: a scan that finishes without a
+        budget abort yields the same verdict the full budget would, so
+        it may (and should) populate the cache."""
+        scanner = BatchScanner(jobs=1, settings=SETTINGS).start()
+        try:
+            handle = scanner.submit_one(
+                "quick.pdf", benign_doc(),
+                deadline_at=time.monotonic() + 5.0,  # < default 30s budget
+            )
+            outcome = handle.result(timeout=60.0)
+            assert outcome.summary.errored is False
+            deadline = time.monotonic() + 5.0
+            while scanner.cache.get(handle.digest) is None:
+                assert time.monotonic() < deadline, "verdict never cached"
+                time.sleep(0.01)
+        finally:
+            scanner.shutdown()
+
     def test_submit_auto_starts_the_pool(self):
         scanner = BatchScanner(jobs=1, settings=SETTINGS, cache=False)
         assert not scanner.started

@@ -89,8 +89,38 @@ class TestRetention:
         snap = registry.snapshot()
         assert snap["jobs"] == 2
         assert snap["created"] == 2
+        assert snap["pending"] == 1
         assert snap["by_state"] == {JOB_DONE: 1, JOB_QUEUED: 1}
 
     def test_max_jobs_validation(self):
         with pytest.raises(ValueError):
             JobRegistry(max_jobs=0)
+
+
+class TestPendingBacklog:
+    def test_create_refuses_over_max_pending(self):
+        registry = JobRegistry()
+        first = registry.create("a.pdf", max_pending=2)
+        second = registry.create("b.pdf", max_pending=2)
+        assert first is not None and second is not None
+        assert registry.pending_count() == 2
+        assert registry.create("c.pdf", max_pending=2) is None
+        # Finishing one job frees a backlog slot.
+        registry.finish(first.id, JOB_DONE, 200, {})
+        assert registry.pending_count() == 1
+        assert registry.create("c.pdf", max_pending=2) is not None
+
+    def test_pending_counts_running_jobs_too(self):
+        registry = JobRegistry()
+        job = registry.create("a.pdf")
+        registry.mark_running(job.id)
+        assert registry.pending_count() == 1
+        registry.finish(job.id, JOB_SHED, 429, {})
+        assert registry.pending_count() == 0
+
+    def test_double_finish_does_not_corrupt_pending(self):
+        registry = JobRegistry()
+        job = registry.create("a.pdf")
+        registry.finish(job.id, JOB_DONE, 200, {})
+        registry.finish(job.id, JOB_DONE, 200, {})
+        assert registry.pending_count() == 0

@@ -1,6 +1,7 @@
 """In-process service semantics: verdict identity, caching, limits,
 shedding and drain — no sockets involved."""
 
+import threading
 import time
 
 import pytest
@@ -82,6 +83,17 @@ class TestScanPath:
         )
         assert relaxed.payload["cached"] is False
 
+    def test_nocache_forces_fresh_scan_with_full_report(self, service, corpus_docs):
+        """Cache hits answer ``"report": null``; ``use_cache=False`` is
+        the documented opt-out for clients that need the OpenReport."""
+        first = service.handle_scan(corpus_docs["benign.pdf"], "benign.pdf")
+        fresh = service.handle_scan(
+            corpus_docs["benign.pdf"], "benign.pdf", use_cache=False
+        )
+        assert fresh.payload["cached"] is False
+        assert fresh.payload["report"] is not None
+        assert fresh.payload["verdict"] == first.payload["verdict"]
+
     def test_empty_body_is_rejected(self, service):
         result = service.handle_scan(b"", "empty.pdf")
         assert result.status == 400
@@ -131,6 +143,46 @@ class TestAsyncPath:
     def test_unknown_job_is_404(self, service):
         assert service.handle_job_status("deadbeef").status == 404
 
+    def test_async_firehose_is_shed_with_429_at_submission(self):
+        """Submissions beyond ``max_pending_async`` must be refused
+        before their bodies are parked on the job pool's queue — the
+        unbounded-202 regression."""
+        release = threading.Event()
+
+        class BlockingPipeline:
+            def scan(self, data, name):
+                release.wait(30.0)
+                raise RuntimeError("released")
+
+        scanner = BatchScanner(
+            jobs=1, settings=service_settings(),
+            pipeline_factory=BlockingPipeline, cache=False,
+        )
+        service = ScanService(
+            scanner=scanner,
+            admission=AdmissionConfig(max_in_flight=1, deadline_seconds=30.0),
+            max_pending_async=2,
+        ).start()
+        try:
+            results = [
+                service.handle_async_submit(b"%PDF-1.4 x", f"{i}.pdf")
+                for i in range(5)
+            ]
+            accepted = [r for r in results if r.status == 202]
+            shed = [r for r in results if r.status == 429]
+            assert len(accepted) == 2
+            assert len(shed) == 3
+            for result in shed:
+                assert result.payload["reason"] == "async-backlog"
+                assert result.retry_after is not None
+            assert service.jobs.pending_count() == 2
+            assert service.metrics().payload["admission"]["shed"][
+                "async-backlog"
+            ] == 3
+        finally:
+            release.set()
+            service.drain(timeout=10.0)
+
 
 class TestOverloadAndDrain:
     def test_draining_service_sheds_with_503(self, corpus_docs):
@@ -172,7 +224,9 @@ class TestOverloadAndDrain:
 
     def test_hung_worker_is_abandoned_not_waited_forever(self):
         """A worker that ignores its budget (stub pipeline sleeping past
-        the deadline) gets a 503 after deadline + grace, not a hang."""
+        the deadline) gets a 503 after deadline + grace, not a hang —
+        and the squatted pool slot is visible to operators until the
+        worker finally returns it."""
         class SleepyPipeline:
             def scan(self, data, name):
                 time.sleep(0.8)
@@ -197,8 +251,34 @@ class TestOverloadAndDrain:
             assert "abandoned" in result.payload["error"]
             assert result.retry_after is not None
             assert elapsed < 5.0
+            # The hung worker still occupies its slot: surfaced in
+            # /healthz so max_in_flight vs. reality is not invisible.
+            assert service.abandoned_workers == 1
+            assert service.health().payload["abandoned_workers"] == 1
+            deadline = time.monotonic() + 5.0
+            while service.abandoned_workers:  # worker finishes its sleep
+                assert time.monotonic() < deadline, "slot never returned"
+                time.sleep(0.02)
+            assert service.health().payload["abandoned_workers"] == 0
         finally:
             service.drain(timeout=5.0)
+
+    def test_drain_is_terminal_and_does_not_restart_pools(self, corpus_docs):
+        """The drain-resurrection regression: requests arriving after
+        drain() must get 503, not silently rebuild the executors."""
+        service = ScanService(settings=service_settings(), jobs=1).start()
+        assert service.drain(timeout=10.0) is True
+        sync = service.handle_scan(corpus_docs["benign.pdf"], "late.pdf")
+        assert sync.status == 503
+        batch = service.handle_batch([("late.pdf", corpus_docs["benign.pdf"])])
+        assert batch.status == 503
+        assert batch.retry_after is not None
+        job = service.handle_async_submit(corpus_docs["benign.pdf"], "late.pdf")
+        assert job.status == 503
+        assert service._async_pool is None  # pools stayed down
+        assert not service.scanner.started
+        with pytest.raises(RuntimeError):
+            service.start()
 
     def test_health_reports_serving_state(self, service):
         health = service.health()
