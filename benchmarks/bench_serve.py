@@ -27,6 +27,7 @@ import urllib.request
 from repro.analysis import format_table
 from repro.core.pipeline import PipelineSettings, ProtectionPipeline
 from repro.corpus import CorpusConfig, build_dataset, dataset_items
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram
 from repro.serve import AdmissionConfig, ScanService, start_server
 
 SEED = 1404
@@ -51,10 +52,14 @@ def http_post(url, data, timeout=300.0):
         return error.code, body, dict(error.headers)
 
 
-def _percentile(samples, q):
-    ordered = sorted(samples)
-    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
-    return ordered[index]
+def _quantiles(samples, *qs):
+    """Latency quantiles via the shared histogram estimator — the same
+    numbers ``GET /metrics`` and BatchReport publish, so the benchmark
+    and the service cannot drift apart."""
+    histogram = Histogram(DEFAULT_BUCKETS)
+    for value in samples:
+        histogram.observe(value)
+    return tuple(histogram.quantile(q) for q in qs)
 
 
 def _fire(url_base, items, clients):
@@ -108,7 +113,7 @@ def test_bench_serve(benchmark, emit, artifact):
     assert statuses == [200] * len(items), statuses
     latencies = [latency for _, latency, _ in results]
     throughput = len(items) / wall_seconds
-    p50, p95 = _percentile(latencies, 0.50), _percentile(latencies, 0.95)
+    p50, p95 = _quantiles(latencies, 0.50, 0.95)
     # Client-observed per-request cost vs bare pipeline.scan.  With JOBS
     # parallel clients the *wall* time improves; per-request latency
     # carries the HTTP + admission + queueing overhead measured here.

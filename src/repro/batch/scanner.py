@@ -88,16 +88,37 @@ def _settings_fingerprint(settings: PipelineSettings) -> str:
         f"|{settings.hook_mode.value}|{settings.config!r}"
         f"|jsast:{ruleset_version()}|triage:{int(settings.triage)}"
         f"|limits:{settings.limits.describe()}"
+        f"|profile:{int(settings.profile)}"
     )
 
 
 # -- worker functions --------------------------------------------------------
 
-def _run_scan(pipeline: Any, name: str, data: bytes, delay: float) -> Tuple[VerdictSummary, float]:
+def _pipeline_tracer(pipeline: Any) -> Optional[Any]:
+    """The pipeline's tracer, or None for stub pipelines without obs."""
+    obs = getattr(pipeline, "obs", None)
+    return getattr(obs, "tracer", None)
+
+
+def _run_scan(
+    pipeline: Any,
+    name: str,
+    data: bytes,
+    delay: float,
+    parent_span_id: Optional[int] = None,
+) -> Tuple[VerdictSummary, float]:
     if delay > 0:
         time.sleep(delay)
+    tracer = _pipeline_tracer(pipeline)
     start = time.perf_counter()
-    report = pipeline.scan(data, name)
+    if tracer is not None:
+        # Re-parent this worker thread's spans to the submitting
+        # ``batch.run`` span so the trace tree stays connected across
+        # the pool boundary.
+        with tracer.attach(parent_span_id):
+            report = pipeline.scan(data, name)
+    else:
+        report = pipeline.scan(data, name)
     return VerdictSummary.from_report(report), time.perf_counter() - start
 
 
@@ -107,7 +128,8 @@ def _run_scan_report(
     data: bytes,
     limits: Optional[ScanLimits],
     deadline_at: Optional[float],
-) -> Tuple[VerdictSummary, Dict[str, Any], float, bool]:
+    parent_span_id: Optional[int] = None,
+) -> Tuple[VerdictSummary, Dict[str, Any], float, bool, Optional[List[Dict[str, Any]]]]:
     """Service-mode scan: one request, full report payload back.
 
     ``limits`` is the request's effective budget (already capped by the
@@ -118,15 +140,18 @@ def _run_scan_report(
     aborts on the first budget check and comes back as a structured
     ``deadline`` limit report instead of burning a worker slot.
 
-    Returns ``(summary, report_dict, seconds, cacheable)``: the verdict
-    core, the JSON-ready ``OpenReport.to_dict()`` payload (kept as a
-    plain dict so the process backend can pickle it), and whether the
-    verdict may be cached under the scanner's settings fingerprint.
-    ``cacheable`` is False when ``deadline_at`` tightened the budget
-    *and* the scan aborted on a budget: that abort may be an artifact
-    of this request's remaining queue time, not of the configured
-    limits the cache fingerprint describes — caching it would serve a
-    possibly-wrong verdict to every later request for the digest.
+    Returns ``(summary, report_dict, seconds, cacheable, spans)``: the
+    verdict core, the JSON-ready ``OpenReport.to_dict()`` payload (kept
+    as a plain dict so the process backend can pickle it), whether the
+    verdict may be cached under the scanner's settings fingerprint, and
+    the scan's span tree as plain dicts (collected even with a disabled
+    sink — the service's slow-scan buffer needs full span trees without
+    paying for always-on emission).  ``cacheable`` is False when
+    ``deadline_at`` tightened the budget *and* the scan aborted on a
+    budget: that abort may be an artifact of this request's remaining
+    queue time, not of the configured limits the cache fingerprint
+    describes — caching it would serve a possibly-wrong verdict to
+    every later request for the digest.
     """
     if limits is None:
         limits = ScanLimits()
@@ -135,12 +160,18 @@ def _run_scan_report(
         remaining = max(0.0, deadline_at - time.monotonic())
         effective = cap_deadline(limits, remaining)
     tightened = effective.deadline_seconds != limits.deadline_seconds
+    tracer = _pipeline_tracer(pipeline)
+    spans: Optional[List[Dict[str, Any]]] = None
     start = time.perf_counter()
     # The outer activation wins over the pipeline's own (re-entrant
     # scope), so per-request overrides govern the whole scan; blown
     # budgets are still converted to limit reports by ``pipeline.scan``.
     with limits_mod.activate(effective):
-        report = pipeline.scan(data, name)
+        if tracer is not None:
+            with tracer.attach(parent_span_id), tracer.collect() as spans:
+                report = pipeline.scan(data, name)
+        else:
+            report = pipeline.scan(data, name)
     seconds = time.perf_counter() - start
     summary = VerdictSummary.from_report(report)
     # A clean verdict under a tighter deadline equals the full-budget
@@ -148,7 +179,7 @@ def _run_scan_report(
     cacheable = not tightened or (
         summary.limit_kind is None and not summary.errored
     )
-    return summary, report.to_dict(), seconds, cacheable
+    return summary, report.to_dict(), seconds, cacheable, spans
 
 
 class _ThreadWorker:
@@ -165,8 +196,14 @@ class _ThreadWorker:
             self._local.pipeline = pipeline
         return pipeline
 
-    def __call__(self, name: str, data: bytes, delay: float) -> Tuple[VerdictSummary, float]:
-        return _run_scan(self._pipeline(), name, data, delay)
+    def __call__(
+        self,
+        name: str,
+        data: bytes,
+        delay: float,
+        parent_span_id: Optional[int] = None,
+    ) -> Tuple[VerdictSummary, float]:
+        return _run_scan(self._pipeline(), name, data, delay, parent_span_id)
 
 
 class _ServiceThreadWorker(_ThreadWorker):
@@ -178,8 +215,11 @@ class _ServiceThreadWorker(_ThreadWorker):
         data: bytes,
         limits: Optional[ScanLimits],
         deadline_at: Optional[float],
-    ) -> Tuple[VerdictSummary, Dict[str, Any], float, bool]:
-        return _run_scan_report(self._pipeline(), name, data, limits, deadline_at)
+        parent_span_id: Optional[int] = None,
+    ) -> Tuple[VerdictSummary, Dict[str, Any], float, bool, Optional[List[Dict[str, Any]]]]:
+        return _run_scan_report(
+            self._pipeline(), name, data, limits, deadline_at, parent_span_id
+        )
 
 
 #: Per-process pipeline for the ``process`` backend (set by the pool
@@ -192,7 +232,15 @@ def _process_initializer(settings: PipelineSettings) -> None:
     _process_pipeline = settings.build()
 
 
-def _process_worker(name: str, data: bytes, delay: float) -> Tuple[VerdictSummary, float]:
+def _process_worker(
+    name: str,
+    data: bytes,
+    delay: float,
+    parent_span_id: Optional[int] = None,
+) -> Tuple[VerdictSummary, float]:
+    # ``parent_span_id`` is accepted for signature parity but ignored:
+    # span ids are per-process counters, so a parent id from the
+    # orchestrator process would alias unrelated spans here.
     assert _process_pipeline is not None, "pool initializer did not run"
     return _run_scan(_process_pipeline, name, data, delay)
 
@@ -202,7 +250,8 @@ def _service_process_worker(
     data: bytes,
     limits: Optional[ScanLimits],
     deadline_at: Optional[float],
-) -> Tuple[VerdictSummary, Dict[str, Any], float, bool]:
+    parent_span_id: Optional[int] = None,
+) -> Tuple[VerdictSummary, Dict[str, Any], float, bool, Optional[List[Dict[str, Any]]]]:
     assert _process_pipeline is not None, "pool initializer did not run"
     return _run_scan_report(_process_pipeline, name, data, limits, deadline_at)
 
@@ -220,6 +269,9 @@ class ScanOutcome:
     report: Optional[Dict[str, Any]]
     seconds: float
     cached: bool = False
+    #: The scan's span tree (plain dicts), collected in the worker for
+    #: slow-scan exemplar capture; None for cache hits and stub workers.
+    spans: Optional[List[Dict[str, Any]]] = None
 
 
 class ScanHandle:
@@ -235,7 +287,7 @@ class ScanHandle:
         self,
         name: str,
         digest: str,
-        future: Optional["cf.Future[Tuple[VerdictSummary, Dict[str, Any], float, bool]]"] = None,
+        future: Optional["cf.Future[Any]"] = None,
         outcome: Optional[ScanOutcome] = None,
     ) -> None:
         if (future is None) == (outcome is None):
@@ -267,8 +319,10 @@ class ScanHandle:
     def result(self, timeout: Optional[float] = None) -> ScanOutcome:
         if self._outcome is None:
             assert self._future is not None
-            summary, report, seconds, _cacheable = self._future.result(timeout)
-            self._outcome = ScanOutcome(summary, report, seconds)
+            summary, report, seconds, _cacheable, spans = self._future.result(
+                timeout
+            )
+            self._outcome = ScanOutcome(summary, report, seconds, spans=spans)
         return self._outcome
 
 
@@ -332,8 +386,12 @@ class BatchScanner:
         private in-memory one, or ``False`` to disable caching *and*
         deduplication entirely.
     obs:
-        Observability bundle; spans/counters are emitted from the
-        orchestrator thread only (worker pipelines run un-traced).
+        Observability bundle.  Thread-backend workers share it: their
+        pipeline spans flow to the same sink, parented to the enclosing
+        ``batch.run`` / ``serve.request`` span (the tracer's span stack
+        is thread-local).  Process workers emit to their own process's
+        default obs instead — spans cannot cross the pickle boundary
+        live, though service-mode scans ship them back as dicts.
     """
 
     def __init__(
@@ -432,7 +490,12 @@ class BatchScanner:
                     factory = self.pipeline_factory
                     if factory is None:
                         settings = self.settings
-                        factory = lambda: settings.build()  # noqa: E731
+                        shared_obs = self.obs
+                        # Worker pipelines share the scanner's obs: the
+                        # tracer stack is thread-local and the sink is
+                        # lock-protected, so worker spans interleave
+                        # safely and stay parented to the submitter.
+                        factory = lambda: settings.build(obs=shared_obs)  # noqa: E731
                     self._service_worker = _ServiceThreadWorker(factory)
         return self
 
@@ -486,15 +549,21 @@ class BatchScanner:
                     outcome=ScanOutcome(hit, None, 0.0, cached=True),
                 )
         assert self._service_executor is not None and self._service_worker is not None
+        # Capture the submitting thread's span context (the enclosing
+        # serve.request span) so the worker's spans parent to it.
+        # Process workers get None: span ids are per-process counters.
+        parent_span_id = (
+            self.obs.tracer.current_span_id if self.backend == "thread" else None
+        )
         future = self._service_executor.submit(
             self._service_worker, name, data,
-            self.effective_limits(limits), deadline_at,
+            self.effective_limits(limits), deadline_at, parent_span_id,
         )
         if cache is not None:
-            def _store(done: "cf.Future[Tuple[VerdictSummary, Dict[str, Any], float, bool]]") -> None:
+            def _store(done: "cf.Future[Any]") -> None:
                 if done.cancelled() or done.exception() is not None:
                     return
-                summary, _report, _seconds, cacheable = done.result()
+                summary, _report, _seconds, cacheable, _spans = done.result()
                 # Verdicts produced under a budget tightened by the
                 # request deadline (queue wait shrank the in-scan
                 # budget) that aborted on a limit are artifacts of this
@@ -643,13 +712,14 @@ class BatchScanner:
             max_workers=self.jobs, thread_name_prefix="repro-batch"
         )
 
-    def _worker_callable(self) -> Callable[[str, bytes, float], Tuple[VerdictSummary, float]]:
+    def _worker_callable(self) -> Callable[..., Tuple[VerdictSummary, float]]:
         if self.backend == "process":
             return _process_worker
         factory = self.pipeline_factory
         if factory is None:
             settings = self.settings
-            factory = lambda: settings.build()  # noqa: E731
+            shared_obs = self.obs
+            factory = lambda: settings.build(obs=shared_obs)  # noqa: E731
         return _ThreadWorker(factory)
 
     def _execute(self, tasks: Dict[Any, _Task], report: BatchReport) -> Dict[Any, _Done]:
@@ -660,17 +730,27 @@ class BatchScanner:
         executor = self._make_executor()
         pending: Dict[cf.Future, _Task] = {}
 
+        # The orchestrator thread holds the ``batch.run`` span while
+        # submitting; capture it so thread workers re-parent to it.
+        parent_span_id = (
+            self.obs.tracer.current_span_id if self.backend == "thread" else None
+        )
+
         def submit(task: _Task) -> None:
             nonlocal executor
             task.submitted_at = time.monotonic()
             try:
-                future = executor.submit(worker, task.name, task.data, task.delay)
+                future = executor.submit(
+                    worker, task.name, task.data, task.delay, parent_span_id
+                )
             except (cf.BrokenExecutor, RuntimeError):
                 # A crashed worker can take the whole process pool down;
                 # rebuild it once so the rest of the corpus still scans.
                 executor.shutdown(wait=False)
                 executor = self._make_executor()
-                future = executor.submit(worker, task.name, task.data, task.delay)
+                future = executor.submit(
+                    worker, task.name, task.data, task.delay, parent_span_id
+                )
             pending[future] = task
 
         def retry_or_fail(task: _Task, status: str, error: Optional[str]) -> None:

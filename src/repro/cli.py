@@ -30,6 +30,11 @@ Commands
 ``report TRACE.jsonl``
     Aggregate a trace produced by ``scan --trace`` into per-phase
     latency and event-count tables.
+``profile FILE [--top N] [--json OUT] [--collapsed OUT]``
+    Scan FILE with the deterministic phase profiler enabled and print
+    the phase breakdown plus the JS-interpreter hotspot and call-site
+    tables.  ``--collapsed`` writes flamegraph-ready collapsed-stack
+    lines (feed into flamegraph.pl or speedscope).
 
 ``scan`` also takes ``--trace FILE.jsonl`` (write a span/event/metric
 trace of both phases) and ``--metrics`` (print a metrics summary to
@@ -169,6 +174,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-document resource-budget overrides, e.g. "
         "'stream-bytes=8mb,deadline=5' (see docs/HARDENING.md)",
     )
+    batch.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile every scan: per-item phase breakdown in the "
+        "report, aggregated phase totals in the summary",
+    )
 
     serve = sub.add_parser("serve", help="long-running scan service daemon")
     serve.add_argument("--host", default="127.0.0.1")
@@ -232,9 +243,41 @@ def _build_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="print an aggregated metrics summary to stderr on exit",
     )
+    serve.add_argument(
+        "--slow-threshold", type=float, default=None, metavar="S",
+        help="retain full detail for scans slower than S seconds in "
+        "GET /debug/slow (default: rolling p99)",
+    )
+    serve.add_argument(
+        "--slow-capacity", type=int, default=32, metavar="N",
+        help="slow-scan exemplars retained in the ring buffer "
+        "(default 32)",
+    )
 
     report = sub.add_parser("report", help="aggregate a scan trace")
     report.add_argument("trace", type=Path)
+
+    profile = sub.add_parser(
+        "profile", help="scan with the phase/hotspot profiler enabled"
+    )
+    profile.add_argument("file", type=Path)
+    profile.add_argument("--reader-version", default="9.0", choices=("8.0", "9.0"))
+    profile.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="rows in the hotspot / call-site tables (default 10)",
+    )
+    profile.add_argument(
+        "--json", type=Path, metavar="OUT",
+        help="write the full profile as JSON to OUT ('-' for stdout)",
+    )
+    profile.add_argument(
+        "--collapsed", type=Path, metavar="OUT",
+        help="write flamegraph-ready collapsed-stack lines to OUT",
+    )
+    profile.add_argument(
+        "--limits", metavar="K=V,...",
+        help="resource-budget overrides (see docs/HARDENING.md)",
+    )
     return parser
 
 
@@ -375,6 +418,81 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Profiled scan: phase breakdown + JS hotspot attribution."""
+    try:
+        data = args.file.read_bytes()
+    except OSError as error:
+        print(f"error: cannot read {args.file}: {error}", file=sys.stderr)
+        return 2
+    try:
+        limits = _parse_limits_arg(args)
+    except ValueError as error:
+        print(f"error: bad --limits: {error}", file=sys.stderr)
+        return 2
+    pipeline = ProtectionPipeline(
+        reader_version=args.reader_version, limits=limits, profile=True
+    )
+    report = pipeline.scan(data, args.file.name)
+    profile = report.profile
+    if profile is None:  # pragma: no cover - profile=True guarantees it
+        print("error: scan produced no profile", file=sys.stderr)
+        return 2
+
+    payload = profile.to_dict(top=args.top)
+    if args.json is not None:
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if str(args.json) == "-":
+            print(text)
+        else:
+            args.json.write_text(text + "\n")
+            print(f"profile written to {args.json}", file=sys.stderr)
+    else:
+        verdict = report.verdict
+        total = profile.total_seconds
+        print(verdict.summary())
+        print(f"total {total * 1000:.2f}ms across phases:")
+        for phase, seconds in sorted(
+            profile.phase_seconds().items(), key=lambda kv: -kv[1]
+        ):
+            if seconds <= 0.0:
+                continue
+            share = (seconds / total * 100.0) if total else 0.0
+            print(f"  {phase:<12} {seconds * 1000:9.2f}ms  {share:5.1f}%")
+        if profile.counters:
+            counts = ", ".join(
+                f"{name}={value:g}"
+                for name, value in sorted(profile.counters.items())
+            )
+            print(f"counters: {counts}")
+        hotspots = profile.js.hotspots(args.top)
+        if hotspots:
+            print(f"top {len(hotspots)} AST node hotspots (self time):")
+            for row in hotspots:
+                print(
+                    f"  {row['node']:<24} {row['self_seconds'] * 1000:9.3f}ms"
+                    f"  x{row['hits']}"
+                )
+        call_sites = profile.js.call_sites(args.top)
+        if call_sites:
+            print(f"top {len(call_sites)} call-sites (inclusive time):")
+            for row in call_sites:
+                print(
+                    f"  {row['function']:<24} {row['seconds'] * 1000:9.3f}ms"
+                    f"  (self {row['self_seconds'] * 1000:.3f}ms,"
+                    f" x{row['calls']})"
+                )
+
+    if args.collapsed is not None:
+        lines = profile.js.collapsed_lines()
+        args.collapsed.write_text("\n".join(lines) + ("\n" if lines else ""))
+        print(
+            f"{len(lines)} collapsed stack(s) written to {args.collapsed}",
+            file=sys.stderr,
+        )
+    return 1 if report.verdict.malicious else 0
+
+
 def _cmd_instrument(args: argparse.Namespace) -> int:
     pipeline = ProtectionPipeline()
     protected = pipeline.protect(args.file.read_bytes(), args.file.name)
@@ -470,11 +588,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         return 2
     if limits is not None:
         settings = PipelineSettings(
-            reader_version=args.reader_version, triage=args.triage, limits=limits
+            reader_version=args.reader_version, triage=args.triage,
+            limits=limits, profile=args.profile,
         )
     else:
         settings = PipelineSettings(
-            reader_version=args.reader_version, triage=args.triage
+            reader_version=args.reader_version, triage=args.triage,
+            profile=args.profile,
         )
     if args.no_cache:
         cache = False
@@ -568,6 +688,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache=cache,
         max_pending_async=args.max_pending_async,
         obs=obs,
+        slow_threshold=args.slow_threshold,
+        slow_capacity=args.slow_capacity,
     )
     handle = start_server(service, host=args.host, port=args.port)
     print(f"repro serve listening on {handle.url} "
@@ -613,6 +735,7 @@ _COMMANDS = {
     "corpus": _cmd_corpus,
     "serve": _cmd_serve,
     "report": _cmd_report,
+    "profile": _cmd_profile,
 }
 
 

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro import obs as obs_mod
 from repro.limits import ResourceLimitExceeded
+from repro.obs import profile as profile_mod
 
 from repro.core import monitor_code as mc
 from repro.core.chains import ChainAnalysis, analyze_chains
@@ -185,9 +186,11 @@ class Instrumenter:
                 # Static JS analysis runs over the *original* scripts,
                 # before monitor-wrapping obscures them.
                 with tracer.span("instrument.jsast", document=name):
-                    js_analysis = analyze_document(document, obs=self.obs)
+                    with profile_mod.phase("jsast"):
+                        js_analysis = analyze_document(document, obs=self.obs)
 
-            with tracer.span("instrument.rewrite") as rewrite_span:
+            with tracer.span("instrument.rewrite") as rewrite_span, \
+                    profile_mod.phase("instrument"):
                 key = self.key_store.issue(name, fingerprint(data))
                 spec = DeinstrumentationSpec(key_text=key.render(), document_name=name)
                 instrumented = 0

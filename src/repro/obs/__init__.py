@@ -12,6 +12,11 @@ The subsystem has three pieces (see ``docs/OBSERVABILITY.md``):
   :class:`MemorySink` (tests/benchmarks), :class:`JSONLSink`
   (``repro scan --trace t.jsonl`` / ``repro report t.jsonl``) and
   :class:`StderrSink`.
+* :mod:`repro.obs.profile` — per-scan phase attribution
+  (:class:`ScanProfile`), JS-interpreter hotspot accounting
+  (:class:`JSProfile`) and slow-scan exemplar capture
+  (:class:`SlowScanBuffer`); see ``repro profile`` and
+  ``GET /debug/slow``.
 
 :class:`Observability` bundles one tracer + one metrics registry over a
 shared sink; every phase-I/phase-II component accepts an ``obs``
@@ -24,6 +29,7 @@ from __future__ import annotations
 from typing import Optional, Union
 
 from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, Metrics
+from repro.obs.profile import JSProfile, ScanProfile, SlowScanBuffer
 from repro.obs.sinks import (
     JSONLSink,
     MemorySink,
@@ -39,12 +45,15 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "Histogram",
     "JSONLSink",
+    "JSProfile",
     "MemorySink",
     "Metrics",
     "NULL_SINK",
     "NullSink",
     "Observability",
+    "ScanProfile",
     "Sink",
+    "SlowScanBuffer",
     "Span",
     "StderrSink",
     "TeeSink",

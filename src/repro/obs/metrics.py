@@ -10,11 +10,21 @@ the final aggregate alongside the raw spans/events), and
 
 The registry itself always aggregates when called; whether the *hot
 paths* call it at all is governed by ``Observability.enabled`` — the
-same switch the tracer uses.
+same switch the tracer uses.  A single internal lock makes concurrent
+``inc``/``observe``/``snapshot`` from serve-style worker threads safe
+(dict updates alone are GIL-atomic, but read-modify-write of counters
+and multi-field histogram updates are not).
+
+:meth:`Metrics.render_prometheus` serialises the registry as Prometheus
+text exposition format 0.0.4 (cumulative ``_bucket`` counts with
+``le="+Inf"``, ``_sum``, ``_count``) for ``GET
+/metrics?format=prometheus`` on the scan service.
 """
 
 from __future__ import annotations
 
+import re
+import threading
 from bisect import bisect_left
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -75,6 +85,46 @@ class Histogram:
     def overflow(self) -> int:
         return self.count - sum(self.bucket_counts)
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``q`` in [0, 1]) from buckets.
+
+        Linear interpolation across the bucket holding the target rank,
+        the same estimator Prometheus' ``histogram_quantile`` uses —
+        with two refinements possible only because we track ``min`` and
+        ``max``: the first bucket interpolates from ``min`` rather than
+        0 (latencies never start at zero) and the overflow bucket
+        interpolates toward ``max`` rather than being clamped to the
+        last bound.  The result is always within [min, max].
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile q must be in [0, 1]")
+        if self.count == 0 or self.min is None or self.max is None:
+            return 0.0
+        if q == 0.0:
+            return self.min
+        rank = q * self.count
+        lower_bound = self.min
+        cumulative = 0
+        for bound, bucket in zip(self.bounds, self.bucket_counts):
+            if bucket:
+                upper = min(bound, self.max)
+                if cumulative + bucket >= rank:
+                    fraction = (rank - cumulative) / bucket
+                    value = lower_bound + (upper - lower_bound) * fraction
+                    return min(max(value, self.min), self.max)
+                cumulative += bucket
+                lower_bound = max(lower_bound, upper)
+            elif cumulative:
+                lower_bound = max(lower_bound, min(bound, self.max))
+        # Target rank lives in the overflow bucket: interpolate from the
+        # last populated bound toward the observed max.
+        remaining = self.count - cumulative
+        if remaining <= 0:
+            return self.max
+        fraction = (rank - cumulative) / remaining
+        value = lower_bound + (self.max - lower_bound) * fraction
+        return min(max(value, self.min), self.max)
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "count": self.count,
@@ -95,6 +145,7 @@ class Metrics:
 
     def __init__(self, sink: Optional[Sink] = None) -> None:
         self.sink = sink if sink is not None else NULL_SINK
+        self._lock = threading.Lock()
         self._counters: Dict[_Key, float] = {}
         self._gauges: Dict[_Key, float] = {}
         self._histograms: Dict[_Key, Histogram] = {}
@@ -103,10 +154,13 @@ class Metrics:
 
     def inc(self, name: str, amount: float = 1, **labels: Any) -> None:
         key = _key(name, labels)
-        self._counters[key] = self._counters.get(key, 0) + amount
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + amount
 
     def set_gauge(self, name: str, value: float, **labels: Any) -> None:
-        self._gauges[_key(name, labels)] = value
+        key = _key(name, labels)
+        with self._lock:
+            self._gauges[key] = value
 
     def observe(
         self,
@@ -116,32 +170,42 @@ class Metrics:
         **labels: Any,
     ) -> None:
         key = _key(name, labels)
-        histogram = self._histograms.get(key)
-        if histogram is None:
-            histogram = Histogram(buckets if buckets is not None else DEFAULT_BUCKETS)
-            self._histograms[key] = histogram
-        histogram.observe(value)
+        with self._lock:
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = Histogram(
+                    buckets if buckets is not None else DEFAULT_BUCKETS
+                )
+                self._histograms[key] = histogram
+            histogram.observe(value)
 
     # -- reading ----------------------------------------------------------
 
     def counter_value(self, name: str, **labels: Any) -> float:
-        return self._counters.get(_key(name, labels), 0)
+        with self._lock:
+            return self._counters.get(_key(name, labels), 0)
 
     def gauge_value(self, name: str, **labels: Any) -> Optional[float]:
-        return self._gauges.get(_key(name, labels))
+        with self._lock:
+            return self._gauges.get(_key(name, labels))
 
     def histogram(self, name: str, **labels: Any) -> Optional[Histogram]:
-        return self._histograms.get(_key(name, labels))
+        with self._lock:
+            return self._histograms.get(_key(name, labels))
 
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
         """Everything aggregated so far, keyed by ``name{labels}``."""
-        return {
-            "counters": {_key_text(k): v for k, v in sorted(self._counters.items())},
-            "gauges": {_key_text(k): v for k, v in sorted(self._gauges.items())},
-            "histograms": {
-                _key_text(k): h.to_dict() for k, h in sorted(self._histograms.items())
-            },
-        }
+        with self._lock:
+            return {
+                "counters": {
+                    _key_text(k): v for k, v in sorted(self._counters.items())
+                },
+                "gauges": {_key_text(k): v for k, v in sorted(self._gauges.items())},
+                "histograms": {
+                    _key_text(k): h.to_dict()
+                    for k, h in sorted(self._histograms.items())
+                },
+            }
 
     # -- output -----------------------------------------------------------
 
@@ -149,17 +213,21 @@ class Metrics:
         """Emit one ``metric`` record per series to the sink."""
         if not self.sink.enabled:
             return
-        for key, value in sorted(self._counters.items()):
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
+        for key, value in counters:
             self.sink.emit_metric(
                 {"type": "metric", "kind": "counter", "name": key[0],
                  "labels": dict(key[1]), "key": _key_text(key), "value": value}
             )
-        for key, value in sorted(self._gauges.items()):
+        for key, value in gauges:
             self.sink.emit_metric(
                 {"type": "metric", "kind": "gauge", "name": key[0],
                  "labels": dict(key[1]), "key": _key_text(key), "value": value}
             )
-        for key, histogram in sorted(self._histograms.items()):
+        for key, histogram in histograms:
             self.sink.emit_metric(
                 {"type": "metric", "kind": "histogram", "name": key[0],
                  "labels": dict(key[1]), "key": _key_text(key),
@@ -168,15 +236,112 @@ class Metrics:
 
     def render(self) -> str:
         """Human-readable summary (``repro scan --metrics``)."""
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
         lines: List[str] = []
-        for key, value in sorted(self._counters.items()):
+        for key, value in counters:
             lines.append(f"counter    {_key_text(key)} = {value:g}")
-        for key, value in sorted(self._gauges.items()):
+        for key, value in gauges:
             lines.append(f"gauge      {_key_text(key)} = {value:g}")
-        for key, histogram in sorted(self._histograms.items()):
+        for key, histogram in histograms:
             lines.append(
                 f"histogram  {_key_text(key)} count={histogram.count} "
                 f"mean={histogram.mean:g} min={histogram.min:g} "
                 f"max={histogram.max:g}"
             )
         return "\n".join(lines) if lines else "(no metrics recorded)"
+
+    def render_prometheus(self, prefix: str = "repro") -> str:
+        """Prometheus text exposition format 0.0.4.
+
+        Counters/gauges render one sample per series; histograms render
+        cumulative ``_bucket{le=...}`` samples closed by ``le="+Inf"``
+        plus ``_sum`` and ``_count``.  Series names are sanitised to the
+        Prometheus grammar and namespaced under ``prefix_``.
+        """
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = [
+                (key, histogram.to_dict())
+                for key, histogram in sorted(self._histograms.items())
+            ]
+
+        lines: List[str] = []
+        typed: set = set()
+
+        def emit_type(name: str, kind: str) -> None:
+            if name not in typed:
+                typed.add(name)
+                lines.append(f"# TYPE {name} {kind}")
+
+        for key, value in counters:
+            name = _prom_name(key[0], prefix)
+            emit_type(name, "counter")
+            lines.append(f"{name}{_prom_labels(key[1])} {_prom_value(value)}")
+        for key, value in gauges:
+            name = _prom_name(key[0], prefix)
+            emit_type(name, "gauge")
+            lines.append(f"{name}{_prom_labels(key[1])} {_prom_value(value)}")
+        for key, data in histograms:
+            name = _prom_name(key[0], prefix)
+            emit_type(name, "histogram")
+            cumulative = 0
+            for bucket in data["buckets"]:
+                cumulative += bucket["count"]
+                labels = key[1] + (("le", _prom_value(bucket["le"])),)
+                lines.append(
+                    f"{name}_bucket{_prom_labels(labels)} {cumulative}"
+                )
+            labels = key[1] + (("le", "+Inf"),)
+            lines.append(f"{name}_bucket{_prom_labels(labels)} {data['count']}")
+            lines.append(
+                f"{name}_sum{_prom_labels(key[1])} {_prom_value(data['sum'])}"
+            )
+            lines.append(f"{name}_count{_prom_labels(key[1])} {data['count']}")
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+_PROM_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+_PROM_LABEL_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    base = _PROM_NAME_BAD.sub("_", name)
+    if prefix:
+        base = f"{prefix}_{base}"
+    if not re.match(r"[a-zA-Z_:]", base):
+        base = f"_{base}"
+    return base
+
+
+def _prom_labels(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    parts = []
+    for key, value in labels:
+        key = _PROM_LABEL_BAD.sub("_", key)
+        if not re.match(r"[a-zA-Z_]", key):
+            key = f"_{key}"
+        escaped = (
+            str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+        )
+        parts.append(f'{key}="{escaped}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _prom_value(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "NaN"
+        if value in (float("inf"), float("-inf")):
+            return "+Inf" if value > 0 else "-Inf"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    return str(value)

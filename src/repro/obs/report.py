@@ -165,6 +165,59 @@ def aggregate_serve(spans: Iterable[SpanRecord]) -> List[List[str]]:
     return rows
 
 
+def aggregate_slowest(
+    spans: Iterable[SpanRecord], top: int = 5
+) -> List[List[str]]:
+    """The slowest individual scans/requests with a child breakdown.
+
+    Ranks ``pipeline.scan`` and ``serve.request`` spans by duration and
+    shows where each one spent its time (direct-child spans, busiest
+    first) — the trace-file counterpart of the service's ``GET
+    /debug/slow`` exemplar buffer.
+    """
+    all_spans = list(spans)
+    roots = [
+        s for s in all_spans if s["name"] in ("pipeline.scan", "serve.request")
+    ]
+    roots.sort(key=lambda s: -s["duration"])
+    rows = []
+    for root in roots[: max(0, top)]:
+        tags = root.get("tags", {})
+        label = str(
+            tags.get("document") or tags.get("name") or root["name"]
+        )
+        # Span ids are per-process counters, so concatenated traces (or
+        # process-backend workers) can alias them.  Require children to
+        # fall inside the root's [start, end] window as well.
+        start, end = root.get("start"), root.get("end")
+        if start is not None and end is not None:
+            candidates = [
+                s
+                for s in all_spans
+                if s.get("start") is not None
+                and s.get("end") is not None
+                and s["start"] >= start - 1e-9
+                and s["end"] <= end + 1e-9
+            ]
+        else:
+            candidates = all_spans
+        breakdown = sorted(
+            child_durations(candidates, root).items(), key=lambda kv: -kv[1]
+        )
+        detail = ", ".join(
+            f"{name} {seconds:.4f}s" for name, seconds in breakdown[:4]
+        )
+        rows.append(
+            [
+                root["name"],
+                label,
+                f"{root['duration']:.4f}",
+                detail or "-",
+            ]
+        )
+    return rows
+
+
 def aggregate_jsast(spans: Iterable[SpanRecord]) -> List[List[str]]:
     """Static-analysis rows from ``jsast.analyze`` spans: per-outcome
     script counts and analysis latency."""
@@ -237,6 +290,14 @@ def render_report(path: Union[str, Path]) -> str:
             "Static JS analysis (jsast.analyze spans)\n"
             + format_table(
                 ["outcome", "scripts", "findings", "total (s)"], jsast_rows
+            )
+        )
+    slow_rows = aggregate_slowest(trace["spans"])
+    if slow_rows:
+        sections.append(
+            "Slowest scans\n"
+            + format_table(
+                ["span", "document", "seconds", "breakdown"], slow_rows
             )
         )
     span_rows = aggregate_spans(trace["spans"])

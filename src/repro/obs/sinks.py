@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import sys
+import threading
 from typing import Any, Dict, List, Optional, TextIO
 
 
@@ -96,17 +97,25 @@ class MemorySink(Sink):
 
 
 class JSONLSink(Sink):
-    """Appends one JSON object per line to a file (``--trace`` output)."""
+    """Appends one JSON object per line to a file (``--trace`` output).
+
+    Safe under concurrent emitters (batch/serve worker threads share
+    one sink): each record is serialised *outside* the lock, then the
+    complete ``line\\n`` goes out as a single locked ``write()`` so
+    lines from different threads can never interleave mid-record.
+    """
 
     def __init__(self, path: Any) -> None:
         self.path = str(path)
+        self._lock = threading.Lock()
         self._fh: Optional[TextIO] = open(self.path, "w", encoding="utf-8")
 
     def _write(self, record: Dict[str, Any]) -> None:
-        if self._fh is None:
-            return
-        self._fh.write(json.dumps(record, sort_keys=True, default=str))
-        self._fh.write("\n")
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        with self._lock:
+            if self._fh is None:
+                return
+            self._fh.write(line)
 
     def emit_span(self, record: Dict[str, Any]) -> None:
         self._write(record)
@@ -118,9 +127,10 @@ class JSONLSink(Sink):
         self._write(record)
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
 
 
 class StderrSink(Sink):

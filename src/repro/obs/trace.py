@@ -15,13 +15,29 @@ Spans are *always* timed (``time.perf_counter``), even with the
 way); only the *emission* to the sink is skipped when disabled.  Point
 events (``tracer.event``) are the per-syscall hot path and are skipped
 entirely when the sink is disabled.
+
+The open-span stack is **thread-local**, so one shared tracer serves
+the batch scanner's and service's worker threads without their spans
+interleaving.  Two context managers bridge thread/process boundaries:
+
+* ``tracer.attach(parent_id)`` — spans opened on this thread while no
+  local span is on the stack parent to ``parent_id`` instead of being
+  roots.  The pool submitter captures ``tracer.current_span_id`` and
+  the worker attaches it, keeping span trees connected across the
+  boundary (for processes the ids travel in the span dicts).
+* ``tracer.collect()`` — in addition to sink emission, closed spans on
+  this thread are appended (as dicts) to the yielded list, regardless
+  of whether the sink is enabled.  This is how workers hand a scan's
+  full span tree back to the slow-scan exemplar buffer.
 """
 
 from __future__ import annotations
 
+import contextlib
 import itertools
+import threading
 import time
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from repro.obs.sinks import NULL_SINK, Sink
 
@@ -106,7 +122,28 @@ class Tracer:
         self.sink = sink if sink is not None else NULL_SINK
         self.clock = clock if clock is not None else time.perf_counter
         self._ids = itertools.count(1)
-        self._stack: List[Span] = []
+        self._local = threading.local()
+
+    @property
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @property
+    def _attached(self) -> List[int]:
+        attached = getattr(self._local, "attached", None)
+        if attached is None:
+            attached = self._local.attached = []
+        return attached
+
+    @property
+    def _collectors(self) -> List[List[Dict[str, Any]]]:
+        collectors = getattr(self._local, "collectors", None)
+        if collectors is None:
+            collectors = self._local.collectors = []
+        return collectors
 
     @property
     def enabled(self) -> bool:
@@ -114,7 +151,17 @@ class Tracer:
 
     @property
     def current_span(self) -> Optional[Span]:
-        return self._stack[-1] if self._stack else None
+        stack = self._stack
+        return stack[-1] if stack else None
+
+    @property
+    def current_span_id(self) -> Optional[int]:
+        """Id the next span on this thread would parent to, if any."""
+        stack = self._stack
+        if stack:
+            return stack[-1].span_id
+        attached = self._attached
+        return attached[-1] if attached else None
 
     # -- spans ------------------------------------------------------------
 
@@ -123,8 +170,7 @@ class Tracer:
         return _ActiveSpan(self, name, tags)
 
     def _open(self, name: str, tags: Dict[str, Any]) -> Span:
-        parent = self._stack[-1].span_id if self._stack else None
-        span = Span(name, next(self._ids), parent, tags, self.clock())
+        span = Span(name, next(self._ids), self.current_span_id, tags, self.clock())
         self._stack.append(span)
         return span
 
@@ -132,12 +178,57 @@ class Tracer:
         span.end = self.clock()
         # Normal `with` nesting pops the top; be defensive about
         # out-of-order exits so one misuse cannot corrupt the stack.
-        if self._stack and self._stack[-1] is span:
-            self._stack.pop()
-        elif span in self._stack:
-            self._stack.remove(span)
-        if self.sink.enabled:
-            self.sink.emit_span(span.to_dict())
+        stack = self._stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:
+            stack.remove(span)
+        collectors = self._collectors
+        if self.sink.enabled or collectors:
+            record = span.to_dict()
+            if self.sink.enabled:
+                self.sink.emit_span(record)
+            for collector in collectors:
+                collector.append(record)
+
+    # -- cross-thread context ----------------------------------------------
+
+    @contextlib.contextmanager
+    def attach(self, parent_id: Optional[int]) -> Iterator[None]:
+        """Parent this thread's root spans to ``parent_id`` while open.
+
+        No-op when ``parent_id`` is None, so pool workers can attach
+        unconditionally with whatever the submitter captured.
+        """
+        if parent_id is None:
+            yield
+            return
+        attached = self._attached
+        attached.append(parent_id)
+        try:
+            yield
+        finally:
+            if attached and attached[-1] == parent_id:
+                attached.pop()
+            elif parent_id in attached:
+                attached.remove(parent_id)
+
+    @contextlib.contextmanager
+    def collect(self) -> Iterator[List[Dict[str, Any]]]:
+        """Capture spans closed on this thread while the scope is open.
+
+        Collection works even with a disabled sink (spans are always
+        timed); nested collectors each receive the spans closed inside
+        their own scope.
+        """
+        collected: List[Dict[str, Any]] = []
+        collectors = self._collectors
+        collectors.append(collected)
+        try:
+            yield collected
+        finally:
+            if collected in collectors:
+                collectors.remove(collected)
 
     # -- point events ------------------------------------------------------
 

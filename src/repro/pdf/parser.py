@@ -20,6 +20,7 @@ from typing import List, Optional, Tuple
 
 from repro import limits as limits_mod
 from repro.limits import ResourceLimitExceeded, ScanBudget, ScanLimits
+from repro.obs import profile as profile_mod
 from repro.pdf.lexer import Lexer, LexerError, Token, TokenType
 from repro.pdf.objects import (
     IndirectObject,
@@ -123,10 +124,15 @@ class PDFParser:
     # -- public entry --------------------------------------------------
 
     def parse(self) -> ParsedPDF:
+        with profile_mod.phase("parse"):
+            return self._parse_profiled()
+
+    def _parse_profiled(self) -> ParsedPDF:
         if not self.data:
             raise PDFParseError("empty document")
         self._parse_header()
-        offsets = self._collect_xref_offsets()
+        with profile_mod.phase("xref-resolve"):
+            offsets = self._collect_xref_offsets()
         parsed_any = False
         for offset in offsets:
             self.budget.check_deadline()

@@ -16,6 +16,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import urlparse
 
 from repro import obs as obs_mod
+from repro.obs import profile as profile_mod
 from repro.js.errors import JSError, ReaderCrash, ResourceLimitExceeded
 from repro.js.interpreter import Host, Interpreter
 from repro.js.values import JSArray, JSObject, UNDEFINED
@@ -300,6 +301,9 @@ class Reader:
 
         host = _ReaderJSHost(self, handle)
         interpreter = Interpreter(host=host, max_steps=self.max_js_steps)
+        active_profile = profile_mod.current()
+        if active_profile is not None:
+            interpreter.set_profile(active_profile.js)
         handle.interpreter = interpreter
         handle.doc_object = build_acrobat_environment(interpreter, handle)
 
@@ -336,7 +340,8 @@ class Reader:
         start_steps = interpreter.steps
         handle.executed_scripts += 1
         try:
-            interpreter.run(code, this=handle.doc_object)
+            with profile_mod.phase("js-exec"):
+                interpreter.run(code, this=handle.doc_object)
         except ReaderCrash:
             raise
         except ResourceLimitExceeded as exc:
@@ -345,6 +350,8 @@ class Reader:
             handle.script_errors.append(f"{label}: {exc}")
         finally:
             executed = interpreter.steps - start_steps
+            profile_mod.count("js_steps", executed)
+            profile_mod.count("scripts_executed")
             self.clock.advance(JS_BASE_COST_S + JS_STEP_COST_S * executed)
 
     def _maybe_memory_optimize(self, new_handle: DocumentHandle) -> None:

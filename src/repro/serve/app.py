@@ -39,6 +39,8 @@ from repro.batch.cache import VerdictCache
 from repro.batch.scanner import BatchScanner
 from repro.core.pipeline import PipelineSettings
 from repro.limits import ScanLimits
+from repro.obs.metrics import Metrics
+from repro.obs.profile import SlowScanBuffer
 from repro.serve.admission import (
     SHED_ASYNC_BACKLOG,
     SHED_DRAINING,
@@ -85,6 +87,8 @@ class ScanService:
         max_jobs: int = 1024,
         max_pending_async: Optional[int] = None,
         hang_grace: float = HANG_GRACE_SECONDS,
+        slow_threshold: Optional[float] = None,
+        slow_capacity: int = 32,
         obs: Optional[obs_mod.Observability] = None,
         scanner: Optional[BatchScanner] = None,
     ) -> None:
@@ -115,6 +119,12 @@ class ScanService:
             )
         self.max_pending_async = max_pending_async
         self.hang_grace = hang_grace
+        #: Slow-scan exemplars (full span trees + phase profiles) for
+        #: ``GET /debug/slow``: fixed ``slow_threshold`` seconds, or the
+        #: rolling p99 of recent scans when None.
+        self.slow_scans = SlowScanBuffer(
+            capacity=slow_capacity, threshold_seconds=slow_threshold
+        )
         self.started_at = time.time()
         self._async_pool: Optional[cf.ThreadPoolExecutor] = None
         self._lock = threading.Lock()
@@ -263,6 +273,20 @@ class ScanService:
             )
         span.set_tag("cached", outcome.cached)
         span.set_tag("malicious", outcome.summary.malicious)
+        if not outcome.cached:
+            detail: Dict[str, Any] = {
+                "queue_wait": ticket.queue_wait,
+                "malicious": outcome.summary.malicious,
+            }
+            if outcome.spans:
+                detail["spans"] = outcome.spans
+            if outcome.report and outcome.report.get("profile"):
+                detail["profile"] = outcome.report["profile"]
+            retained = self.slow_scans.observe(
+                name, outcome.seconds, digest=handle.digest, detail=detail
+            )
+            if retained and self.obs.enabled:
+                self.obs.metrics.inc("serve_slow_scans")
         payload: Dict[str, Any] = {
             "name": name,
             "sha256": handle.digest,
@@ -410,7 +434,45 @@ class ScanService:
             payload["cache"] = self.scanner.cache.stats
         if self.obs.enabled:
             payload["metrics"] = self.obs.metrics.snapshot()
+            latency = self.obs.metrics.histogram("serve_latency_seconds")
+            if latency is not None and latency.count:
+                payload["latency"] = {
+                    "p50_seconds": latency.quantile(0.5),
+                    "p95_seconds": latency.quantile(0.95),
+                }
         return ServeResult(200, payload)
+
+    def metrics_prometheus(self) -> str:
+        """``GET /metrics?format=prometheus``: text exposition 0.0.4.
+
+        Renders every obs series plus the service's live admission /
+        job / slow-scan state (as ``serve_*`` gauges) so a Prometheus
+        scraper sees the whole picture from one endpoint — including on
+        a service running with the default (disabled) sink.
+        """
+        snap = self.admission.snapshot()
+        slow = self.slow_scans.snapshot()
+        live = Metrics()
+        live.set_gauge("serve_admission_queue_depth", snap["queue_depth"])
+        live.set_gauge("serve_admission_in_flight", snap["in_flight"])
+        live.set_gauge("serve_admission_draining", int(snap["draining"]))
+        live.set_gauge("serve_abandoned_workers_live", self.abandoned_workers)
+        live.set_gauge("serve_pending_jobs", self.jobs.pending_count())
+        live.set_gauge("serve_uptime_seconds", time.time() - self.started_at)
+        live.set_gauge("serve_slow_scans_retained", slow["retained"])
+        if self.scanner.cache is not None:
+            stats = self.scanner.cache.stats
+            for key, value in stats.items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    live.set_gauge(f"serve_cache_{key}", value)
+        text = live.render_prometheus()
+        if self.obs.enabled:
+            text += self.obs.metrics.render_prometheus()
+        return text
+
+    def debug_slow(self) -> ServeResult:
+        """``GET /debug/slow``: retained slow-scan exemplars."""
+        return ServeResult(200, self.slow_scans.snapshot())
 
     # -- internals ---------------------------------------------------------
 

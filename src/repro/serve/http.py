@@ -22,7 +22,13 @@ Endpoints
 ``GET /healthz``
     200 while serving, 503 while draining.
 ``GET /metrics``
-    Admission/job/cache gauges + obs counters as JSON.
+    Admission/job/cache gauges + obs counters as JSON;
+    ``?format=prometheus`` returns text exposition format 0.0.4
+    instead (scrape-ready ``_bucket``/``_sum``/``_count`` histograms).
+``GET /debug/slow``
+    Slow-scan exemplars retained by the service's ring buffer (full
+    span trees + phase profiles for scans over the latency threshold
+    or rolling p99).
 ``GET /jobs/<id>``
     Async job state / result.
 
@@ -70,6 +76,14 @@ class ScanRequestHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         if result.retry_after is not None:
             self.send_header("Retry-After", str(math.ceil(result.retry_after)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, text: str, content_type: str, status: int = 200) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
@@ -124,11 +138,19 @@ class ScanRequestHandler(BaseHTTPRequestHandler):
             self._send(ServeResult(404, {"error": f"no such endpoint {path}"}))
 
     def do_GET(self) -> None:  # noqa: N802
-        path, _query = self._route()
+        path, query = self._route()
         if path == "/healthz":
             self._send(self.service.health())
         elif path == "/metrics":
-            self._send(self.service.metrics())
+            if query.get("format") == "prometheus":
+                self._send_text(
+                    self.service.metrics_prometheus(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            else:
+                self._send(self.service.metrics())
+        elif path == "/debug/slow":
+            self._send(self.service.debug_slow())
         elif path.startswith("/jobs/"):
             self._send(self.service.handle_job_status(path[len("/jobs/"):]))
         else:

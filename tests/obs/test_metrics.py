@@ -1,9 +1,12 @@
 """Counter/gauge/histogram aggregation in repro.obs.metrics."""
 
+import re
+import threading
+
 import pytest
 
 from repro.obs import MemorySink, Metrics
-from repro.obs.metrics import Histogram
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram
 
 
 class TestCounters:
@@ -67,6 +70,53 @@ class TestHistograms:
             Histogram(bounds=())
 
 
+class TestQuantile:
+    def test_empty_is_zero(self):
+        assert Histogram(DEFAULT_BUCKETS).quantile(0.5) == 0.0
+
+    def test_q_bounds_validated(self):
+        histogram = Histogram(DEFAULT_BUCKETS)
+        with pytest.raises(ValueError):
+            histogram.quantile(-0.1)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.1)
+
+    def test_extremes_are_min_and_max(self):
+        histogram = Histogram(bounds=(1.0, 10.0))
+        for value in (0.2, 3.0, 7.0, 42.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) == 0.2
+        assert histogram.quantile(1.0) == 42.0
+
+    def test_median_lands_in_the_right_bucket(self):
+        histogram = Histogram(bounds=(1.0, 2.0, 4.0, 8.0))
+        for value in (0.5, 1.5, 1.6, 3.0, 6.0):
+            histogram.observe(value)
+        median = histogram.quantile(0.5)
+        assert 1.0 <= median <= 2.0  # 3rd of 5 ranks in the (1, 2] bucket
+
+    def test_result_clamped_to_observed_range(self):
+        histogram = Histogram(bounds=(100.0,))
+        for value in (0.01, 0.02, 0.03):
+            histogram.observe(value)
+        for q in (0.25, 0.5, 0.95, 0.99):
+            assert 0.01 <= histogram.quantile(q) <= 0.03
+
+    def test_overflow_bucket_interpolates_toward_max(self):
+        histogram = Histogram(bounds=(1.0,))
+        for value in (0.5, 10.0, 20.0, 30.0):
+            histogram.observe(value)
+        p99 = histogram.quantile(0.99)
+        assert 1.0 < p99 <= 30.0
+
+    def test_uniform_data_accuracy(self):
+        histogram = Histogram(DEFAULT_BUCKETS)
+        for index in range(1, 1001):
+            histogram.observe(index / 1000.0)  # uniform on (0, 1]
+        assert histogram.quantile(0.5) == pytest.approx(0.5, abs=0.1)
+        assert histogram.quantile(0.95) == pytest.approx(0.95, abs=0.1)
+
+
 class TestSnapshotAndFlush:
     def test_snapshot_keys(self):
         metrics = Metrics()
@@ -102,3 +152,114 @@ class TestSnapshotAndFlush:
 
     def test_render_empty(self):
         assert "no metrics" in Metrics().render()
+
+
+class TestThreadSafety:
+    def test_concurrent_inc_observe_snapshot(self):
+        metrics = Metrics()
+        rounds = 500
+        workers = 8
+        errors = []
+
+        def hammer(worker):
+            try:
+                for index in range(rounds):
+                    metrics.inc("requests", context=f"w{worker % 2}")
+                    metrics.observe("latency", index / 1000.0)
+                    metrics.set_gauge("depth", index)
+                    if index % 50 == 0:
+                        metrics.snapshot()
+                        metrics.render()
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        total = metrics.counter_value("requests", context="w0") + (
+            metrics.counter_value("requests", context="w1")
+        )
+        assert total == workers * rounds  # no lost increments
+        histogram = metrics.histogram("latency")
+        assert histogram.count == workers * rounds
+        assert histogram.count >= sum(histogram.bucket_counts)
+
+
+def _parse_prometheus(text):
+    """Minimal 0.0.4 exposition parser: (types, samples) or raises."""
+    types = {}
+    samples = []
+    sample_re = re.compile(
+        r'^([a-zA-Z_:][a-zA-Z0-9_:]*)'
+        r'(\{([a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*",?)*\})?'
+        r" (NaN|[+-]?Inf|[0-9eE.+-]+)$"
+    )
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            assert kind in ("counter", "gauge", "histogram"), line
+            assert name not in types, f"duplicate TYPE for {name}"
+            types[name] = kind
+            continue
+        assert not line.startswith("#"), line
+        match = sample_re.match(line)
+        assert match, f"unparseable sample line: {line!r}"
+        samples.append((match.group(1), line))
+    return types, samples
+
+
+class TestPrometheusExposition:
+    def test_counter_and_gauge_samples(self):
+        metrics = Metrics()
+        metrics.inc("docs_scanned", 3)
+        metrics.inc("verdicts", malicious=True)
+        metrics.set_gauge("queue_depth", 4)
+        text = metrics.render_prometheus()
+        types, samples = _parse_prometheus(text)
+        assert types["repro_docs_scanned"] == "counter"
+        assert types["repro_queue_depth"] == "gauge"
+        assert "repro_docs_scanned 3" in text
+        assert 'repro_verdicts{malicious="True"} 1' in text
+
+    def test_histogram_grammar(self):
+        metrics = Metrics()
+        for value in (0.002, 0.02, 0.2, 2.0, 200.0):
+            metrics.observe("scan_seconds", value, buckets=(0.01, 0.1, 1.0))
+        text = metrics.render_prometheus()
+        types, samples = _parse_prometheus(text)
+        assert types["repro_scan_seconds"] == "histogram"
+        names = [name for name, _ in samples]
+        assert "repro_scan_seconds_bucket" in names
+        assert "repro_scan_seconds_sum" in names
+        assert "repro_scan_seconds_count" in names
+        # Cumulative buckets, monotone, closed by +Inf == _count.
+        buckets = [
+            line for name, line in samples
+            if name == "repro_scan_seconds_bucket"
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == sorted(counts)
+        assert 'le="+Inf"' in buckets[-1]
+        assert counts[-1] == 5
+        (count_line,) = [
+            line for name, line in samples
+            if name == "repro_scan_seconds_count"
+        ]
+        assert count_line.endswith(" 5")
+
+    def test_name_and_label_sanitisation(self):
+        metrics = Metrics()
+        metrics.inc("scan-time.total", **{"doc": 'we"ird\nname\\x'})
+        text = metrics.render_prometheus()
+        types, samples = _parse_prometheus(text)
+        assert "repro_scan_time_total" in types
+
+    def test_empty_registry_renders_empty(self):
+        assert Metrics().render_prometheus() == ""

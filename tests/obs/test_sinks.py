@@ -1,6 +1,7 @@
 """Sink behaviour: JSONL round-trip, tee fan-out, null overhead gate."""
 
 import json
+import threading
 
 from repro.obs import (
     JSONLSink,
@@ -78,6 +79,49 @@ class TestJSONLRoundTrip:
         sink.close()
         sink.close()
         sink.emit_event({"type": "event", "name": "late"})  # silently dropped
+
+
+class TestJSONLConcurrency:
+    def test_eight_thread_hammer_yields_intact_lines(self, tmp_path):
+        """Concurrent emitters must never interleave within a line."""
+        path = tmp_path / "hammer.jsonl"
+        sink = JSONLSink(path)
+        workers, per_worker = 8, 200
+        errors = []
+
+        def hammer(worker):
+            try:
+                tracer = Tracer(sink)
+                for index in range(per_worker):
+                    # Mix record types and sizes so torn writes would show.
+                    with tracer.span(f"w{worker}.span", index=index,
+                                     pad="x" * (worker * 40)):
+                        pass
+                    tracer.event(f"w{worker}.event", index=index)
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        sink.close()
+        assert not errors
+
+        lines = path.read_text().splitlines()
+        assert len(lines) == workers * per_worker * 2
+        per_worker_seen = {w: 0 for w in range(workers)}
+        for line in lines:
+            record = json.loads(line)  # every line parses: no torn writes
+            assert record["type"] in ("span", "event")
+            worker = int(record["name"].split(".", 1)[0][1:])
+            per_worker_seen[worker] += 1
+        assert all(
+            count == per_worker * 2 for count in per_worker_seen.values()
+        )
 
 
 class TestOtherSinks:

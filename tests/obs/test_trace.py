@@ -120,3 +120,50 @@ class TestEvents:
         tracer = Tracer(NullSink())
         tracer.event("never")  # must not raise, must not record
         assert tracer.sink.enabled is False
+
+
+class TestAggregateSlowest:
+    @staticmethod
+    def _span(name, span_id, parent_id, start, end, **tags):
+        return {
+            "type": "span",
+            "name": name,
+            "span_id": span_id,
+            "parent_id": parent_id,
+            "start": start,
+            "end": end,
+            "duration": end - start,
+            "tags": tags,
+        }
+
+    def test_ranks_scans_with_child_breakdown(self):
+        from repro.obs.report import aggregate_slowest
+
+        spans = [
+            self._span("pipeline.scan", 1, None, 0.0, 2.0, document="slow.pdf"),
+            self._span("session.open", 2, 1, 0.1, 1.9),
+            self._span("pipeline.scan", 3, None, 5.0, 5.5, document="fast.pdf"),
+            self._span("session.open", 4, 3, 5.1, 5.4),
+        ]
+        rows = aggregate_slowest(spans)
+        assert [row[1] for row in rows] == ["slow.pdf", "fast.pdf"]
+        assert "session.open 1.8000s" in rows[0][3]
+        assert "session.open 0.3000s" in rows[1][3]
+
+    def test_aliased_span_ids_scoped_by_time_window(self):
+        """Concatenated traces (or process workers) reuse span ids; the
+        breakdown must only claim children inside the root's window."""
+        from repro.obs.report import aggregate_slowest
+
+        spans = [
+            # Trace A: scan #1 with a 1.0s child, both ids 1/2.
+            self._span("pipeline.scan", 1, None, 0.0, 1.2, document="a.pdf"),
+            self._span("session.open", 2, 1, 0.1, 1.1),
+            # Trace B: a different process reused ids 1/2.
+            self._span("pipeline.scan", 1, None, 10.0, 10.3, document="b.pdf"),
+            self._span("session.open", 2, 1, 10.1, 10.2),
+        ]
+        rows = aggregate_slowest(spans)
+        by_doc = {row[1]: row[3] for row in rows}
+        assert "session.open 1.0000s" in by_doc["a.pdf"]
+        assert "session.open 0.1000s" in by_doc["b.pdf"]

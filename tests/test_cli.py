@@ -257,3 +257,52 @@ class TestScanTriage:
         out = capsys.readouterr().out
         assert code == 1
         assert "triaged   : 1 (emulation skipped)" in out
+
+
+class TestProfile:
+    def test_profile_prints_phase_and_hotspot_tables(self, benign_file, capsys):
+        code = main(["profile", str(benign_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "total" in out and "across phases" in out
+        assert "js-exec" in out
+        assert "AST node hotspots" in out
+        assert "call-sites" in out
+
+    def test_profile_collapsed_output(self, benign_file, tmp_path, capsys):
+        collapsed = tmp_path / "collapsed.txt"
+        main(["profile", str(benign_file), "--collapsed", str(collapsed)])
+        capsys.readouterr()
+        lines = collapsed.read_text().splitlines()
+        assert lines, "no collapsed stacks written"
+        for line in lines:
+            stack, _, micros = line.rpartition(" ")
+            assert stack.startswith("(root)")
+            assert int(micros) >= 0
+
+    def test_profile_json_output(self, benign_file, capsys):
+        code = main(["profile", str(benign_file), "--json", "-", "--top", "3"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["total_seconds"] > 0.0
+        assert abs(
+            sum(payload["phases"].values()) - payload["total_seconds"]
+        ) <= 0.05 * payload["total_seconds"]
+        assert len(payload["js"]["hotspots"]) <= 3
+
+    def test_profile_missing_file_exit_two(self, tmp_path, capsys):
+        assert main(["profile", str(tmp_path / "absent.pdf")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    @pytest.mark.batch
+    def test_batch_profile_flag(self, tmp_path, js_doc_bytes, capsys):
+        root = tmp_path / "corpus"
+        root.mkdir()
+        (root / "a.pdf").write_bytes(js_doc_bytes)
+        code = main(["batch", str(root), "--jobs", "1", "--backend", "thread",
+                     "--profile", "--json", "-"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "phases    :" in out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["phase_totals"]["js-exec"] > 0.0
