@@ -83,7 +83,9 @@ def test_table10_per_size_timings(benchmark, emit, obs_memory, artifact):
             ],
         )
     )
-    artifact("BENCH_table10.json", rows)
+    # Phase-I (front-end) timings only; the headline Table X artifact —
+    # full scans on both JS engines — is written by bench_table10.py.
+    artifact("BENCH_table10_phase1.json", rows)
 
     by_label = {row["size"]: row for row in rows}
     # Shape: total grows with size; big files dominated by parsing.

@@ -92,6 +92,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "'stream-bytes=8mb,deadline=5' ('off' disables a budget; "
         "see docs/HARDENING.md)",
     )
+    scan.add_argument(
+        "--js-engine",
+        choices=("ast", "bytecode"),
+        default=None,
+        help="JS engine for the reader session (default: REPRO_JS_ENGINE "
+        "env var, then bytecode; verdicts are engine-independent)",
+    )
 
     lint = sub.add_parser("lint", help="static JS analysis only")
     lint.add_argument("file", type=Path, help="a PDF or a bare .js source file")
@@ -180,6 +187,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="profile every scan: per-item phase breakdown in the "
         "report, aggregated phase totals in the summary",
     )
+    batch.add_argument(
+        "--js-engine",
+        choices=("ast", "bytecode"),
+        default=None,
+        help="JS engine for every worker (default: REPRO_JS_ENGINE env "
+        "var, then bytecode)",
+    )
 
     serve = sub.add_parser("serve", help="long-running scan service daemon")
     serve.add_argument("--host", default="127.0.0.1")
@@ -253,6 +267,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="slow-scan exemplars retained in the ring buffer "
         "(default 32)",
     )
+    serve.add_argument(
+        "--js-engine",
+        choices=("ast", "bytecode"),
+        default=None,
+        help="JS engine for every scan worker (default: REPRO_JS_ENGINE "
+        "env var, then bytecode)",
+    )
 
     report = sub.add_parser("report", help="aggregate a scan trace")
     report.add_argument("trace", type=Path)
@@ -277,6 +298,13 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--limits", metavar="K=V,...",
         help="resource-budget overrides (see docs/HARDENING.md)",
+    )
+    profile.add_argument(
+        "--js-engine",
+        choices=("ast", "bytecode"),
+        default=None,
+        help="JS engine to profile (note: the bytecode engine falls "
+        "back to the reference walker while a profiler is attached)",
     )
     return parser
 
@@ -317,7 +345,7 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         return 2
     pipeline = ProtectionPipeline(
         reader_version=args.reader_version, triage=args.triage,
-        limits=limits, obs=obs,
+        limits=limits, js_engine=args.js_engine, obs=obs,
     )
     report = pipeline.scan(data, args.file.name)
     verdict = report.verdict
@@ -431,7 +459,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print(f"error: bad --limits: {error}", file=sys.stderr)
         return 2
     pipeline = ProtectionPipeline(
-        reader_version=args.reader_version, limits=limits, profile=True
+        reader_version=args.reader_version, limits=limits, profile=True,
+        js_engine=args.js_engine,
     )
     report = pipeline.scan(data, args.file.name)
     profile = report.profile
@@ -589,12 +618,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if limits is not None:
         settings = PipelineSettings(
             reader_version=args.reader_version, triage=args.triage,
-            limits=limits, profile=args.profile,
+            limits=limits, profile=args.profile, js_engine=args.js_engine,
         )
     else:
         settings = PipelineSettings(
             reader_version=args.reader_version, triage=args.triage,
-            profile=args.profile,
+            profile=args.profile, js_engine=args.js_engine,
         )
     if args.no_cache:
         cache = False
@@ -658,11 +687,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     if limits is not None:
         settings = PipelineSettings(
-            reader_version=args.reader_version, triage=args.triage, limits=limits
+            reader_version=args.reader_version, triage=args.triage,
+            limits=limits, js_engine=args.js_engine,
         )
     else:
         settings = PipelineSettings(
-            reader_version=args.reader_version, triage=args.triage
+            reader_version=args.reader_version, triage=args.triage,
+            js_engine=args.js_engine,
         )
     if args.no_cache:
         cache = False

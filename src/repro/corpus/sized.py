@@ -84,6 +84,72 @@ def table_x_documents(seed: int = 7) -> List[Tuple[str, bytes]]:
     ]
 
 
+def _js_workload_script(label: str, size: int, seed: int) -> str:
+    """A script whose execution cost tracks the Table X size tier.
+
+    Mirrors what JS-bearing documents in the wild actually spend their
+    time on: a doubling loop builds the working string, an unrolled run
+    of obfuscated statements carries parse weight, and a
+    ``charCodeAt``/``fromCharCode`` XOR loop carries execution weight.
+    """
+    rng = random.Random(seed)
+    chars = max(32768, min(size // 16, 49152))
+    unrolled = max(64, min(size // 4096, 200))
+    # The work lives inside a function on purpose: function bodies are
+    # where real decoders run, and they are the code shape both engines
+    # optimise (the VM resolves locals to frame slots there).  The
+    # decode loop keeps its output bounded: unbounded ``out +=``
+    # degenerates into O(n^2) Python string copying, which is engine-
+    # independent and would only mask the cost being measured.
+    lines = [
+        "function work() {",
+        "  var acc = 0;",
+        f'  var unit = "{"".join(rng.choice("0123456789abcdef") for _ in range(24))}";',
+        "  var p = unit;",
+        f"  while (p.length < {chars}) p += p;",
+    ]
+    for index in range(unrolled):
+        chunk = "".join(rng.choice("0123456789abcdef") for _ in range(16))
+        lines.append(
+            f'  var v{index} = "{chunk}"; acc += v{index}.charCodeAt({index % 16});'
+        )
+    lines += [
+        "  var out = '';",
+        f"  var key = {rng.randint(1, 255)};",
+        "  for (var i = 0; i < p.length; i++) {",
+        "    acc = (acc + (p.charCodeAt(i) ^ key) * 3) & 16777215;",
+        "    if ((i & 1023) === 0) { out += String.fromCharCode(65 + (acc & 15)); }",
+        "  }",
+        "  return acc + ':' + out.length;",
+        "}",
+        "work();",
+    ]
+    return "\n".join(lines)
+
+
+def table_x_js_documents(seed: int = 7) -> List[Tuple[str, bytes]]:
+    """JS-weighted Table X variant: same size tiers, script-borne cost.
+
+    The plain :func:`table_x_documents` corpus is padding-dominated —
+    right for measuring the *front-end* (parse + instrument + write),
+    useless for comparing JS engines because its scripts are one-liners.
+    Here each tier's cost lives in the script instead: documents stay
+    small on disk while script work scales with the tier, which is how
+    JS-bearing documents behave (the paper notes instrumentation cost
+    scales with script count, not file size — execution cost likewise
+    follows the script, not the padding).
+    """
+    out: List[Tuple[str, bytes]] = []
+    for index, (label, size) in enumerate(TABLE_X_SIZES):
+        builder = DocumentBuilder()
+        builder.add_page("sized js document")
+        builder.add_javascript(
+            _js_workload_script(label, size, seed + index), trigger="OpenAction"
+        )
+        out.append((label, builder.to_bytes()))
+    return out
+
+
 def document_with_scripts(count: int, seed: int = 0) -> bytes:
     """A document with ``count`` separate (singly invoked) scripts —
     the §V-D2 runtime-overhead workload."""

@@ -30,6 +30,15 @@ def _arg(args: List[Any], index: int, default: Any = UNDEFINED) -> Any:
     return args[index] if index < len(args) else default
 
 
+def _string_from_char_code(interp: Any, this: Any, args: List[Any]) -> str:
+    # Single float argument is the shellcode-builder hot path.
+    if len(args) == 1 and type(args[0]) is float:
+        return chr(int(args[0]) & 0xFFFF)
+    return interp._record_string(
+        "".join(chr(int(to_number(x)) & 0xFFFF) for x in args)
+    )
+
+
 # ---------------------------------------------------------------------------
 # Global functions
 
@@ -171,13 +180,7 @@ def install_globals(interp: Any) -> None:
 
     string_ctor = NativeFunction("String", lambda i, t, a: to_string(_arg(a, 0, "")))
     string_ctor.set(
-        "fromCharCode",
-        NativeFunction(
-            "fromCharCode",
-            lambda i, t, a: i._record_string(
-                "".join(chr(int(to_number(x)) & 0xFFFF) for x in a)
-            ),
-        ),
+        "fromCharCode", NativeFunction("fromCharCode", _string_from_char_code)
     )
     env.declare("String", string_ctor)
 
@@ -294,55 +297,83 @@ def primitive_property(interp: Any, obj: Any, name: str) -> Any:
     raise JSRuntimeError(f"cannot read property {name!r}", "TypeError")
 
 
+def _clamp_index(x: Any, default: float) -> int:
+    number = to_number(x) if x is not UNDEFINED else default
+    if math.isnan(number):
+        number = 0.0
+    return int(number)
+
+
+def _str_char_at(interp: Any, value: str, args: List[Any]) -> str:
+    index = _clamp_index(_arg(args, 0, 0.0), 0.0)
+    return value[index] if 0 <= index < len(value) else ""
+
+
+def _str_char_code_at(interp: Any, value: str, args: List[Any]) -> float:
+    # Float index is the deobfuscation-loop hot path (int(nan) would
+    # raise, so NaN still detours through _clamp_index).
+    if args:
+        index_value = args[0]
+        if type(index_value) is float and index_value == index_value:
+            index = int(index_value)
+            return float(ord(value[index])) if 0 <= index < len(value) else math.nan
+    index = _clamp_index(_arg(args, 0, 0.0), 0.0)
+    return float(ord(value[index])) if 0 <= index < len(value) else math.nan
+
+
+def _str_index_of(interp: Any, value: str, args: List[Any]) -> float:
+    return float(value.find(to_string(_arg(args, 0, "")), _clamp_index(_arg(args, 1, 0.0), 0.0)))
+
+
+def _str_last_index_of(interp: Any, value: str, args: List[Any]) -> float:
+    return float(value.rfind(to_string(_arg(args, 0, ""))))
+
+
+def _str_replace(interp: Any, value: str, args: List[Any]) -> str:
+    return interp._record_string(
+        value.replace(to_string(_arg(args, 0, "")), to_string(_arg(args, 1, "")), 1)
+    )
+
+
+def _str_concat(interp: Any, value: str, args: List[Any]) -> str:
+    return interp._record_string(value + "".join(to_string(x) for x in args))
+
+
+#: String methods keyed by name, signature ``(interp, value, args)``
+#: where ``value`` is the receiver string.  Shared by the tree-walker
+#: (wrapped per access in a NativeFunction below) and dispatched
+#: directly — no wrapper allocation — by the bytecode VM's
+#: string-method fast path.  Heap accounting (``_record_string``) lives
+#: inside each method, so both engines charge identically.
+STRING_METHODS = {
+    "charAt": _str_char_at,
+    "charCodeAt": _str_char_code_at,
+    "indexOf": _str_index_of,
+    "lastIndexOf": _str_last_index_of,
+    "substring": lambda i, v, a: i._record_string(_substring(v, a)),
+    "substr": lambda i, v, a: i._record_string(_substr(v, a)),
+    "slice": lambda i, v, a: i._record_string(_slice_str(v, a)),
+    "toUpperCase": lambda i, v, a: i._record_string(v.upper()),
+    "toLowerCase": lambda i, v, a: i._record_string(v.lower()),
+    "split": lambda i, v, a: _split(v, a),
+    "replace": _str_replace,
+    "concat": _str_concat,
+    "trim": lambda i, v, a: i._record_string(v.strip()),
+    "toString": lambda i, v, a: v,
+    "valueOf": lambda i, v, a: v,
+}
+
+
 def _string_property(interp: Any, value: str, name: str) -> Any:
     if name == "length":
         return float(len(value))
     if name.isdigit():
         index = int(name)
         return value[index] if 0 <= index < len(value) else UNDEFINED
-
-    def record(s: str) -> str:
-        return interp._record_string(s)
-
-    def clamp_index(x: Any, default: float) -> int:
-        number = to_number(x) if x is not UNDEFINED else default
-        if math.isnan(number):
-            number = 0.0
-        return int(number)
-
-    methods = {
-        "charAt": lambda i, t, a: (
-            value[clamp_index(_arg(a, 0, 0.0), 0.0)]
-            if 0 <= clamp_index(_arg(a, 0, 0.0), 0.0) < len(value)
-            else ""
-        ),
-        "charCodeAt": lambda i, t, a: (
-            float(ord(value[clamp_index(_arg(a, 0, 0.0), 0.0)]))
-            if 0 <= clamp_index(_arg(a, 0, 0.0), 0.0) < len(value)
-            else math.nan
-        ),
-        "indexOf": lambda i, t, a: float(
-            value.find(to_string(_arg(a, 0, "")), clamp_index(_arg(a, 1, 0.0), 0.0))
-        ),
-        "lastIndexOf": lambda i, t, a: float(value.rfind(to_string(_arg(a, 0, "")))),
-        "substring": lambda i, t, a: record(_substring(value, a)),
-        "substr": lambda i, t, a: record(_substr(value, a)),
-        "slice": lambda i, t, a: record(_slice_str(value, a)),
-        "toUpperCase": lambda i, t, a: record(value.upper()),
-        "toLowerCase": lambda i, t, a: record(value.lower()),
-        "split": lambda i, t, a: _split(value, a),
-        "replace": lambda i, t, a: record(
-            value.replace(to_string(_arg(a, 0, "")), to_string(_arg(a, 1, "")), 1)
-        ),
-        "concat": lambda i, t, a: record(value + "".join(to_string(x) for x in a)),
-        "trim": lambda i, t, a: record(value.strip()),
-        "toString": lambda i, t, a: value,
-        "valueOf": lambda i, t, a: value,
-    }
-    fn = methods.get(name)
+    fn = STRING_METHODS.get(name)
     if fn is None:
         return UNDEFINED
-    return NativeFunction(name, fn)
+    return NativeFunction(name, lambda i, t, a, _fn=fn, _v=value: _fn(i, _v, a))
 
 
 def _substring(value: str, args: List[Any]) -> str:
@@ -417,21 +448,7 @@ def _number_to_string(value: float, args: List[Any]) -> str:
 
 
 def array_method(interp: Any, array: JSArray, name: str) -> Any:
-    methods = {
-        "push": _array_push,
-        "pop": _array_pop,
-        "shift": _array_shift,
-        "unshift": _array_unshift,
-        "join": _array_join,
-        "concat": _array_concat,
-        "slice": _array_slice,
-        "reverse": _array_reverse,
-        "indexOf": _array_index_of,
-        "sort": _array_sort,
-        "splice": _array_splice,
-        "toString": lambda i, t, a: to_string(t),
-    }
-    fn = methods.get(name)
+    fn = ARRAY_METHODS.get(name)
     if fn is None:
         return None
     return NativeFunction(name, fn)
@@ -527,3 +544,21 @@ def _array_sort(interp: Any, this: JSArray, args: List[Any]) -> JSArray:
     else:
         this.elements.sort(key=to_string)
     return this
+
+
+#: Array methods keyed by name, signature ``(interp, this, args)``.
+#: Module-level so a lookup allocates nothing but the NativeFunction.
+ARRAY_METHODS = {
+    "push": _array_push,
+    "pop": _array_pop,
+    "shift": _array_shift,
+    "unshift": _array_unshift,
+    "join": _array_join,
+    "concat": _array_concat,
+    "slice": _array_slice,
+    "reverse": _array_reverse,
+    "indexOf": _array_index_of,
+    "sort": _array_sort,
+    "splice": _array_splice,
+    "toString": lambda i, t, a: to_string(t),
+}

@@ -339,16 +339,27 @@ class Interpreter:
 
     def _exec_ForInStatement(self, node: ast.ForInStatement, env: Environment, this: Any) -> Any:
         obj = self.eval_expression(node.obj, env, this)
+        # Charging rule: binding the key to the loop target costs one
+        # step per iteration (a loop over N keys must not be free).
         if isinstance(node.target, ast.VarDeclaration):
             name = node.target.declarations[0][0]
             env.declare(name)
-            assign: Callable[[Any], None] = lambda v: env.assign(name, v)
+
+            def assign(v: Any) -> None:
+                self._tick()
+                env.assign(name, v)
         elif isinstance(node.target, ast.Identifier):
             target_name = node.target.name
-            assign = lambda v: env.assign(target_name, v)
+
+            def assign(v: Any) -> None:
+                self._tick()
+                env.assign(target_name, v)
         else:
             member = node.target
-            assign = lambda v: self._assign_member(member, v, env, this)  # type: ignore[arg-type]
+
+            def assign(v: Any) -> None:
+                self._tick()
+                self._assign_member(member, v, env, this)  # type: ignore[arg-type]
         if isinstance(obj, JSObject):
             for key in obj.keys():
                 assign(key)
@@ -533,10 +544,17 @@ class Interpreter:
     def _eval_UnaryExpression(self, node: ast.UnaryExpression, env: Environment, this: Any) -> Any:
         if node.op == "typeof":
             if isinstance(node.operand, ast.Identifier) and not env.has(node.operand.name):
+                # Charging rule: the operand node costs one step whether
+                # or not the name resolves (an undeclared identifier must
+                # not be cheaper than a declared one).
+                self._tick()
                 return "undefined"
             return type_of(self.eval_expression(node.operand, env, this))
         if node.op == "delete":
             if isinstance(node.operand, ast.MemberExpression):
+                # Charging rule: the member node itself costs one step,
+                # same as when it is evaluated as an expression.
+                self._tick()
                 obj = self.eval_expression(node.operand.obj, env, this)
                 name = self._member_name(node.operand, env, this)
                 if isinstance(obj, JSObject):
@@ -654,6 +672,11 @@ class Interpreter:
     ) -> Any:
         if node.op == "=":
             value = self.eval_expression(node.value, env, this)
+            # Charging rule: every evaluated AST node costs one step —
+            # including the write-only target of a plain assignment.
+            # (Compound/update targets are charged on their read
+            # instead, so they still cost exactly one.)
+            self._tick()
         else:
             current = self.eval_expression(node.target, env, this)
             rhs = self.eval_expression(node.value, env, this)
@@ -675,6 +698,10 @@ class Interpreter:
     ) -> None:
         obj = self.eval_expression(target.obj, env, this)
         name = self._member_name(target, env, this)
+        self._set_member_value(obj, name, value)
+
+    def _set_member_value(self, obj: Any, name: str, value: Any) -> None:
+        """Property-write kernel shared with the bytecode VM."""
         if isinstance(obj, JSObject):
             obj.set(name, value)
             return
@@ -724,6 +751,9 @@ class Interpreter:
 
     def _eval_CallExpression(self, node: ast.CallExpression, env: Environment, this: Any) -> Any:
         if isinstance(node.callee, ast.MemberExpression):
+            # Charging rule: the callee member node costs one step, the
+            # same as evaluating `obj.m` outside a call position.
+            self._tick()
             receiver = self.eval_expression(node.callee.obj, env, this)
             name = self._member_name(node.callee, env, this)
             fn = self.get_property(receiver, name)
@@ -755,6 +785,10 @@ class Interpreter:
     def _eval_NewExpression(self, node: ast.NewExpression, env: Environment, this: Any) -> Any:
         fn = self.eval_expression(node.callee, env, this)
         args = [self.eval_expression(arg, env, this) for arg in node.arguments]
+        return self._construct(fn, args)
+
+    def _construct(self, fn: Any, args: List[Any]) -> Any:
+        """Constructor-call kernel shared with the bytecode VM."""
         if not is_callable(fn):
             raise JSRuntimeError("constructor is not a function", "TypeError")
         prototype = fn.get("prototype") if isinstance(fn, JSObject) else UNDEFINED
@@ -765,7 +799,7 @@ class Interpreter:
             if isinstance(fn, JSObject):
                 fn.set("prototype", prototype)
         instance = JSObject(prototype=prototype)
-        result = self._call(fn, instance, args, env=env)
+        result = self._call(fn, instance, args)
         return result if isinstance(result, JSObject) else instance
 
     # -- calls -----------------------------------------------------------------

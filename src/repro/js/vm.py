@@ -1,0 +1,743 @@
+"""Bytecode VM: executes :class:`repro.js.compiler.Code` fragments.
+
+:class:`BytecodeInterpreter` subclasses the tree-walking
+:class:`~repro.js.interpreter.Interpreter` and reuses its entire value
+model, builtins, host wiring, ``_binary_op``, ``get_property`` and
+construction/assignment kernels — only the evaluation loop is replaced.
+The two engines are required to agree bit-for-bit on observed API
+channels, monitor events, step counts and verdicts; anything the VM
+cannot express identically (a JSProfile hotspot recorder, which
+attributes time per AST node kind) transparently falls back to the
+walker, the way enabling a debugger disables a JIT.
+
+Step budgets are charged from per-instruction aggregated charges (see
+the compiler's charge-aggregation notes).  When the budget blows, the
+final ``steps`` value is clamped to ``max_steps + 1`` — exactly the
+count the walker's per-node ``_tick`` leaves behind — because the
+simulated reader advances its virtual clock by the step delta even for
+aborted scripts.
+"""
+
+from __future__ import annotations
+
+from types import FunctionType
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.js.builtins import STRING_METHODS
+from repro.js.compiler import (
+    Code,
+    INIT_ARG,
+    INIT_SELF,
+    compile_function_body,
+    compile_source,
+)
+from repro.js.errors import (
+    BreakSignal,
+    ContinueSignal,
+    JSRuntimeError,
+    JSThrow,
+    ReaderCrash,
+    ResourceLimitExceeded,
+    ReturnSignal,
+)
+from repro.js.interpreter import Environment, Host, Interpreter
+from repro.js.values import (
+    JSArray,
+    JSFunction,
+    JSObject,
+    NativeFunction,
+    UNDEFINED,
+    is_callable,
+    strict_equals,
+    to_int32,
+    to_number,
+    to_string,
+    truthy,
+    type_of,
+)
+
+#: Returned by a function-kind fragment that fell off the end without
+#: executing RETURN.  Distinct from UNDEFINED: ``return;`` yields
+#: UNDEFINED through RETURN, falling off yields this sentinel.
+NO_RETURN = object()
+
+
+class CompiledFunction(JSFunction):
+    """A JSFunction that also carries its compiled Code.
+
+    It *is* a JSFunction (real body AST + closure), so the walker can
+    execute it, ``typeof``/``instanceof``/``prototype`` behave
+    identically, and profiled runs can fall back to AST execution.
+    """
+
+    def __init__(self, code: Code, closure: Environment) -> None:
+        assert code.body is not None
+        super().__init__(code.name or None, list(code.params), code.body, closure)
+        self.code = code
+
+
+class BytecodeInterpreter(Interpreter):
+    """Drop-in replacement for Interpreter backed by compiled bytecode."""
+
+    def __init__(
+        self,
+        host: Optional[Host] = None,
+        max_steps: int = 20_000_000,
+        install_builtins: bool = True,
+    ) -> None:
+        super().__init__(host=host, max_steps=max_steps, install_builtins=install_builtins)
+        # id(body) -> (body, code) for foreign (walker-created)
+        # JSFunctions; the body reference keeps the id stable.
+        self._foreign_codes: Dict[int, Tuple[Any, Code]] = {}
+
+    # -- public API (same shape as the walker) ---------------------------
+
+    def run(self, source: str, this: Any = None, env: Optional[Environment] = None) -> Any:
+        if self._profile is not None:
+            # JSProfile needs per-AST-node attribution: use the walker.
+            return super().run(source, this, env)
+        code = compile_source(source)
+        scope = env if env is not None else self.global_env
+        this_value = this if this is not None else self.global_this
+        self._exec_hoist(code, scope)
+        return self._run_code(code, scope, this_value, None)
+
+    def eval_in_scope(self, code: Any, env: Environment, this: Any) -> Any:
+        if self._profile is not None:
+            return super().eval_in_scope(code, env, this)
+        if not isinstance(code, str):
+            return code
+        compiled = compile_source(code)
+        self._exec_hoist(compiled, env)
+        return self._run_code(compiled, env, this, None)
+
+    # -- calls -----------------------------------------------------------
+
+    def _call_inner(self, fn: Any, this: Any, args: List[Any]) -> Any:
+        if self._profile is not None:
+            return super()._call_inner(fn, this, args)
+        if isinstance(fn, CompiledFunction):
+            return self._call_with_code(fn.code, fn, this, args)
+        if isinstance(fn, NativeFunction):
+            return fn.fn(self, this, args)
+        if isinstance(fn, JSFunction):
+            # A function object built outside this VM (e.g. by walker
+            # code sharing the same globals): compile its body once.
+            key = id(fn.body)
+            entry = self._foreign_codes.get(key)
+            if entry is None or entry[0] is not fn.body:
+                entry = (fn.body, compile_function_body(fn.name, fn.params, fn.body))
+                self._foreign_codes[key] = entry
+            return self._call_with_code(entry[1], fn, this, args)
+        raise JSRuntimeError("value is not callable", "TypeError")
+
+    def _call_with_code(self, code: Code, fn: JSFunction, this: Any, args: List[Any]) -> Any:
+        if code.mode == "slot":
+            frame: Optional[List[Any]] = [UNDEFINED] * code.nlocals
+            assert frame is not None
+            nargs = len(args)
+            for slot, kind, index, conditional in code.init_plan:
+                if kind == INIT_SELF:
+                    value: Any = fn
+                elif kind == INIT_ARG:
+                    value = args[index] if index < nargs else UNDEFINED
+                else:
+                    value = JSArray(list(args))
+                if conditional and value is UNDEFINED:
+                    # declare() on an existing binding ignores UNDEFINED.
+                    continue
+                frame[slot] = value
+            env = fn.closure
+        else:
+            frame = None
+            env = Environment(fn.closure)
+            if fn.name:
+                env.declare(fn.name, fn)
+            for index, param in enumerate(code.params):
+                env.declare(param, args[index] if index < len(args) else UNDEFINED)
+            env.declare("arguments", JSArray(list(args)))
+            self._exec_hoist(code, env)
+        try:
+            out = self._run_code(code, env, this, frame)
+        except ReturnSignal as signal:
+            # e.g. `eval("return x")` executed one level down.
+            return signal.value
+        return UNDEFINED if out is NO_RETURN else out
+
+    def _exec_hoist(self, code: Code, env: Environment) -> None:
+        for action in code.hoist_actions:
+            if action[0] == "var":
+                env.declare(action[1])
+            else:
+                fcode = action[1]
+                env.declare(fcode.name, CompiledFunction(fcode, env))
+
+    # -- try/catch/finally ------------------------------------------------
+
+    def _exec_try(
+        self,
+        spec: Tuple[Code, Optional[str], Optional[Code], Optional[Code]],
+        env: Environment,
+        this: Any,
+        frame: Optional[List[Any]],
+    ) -> Any:
+        try_code, catch_param, catch_code, finally_code = spec
+        result: Any = UNDEFINED
+        fatal = False
+        try:
+            result = self._run_code(try_code, env, this, frame)
+        except (ReaderCrash, ResourceLimitExceeded):
+            # Crash or engine abort: JS-level catch/finally never runs
+            # (an instrumented epilogue must not fire after a hijack).
+            fatal = True
+            raise
+        except JSThrow as thrown:
+            if catch_code is None:
+                raise
+            catch_env = Environment(env)
+            catch_env.declare(catch_param or "e", thrown.value)
+            result = self._run_code(catch_code, catch_env, this, None)
+        except JSRuntimeError as error:
+            if catch_code is None:
+                raise
+            catch_env = Environment(env)
+            error_obj = JSObject({"message": str(error), "name": error.kind})
+            catch_env.declare(catch_param or "e", error_obj)
+            result = self._run_code(catch_code, catch_env, this, None)
+        finally:
+            if finally_code is not None and not fatal:
+                fout = self._run_code(finally_code, env, this, frame)
+                if fout is not NO_RETURN and not finally_code.completion:
+                    # `return` inside finally replaces any in-flight
+                    # exception (Python's finally-return does exactly
+                    # what the walker's propagating ReturnSignal did).
+                    return fout
+        return result
+
+    # -- the dispatch loop -------------------------------------------------
+
+    def _run_code(
+        self,
+        code: Code,
+        env: Environment,
+        this: Any,
+        frame: Optional[List[Any]],
+    ) -> Any:
+        instrs = code.instrs
+        if instrs is None:
+            code.instrs = instrs = tuple(
+                zip(code.ops, code.args, code.charges)
+            )
+        regions = code.regions
+        completion = code.completion
+        n = len(instrs)
+        max_steps = self.max_steps
+        steps = self.steps
+        stack: List[Any] = []
+        iters: List[Any] = []
+        compl: Any = UNDEFINED
+        pc = 0
+        ip = 0
+        # Hot-loop locals: every dispatch avoids the attribute walks.
+        push = stack.append
+        pop = stack.pop
+        env_lookup = env.lookup
+        get_property = self.get_property
+        record_string = self._record_string
+        binary_op = self._binary_op
+        try:
+            while True:
+                try:
+                    while pc < n:
+                        ip = pc
+                        op, arg, c = instrs[ip]
+                        pc = ip + 1
+                        if c:
+                            steps += c
+                            if steps > max_steps:
+                                # Clamp so the final count equals the
+                                # walker's (it raises at max+1); the
+                                # reader bills virtual time by delta.
+                                steps = max_steps + 1
+                                self.steps = steps
+                                raise ResourceLimitExceeded(
+                                    "js-steps", max_steps,
+                                    "script exceeded its step budget",
+                                )
+                        if op == 0:  # LOAD_NAME
+                            push(env_lookup(arg))
+                        elif op == 1:  # LOAD_SLOT
+                            push(frame[arg])  # type: ignore[index]
+                        elif op == 55:  # INC_SLOT (fused i++/i-- statement)
+                            s, delta = arg
+                            value = frame[s]  # type: ignore[index]
+                            if type(value) is not float:
+                                value = to_number(value)
+                            frame[s] = value + delta  # type: ignore[index]
+                        elif op == 56:  # STORE_SLOT_POP
+                            frame[arg] = pop()  # type: ignore[index]
+                        elif op == 2:  # CONST
+                            push(arg)
+                        elif op == 3:  # STRING
+                            # record_string ignores strings under 2 chars.
+                            if len(arg) < 2:
+                                push(arg)
+                            else:
+                                push(record_string(arg))
+                        elif op == 4:  # BINARY
+                            right = pop()
+                            left = stack[-1]
+                            if type(left) is float and type(right) is float:
+                                # All-float arithmetic/comparisons inline;
+                                # Python float NaN semantics already match
+                                # _binary_op's (NaN compares false, NaN
+                                # propagates through + - *).
+                                if arg == "+":
+                                    stack[-1] = left + right
+                                elif arg == "<":
+                                    stack[-1] = left < right
+                                elif arg == "-":
+                                    stack[-1] = left - right
+                                elif arg == "*":
+                                    stack[-1] = left * right
+                                elif arg == ">":
+                                    stack[-1] = left > right
+                                elif arg == "<=":
+                                    stack[-1] = left <= right
+                                elif arg == ">=":
+                                    stack[-1] = left >= right
+                                elif arg == "===" or arg == "==":
+                                    stack[-1] = left == right
+                                elif arg == "!==" or arg == "!=":
+                                    stack[-1] = left != right
+                                elif (
+                                    (arg == "^" or arg == "&" or arg == "|")
+                                    and -2147483648.0 <= left <= 2147483647.0
+                                    and -2147483648.0 <= right <= 2147483647.0
+                                ):
+                                    # In-range int32 operands: int()
+                                    # truncation equals to_int32 here
+                                    # (NaN fails the range check).
+                                    li = int(left)
+                                    ri = int(right)
+                                    if arg == "^":
+                                        stack[-1] = float(li ^ ri)
+                                    elif arg == "&":
+                                        stack[-1] = float(li & ri)
+                                    else:
+                                        stack[-1] = float(li | ri)
+                                else:
+                                    stack[-1] = binary_op(arg, left, right)
+                            elif (
+                                arg == "+"
+                                and type(left) is str
+                                and type(right) is str
+                            ):
+                                stack[-1] = record_string(left + right)
+                            else:
+                                stack[-1] = binary_op(arg, left, right)
+                        elif op == 5:  # STORE_SLOT
+                            frame[arg] = stack[-1]  # type: ignore[index]
+                        elif op == 6:  # STORE_NAME
+                            env.assign(arg, stack[-1])
+                        elif op == 7:  # JUMP_IF_FALSE
+                            value = pop()
+                            if value is False:
+                                pc = arg
+                            elif value is not True and not truthy(value):
+                                pc = arg
+                        elif op == 8:  # JUMP
+                            pc = arg
+                        elif op == 9:  # POP
+                            pop()
+                        elif op == 10:  # MEMBER_GET
+                            obj = stack[-1]
+                            tobj = type(obj)
+                            if tobj is str:
+                                if arg == "length":
+                                    stack[-1] = float(len(obj))
+                                else:
+                                    stack[-1] = get_property(obj, arg)
+                            elif (
+                                (
+                                    tobj is JSObject
+                                    or tobj is NativeFunction
+                                    or tobj is CompiledFunction
+                                    or tobj is JSFunction
+                                )
+                                and arg in obj.properties
+                            ):
+                                # Own-property hit on a non-array object:
+                                # exactly get_property's first branch.
+                                stack[-1] = obj.properties[arg]
+                            else:
+                                stack[-1] = get_property(obj, arg)
+                        elif op == 11:  # CALL_THIS
+                            name, argc = arg
+                            if argc:
+                                call_args = stack[-argc:]
+                                del stack[-argc:]
+                            else:
+                                call_args = []
+                            fn = pop()
+                            receiver = pop()
+                            tfn = type(fn)
+                            if tfn is FunctionType:
+                                # String-method fast path: fn is the raw
+                                # builtin from STRING_METHODS.
+                                push(fn(self, receiver, call_args))
+                            elif tfn is NativeFunction:
+                                self.steps = steps
+                                result = fn.fn(self, receiver, call_args)
+                                steps = self.steps
+                                push(result)
+                            elif tfn is CompiledFunction:
+                                self.steps = steps
+                                result = self._call_with_code(
+                                    fn.code, fn, receiver, call_args
+                                )
+                                steps = self.steps
+                                push(result)
+                            else:
+                                if not is_callable(fn):
+                                    raise JSRuntimeError(
+                                        f"{name} is not a function", "TypeError"
+                                    )
+                                self.steps = steps
+                                result = self._call_inner(fn, receiver, call_args)
+                                steps = self.steps
+                                push(result)
+                        elif op == 12:  # METHOD_LOOKUP
+                            receiver = stack[-1]
+                            trec = type(receiver)
+                            if trec is str:
+                                fn = STRING_METHODS.get(arg)
+                                if fn is None:
+                                    fn = get_property(receiver, arg)
+                            elif (
+                                (
+                                    trec is JSObject
+                                    or trec is NativeFunction
+                                    or trec is CompiledFunction
+                                    or trec is JSFunction
+                                )
+                                and arg in receiver.properties
+                            ):
+                                fn = receiver.properties[arg]
+                            else:
+                                fn = get_property(receiver, arg)
+                            push(fn)
+                        elif op == 13:  # CALL
+                            argc = arg
+                            if argc:
+                                call_args = stack[-argc:]
+                                del stack[-argc:]
+                            else:
+                                call_args = []
+                            fn = pop()
+                            tfn = type(fn)
+                            if tfn is CompiledFunction:
+                                self.steps = steps
+                                result = self._call_with_code(
+                                    fn.code, fn, self.global_this, call_args
+                                )
+                                steps = self.steps
+                                push(result)
+                            elif tfn is NativeFunction:
+                                self.steps = steps
+                                result = fn.fn(self, self.global_this, call_args)
+                                steps = self.steps
+                                push(result)
+                            else:
+                                if not is_callable(fn):
+                                    raise JSRuntimeError(
+                                        "value is not a function", "TypeError"
+                                    )
+                                self.steps = steps
+                                result = self._call_inner(
+                                    fn, self.global_this, call_args
+                                )
+                                steps = self.steps
+                                push(result)
+                        elif op == 14:  # SET_COMPL
+                            compl = pop()
+                        elif op == 15:  # SET_COMPL_UNDEF
+                            compl = UNDEFINED
+                        elif op == 16:  # DUP
+                            push(stack[-1])
+                        elif op == 17:  # INCDEC
+                            stack[-1] = stack[-1] + arg
+                        elif op == 18:  # TO_NUMBER
+                            value = stack[-1]
+                            if type(value) is not float:
+                                stack[-1] = to_number(value)
+                        elif op == 19:  # JUMP_IF_TRUE
+                            value = pop()
+                            if value is True:
+                                pc = arg
+                            elif value is not False and truthy(value):
+                                pc = arg
+                        elif op == 20:  # JUMP_IF_FALSE_KEEP (&&)
+                            value = stack[-1]
+                            if value is True or (value is not False and truthy(value)):
+                                pop()
+                            else:
+                                pc = arg
+                        elif op == 21:  # JUMP_IF_TRUE_KEEP (||)
+                            value = stack[-1]
+                            if value is True or (value is not False and truthy(value)):
+                                pc = arg
+                            else:
+                                pop()
+                        elif op == 22:  # JUMP_IF_STRICT_EQ
+                            test = pop()
+                            if strict_equals(stack[-1], test):
+                                pc = arg
+                        elif op == 23:  # SWAP
+                            stack[-1], stack[-2] = stack[-2], stack[-1]
+                        elif op == 24:  # ROT3 (third-from-top to top)
+                            third = stack[-3]
+                            stack[-3] = stack[-2]
+                            stack[-2] = stack[-1]
+                            stack[-1] = third
+                        elif op == 25:  # MEMBER_GET_EXPR
+                            name = to_string(pop())
+                            stack[-1] = self.get_property(stack[-1], name)
+                        elif op == 26:  # MEMBER_SET
+                            value = pop()
+                            obj = pop()
+                            self._set_member_value(obj, arg, value)
+                            push(value)
+                        elif op == 27:  # MEMBER_SET_EXPR
+                            value = pop()
+                            name = to_string(pop())
+                            obj = pop()
+                            self._set_member_value(obj, name, value)
+                            push(value)
+                        elif op == 28:  # METHOD_LOOKUP_EXPR
+                            name = to_string(pop())
+                            receiver = stack[-1]
+                            if type(receiver) is str:
+                                fn = STRING_METHODS.get(name)
+                                if fn is None:
+                                    fn = self.get_property(receiver, name)
+                            else:
+                                fn = self.get_property(receiver, name)
+                            push(fn)
+                            push(name)
+                        elif op == 29:  # CALL_THIS_DYN
+                            argc = arg
+                            if argc:
+                                call_args = stack[-argc:]
+                                del stack[-argc:]
+                            else:
+                                call_args = []
+                            name = pop()
+                            fn = pop()
+                            receiver = pop()
+                            tfn = type(fn)
+                            if tfn is FunctionType:
+                                push(fn(self, receiver, call_args))
+                            elif tfn is NativeFunction:
+                                self.steps = steps
+                                result = fn.fn(self, receiver, call_args)
+                                steps = self.steps
+                                push(result)
+                            elif tfn is CompiledFunction:
+                                self.steps = steps
+                                result = self._call_with_code(
+                                    fn.code, fn, receiver, call_args
+                                )
+                                steps = self.steps
+                                push(result)
+                            else:
+                                if not is_callable(fn):
+                                    raise JSRuntimeError(
+                                        f"{name} is not a function", "TypeError"
+                                    )
+                                self.steps = steps
+                                result = self._call_inner(fn, receiver, call_args)
+                                steps = self.steps
+                                push(result)
+                        elif op == 30:  # DIRECT_EVAL
+                            argc = arg
+                            if argc:
+                                call_args = stack[-argc:]
+                                del stack[-argc:]
+                                value = call_args[0]
+                            else:
+                                value = UNDEFINED
+                            self.steps = steps
+                            result = self.eval_in_scope(value, env, this)
+                            steps = self.steps
+                            push(result)
+                        elif op == 31:  # NEW
+                            argc = arg
+                            if argc:
+                                call_args = stack[-argc:]
+                                del stack[-argc:]
+                            else:
+                                call_args = []
+                            fn = pop()
+                            self.steps = steps
+                            result = self._construct(fn, call_args)
+                            steps = self.steps
+                            push(result)
+                        elif op == 32:  # MAKE_FUNCTION
+                            push(CompiledFunction(arg, env))
+                        elif op == 33:  # ARRAY
+                            count = arg
+                            if count:
+                                elements = stack[-count:]
+                                del stack[-count:]
+                            else:
+                                elements = []
+                            push(JSArray(elements))
+                        elif op == 34:  # OBJECT
+                            keys = arg
+                            count = len(keys)
+                            obj = JSObject()
+                            if count:
+                                values = stack[-count:]
+                                del stack[-count:]
+                                for key, value in zip(keys, values):
+                                    obj.set(key, value)
+                            push(obj)
+                        elif op == 35:  # UNARY
+                            value = pop()
+                            if arg == "!":
+                                push(not truthy(value))
+                            elif arg == "-":
+                                push(-to_number(value))
+                            elif arg == "+":
+                                push(to_number(value))
+                            elif arg == "~":
+                                push(float(~to_int32(value)))
+                            elif arg == "void":
+                                push(UNDEFINED)
+                            else:
+                                raise JSRuntimeError(f"unknown unary operator {arg}")
+                        elif op == 36:  # TYPEOF
+                            stack[-1] = type_of(stack[-1])
+                        elif op == 37:  # TYPEOF_NAME
+                            if env.has(arg):
+                                push(type_of(env.lookup(arg)))
+                            else:
+                                push("undefined")
+                        elif op == 38:  # DELETE_MEMBER
+                            obj = pop()
+                            if isinstance(obj, JSObject):
+                                push(obj.delete(arg))
+                            else:
+                                push(True)
+                        elif op == 39:  # DELETE_MEMBER_EXPR
+                            name = to_string(pop())
+                            obj = pop()
+                            if isinstance(obj, JSObject):
+                                push(obj.delete(name))
+                            else:
+                                push(True)
+                        elif op == 40:  # DECLARE
+                            env.declare(arg)
+                        elif op == 41:  # DECLARE_POP
+                            env.declare(arg, pop())
+                        elif op == 42:  # DECLARE_SLOT_POP
+                            value = pop()
+                            if value is not UNDEFINED:
+                                frame[arg] = value  # type: ignore[index]
+                        elif op == 43:  # LOAD_THIS
+                            push(this)
+                        elif op == 44:  # RETURN
+                            return pop()
+                        elif op == 45:  # RAISE_RETURN
+                            raise ReturnSignal(pop())
+                        elif op == 46:  # RAISE_BREAK
+                            raise BreakSignal(arg)
+                        elif op == 47:  # RAISE_CONTINUE
+                            raise ContinueSignal(arg)
+                        elif op == 48:  # THROW
+                            raise JSThrow(pop())
+                        elif op == 49:  # EXEC_TRY
+                            self.steps = steps
+                            result = self._exec_try(arg, env, this, frame)
+                            steps = self.steps
+                            if completion:
+                                compl = result
+                            elif result is not NO_RETURN:
+                                return result
+                        elif op == 50:  # FORIN_INIT
+                            obj = pop()
+                            if isinstance(obj, JSObject):
+                                keys = obj.keys()
+                            elif isinstance(obj, str):
+                                keys = [str(index) for index in range(len(obj))]
+                            else:
+                                keys = ()
+                            iters.append(iter(keys))
+                        elif op == 51:  # FORIN_NEXT
+                            end_pc, mode, payload = arg
+                            key = next(iters[-1], _EXHAUSTED)
+                            if key is _EXHAUSTED:
+                                iters.pop()
+                                pc = end_pc
+                            else:
+                                # Per-iteration target charge (the
+                                # documented charging rule).
+                                steps += 1
+                                if steps > max_steps:
+                                    steps = max_steps + 1
+                                    self.steps = steps
+                                    raise ResourceLimitExceeded(
+                                        "js-steps", max_steps,
+                                        "script exceeded its step budget",
+                                    )
+                                if mode == 0:  # FORIN_NAME
+                                    env.assign(payload, key)
+                                elif mode == 1:  # FORIN_SLOT
+                                    frame[payload] = key  # type: ignore[index]
+                                else:  # FORIN_PUSH
+                                    push(key)
+                        elif op == 52:  # POP_ITER
+                            iters.pop()
+                        elif op == 53:  # RAISE_ERROR
+                            raise JSRuntimeError(arg[0], arg[1])
+                        else:  # NOP (54) — charge carrier
+                            pass
+                    # Fell off the end of the fragment.
+                    if completion:
+                        return compl
+                    return NO_RETURN
+                except BreakSignal:
+                    target = -1
+                    depth = 0
+                    for start, end, break_pc, _continue_pc, bd, _cd in regions:
+                        if start <= ip < end:
+                            target = break_pc
+                            depth = bd
+                            break
+                    if target < 0:
+                        raise
+                    # Statement boundaries always leave the value stack
+                    # empty, so anything on it is mid-expression debris.
+                    del stack[:]
+                    del iters[depth:]
+                    pc = target
+                except ContinueSignal:
+                    target = -1
+                    depth = 0
+                    for start, end, _break_pc, continue_pc, _bd, cd in regions:
+                        if start <= ip < end and continue_pc >= 0:
+                            target = continue_pc
+                            depth = cd
+                            break
+                    if target < 0:
+                        raise
+                    del stack[:]
+                    del iters[depth:]
+                    pc = target
+        finally:
+            if self.steps < steps:
+                self.steps = steps
+
+
+_EXHAUSTED = object()

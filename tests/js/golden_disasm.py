@@ -1,0 +1,115 @@
+"""Shared definition of the golden disassembly corpus.
+
+Ten representative scripts — covering slot functions, env-mode
+closures, loops (with the fused superinstructions), exceptions,
+``eval``, constructors and the shellcode-decoder idiom — are compiled
+and their :func:`repro.js.compiler.disassemble` listings pinned under
+``tests/data/disasm/``.  An unintended change to emission (opcode
+layout, charge placement, slot allocation) shows up as a readable
+listing diff instead of a distant behaviour change.
+
+Regenerate (only after an *intentional* compiler change)::
+
+    PYTHONPATH=src python -m tests.js.golden_disasm
+
+then review the listing diffs and commit them together with the
+compiler change that moved them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict
+
+DISASM_DIR = Path(__file__).resolve().parent.parent / "data" / "disasm"
+
+REGEN_COMMAND = "PYTHONPATH=src python -m tests.js.golden_disasm"
+
+#: name -> source.  Names are file stems; keep them stable.
+GOLDEN_SCRIPTS: Dict[str, str] = {
+    "arith_program": "var x = 1 + 2 * 3; var y = x % 4; x + y",
+    "slot_function": (
+        "function add(a, b) { var total = a + b; return total; }\n"
+        "add(2, 3)"
+    ),
+    "counting_loop": (
+        "function count(n) {\n"
+        "  var total = 0;\n"
+        "  for (var i = 0; i < n; i++) { total += i; }\n"
+        "  return total;\n"
+        "}\n"
+        "count(10)"
+    ),
+    "decoder_loop": (
+        "function decode(data, key) {\n"
+        "  var out = '';\n"
+        "  for (var i = 0; i < data.length; i++) {\n"
+        "    out += String.fromCharCode(data.charCodeAt(i) ^ key);\n"
+        "  }\n"
+        "  return out;\n"
+        "}\n"
+        "decode('secret', 42)"
+    ),
+    "spray_idiom": (
+        "var sled = unescape('%u9090%u9090');\n"
+        "while (sled.length < 4096) sled += sled;\n"
+        "var mem = [];\n"
+        "for (var i = 0; i < 8; i++) { mem[i] = sled.substr(0, sled.length); }"
+    ),
+    "closure_env": (
+        "function counter() { var n = 0; return function () { return ++n; }; }\n"
+        "var tick = counter(); tick(); tick()"
+    ),
+    "try_catch_finally": (
+        "var log = '';\n"
+        "try { log += 'a'; throw 'boom'; }\n"
+        "catch (e) { log += e; }\n"
+        "finally { log += 'z'; }\n"
+        "log"
+    ),
+    "eval_and_branches": (
+        "var mode = 2;\n"
+        "if (mode === 1) { eval('mode = 10'); }\n"
+        "else if (mode === 2) { mode = 20; }\n"
+        "else { mode = 30; }\n"
+        "mode"
+    ),
+    "object_member_ops": (
+        "var doc = {pages: 3, info: {title: 'T'}};\n"
+        "doc.pages++;\n"
+        "doc.info.title += '!';\n"
+        "delete doc.pages;\n"
+        "typeof doc.pages"
+    ),
+    "forin_and_new": (
+        "function Pair(a, b) { this.a = a; this.b = b; }\n"
+        "var p = new Pair(1, 2);\n"
+        "var keys = '';\n"
+        "for (var k in p) { keys += k; }\n"
+        "keys"
+    ),
+}
+
+
+def render_all() -> Dict[str, str]:
+    """name -> disassembly listing, compiled fresh (cache bypassed)."""
+    from repro.js.compiler import Compiler, disassemble
+    from repro.js.parser import parse
+
+    listings: Dict[str, str] = {}
+    for name, source in sorted(GOLDEN_SCRIPTS.items()):
+        code = Compiler().compile_program(parse(source))
+        listings[name] = disassemble(code, name=f"<{name}>")
+    return listings
+
+
+def main() -> None:
+    DISASM_DIR.mkdir(parents=True, exist_ok=True)
+    listings = render_all()
+    for name, listing in listings.items():
+        (DISASM_DIR / f"{name}.txt").write_text(listing, encoding="utf-8")
+    print(f"wrote {len(listings)} golden disassembly listing(s) to {DISASM_DIR}")
+
+
+if __name__ == "__main__":
+    main()

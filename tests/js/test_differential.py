@@ -1,0 +1,295 @@
+"""Differential harness: the bytecode VM against the reference walker.
+
+Every observable the host can see must be bit-for-bit identical across
+``repro.js`` engines: completion values, thrown errors, consumed step
+budget, string-allocation telemetry (``Host.allocated_bytes``), the
+spray pool, and — at the pipeline level — verdicts, fired features,
+alerts, fake messages and quarantined files.  The bytecode engine is
+an optimisation, never a semantic fork; this suite is the contract
+that keeps it honest.
+
+Run just this lane with ``pytest -m diff``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Optional, Tuple
+
+import pytest
+
+from repro.core.pipeline import PipelineSettings
+from repro.corpus import build_dataset
+from repro.corpus import test_scale as corpus_test_scale
+from repro.corpus.js_snippets import (
+    benign_date_script,
+    benign_form_script,
+    benign_multiscript_part,
+    benign_page_script,
+    benign_report_script,
+    benign_soap_script,
+    egg_hunt_script,
+    export_launch_script,
+    exploit_call_for,
+    failing_probe_script,
+    spray_script,
+    version_gated,
+)
+from repro.js import make_interpreter
+from repro.js.interpreter import Host
+from repro.reader.payload import Payload
+
+pytestmark = pytest.mark.diff
+
+
+def run_engine(
+    engine: str, source: str, max_steps: int = 300_000
+) -> Tuple[Any, int, int, int]:
+    """One engine run reduced to its observable footprint.
+
+    The tuple is (status, steps, allocated_bytes, spray_pool_len) where
+    status is ("ok", repr(value)) or ("err", type, message) — repr keeps
+    float formatting and UNDEFINED/JSObject identity questions out of
+    the comparison while still distinguishing every value the walker
+    can produce.
+    """
+    host = Host()
+    interp = make_interpreter(engine, host=host, max_steps=max_steps)
+    try:
+        status: Tuple[Any, ...] = ("ok", repr(interp.run(source)))
+    except Exception as exc:  # noqa: BLE001 - errors are part of the contract
+        status = ("err", type(exc).__name__, str(exc))
+    return status, interp.steps, host.allocated_bytes, len(host.spray_pool)
+
+
+def assert_equivalent(source: str, max_steps: int = 300_000) -> None:
+    ast_run = run_engine("ast", source, max_steps)
+    bc_run = run_engine("bytecode", source, max_steps)
+    assert ast_run == bc_run, (
+        f"engine divergence on:\n{source}\n  ast: {ast_run}\n  bytecode: {bc_run}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Inline language-surface corpus
+
+LANGUAGE_CASES = [
+    # arithmetic / coercion
+    "1 + 2 * 3 - 4 / 5",
+    "'5' * '4' + ('a' - 1)",
+    "0.1 + 0.2",
+    "'abc' + 123 + true + null + undefined",
+    "1/0 + (-1/0) + (0/0)",
+    "5 % 3; -5 % 3; 5 % 0",
+    "~12.7; 1 << 3; -1 >>> 28; 255 & 15; 8 | 3; 9 ^ 5",
+    "'10' == 10; '10' === 10; null == undefined; null === undefined",
+    "NaN == NaN; NaN != NaN",
+    # strings and methods
+    "var s = 'hello world'; s.toUpperCase() + s.substr(3, 4) + s.charAt(1)",
+    "'abcdef'.indexOf('cd') + 'abcdef'.charCodeAt(2)",
+    "String.fromCharCode(72, 105) + String.fromCharCode(33)",
+    "'a,b,c'.split(',').join('-')",
+    "unescape('%u9090%u9090').length",
+    "var t = ''; t += 'xy'; t += t; t += t; t.length",
+    # control flow
+    "var x = 0; if (x) { x = 1; } else if (x === 0) { x = 2; } x",
+    "var n = 0; for (var i = 0; i < 10; i++) { if (i % 2) continue; n += i; } n",
+    "var n = 0; for (var i = 0; ; i++) { if (i > 5) break; n++; } n",
+    "var n = 0; while (n < 7) n++; n",
+    "var n = 10; do { n--; } while (n > 3); n",
+    "var r = ''; switch (2) { case 1: r = 'a'; case 2: r = 'b'; case 3: r += 'c'; break; default: r = 'd'; } r",
+    "outer: for (var i = 0; i < 3; i++) { for (var j = 0; j < 3; j++) { if (j == 1) continue outer; } } i",
+    # functions, closures, recursion
+    "function add(a, b) { return a + b; } add(2, 3) + add('x', 'y')",
+    "function fib(n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); } fib(12)",
+    "function outer() { var c = 0; return function () { return ++c; }; } var f = outer(); f(); f(); f()",
+    "function v() { return arguments.length + ':' + arguments[1]; } v(9, 8, 7)",
+    "var f = function me(n) { return n ? n + me(n - 1) : 0; }; f(4)",
+    "function noargs() { var arguments_unused = 1; return arguments_unused; } noargs()",
+    # objects / arrays / prototypes
+    "var o = {a: 1, b: {c: 2}}; o.a + o['b'].c + (o.missing === undefined)",
+    "var a = [3, 1, 2]; a.push(0); a.sort(); a.join('')",
+    "var a = []; a[5] = 'x'; a.length + ':' + a[2]",
+    "var o = {n: 1}; o.n++; ++o.n; o.n",
+    "var o = {}; o.x = 1; delete o.x; o.x === undefined",
+    "for (var k in {a: 1, b: 2}) { var last = k; } last",
+    "var ctor = function (v) { this.v = v; }; new ctor(7).v",
+    "typeof 1 + typeof 'a' + typeof undefined + typeof {} + typeof unboundName",
+    # exceptions
+    "try { null.x; } catch (e) { 'caught:' + e }",
+    "try { throw {code: 42}; } catch (e) { e.code }",
+    "var r = ''; try { r += 'a'; throw 'x'; } catch (e) { r += 'b'; } finally { r += 'c'; } r",
+    "function f() { try { return 'a'; } finally { } } f()",
+    "missingFunction()",
+    "var o = {}; o.nope()",
+    # eval (the instrumentation prologue depends on it)
+    "var i = 1; eval('i = i + 41'); i",
+    "eval('var hidden = 9; hidden * 2')",
+    # update-expression / fused-opcode surface
+    "var i = 0; i++; i++; ++i; i--; i",
+    "var s = ''; for (var i = 0; i < 4; i++) { s += i; } s",
+    "var j = '7'; j++; j",
+    "var j; j++; j !== j",
+    "var k = {}; k++; k !== k",
+    "var i = 0; var got = [i++, i++, ++i]; got.join(',')",
+    # typical shellcode-decoder shapes
+    (
+        "function d(data, key) { var out = ''; for (var i = 0; i < data.length; i++)"
+        " { out += String.fromCharCode(data.charCodeAt(i) ^ key); } return out; }"
+        " d(d('attack at dawn', 42), 42)"
+    ),
+    (
+        "var sled = unescape('%u9090%u9090'); while (sled.length < 512) sled += sled;"
+        " sled.length"
+    ),
+]
+
+
+@pytest.mark.parametrize("source", LANGUAGE_CASES, ids=lambda s: s[:48])
+def test_language_surface(source: str) -> None:
+    assert_equivalent(source)
+
+
+# ---------------------------------------------------------------------------
+# Corpus generators (the JS the pipeline actually scans)
+
+
+def corpus_scripts() -> list:
+    payload = Payload.dropper()
+    scripts = [
+        spray_script(1, payload, random.Random(1), chunk_chars=4096),
+        spray_script(
+            1, payload, random.Random(2), chunk_chars=4096,
+            exploit_call=exploit_call_for("CVE-2008-2992"),
+        ),
+        spray_script(
+            1, payload, random.Random(3), chunk_chars=4096,
+            hide_payload_in_title=True,
+        ),
+        spray_script(
+            1, payload, random.Random(4), chunk_chars=4096, export_chunk_as="stage2",
+        ),
+        egg_hunt_script(1, Payload.egg_hunter(), random.Random(5), "CVE-2009-0927"),
+        failing_probe_script("CVE-2009-1492"),
+        failing_probe_script("CVE-2013-0640"),
+        export_launch_script(),
+        version_gated("var ran = 1;", 9),
+        benign_report_script(40, 256, random.Random(6)),
+        benign_form_script(random.Random(7)),
+        benign_date_script(random.Random(8)),
+        benign_page_script(),
+        benign_soap_script(),
+        benign_multiscript_part(3),
+    ]
+    return scripts
+
+
+@pytest.mark.parametrize(
+    "source", corpus_scripts(), ids=lambda s: s.splitlines()[0][:48]
+)
+def test_corpus_generators(source: str) -> None:
+    # Bare interpreters have no Doc/app surface, so some of these die on
+    # a lookup error — the point is that both engines die identically,
+    # with identical partial side effects on the host.
+    assert_equivalent(source)
+
+
+# ---------------------------------------------------------------------------
+# Step-budget exhaustion: the budget must blow at the same tick, leaving
+# the same partial telemetry, for every cutoff — not just the final one.
+
+SWEEP_CASES = [
+    "var s = 0; for (var i = 0; i < 5; i++) s += i; s",
+    "function f(n) { return n ? f(n - 1) + 1 : 0; } f(6)",
+    "var t = ''; for (var i = 65; i < 70; i++) t += String.fromCharCode(i); t",
+    "var i = 0; while (true) i++;",
+    "try { for (var i = 0; i < 4; i++) { if (i == 2) throw 'x'; } } catch (e) { e + i }",
+    "var i = 1; eval('i++; i++;'); i",
+]
+
+
+@pytest.mark.parametrize("source", SWEEP_CASES, ids=lambda s: s[:40])
+def test_budget_exhaustion_sweep(source: str) -> None:
+    _, full_steps, _, _ = run_engine("ast", source, max_steps=2_000)
+    for max_steps in range(1, min(full_steps + 2, 400)):
+        ast_run = run_engine("ast", source, max_steps)
+        bc_run = run_engine("bytecode", source, max_steps)
+        assert ast_run == bc_run, (
+            f"divergence at max_steps={max_steps} on:\n{source}\n"
+            f"  ast: {ast_run}\n  bytecode: {bc_run}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Full pipeline: scan the generated corpus end to end on both engines.
+
+
+def report_fingerprint(report) -> Tuple[Any, ...]:
+    verdict = report.verdict
+    return (
+        verdict.document,
+        verdict.malicious,
+        verdict.malscore,
+        tuple(verdict.features.bits),
+        tuple(verdict.reasons),
+        report.errored,
+        report.crashed,
+        len(report.alerts),
+        report.fake_messages,
+        tuple(report.quarantined_files),
+    )
+
+
+@pytest.mark.slow
+def test_full_pipeline_corpus_identical() -> None:
+    dataset = build_dataset(corpus_test_scale())
+    samples = list(dataset.all_samples())
+    assert samples, "corpus generator produced no samples"
+    mismatches = []
+    ast_pipe = PipelineSettings(js_engine="ast").build()
+    bc_pipe = PipelineSettings(js_engine="bytecode").build()
+    for sample in samples:
+        ast_fp = report_fingerprint(ast_pipe.scan(sample.data, sample.name))
+        bc_fp = report_fingerprint(bc_pipe.scan(sample.data, sample.name))
+        if ast_fp != bc_fp:
+            mismatches.append((sample.name, ast_fp, bc_fp))
+    assert not mismatches, f"verdict divergence on {len(mismatches)} documents: {mismatches}"
+
+
+def test_engine_selection_is_explicit() -> None:
+    """A pipeline records the engine it was asked for; the resolver, not
+    the pipeline, owns the env-var/default fallback."""
+    from repro.js import DEFAULT_JS_ENGINE, resolve_js_engine
+
+    assert resolve_js_engine("ast") == "ast"
+    assert resolve_js_engine("bytecode") == "bytecode"
+    assert resolve_js_engine(None) in ("ast", "bytecode")
+    assert DEFAULT_JS_ENGINE == "bytecode"
+    with pytest.raises(ValueError):
+        resolve_js_engine("jit")
+
+
+def test_env_var_fallback(monkeypatch) -> None:
+    from repro.js import resolve_js_engine
+
+    monkeypatch.setenv("REPRO_JS_ENGINE", "ast")
+    assert resolve_js_engine(None) == "ast"
+    monkeypatch.setenv("REPRO_JS_ENGINE", "bytecode")
+    assert resolve_js_engine(None) == "bytecode"
+    monkeypatch.setenv("REPRO_JS_ENGINE", "nope")
+    with pytest.raises(ValueError):
+        resolve_js_engine(None)
+    monkeypatch.delenv("REPRO_JS_ENGINE")
+    from repro.js import DEFAULT_JS_ENGINE
+
+    assert resolve_js_engine(None) == DEFAULT_JS_ENGINE
+
+
+def test_make_interpreter_returns_requested_engine() -> None:
+    from repro.js.interpreter import Interpreter
+    from repro.js.vm import BytecodeInterpreter
+
+    walker = make_interpreter("ast")
+    compiled = make_interpreter("bytecode")
+    assert type(walker) is Interpreter
+    assert isinstance(compiled, BytecodeInterpreter)

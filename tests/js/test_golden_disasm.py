@@ -1,0 +1,57 @@
+"""Golden disassembly snapshots for the bytecode compiler.
+
+See :mod:`tests.js.golden_disasm` for the corpus and the regeneration
+command.  A failure here means compiler emission changed: if the
+change is intentional, regenerate and review the listing diff; if not,
+you just caught a codegen regression at the instruction level.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.js.golden_disasm import (
+    DISASM_DIR,
+    GOLDEN_SCRIPTS,
+    REGEN_COMMAND,
+    render_all,
+)
+
+
+@pytest.fixture(scope="module")
+def listings():
+    return render_all()
+
+
+def test_snapshot_files_exist() -> None:
+    missing = [
+        name for name in GOLDEN_SCRIPTS if not (DISASM_DIR / f"{name}.txt").exists()
+    ]
+    assert not missing, (
+        f"missing golden listings {missing}; run: {REGEN_COMMAND}"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_SCRIPTS))
+def test_disassembly_matches_snapshot(name: str, listings) -> None:
+    expected = (DISASM_DIR / f"{name}.txt").read_text(encoding="utf-8")
+    actual = listings[name]
+    assert actual == expected, (
+        f"disassembly for {name!r} drifted from its golden listing.\n"
+        f"If the compiler change is intentional, run: {REGEN_COMMAND}\n"
+        f"--- golden ---\n{expected}\n--- current ---\n{actual}"
+    )
+
+
+def test_fused_opcodes_present_in_loop_listings(listings) -> None:
+    """The superinstructions are part of the pinned codegen contract."""
+    assert "INC_SLOT" in listings["counting_loop"]
+    assert "INC_SLOT" in listings["decoder_loop"]
+    # Statement-level slot stores fold their discard (slot functions only;
+    # program top-level tracks a completion value instead).
+    assert "STORE_SLOT_POP" in listings["counting_loop"]
+    assert "STORE_SLOT_POP" in listings["decoder_loop"]
+
+
+def test_listings_are_deterministic() -> None:
+    assert render_all() == render_all()
