@@ -86,11 +86,13 @@ def _settings_fingerprint(settings: PipelineSettings) -> str:
     """
     from repro.js import resolve_js_engine
     from repro.jsast.rules import ruleset_version
+    from repro.jsast.rules_absint import ABSINT_VERSION
 
     return (
         f"v{settings.reader_version}|seed{settings.seed}"
         f"|{settings.hook_mode.value}|{settings.config!r}"
         f"|jsast:{ruleset_version()}|triage:{int(settings.triage)}"
+        f"|absint:{ABSINT_VERSION}"
         f"|limits:{settings.limits.describe()}"
         f"|profile:{int(settings.profile)}"
         f"|js:{resolve_js_engine(settings.js_engine)}"

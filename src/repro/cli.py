@@ -356,7 +356,10 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         if report.limit_kind is not None:
             print(f"  resource limit hit: {report.limit_kind} ({report.error})")
         if report.triaged:
-            print("  triaged: emulation skipped (static analysis clean)")
+            if verdict.malicious:
+                print("  triaged: emulation skipped (statically proven malicious)")
+            else:
+                print("  triaged: emulation skipped (static analysis clean)")
         if report.crashed:
             print(f"  reader crashed: {report.outcome.crash_reason}")
         if report.did_nothing:
@@ -417,6 +420,15 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 + (", parse error" if report.parse_error else "")
                 + ")"
             )
+            if report.absint:
+                verdict = report.absint_verdict
+                reason = report.absint.get("reason", "")
+                depth = report.absint.get("max_depth", 0)
+                print(
+                    f"  absint: {verdict} ({reason}; "
+                    f"{report.absint.get('steps', 0)} steps, "
+                    f"{depth} staged layer(s))"
+                )
             for finding in report.findings:
                 print(
                     f"  [{finding.severity.name.lower()}] "
@@ -424,9 +436,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 )
             for api in report.side_effect_apis:
                 print(f"  [info] side-effect API: {api}")
-        verdict = "suspicious" if analysis.suspicious else (
-            "triage-eligible" if analysis.triage_eligible else "needs emulation"
-        )
+        if analysis.proven_malicious:
+            verdict = "proven malicious"
+        elif analysis.suspicious:
+            verdict = "suspicious"
+        elif analysis.triage_eligible:
+            verdict = "triage-eligible"
+        else:
+            verdict = "needs emulation"
         print(f"=> {verdict}")
 
     return 1 if analysis.suspicious else 0

@@ -119,6 +119,23 @@ class InstrumentationResult:
         """
         return self.js_analysis is not None and self.js_analysis.triage_eligible
 
+    @property
+    def triage_proven_malicious(self) -> bool:
+        """Did abstract interpretation *prove* a script in this document
+        reaches detector-flagged behaviour?  When true, Phase-II can be
+        skipped in the other direction: the verdict is malicious."""
+        return self.js_analysis is not None and self.js_analysis.proven_malicious
+
+    @property
+    def triage_fail_open_reason(self) -> str:
+        """Why this document falls through to full emulation (``""``
+        when it is triageable in either direction)."""
+        if self.js_analysis is None:
+            return "already-instrumented"
+        if self.triage_proven_malicious:
+            return ""
+        return self.js_analysis.triage_fail_open_reason
+
 
 class Instrumenter:
     """Phase-I front-end component."""

@@ -30,6 +30,9 @@ from repro.core.deinstrument import (
     deinstrument,
 )
 from repro.core.detector import (
+    F_DROP,
+    F_MEMORY,
+    F_PROCESS,
     FEATURE_NAMES,
     DetectorConfig,
     FeatureVector,
@@ -81,6 +84,14 @@ class ProtectedDocument:
     @property
     def triage_eligible(self) -> bool:
         return self.instrumentation.triage_eligible
+
+    @property
+    def triage_proven_malicious(self) -> bool:
+        return self.instrumentation.triage_proven_malicious
+
+    @property
+    def triage_fail_open_reason(self) -> str:
+        return self.instrumentation.triage_fail_open_reason
 
 
 @dataclass
@@ -498,7 +509,11 @@ class ProtectionPipeline:
                 try:
                     with limits_mod.activate(self.limits):
                         protected = self.protect(data, name)
-                        if self.triage and protected.triage_eligible:
+                        if self.triage and protected.triage_proven_malicious:
+                            report = self._triage_malicious_report(protected)
+                            span.set_tag("triaged", True)
+                            span.set_tag("proven", "malicious")
+                        elif self.triage and protected.triage_eligible:
                             report = self._triage_report(protected)
                             span.set_tag("triaged", True)
                         else:
@@ -521,6 +536,18 @@ class ProtectionPipeline:
                 metrics.inc(
                     "triage", result="skipped" if report.triaged else "full"
                 )
+                if report.triaged:
+                    metrics.inc(
+                        "triage_proven_malicious"
+                        if report.verdict.malicious
+                        else "triage_proven_benign"
+                    )
+                elif report.protected is not None:
+                    metrics.inc(
+                        "triage_failed_open",
+                        reason=report.protected.triage_fail_open_reason
+                        or "none",
+                    )
             if report.limit_kind is not None:
                 metrics.inc("limits_hit", kind=report.limit_kind)
             if report.errored:
@@ -551,6 +578,43 @@ class ProtectionPipeline:
             document=protected.name,
             key_text=protected.key_text,
             reasons=[FEATURE_NAMES[f] for f in vector.fired()],
+        )
+        return OpenReport(
+            protected=protected, outcome=None, verdict=verdict, triaged=True
+        )
+
+    def _triage_malicious_report(
+        self, protected: ProtectedDocument
+    ) -> OpenReport:
+        """Synthesise a malicious verdict from a static *proof*.
+
+        Mirrors the ``fake_message`` precedent in
+        :meth:`MalscoreDetector.evaluate`: a proof outranks the score
+        arithmetic, so ``malicious`` is forced True even if the fired
+        set alone lands under the threshold.  The fired runtime
+        features are the ones the proofs guarantee a full session
+        would record: F8 (memory) for a proven heap spray / staged
+        exploit, F11+F12 (drop + process) for a proven
+        ``exportDataObject(nLaunch>=1)``."""
+        assert protected.js_analysis is not None
+        proofs = protected.js_analysis.proof_findings()
+        fired = set()
+        for proof in proofs:
+            if proof.rule in ("absint-heap-spray", "absint-staged-eval"):
+                fired.add(F_MEMORY)
+            elif proof.rule == "absint-export-launch":
+                fired.update((F_DROP, F_PROCESS))
+        vector = FeatureVector.from_sets(protected.features, fired)
+        score = vector.malscore(self.config)
+        reasons = [FEATURE_NAMES[f] for f in vector.fired()]
+        reasons.extend(f"statically proven: {p.message}" for p in proofs)
+        verdict = Verdict(
+            malicious=True,
+            malscore=score,
+            features=vector,
+            document=protected.name,
+            key_text=protected.key_text,
+            reasons=reasons,
         )
         return OpenReport(
             protected=protected, outcome=None, verdict=verdict, triaged=True

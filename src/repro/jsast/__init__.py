@@ -12,12 +12,19 @@ with rule provenance plus an obfuscation score — and the document-level
 Triage is strictly fail-open: a parse error, an analysis crash, any
 finding at or above :data:`~repro.jsast.report.TRIAGE_SEVERITY`, a
 side-effect-capable API, or any active document content (embedded
-files, render media) sends the document to full emulation.  See
-``docs/STATIC_ANALYSIS.md``.
+files, render media) sends the document to full emulation.
+
+On top of the one-shot lint pass sits the *proof tier*
+(`absint` + `rules_absint`): an abstract interpreter with a string-shape
+value lattice that peels arbitrarily many constant ``eval``/
+``document.write`` staging layers and emits PROVEN-BENIGN /
+PROVEN-MALICIOUS verdicts, letting ``pipeline.scan`` triage in *both*
+directions.  See ``docs/STATIC_ANALYSIS.md``.
 """
 
 from __future__ import annotations
 
+from repro.jsast.absint import AbsintResult, interpret_script
 from repro.jsast.analyzer import (
     DocumentJSAnalysis,
     analyze_document,
@@ -31,9 +38,12 @@ from repro.jsast.report import (
     TRIAGE_SEVERITY,
 )
 from repro.jsast.rules import RULES, RULESET_VERSION, RuleContext, rule
+from repro.jsast.rules_absint import ABSINT_VERSION, run_absint
 from repro.jsast.walk import NodeVisitor, iter_child_nodes, walk
 
 __all__ = [
+    "ABSINT_VERSION",
+    "AbsintResult",
     "DocumentJSAnalysis",
     "Finding",
     "JSStaticReport",
@@ -46,7 +56,9 @@ __all__ = [
     "analyze_document",
     "analyze_script",
     "fold_program",
+    "interpret_script",
     "iter_child_nodes",
     "rule",
+    "run_absint",
     "walk",
 ]

@@ -33,6 +33,7 @@ from repro.jsast.rules import (
     ruleset_version,
     side_effect_apis,
 )
+from repro.obs import profile as profile_mod
 
 #: How many layers of constant ``eval`` arguments to follow.
 MAX_NESTED_DEPTH = 2
@@ -80,6 +81,9 @@ def analyze_script(
         else:
             _run_rules(code, program, report, label, obs, _depth)
 
+        if _depth == 0 and report.parse_error is None:
+            _run_absint(code, report, label, obs)
+
         report.obfuscation_score = min(
             10.0, sum(f.score for f in report.findings)
         )
@@ -92,6 +96,30 @@ def analyze_script(
             if report.parse_error is not None:
                 obs.metrics.inc("jsast_parse_errors")
     return report
+
+
+def _run_absint(
+    code: str,
+    report: JSStaticReport,
+    label: str,
+    obs: obs_mod.Observability,
+) -> None:
+    """Run the abstract-interpretation proof tier (depth 0 only — it
+    peels nested layers itself).  Never raises."""
+    from repro.jsast.rules_absint import proof_findings, run_absint
+
+    with obs.tracer.span("jsast.absint", script=label) as span:
+        with profile_mod.phase("absint"):
+            section = run_absint(code, label=label)
+        report.absint = section
+        report.findings.extend(proof_findings(section))
+        span.set_tag("verdict", section.get("verdict", "unknown"))
+        span.set_tag("steps", section.get("steps", 0))
+        span.set_tag("max_depth", section.get("max_depth", 0))
+        if obs.enabled:
+            obs.metrics.inc(
+                "absint_verdicts", verdict=section.get("verdict", "unknown")
+            )
 
 
 def _run_rules(
@@ -187,10 +215,50 @@ class DocumentJSAnalysis:
     def triage_eligible(self) -> bool:
         """True iff skipping Phase-II emulation provably cannot change
         the verdict: no guards, and every script both parsed cleanly
-        and neither looks suspicious nor touches side-effect APIs."""
+        and neither looks suspicious nor touches side-effect APIs —
+        or was proven channel-free by abstract interpretation."""
         if self.guards:
             return False
         return all(report.triage_eligible for report in self.reports)
+
+    @property
+    def proven_malicious(self) -> bool:
+        """Abstract interpretation proved at least one script reaches
+        detector-flagged behaviour (valid regardless of guards: active
+        content can only *add* malice)."""
+        return any(report.proven_malicious for report in self.reports)
+
+    def proof_findings(self) -> List[Finding]:
+        """Every PROVEN finding across all scripts."""
+        return [
+            finding
+            for report in self.reports
+            for finding in report.findings
+            if finding.severity >= Severity.PROVEN
+        ]
+
+    @property
+    def triage_fail_open_reason(self) -> str:
+        """Why the document cannot be triaged (``""`` when it can)."""
+        if self.proven_malicious or self.triage_eligible:
+            return ""
+        if self.guards:
+            return f"guard:{self.guards[0]}"
+        for report in self.reports:
+            if report.triage_eligible:
+                continue
+            if report.parse_error is not None:
+                return "parse-error"
+            if report.absint:
+                reason = str(report.absint.get("reason", ""))
+                if reason.startswith(("absint-budget", "absint-error")):
+                    return reason
+            if report.suspicious:
+                return "suspicious-findings"
+            if report.side_effect_apis:
+                return "side-effect-apis"
+            return "not-proven"
+        return "not-proven"
 
     @property
     def finding_count(self) -> int:
@@ -214,6 +282,7 @@ class DocumentJSAnalysis:
             "guards": list(self.guards),
             "suspicious": self.suspicious,
             "triage_eligible": self.triage_eligible,
+            "proven_malicious": self.proven_malicious,
             "obfuscation_score": self.obfuscation_score,
         }
 

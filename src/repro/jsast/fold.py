@@ -63,6 +63,10 @@ def _to_js_string(value: Const) -> str:
     if isinstance(value, float):
         if value != value:  # NaN
             return "NaN"
+        if value == float("inf"):
+            return "Infinity"
+        if value == float("-inf"):
+            return "-Infinity"
         if value == int(value) and abs(value) < 1e21:
             return str(int(value))
         return repr(value)
@@ -151,6 +155,15 @@ class ConstantFolder:
         self.program = program
         self.stable = _collect_stable_names(program)
         self.env: Dict[str, _Wrapped] = {}
+        #: Constant calls whose fold was abandoned because the (hostile)
+        #: arguments fall outside the builtin's total domain — e.g.
+        #: ``String.fromCharCode(Infinity)``.  Surfaced by the
+        #: ``unfoldable`` lint rule; the expression stays opaque.
+        self.unfoldable: List[str] = []
+
+    def _give_up(self, what: str) -> None:
+        if what not in self.unfoldable:
+            self.unfoldable.append(what)
 
     # -- environment -----------------------------------------------------
 
@@ -280,13 +293,22 @@ class ConstantFolder:
         # Free functions: unescape / parseInt.
         if isinstance(callee, ast.Identifier):
             if callee.name == "unescape" and len(args) == 1 and isinstance(args[0], str):
-                text = js_unescape(args[0])
+                try:
+                    text = js_unescape(args[0])
+                except Exception:  # noqa: BLE001 - hostile escape soup
+                    self._give_up("unescape")
+                    return None
                 return _Wrapped(text) if len(text) <= MAX_FOLD_CHARS else None
             if callee.name == "parseInt" and args and isinstance(args[0], str):
-                base = int(_to_number(args[1]) or 10) if len(args) > 1 else 10
                 try:
+                    base = (
+                        int(_to_number(args[1]) or 10) if len(args) > 1 else 10
+                    )
                     return _Wrapped(float(int(args[0].strip(), base)))
-                except (ValueError, TypeError):
+                except (ValueError, TypeError, OverflowError):
+                    # Covers both genuine NaN results ("zz") and hostile
+                    # bases (Infinity, 1e308): parseInt never raises in
+                    # JS, so neither may its fold.
                     return None
             return None
 
@@ -307,7 +329,13 @@ class ConstantFolder:
                 number = _to_number(value)
                 if number is None:
                     return None
-                chars.append(chr(int(number) & 0xFFFF))
+                try:
+                    chars.append(chr(int(number) & 0xFFFF))
+                except (ValueError, OverflowError):
+                    # NaN/Infinity code points: runtime maps them to
+                    # "\x00"; keeping the call opaque is the sound fold.
+                    self._give_up("String.fromCharCode")
+                    return None
             return _Wrapped("".join(chars))
 
         # [ ... ].join(sep)

@@ -30,6 +30,9 @@ class Severity(enum.IntEnum):
     INFO = 1
     SUSPICIOUS = 2
     STRONG = 3
+    #: Abstract interpretation *proved* the behaviour (not a pattern
+    #: match): see :mod:`repro.jsast.rules_absint`.
+    PROVEN = 4
 
 
 #: Findings at or above this severity disqualify a script from triage.
@@ -91,6 +94,9 @@ class JSStaticReport:
     side_effect_apis: List[str] = field(default_factory=list)
     #: The rule-set that produced this report (cache invalidation).
     ruleset_version: str = ""
+    #: Abstract-interpretation section (:mod:`repro.jsast.rules_absint`
+    #: ``run_absint`` output); ``None`` when the absint tier did not run.
+    absint: Optional[Dict[str, Any]] = None
 
     @property
     def max_severity(self) -> int:
@@ -102,10 +108,29 @@ class JSStaticReport:
         return self.max_severity >= TRIAGE_SEVERITY
 
     @property
+    def absint_verdict(self) -> str:
+        """``proven-benign`` / ``proven-malicious`` / ``unknown``."""
+        if not self.absint:
+            return "unknown"
+        return str(self.absint.get("verdict", "unknown"))
+
+    @property
+    def proven_benign(self) -> bool:
+        return self.absint_verdict == "proven-benign"
+
+    @property
+    def proven_malicious(self) -> bool:
+        return self.absint_verdict == "proven-malicious"
+
+    @property
     def triage_eligible(self) -> bool:
         """May the runtime phase be skipped on the strength of this
         analysis alone?  Fail-open: parse errors and side effects say
-        no."""
+        no — unless abstract interpretation *proved* the script cannot
+        reach a scored API channel (it sees through obfuscation layers
+        the one-shot classic rules must fail open on)."""
+        if self.proven_benign:
+            return True
         return (
             self.parse_error is None
             and not self.suspicious
@@ -124,6 +149,7 @@ class JSStaticReport:
             "side_effect_apis": list(self.side_effect_apis),
             "triage_eligible": self.triage_eligible,
             "ruleset_version": self.ruleset_version,
+            "absint": self.absint,
         }
 
     @classmethod
@@ -135,4 +161,5 @@ class JSStaticReport:
             parse_error=payload.get("parse_error"),
             side_effect_apis=list(payload.get("side_effect_apis", [])),
             ruleset_version=str(payload.get("ruleset_version", "")),
+            absint=payload.get("absint"),
         )

@@ -569,6 +569,24 @@ def _api_probe(ctx: RuleContext) -> Iterable[Finding]:
                 )
 
 
+@rule("unfoldable")
+def _unfoldable(ctx: RuleContext) -> Iterable[Finding]:
+    """Constant builtin calls whose arguments fall outside the
+    builtin's total domain (``String.fromCharCode(Infinity)``, ...).
+
+    Advisory only: the folder leaves such expressions opaque instead of
+    crashing, and an INFO finding never blocks triage — but the note
+    matters for debugging why a seemingly-constant string stayed
+    unfolded."""
+    for what in ctx.folder.unfoldable:
+        yield Finding(
+            rule="unfoldable",
+            severity=Severity.INFO,
+            message=f"constant {what} call left unfolded (hostile arguments)",
+            score=0.0,
+        )
+
+
 def side_effect_apis(ctx: RuleContext) -> List[str]:
     """Dotted paths of side-effect-capable APIs the script touches.
 

@@ -108,6 +108,9 @@ class ScanLimits:
     deadline_seconds: Optional[float] = 30.0
     #: JS interpreter step budget (unifies the engine's ``max_steps``).
     max_js_steps: int = 20_000_000
+    #: Abstract-interpretation step budget per script (the static
+    #: triage proof tier; exhausted budgets fail open to the runtime).
+    max_absint_steps: int = 200_000
 
     # -- construction ----------------------------------------------------
 
@@ -134,6 +137,7 @@ class ScanLimits:
         "nesting-depth": "max_nesting_depth",
         "deadline": "deadline_seconds",
         "js-steps": "max_js_steps",
+        "absint-steps": "max_absint_steps",
     }
 
     @classmethod
@@ -162,7 +166,11 @@ class ScanLimits:
                 overrides[field_name] = (
                     None if text in _UNLIMITED_WORDS else float(text)
                 )
-            elif field_name in ("max_ref_hops", "max_js_steps"):
+            elif field_name in (
+                "max_ref_hops",
+                "max_js_steps",
+                "max_absint_steps",
+            ):
                 overrides[field_name] = int(float(value))
             else:
                 overrides[field_name] = _parse_size(value)

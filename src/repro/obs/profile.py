@@ -45,6 +45,7 @@ PHASES: Tuple[str, ...] = (
     "decompress",
     "xref-resolve",
     "jsast",
+    "absint",
     "instrument",
     "js-exec",
     "monitor",

@@ -242,6 +242,25 @@ def aggregate_jsast(spans: Iterable[SpanRecord]) -> List[List[str]]:
     return rows
 
 
+def aggregate_triage(metrics: Iterable[Dict[str, Any]]) -> List[List[str]]:
+    """Rows for triage-outcome counters: how many scans the proof tier
+    settled in each direction, and why the rest fell through."""
+    rows = []
+    for record in metrics:
+        key = str(record.get("key", record.get("name", "")))
+        base = key.split("{", 1)[0]
+        if base == "triage_proven_benign":
+            rows.append(["proven benign", "-", str(record.get("value"))])
+        elif base == "triage_proven_malicious":
+            rows.append(["proven malicious", "-", str(record.get("value"))])
+        elif base == "triage_failed_open":
+            reason = "?"
+            if "reason=" in key:
+                reason = key.split("reason=", 1)[1].rstrip("}")
+            rows.append(["failed open", reason, str(record.get("value"))])
+    return sorted(rows)
+
+
 def aggregate_limits(metrics: Iterable[Dict[str, Any]]) -> List[List[str]]:
     """Rows for ``limits_hit{kind=...}`` counters: which resource
     budgets aborted scans, and how often."""
@@ -307,6 +326,12 @@ def render_report(path: Union[str, Path]) -> str:
             + format_table(
                 ["span", "count", "total (s)", "mean (s)", "max (s)"], span_rows
             )
+        )
+    triage_rows = aggregate_triage(trace["metrics"])
+    if triage_rows:
+        sections.append(
+            "Triage outcomes\n"
+            + format_table(["outcome", "reason", "scans"], triage_rows)
         )
     limit_rows = aggregate_limits(trace["metrics"])
     if limit_rows:

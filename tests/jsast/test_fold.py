@@ -141,3 +141,42 @@ class TestObfuscatedIdioms:
             "String.fromCharCode(97) + String.fromCharCode(108);"
         )
         assert "eval" in const_strings(folded)
+
+
+class TestHostileArguments:
+    """Builtin folds must be total: hostile constant arguments leave
+    the expression opaque (with an ``unfoldable`` note) — they never
+    raise out of the folder (ISSUE 8 satellite)."""
+
+    def _fold(self, source):
+        program = parse(source)
+        folder = ConstantFolder(program)
+        folder.run()
+        return folder
+
+    def test_fromcharcode_infinity_stays_opaque(self):
+        folder = self._fold("var c = String.fromCharCode(1e308 * 10);")
+        assert "String.fromCharCode" in folder.unfoldable
+
+    def test_parseint_infinite_radix_stays_opaque(self):
+        folder = self._fold('var n = parseInt("ff", 1e308 * 10);')
+        assert folder.env.get("n") is None  # did not fold, did not raise
+
+    def test_infinity_stringifies(self):
+        folded = fold_source('var s = "" + (1e308 * 10);')
+        assert "Infinity" in const_strings(folded)
+        folded = fold_source('var s = "" + (-1e308 * 10);')
+        assert "-Infinity" in const_strings(folded)
+
+    def test_malformed_percent_sequences_pass_through(self):
+        assert js_unescape("%u12%zz%") == "%u12%zz%"
+
+    def test_unfoldable_rule_fires_at_info_only(self):
+        from repro.jsast.analyzer import analyze_script
+
+        report = analyze_script("var c = String.fromCharCode(1e308 * 10);")
+        assert report.parse_error is None
+        unfoldable = [f for f in report.findings if f.rule == "unfoldable"]
+        assert unfoldable
+        assert all(f.score == 0.0 for f in unfoldable)
+        assert report.triage_eligible  # INFO advisory: not blocking

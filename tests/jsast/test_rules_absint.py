@@ -1,0 +1,153 @@
+"""The proof-tier verdict rules (``repro.jsast.rules_absint``).
+
+Includes the ISSUE 8 acceptance case: a 3-layer eval/unescape-staged
+heap spray gets PROVEN-MALICIOUS with sled-shape and trip-count-bound
+evidence carried on its :class:`JSStaticReport`.
+"""
+
+import random
+
+import pytest
+
+from repro import limits as limits_mod
+from repro.corpus import js_snippets as js
+from repro.corpus.obfuscated import (
+    obfuscated_benign_script,
+    obfuscated_spray_script,
+)
+from repro.jsast.analyzer import analyze_script
+from repro.jsast.report import Severity
+from repro.jsast.rules_absint import (
+    ABSINT_VERSION,
+    proof_findings,
+    run_absint,
+)
+from repro.limits import ScanLimits
+from repro.reader.payload import Payload
+
+pytestmark = pytest.mark.absint
+
+
+def spray(mb=150, cve="CVE-2009-0927"):
+    return js.spray_script(
+        mb,
+        Payload.dropper(),
+        rng=random.Random(1),
+        exploit_call=js.exploit_call_for(cve, random.Random(1)),
+    )
+
+
+class TestVerdicts:
+    def test_spray_is_proven_malicious(self):
+        section = run_absint(spray())
+        assert section["verdict"] == "proven-malicious"
+        assert section["reason"] == "absint-heap-spray"
+        assert section["proofs"]
+
+    def test_export_launch_is_proven_malicious(self):
+        section = run_absint(js.export_launch_script("invoice.exe"))
+        assert section["verdict"] == "proven-malicious"
+        assert any(
+            p["rule"] == "absint-export-launch" for p in section["proofs"]
+        )
+
+    def test_benign_form_is_proven_benign(self):
+        section = run_absint(js.benign_form_script(random.Random(3)))
+        assert section["verdict"] == "proven-benign"
+        assert section["reason"] == "no-reachable-channel"
+
+    def test_obfuscated_benign_is_proven_benign(self):
+        section = run_absint(obfuscated_benign_script(layers=3))
+        assert section["verdict"] == "proven-benign"
+        assert section["max_depth"] == 3
+
+    def test_soap_is_unknown_not_benign(self):
+        section = run_absint(js.benign_soap_script())
+        assert section["verdict"] == "unknown"
+        assert "SOAP" in section["reason"]
+
+    def test_version_gated_spray_is_unknown(self):
+        gated = js.version_gated(spray(), min_version=8)
+        section = run_absint(gated)
+        # No must-fact ⇒ no malicious proof; exploit channel ⇒ no
+        # benign proof either.  Fail open.
+        assert section["verdict"] == "unknown"
+
+    def test_parse_error_is_unknown(self):
+        section = run_absint("var = ;;; <<<")
+        assert section["verdict"] == "unknown"
+
+    def test_version_stamp_present(self):
+        assert run_absint("var x = 1;")["version"] == ABSINT_VERSION
+
+
+class TestAcceptanceMultiLayer:
+    """ISSUE 8 acceptance: ≥3 staged layers, proven with evidence."""
+
+    def test_three_layer_spray_proven_with_evidence(self):
+        code = obfuscated_spray_script(target_mb=120, layers=3)
+        report = analyze_script(code, label="acceptance")
+        assert report.proven_malicious
+        assert report.absint is not None
+        assert report.absint["max_depth"] >= 3
+        proofs = proof_findings(report.absint)
+        assert proofs
+        spray_proofs = [p for p in proofs if p.rule == "absint-heap-spray"]
+        assert spray_proofs
+        proof = spray_proofs[0]
+        assert proof.severity == Severity.PROVEN
+        # Evidence must carry the sled shape and the trip-count bound.
+        assert "sled≥" in proof.evidence
+        assert "trips≥" in proof.evidence
+        assert "unit=" in proof.evidence
+        # ... and the proof findings are merged into the report itself.
+        assert any(
+            f.rule == "absint-heap-spray"
+            and f.severity == Severity.PROVEN
+            for f in report.findings
+        )
+
+    def test_triage_eligible_in_malicious_direction(self):
+        code = obfuscated_spray_script(target_mb=120, layers=3)
+        report = analyze_script(code)
+        # The classic one-shot rules alone would fail open on this
+        # (eval staging is SUSPICIOUS); the proof settles it.
+        assert report.suspicious
+        assert report.proven_malicious
+
+
+class TestBudgetWiring:
+    def test_limits_budget_caps_absint(self):
+        limits = ScanLimits(max_absint_steps=40)
+        with limits_mod.activate(limits):
+            section = run_absint(spray())
+        assert section["status"] == "budget-exhausted"
+        assert section["verdict"] in ("unknown", "proven-malicious")
+        if section["verdict"] == "unknown":
+            assert section["reason"] == "absint-budget"
+
+    def test_default_budget_from_limits_alias(self):
+        limits = ScanLimits.parse("absint-steps=55")
+        assert limits.max_absint_steps == 55
+
+
+class TestNeverRaises:
+    @pytest.mark.parametrize(
+        "code",
+        [
+            "",
+            "var = ;;; <<<",
+            "eval(eval);",
+            "while (true) { }",
+            'eval("eval(\\"var x = ;;\\");");',
+            "var s = unescape; s();",
+        ],
+    )
+    def test_hostile_inputs_return_sections(self, code):
+        section = run_absint(code)
+        assert "verdict" in section
+        assert section["verdict"] in (
+            "proven-benign",
+            "proven-malicious",
+            "unknown",
+        )

@@ -42,8 +42,28 @@ class TestFastPath:
         assert report.triaged
         assert not report.verdict.malicious
 
-    def test_malicious_document_gets_full_emulation(self, triage_pipeline):
+    def test_proven_malicious_document_is_triaged_malicious(
+        self, triage_pipeline
+    ):
+        # Since the absint proof tier, a provable heap spray skips
+        # emulation in the *other* direction: synthesized malicious.
         report = triage_pipeline.scan(doc(spray_js()), "mal.pdf")
+        assert report.triaged
+        assert report.outcome is None
+        assert report.verdict.malicious
+        assert any(
+            r.startswith("statically proven:") for r in report.verdict.reasons
+        )
+
+    def test_unproven_suspicious_document_gets_full_emulation(
+        self, triage_pipeline
+    ):
+        # A version-gated spray is *not* must-executed, so no proof —
+        # suspicious findings then force full emulation, which still
+        # convicts it at runtime (the gate passes on the emulated
+        # reader version).
+        gated = js.version_gated(spray_js(), min_version=8)
+        report = triage_pipeline.scan(doc(gated), "gated.pdf")
         assert not report.triaged
         assert report.outcome is not None
         assert report.verdict.malicious
@@ -103,9 +123,11 @@ class TestReporting:
         report = triage_pipeline.scan(doc(spray_js()), "mal.pdf")
         assert report.js_analysis is not None
         assert report.js_analysis.suspicious
+        assert report.js_analysis.proven_malicious
         payload = report.to_dict()
-        assert payload["triaged"] is False
+        assert payload["triaged"] is True
         assert payload["static_js"]["suspicious"] is True
+        assert payload["static_js"]["proven_malicious"] is True
         assert payload["static_js"]["reports"]
 
     def test_triage_metrics(self):
@@ -113,8 +135,17 @@ class TestReporting:
         pipeline = ProtectionPipeline(seed=99, triage=True, obs=obs)
         pipeline.scan(doc(), "plain.pdf")
         pipeline.scan(doc(spray_js()), "mal.pdf")
-        assert obs.metrics.counter_value("triage", result="skipped") == 1
+        pipeline.scan(doc(js.benign_soap_script()), "soap.pdf")
+        assert obs.metrics.counter_value("triage", result="skipped") == 2
         assert obs.metrics.counter_value("triage", result="full") == 1
+        assert obs.metrics.counter_value("triage_proven_benign") == 1
+        assert obs.metrics.counter_value("triage_proven_malicious") == 1
+        assert (
+            obs.metrics.counter_value(
+                "triage_failed_open", reason="side-effect-apis"
+            )
+            == 1
+        )
 
     def test_verdict_summary_roundtrips_triaged(self, triage_pipeline):
         report = triage_pipeline.scan(doc(), "plain.pdf")

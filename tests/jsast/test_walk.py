@@ -1,8 +1,112 @@
 """Walker/visitor framework over the repro.js AST."""
 
+import dataclasses
+import inspect
+
+import pytest
+
 from repro.js import nodes as ast
 from repro.js.parser import parse
 from repro.jsast.walk import NodeVisitor, iter_child_nodes, walk
+
+
+def _all_node_kinds():
+    """Every concrete Node subclass defined in repro.js.nodes."""
+    return sorted(
+        (
+            cls
+            for _name, cls in inspect.getmembers(ast, inspect.isclass)
+            if issubclass(cls, ast.Node)
+            and cls is not ast.Node
+            and dataclasses.is_dataclass(cls)
+        ),
+        key=lambda cls: cls.__name__,
+    )
+
+
+def _make_node(cls):
+    """Minimal instance of ``cls`` with Identifier leaves for children.
+
+    Field values are synthesised from the annotation text, so a new
+    node kind with a new child-field shape fails loudly here instead of
+    being silently skipped by introspection-based walking."""
+    values = []
+    for field in dataclasses.fields(cls):
+        ann = str(field.type)
+        if "List[Tuple[str, Optional[Node]]]" in ann:
+            values.append([("a", ast.Identifier("leaf")), ("b", None)])
+        elif "List[Tuple[str, Node]]" in ann:
+            values.append([("a", ast.Identifier("leaf"))])
+        elif "List[str]" in ann:
+            values.append(["p"])
+        elif "List[SwitchCase]" in ann:
+            values.append([ast.SwitchCase(None, [ast.Identifier("leaf")])])
+        elif "List[Node]" in ann:
+            values.append([ast.Identifier("leaf")])
+        elif "Block" in ann:
+            values.append(ast.Block([ast.Identifier("leaf")]))
+        elif "Optional[Node]" in ann or ann == "Node":
+            values.append(ast.Identifier("leaf"))
+        elif "Optional[str]" in ann or ann == "str":
+            values.append("x")
+        elif ann == "bool":
+            values.append(False)
+        elif ann == "float":
+            values.append(0.0)
+        else:
+            raise AssertionError(
+                f"{cls.__name__}.{field.name}: unhandled annotation {ann!r} — "
+                "teach _make_node about it"
+            )
+    return cls(*values)
+
+
+class TestNodeKindExhaustiveness:
+    """Guard: every node kind instantiates, walks, and dispatches.
+
+    The abstract interpreter and the rule walkers rely on the generic
+    field-introspection walker reaching every child of every node kind;
+    these tests fail on any new node kind whose children the
+    conventions here do not cover."""
+
+    @pytest.mark.parametrize(
+        "cls", _all_node_kinds(), ids=lambda cls: cls.__name__
+    )
+    def test_walk_reaches_node_and_its_children(self, cls):
+        node = _make_node(cls)
+        walked = list(walk(node))
+        assert walked[0] is node
+        expected_children = list(iter_child_nodes(node))
+        for child in expected_children:
+            assert child in walked
+        leaves = [
+            n for n in walked
+            if isinstance(n, ast.Identifier) and n.name == "leaf"
+        ]
+        has_child_field = any(
+            isinstance(getattr(node, f.name), (ast.Node, list))
+            for f in dataclasses.fields(node)
+        )
+        if has_child_field and expected_children:
+            assert leaves, f"{cls.__name__}: no leaf child was walked"
+
+    def test_visitor_dispatches_every_kind(self):
+        kinds = _all_node_kinds()
+        program = ast.Program(
+            body=[_make_node(cls) for cls in kinds if cls is not ast.Program]
+        )
+        seen = set()
+
+        class Recorder(NodeVisitor):
+            def visit(self, node):
+                seen.add(type(node))
+                return self.generic_visit(node)
+
+        Recorder().visit(program)
+        missing = {cls.__name__ for cls in kinds} - {
+            cls.__name__ for cls in seen
+        }
+        assert not missing, f"visitor never reached: {sorted(missing)}"
 
 
 class TestIterChildNodes:

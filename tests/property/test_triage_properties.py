@@ -1,15 +1,24 @@
-"""Triage-equivalence property (ISSUE 3, satellite 6).
+"""Triage-equivalence property (ISSUE 3 satellite 6; refined by the
+abstract-interpretation proof tier of ISSUE 8).
 
-For any corpus drawn from a fixed document pool, the multiset of
-``pipeline.scan`` verdicts with the benign-triage fast path enabled is
-identical to the multiset with it disabled.  Triage may only change
-*how* a verdict is reached (skipping emulation for statically clean
-documents), never *what* the verdict is.
+For any corpus drawn from a fixed document pool, ``pipeline.scan`` with
+the triage fast path enabled must agree with the full-emulation run:
+
+* a document triaged **benign** produces a byte-identical verdict
+  (same flag, malscore and feature bits) — the synthesised verdict is
+  exactly what a full run reports for a clean document;
+* a document triaged **malicious** (statically *proven*) must be one
+  the full run also flags: convicted by malscore, or crashed by its
+  own exploit (a crash is a detection event — see
+  ``maybe_deinstrument``).  Exact feature bits are not required: the
+  proof guarantees the behaviour, not the payload-dependent bit mix.
+* an untriaged document runs full emulation in both configurations and
+  must match exactly.
 
 The pool mixes triage-eligible documents (no JS, clean JS), documents
 that are clean but triage-ineligible (SOAP side-effect channel), a
-malicious spray document, and unparseable garbage, so the property
-exercises both branches of the fast path.
+provably malicious spray document, and unparseable garbage, so the
+property exercises every branch of the fast path.
 """
 
 import pytest
@@ -64,20 +73,21 @@ corpus_strategy = st.lists(
 )
 
 
-def _verdict_multiset(triage, items):
-    pipeline = ProtectionPipeline(seed=SEED, triage=triage)
-    out = []
-    for name, data in items:
-        report = pipeline.scan(data, name)
-        out.append(
-            (
-                name,
-                report.verdict.malicious,
-                report.verdict.malscore,
-                report.verdict.features.bits,
-            )
-        )
-    return sorted(out)
+def _agrees(fast, full):
+    """One document's fast-path report vs its full-emulation report."""
+    if fast.triaged and fast.verdict.malicious:
+        # Statically proven malicious: the full run must flag it too —
+        # by score, or by crashing on its own exploit.
+        return full.verdict.malicious or full.crashed
+    return (
+        fast.verdict.malicious,
+        fast.verdict.malscore,
+        fast.verdict.features.bits,
+    ) == (
+        full.verdict.malicious,
+        full.verdict.malscore,
+        full.verdict.features.bits,
+    )
 
 
 @given(picks=corpus_strategy)
@@ -86,22 +96,28 @@ def _verdict_multiset(triage, items):
     suppress_health_check=[HealthCheck.too_slow],
 )
 def test_triage_never_changes_a_verdict(picks):
-    items = [POOL[i] for i in picks]
-    assert _verdict_multiset(True, items) == _verdict_multiset(False, items)
+    fast_pipeline = ProtectionPipeline(seed=SEED, triage=True)
+    full_pipeline = ProtectionPipeline(seed=SEED, triage=False)
+    for i in picks:
+        name, data = POOL[i]
+        fast = fast_pipeline.scan(data, name)
+        full = full_pipeline.scan(data, name)
+        assert _agrees(fast, full), name
 
 
 def test_triage_actually_skips_on_this_pool():
     # Guard against the property passing vacuously: the pool must
-    # contain both triaged and fully-emulated documents.
+    # exercise benign triage, proven-malicious triage, and fall-through.
     pipeline = ProtectionPipeline(seed=SEED, triage=True)
-    triaged = {
-        name
-        for name, data in POOL
-        if pipeline.scan(data, name).triaged
-    }
-    assert "plain.pdf" in triaged
-    assert "benign-js.pdf" in triaged
-    assert "malicious.pdf" not in triaged
-    assert "soap.pdf" not in triaged
-    assert "broken-js.pdf" not in triaged
-    assert "garbage.pdf" not in triaged
+    reports = {name: pipeline.scan(data, name) for name, data in POOL}
+    assert reports["plain.pdf"].triaged
+    assert reports["benign-js.pdf"].triaged
+    assert not reports["plain.pdf"].verdict.malicious
+    # The spray document is *proven* malicious and triaged that way.
+    assert reports["malicious.pdf"].triaged
+    assert reports["malicious.pdf"].verdict.malicious
+    assert reports["malicious.pdf"].outcome is None
+    # The rest fall open to full emulation.
+    assert not reports["soap.pdf"].triaged
+    assert not reports["broken-js.pdf"].triaged
+    assert not reports["garbage.pdf"].triaged

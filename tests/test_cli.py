@@ -192,7 +192,10 @@ class TestLint:
     def test_malicious_pdf_exit_one(self, malicious_file, capsys):
         assert main(["lint", str(malicious_file)]) == 1
         out = capsys.readouterr().out
-        assert "=> suspicious" in out
+        # The proof tier upgrades the verdict line when it convicts;
+        # either way the document is flagged.
+        assert "=> proven malicious" in out or "=> suspicious" in out
+        assert "absint:" in out
 
     def test_bare_js_file(self, tmp_path, capsys):
         path = tmp_path / "snippet.js"
@@ -239,10 +242,11 @@ class TestScanTriage:
         out = capsys.readouterr().out
         assert "triaged: emulation skipped" in out
 
-    def test_malicious_not_triaged(self, malicious_file, capsys):
+    def test_malicious_triaged_as_proven(self, malicious_file, capsys):
+        # The proof tier convicts the spray statically: triaged, exit 1.
         assert main(["scan", str(malicious_file), "--triage"]) == 1
         out = capsys.readouterr().out
-        assert "triaged" not in out
+        assert "statically proven malicious" in out
         assert "MALICIOUS" in out
 
     @pytest.mark.batch
@@ -256,7 +260,9 @@ class TestScanTriage:
                      "--triage"])
         out = capsys.readouterr().out
         assert code == 1
-        assert "triaged   : 1 (emulation skipped)" in out
+        # Both docs settle statically now: the benign one is clean, the
+        # malicious one is proven by the absint tier.
+        assert "triaged   : 2 (emulation skipped)" in out
 
 
 class TestProfile:
