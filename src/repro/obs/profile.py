@@ -44,6 +44,7 @@ PHASES: Tuple[str, ...] = (
     "parse",
     "decompress",
     "xref-resolve",
+    "recovery-scan",
     "jsast",
     "absint",
     "instrument",

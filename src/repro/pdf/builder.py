@@ -104,7 +104,7 @@ class DocumentBuilder:
 
     def pad_with_objects(self, count: int, payload: bytes = b"padding") -> List[PDFRef]:
         """Add inert off-chain objects (lowers the F1 ratio, benign-like)."""
-        refs = []
+        refs: List[PDFRef] = []
         for i in range(count):
             stream = PDFStream()
             stream.set_decoded_data(payload + str(i).encode("ascii"), ["FlateDecode"])

@@ -11,7 +11,7 @@ instrumentation is applied.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple, Union
+from typing import Callable, Iterator, List, Optional, Tuple, Union
 
 from repro import limits as limits_mod
 from repro.pdf.objects import (
@@ -71,6 +71,7 @@ class PDFDocument:
         header_prefix: Optional[bytes] = None,
         header_version_text: Optional[str] = None,
         warnings: Optional[List[str]] = None,
+        used_recovery_scan: bool = False,
     ) -> None:
         self.store = store if store is not None else ObjectStore()
         self.trailer = trailer if trailer is not None else PDFDict()
@@ -79,6 +80,10 @@ class PDFDocument:
         self.header_prefix = header_prefix
         self.header_version_text = header_version_text
         self.warnings = list(warnings or [])
+        #: True when any object in :attr:`store` was only reachable via
+        #: the parser's recovery scan — parse evidence that the document
+        #: hides content from xref-faithful readers.
+        self.used_recovery_scan = used_recovery_scan
 
     # -- constructors --------------------------------------------------
 
@@ -96,6 +101,7 @@ class PDFDocument:
             header=parsed.header,
             version=version,
             warnings=parsed.warnings,
+            used_recovery_scan=parsed.used_recovery_scan,
         )
 
     def to_bytes(self) -> bytes:
@@ -145,7 +151,7 @@ class PDFDocument:
         root = self.catalog.get("Pages")
         if root is None:
             return result
-        seen = set()
+        seen: set[PDFRef] = set()
         truncated = False
         stack: List[Tuple[PDFObject, int]] = [(root, 0)]
         while stack:
@@ -196,7 +202,7 @@ class PDFDocument:
         → ``/JavaScript`` name tree, and ``/Next`` chains hanging off
         any of those.
         """
-        yielded = set()
+        yielded: set[Tuple[object, ...]] = set()
 
         def emit(
             action: PDFObject, trigger: str, name: Optional[str] = None
@@ -246,7 +252,9 @@ class PDFDocument:
             yield from self._iter_name_tree_actions(js_tree, emit)
 
     def _iter_name_tree_actions(
-        self, tree: PDFObject, emit
+        self,
+        tree: PDFObject,
+        emit: Callable[..., Iterator[JavascriptAction]],
     ) -> Iterator[JavascriptAction]:
         node = self.resolve_dict(tree)
         names = node.get("Names")

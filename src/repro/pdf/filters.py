@@ -12,16 +12,31 @@ a ``max_output`` bound and stops *before* materialising more than that
 :func:`decode_stream` enforces the active :class:`~repro.limits.ScanBudget`
 — cascade depth, per-stream and per-document output bytes, and the
 scan deadline.
+
+Budget-check placement guarantee: every expanding decoder re-checks
+``max_output`` *after* each chunk it appends, never only before — so
+the bytes a decoder returns never exceed the budget, not even by one
+final chunk (see ``docs/HARDENING.md``).
+
+Each decoder has a private ``_*_raw`` variant returning the working
+``bytearray`` it already builds internally; :func:`decode_stream`
+chains those so a multi-filter cascade materialises exactly one
+``bytes`` object (the final result) instead of one per layer.
 """
 
 from __future__ import annotations
 
+import binascii
 import zlib
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 from repro import limits as limits_mod
 from repro.limits import ResourceLimitExceeded
 from repro.pdf.objects import PDFName, PDFStream
+
+#: Bytes-like input accepted by the raw decoders (a cascade feeds each
+#: layer the previous layer's working buffer without copying it).
+ByteSource = Union[bytes, bytearray]
 
 
 class FilterError(ValueError):
@@ -44,12 +59,12 @@ def _check_output(size: int, max_output: Optional[int], filter_name: str) -> Non
 _FLATE_CHUNK = 1 << 20
 
 
-def flate_decode(data: bytes, max_output: Optional[int] = None) -> bytes:
+def _flate_decode_raw(data: ByteSource, max_output: Optional[int] = None) -> bytearray:
     if not data:
         raise FilterError("bad Flate data: empty input")
     out = bytearray()
     decomp = zlib.decompressobj()
-    pending = data
+    pending: ByteSource = data
     try:
         while pending:
             out += decomp.decompress(pending, _FLATE_CHUNK)
@@ -67,9 +82,13 @@ def flate_decode(data: bytes, max_output: Optional[int] = None) -> bytes:
         # Tolerate truncated/corrupt streams the way real readers do:
         # keep whatever inflated before the error.
         if out:
-            return bytes(out)
+            return out
         raise FilterError(f"bad Flate data: {exc}") from exc
-    return bytes(out)
+    return out
+
+
+def flate_decode(data: ByteSource, max_output: Optional[int] = None) -> bytes:
+    return bytes(_flate_decode_raw(data, max_output))
 
 
 def flate_encode(data: bytes) -> bytes:
@@ -79,26 +98,51 @@ def flate_encode(data: bytes) -> bytes:
 # ---------------------------------------------------------------------------
 # ASCIIHex
 
+#: Nibble value of a hex digit, or -1 (shared with the tolerant lexer's
+#: approach: table lookups instead of per-byte ``chr()``).
+_HEX_VAL = tuple(
+    int(chr(b), 16) if chr(b) in "0123456789abcdefABCDEF" else -1 for b in range(256)
+)
+_IS_WS = bytes(1 if chr(b).isspace() else 0 for b in range(256))
+#: The hex digits, as a deletion table: ``body.translate(None, _HEX_DIGITS)``
+#: is empty iff the body is clean hex.  (A ``(?:..{2})*`` regex would
+#: do the same check but allocates a backtracking mark per repetition —
+#: tens of MB on a long stream body.)
+_HEX_DIGITS = bytes(b for b in range(256) if _HEX_VAL[b] >= 0)
 
-def ascii_hex_decode(data: bytes, max_output: Optional[int] = None) -> bytes:
+
+def _ascii_hex_decode_raw(
+    data: ByteSource, max_output: Optional[int] = None
+) -> bytearray:
     del max_output  # output is at most half the input size
+    end = data.find(b">")
+    body = data[:end] if end >= 0 else data
+    if len(body) % 2 == 0 and len(body.translate(None, _HEX_DIGITS)) == 0:
+        # Fast path: clean, even-length body decodes in one C call
+        # (unhexlify accepts any byte buffer, so no bytes() copy).
+        return bytearray(binascii.unhexlify(body))
     out = bytearray()
-    digits: List[str] = []
-    for byte in data:
-        ch = chr(byte)
-        if ch == ">":
-            break
-        if ch.isspace():
+    hexval, ws = _HEX_VAL, _IS_WS
+    hi = -1
+    for byte in body:
+        value = hexval[byte]
+        if value >= 0:
+            if hi < 0:
+                hi = value
+            else:
+                out.append((hi << 4) | value)
+                hi = -1
+        elif ws[byte]:
             continue
-        if ch not in "0123456789abcdefABCDEF":
-            raise FilterError(f"bad ASCIIHex digit: {ch!r}")
-        digits.append(ch)
-        if len(digits) == 2:
-            out.append(int("".join(digits), 16))
-            digits.clear()
-    if digits:  # odd count: final digit is padded with 0
-        out.append(int(digits[0] + "0", 16))
-    return bytes(out)
+        else:
+            raise FilterError(f"bad ASCIIHex digit: {chr(byte)!r}")
+    if hi >= 0:  # odd count: final digit is padded with 0
+        out.append(hi << 4)
+    return out
+
+
+def ascii_hex_decode(data: ByteSource, max_output: Optional[int] = None) -> bytes:
+    return bytes(_ascii_hex_decode_raw(data, max_output))
 
 
 def ascii_hex_encode(data: bytes) -> bytes:
@@ -108,20 +152,30 @@ def ascii_hex_encode(data: bytes) -> bytes:
 # ---------------------------------------------------------------------------
 # ASCII85
 
+#: Every byte ``chr(b).isspace()`` considers whitespace (precomputed so
+#: stripping uses one C-level ``translate`` instead of per-byte chr()).
+_A85_STRIP = bytes(b for b in range(256) if chr(b).isspace())
 
-def ascii85_decode(data: bytes, max_output: Optional[int] = None) -> bytes:
+
+def _ascii85_decode_raw(
+    data: ByteSource, max_output: Optional[int] = None
+) -> bytearray:
     del max_output  # output is at most 4/5 of the input size
     text = data.rstrip()
     if text.endswith(b"~>"):
         text = text[:-2]
-    text = bytes(b for b in text if not chr(b).isspace())
+    text = text.translate(None, _A85_STRIP)
     try:
         return _a85_decode_body(text)
     except ValueError as exc:
         raise FilterError(f"bad ASCII85 data: {exc}") from exc
 
 
-def _a85_decode_body(text: bytes) -> bytes:
+def ascii85_decode(data: ByteSource, max_output: Optional[int] = None) -> bytes:
+    return bytes(_ascii85_decode_raw(data, max_output))
+
+
+def _a85_decode_body(text: bytes) -> bytearray:
     out = bytearray()
     group: List[int] = []
     for byte in text:
@@ -140,7 +194,7 @@ def _a85_decode_body(text: bytes) -> bytes:
         pad = 5 - len(group)
         group.extend([84] * pad)
         out.extend(_a85_group_to_bytes(group, 4 - pad))
-    return bytes(out)
+    return out
 
 
 def _a85_group_to_bytes(group: List[int], take: int) -> bytes:
@@ -159,7 +213,7 @@ def ascii85_encode(data: bytes) -> bytes:
         if value == 0 and pad == 0:
             out.append(ord("z"))
             continue
-        digits = []
+        digits: List[int] = []
         for _ in range(5):
             digits.append(value % 85)
             value //= 85
@@ -174,11 +228,13 @@ def ascii85_encode(data: bytes) -> bytes:
 # RunLength
 
 
-def run_length_decode(data: bytes, max_output: Optional[int] = None) -> bytes:
+def _run_length_decode_raw(
+    data: ByteSource, max_output: Optional[int] = None
+) -> bytearray:
     out = bytearray()
     i = 0
-    while i < len(data):
-        _check_output(len(out), max_output, "RunLengthDecode")
+    n = len(data)
+    while i < n:
         length = data[i]
         if length == 128:  # EOD
             break
@@ -189,11 +245,19 @@ def run_length_decode(data: bytes, max_output: Optional[int] = None) -> bytes:
             out.extend(chunk)
             i += 2 + length
         else:
-            if i + 1 >= len(data):
+            if i + 1 >= n:
                 raise FilterError("truncated repeat run")
             out.extend(bytes([data[i + 1]]) * (257 - length))
             i += 2
-    return bytes(out)
+        # Check *after* extending: a pre-extend check would let the
+        # final run overshoot the budget by up to 128 bytes and still
+        # be returned.
+        _check_output(len(out), max_output, "RunLengthDecode")
+    return out
+
+
+def run_length_decode(data: ByteSource, max_output: Optional[int] = None) -> bytes:
+    return bytes(_run_length_decode_raw(data, max_output))
 
 
 def run_length_encode(data: bytes) -> bytes:
@@ -231,7 +295,7 @@ _LZW_CLEAR = 256
 _LZW_EOD = 257
 
 
-def lzw_decode(data: bytes, max_output: Optional[int] = None) -> bytes:
+def _lzw_decode_raw(data: ByteSource, max_output: Optional[int] = None) -> bytearray:
     out = bytearray()
     table: Dict[int, bytes] = {}
 
@@ -260,7 +324,10 @@ def lzw_decode(data: bytes, max_output: Optional[int] = None) -> bytes:
                 prev = b""
                 continue
             if code == _LZW_EOD:
-                return bytes(out)
+                # The EOD return path enforces the same post-append
+                # guarantee as the loop exit below.
+                _check_output(len(out), max_output, "LZWDecode")
+                return out
             if code in table:
                 entry = table[code]
             elif code == next_code and prev:
@@ -278,7 +345,12 @@ def lzw_decode(data: bytes, max_output: Optional[int] = None) -> bytes:
             if next_code + 2 >= (1 << code_width) and code_width < 12:
                 code_width += 1
             prev = entry
-    return bytes(out)
+    _check_output(len(out), max_output, "LZWDecode")
+    return out
+
+
+def lzw_decode(data: ByteSource, max_output: Optional[int] = None) -> bytes:
+    return bytes(_lzw_decode_raw(data, max_output))
 
 
 def lzw_encode(data: bytes) -> bytes:
@@ -328,17 +400,21 @@ def lzw_encode(data: bytes) -> bytes:
 # Registry and cascade handling
 
 
-_DECODERS: Dict[str, Callable[..., bytes]] = {
-    "FlateDecode": flate_decode,
-    "Fl": flate_decode,
-    "ASCIIHexDecode": ascii_hex_decode,
-    "AHx": ascii_hex_decode,
-    "ASCII85Decode": ascii85_decode,
-    "A85": ascii85_decode,
-    "RunLengthDecode": run_length_decode,
-    "RL": run_length_decode,
-    "LZWDecode": lzw_decode,
-    "LZW": lzw_decode,
+_RawDecoder = Callable[..., bytearray]
+
+#: name -> raw (bytearray-returning) decoder; the cascade runner uses
+#: these so only the final layer materialises a ``bytes`` object.
+_RAW_DECODERS: Dict[str, _RawDecoder] = {
+    "FlateDecode": _flate_decode_raw,
+    "Fl": _flate_decode_raw,
+    "ASCIIHexDecode": _ascii_hex_decode_raw,
+    "AHx": _ascii_hex_decode_raw,
+    "ASCII85Decode": _ascii85_decode_raw,
+    "A85": _ascii85_decode_raw,
+    "RunLengthDecode": _run_length_decode_raw,
+    "RL": _run_length_decode_raw,
+    "LZWDecode": _lzw_decode_raw,
+    "LZW": _lzw_decode_raw,
 }
 
 _ENCODERS: Dict[str, Callable[[bytes], bytes]] = {
@@ -354,15 +430,15 @@ _ENCODERS: Dict[str, Callable[[bytes], bytes]] = {
     "LZW": lzw_encode,
 }
 
-SUPPORTED_FILTERS = tuple(sorted(set(_DECODERS) - {"Fl", "AHx", "A85", "RL", "LZW"}))
+SUPPORTED_FILTERS = tuple(sorted(set(_RAW_DECODERS) - {"Fl", "AHx", "A85", "RL", "LZW"}))
 
 
-def decode(filter_name: str, data: bytes, max_output: Optional[int] = None) -> bytes:
+def decode(filter_name: str, data: ByteSource, max_output: Optional[int] = None) -> bytes:
     """Apply one decode filter by name, bounding expansion if asked."""
-    decoder = _DECODERS.get(str(filter_name))
+    decoder = _RAW_DECODERS.get(str(filter_name))
     if decoder is None:
         raise FilterError(f"unsupported filter: {filter_name}")
-    return decoder(data, max_output=max_output)
+    return bytes(decoder(data, max_output=max_output))
 
 
 def encode(filter_name: str, data: bytes) -> bytes:
@@ -381,10 +457,17 @@ def decode_stream(
     Enforces the active :class:`~repro.limits.ScanBudget` (or an
     explicit one): cascade depth, per-stream output bytes charged
     against the per-document total, and the scan deadline.
+
+    Layers hand each other their working ``bytearray`` directly; only
+    the final result is materialised as ``bytes``.  Per-document
+    accounting is keyed on the stream's parse-time ordinal
+    (:attr:`~repro.pdf.objects.PDFStream.budget_key`), never on
+    ``id(stream)`` — CPython reuses ids after GC, which made long batch
+    scans undercount the per-document budget.
     """
     if budget is None:
         budget = limits_mod.active()
-    data = stream.raw_data
+    data: ByteSource = stream.raw_data
     names = stream.filters
     max_output: Optional[int] = None
     if budget is not None:
@@ -392,10 +475,25 @@ def decode_stream(
         budget.check_filter_depth(len(names))
         max_output = budget.max_stream_output
     for name in names:
-        data = decode(str(name), data, max_output=max_output)
+        decoder = _RAW_DECODERS.get(str(name))
+        if decoder is None:
+            raise FilterError(f"unsupported filter: {name}")
+        data = decoder(data, max_output=max_output)
+    result = data if isinstance(data, bytes) else bytes(data)
     if budget is not None:
-        budget.charge_stream(id(stream), len(data))
-    return data
+        budget.charge_stream(stream_budget_key(stream), len(result))
+    return result
+
+
+def stream_budget_key(stream: PDFStream) -> int:
+    """Stable per-document accounting identity for a stream object.
+
+    Prefers the construction-time ordinal (never reused within a
+    process); falls back to ``id`` only for foreign stream-likes that
+    predate the attribute.
+    """
+    key = getattr(stream, "budget_key", None)
+    return key if isinstance(key, int) else id(stream)
 
 
 def encode_cascade(data: bytes, filter_names: List[str]) -> bytes:

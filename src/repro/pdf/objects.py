@@ -11,6 +11,7 @@ feed the paper's "Hexadecimal Code in Keyword" feature).
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Union
 
@@ -157,11 +158,19 @@ class PDFStream:
     :attr:`raw_data` holds the bytes exactly as they appear between
     ``stream`` and ``endstream``.  Use :meth:`decoded_data` (see
     :mod:`repro.pdf.filters`) for filter-cascade decoding.
+
+    :attr:`budget_key` is a construction-time ordinal giving the stream
+    a stable identity for per-document decompression accounting.
+    ``id(stream)`` is unusable for that: CPython reuses ids after GC,
+    so long batch scans silently merged distinct streams' charges.
     """
+
+    _budget_keys = itertools.count(1)
 
     def __init__(self, dictionary: Optional[PDFDict] = None, raw_data: bytes = b"") -> None:
         self.dictionary = dictionary if dictionary is not None else PDFDict()
         self.raw_data = raw_data
+        self.budget_key = next(PDFStream._budget_keys)
 
     @property
     def filters(self) -> List[PDFName]:

@@ -109,7 +109,7 @@ def write_pdf(
     buf.write(f"%PDF-{version_text}\n".encode("ascii"))
     buf.write(b"%\xe2\xe3\xcf\xd3\n")  # binary-marker comment
 
-    offsets = {}
+    offsets: dict[Tuple[int, int], int] = {}
     for entry in store:
         offsets[(entry.num, entry.gen)] = buf.tell()
         buf.write(f"{entry.num} {entry.gen} obj\n".encode("ascii"))
@@ -159,7 +159,7 @@ def write_incremental_update(
     if not original.endswith(b"\n"):
         buf.write(b"\n")
 
-    offsets = {}
+    offsets: dict[PDFRef, int] = {}
     for ref in refs:
         entry = store.objects.get(ref)
         if entry is None:
@@ -172,8 +172,8 @@ def write_incremental_update(
     xref_offset = buf.tell()
     buf.write(b"xref\n")
     # One subsection per contiguous run of object numbers.
-    run: list = []
-    runs = []
+    run: list[PDFRef] = []
+    runs: list[list[PDFRef]] = []
     for ref in refs:
         if ref not in offsets:
             continue

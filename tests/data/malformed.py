@@ -124,6 +124,59 @@ def truncated_stream(inflated_size: int = 4096, keep: int = 40) -> bytes:
     return _pdf(objects)
 
 
+def junk_numbers() -> bytes:
+    """An object whose array holds malformed numbers (``2-3``, bare ``+``).
+
+    A strict lexer raises mid-array and the recovery parser drops the
+    whole object — exactly the malformed-syntax evasion the tolerant
+    number path exists to defeat.  Expected parse: ``[2 -3 1]`` plus
+    tolerance warnings.
+    """
+    objects = _catalog_and_pages()
+    objects.append(b"<< /V [2-3 + 1] /S (payload) >>")
+    return _pdf(objects)
+
+
+def bad_hex_digits() -> bytes:
+    """A hex string containing non-hex bytes (``<48G45ZZ4C>``).
+
+    Real readers skip the junk bytes; a lexer that raises on the first
+    one loses the enclosing object.  Expected string value: ``HEL``.
+    """
+    objects = _catalog_and_pages()
+    objects.append(b"<< /S <48G45ZZ4C> >>")
+    return _pdf(objects)
+
+
+def partial_xref_hidden_object() -> bytes:
+    """A valid xref that deliberately omits one object in the file.
+
+    xref-faithful readers never see object 3; only the recovery scan
+    finds it, so ``used_recovery_scan`` must be set even though the
+    xref itself parsed fine.
+    """
+    body = [b"%PDF-1.4\n"]
+    offsets = []
+    objects = [
+        b"<< /Type /Catalog /Pages 2 0 R >>",
+        b"<< /Type /Pages /Kids [] /Count 0 >>",
+        b"<< /Hidden (payload) >>",
+    ]
+    for num, obj in enumerate(objects, start=1):
+        offsets.append(sum(len(p) for p in body))
+        body.append(b"%d 0 obj\n" % num)
+        body.append(obj)
+        body.append(b"\nendobj\n")
+    xref_at = sum(len(p) for p in body)
+    body.append(b"xref\n0 3\n")
+    body.append(b"0000000000 65535 f \n")
+    for offset in offsets[:2]:  # object 3 left out on purpose
+        body.append(b"%010d 00000 n \n" % offset)
+    body.append(b"trailer\n<< /Root 1 0 R /Size 3 >>\n")
+    body.append(b"startxref\n%d\n%%%%EOF\n" % xref_at)
+    return b"".join(body)
+
+
 def object_flood(count: int = 3000) -> bytes:
     """``count`` trivial indirect objects (object-count budget fodder)."""
     objects = _catalog_and_pages()
@@ -140,6 +193,9 @@ BUILDERS: Dict[str, Callable[[], bytes]] = {
     "deep_page_tree": lambda: deep_page_tree(2000),
     "truncated_stream": truncated_stream,
     "object_flood": lambda: object_flood(3000),
+    "junk_numbers": junk_numbers,
+    "bad_hex_digits": bad_hex_digits,
+    "partial_xref_hidden_object": partial_xref_hidden_object,
 }
 
 

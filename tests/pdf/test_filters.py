@@ -115,3 +115,51 @@ def test_decode_stream_applies_cascade():
 def test_lzw_long_input_with_table_reset():
     data = bytes((i * 7 + j) % 256 for i in range(200) for j in range(40))
     assert filters.lzw_decode(filters.lzw_encode(data)) == data
+
+
+class TestBudgetPlacement:
+    """The post-extend guarantee: decoders never return more bytes than
+    ``max_output``, not even on their final chunk."""
+
+    def test_run_length_final_run_checked(self):
+        from repro.limits import ResourceLimitExceeded
+
+        # One 128-byte repeat run and *no* EOD byte: with the old
+        # top-of-loop check the loop exited right after the final
+        # extend and returned all 128 bytes despite a 100-byte budget.
+        data = bytes([129, 65])
+        with pytest.raises(ResourceLimitExceeded):
+            filters.run_length_decode(data, max_output=100)
+
+    def test_run_length_exact_budget_ok(self):
+        data = bytes([129, 65, 128])
+        assert filters.run_length_decode(data, max_output=128) == b"A" * 128
+
+    def test_lzw_eod_path_checked(self):
+        from repro.limits import ResourceLimitExceeded
+
+        encoded = filters.lzw_encode(b"A" * 64)  # ends with an EOD code
+        with pytest.raises(ResourceLimitExceeded):
+            filters.lzw_decode(encoded, max_output=32)
+
+    def test_lzw_exact_budget_ok(self):
+        encoded = filters.lzw_encode(b"A" * 64)
+        assert filters.lzw_decode(encoded, max_output=64) == b"A" * 64
+
+
+class TestCascadeMaterialisation:
+    def test_multi_layer_cascade_decodes(self):
+        data = b"payload " * 100
+        names = ["FlateDecode", "ASCIIHexDecode", "RunLengthDecode", "ASCII85Decode"]
+        encoded = filters.encode_cascade(data, names)
+        out = encoded
+        for name in names:
+            out = filters.decode(name, out)
+        assert out == data
+
+    def test_raw_decoders_accept_bytearray(self):
+        # Cascades hand bytearrays between layers; every decoder must
+        # accept them.
+        for name in filters.SUPPORTED_FILTERS:
+            encoded = bytearray(filters.encode(name, b"hello world"))
+            assert filters.decode(name, encoded) == b"hello world"

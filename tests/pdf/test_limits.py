@@ -273,3 +273,42 @@ class TestDeepPageTree:
         builder.add_page("two")
         document = PDFDocument.from_bytes(builder.to_bytes())
         assert len(document.pages()) == 2
+
+
+class TestStreamIdentity:
+    """Per-document accounting must survive CPython id() reuse."""
+
+    def _make_stream(self, payload: bytes) -> PDFStream:
+        d = PDFDict()
+        d[PDFName("Filter")] = PDFName("FlateDecode")
+        return PDFStream(d, payload)
+
+    def test_id_reuse_does_not_undercount(self):
+        import zlib as _zlib
+
+        payload = _zlib.compress(b"B" * 1024)
+        budget = ScanBudget(ScanLimits.unlimited())
+        for _ in range(50):
+            # Each stream dies before the next is born, so id() reuse is
+            # near-certain; the parse-time ordinal must keep the charges
+            # distinct.
+            stream = self._make_stream(payload)
+            decode_stream(stream, budget=budget)
+            del stream
+        assert budget.total_decompressed == 50 * 1024
+
+    def test_budget_key_is_unique_and_stable(self):
+        a = self._make_stream(b"")
+        b = self._make_stream(b"")
+        assert a.budget_key != b.budget_key
+        assert a.budget_key == a.budget_key
+
+    def test_same_stream_redecoded_not_double_counted(self):
+        import zlib as _zlib
+
+        payload = _zlib.compress(b"C" * 512)
+        budget = ScanBudget(ScanLimits.unlimited())
+        stream = self._make_stream(payload)
+        decode_stream(stream, budget=budget)
+        decode_stream(stream, budget=budget)
+        assert budget.total_decompressed == 512

@@ -129,3 +129,48 @@ def test_serialize_parse_roundtrip(value):
     parsed = parser._parse_value(lexer)
     assert _normalize(parsed) == _normalize(value)
     assert lexer.next_token().type is TokenType.EOF
+
+
+@given(pdf_value)
+@settings(max_examples=150)
+def test_lexers_agree_token_for_token(value):
+    """The fast lexer and the frozen pre-optimisation reference emit
+    identical ``(type, value, pos)`` streams on valid input.
+
+    Tolerance divergences (the reference raises where the fast lexer
+    warns) cannot appear here because serialized values are well-formed
+    by construction.
+    """
+    from repro.pdf._lexer_reference import ReferenceLexer
+
+    data = serialize_value(value)
+    fast, ref = Lexer(data), ReferenceLexer(data)
+    while True:
+        a = fast.next_token()
+        b = ref.next_token()
+        assert (a.type, a.value, a.pos) == (b.type, b.value, b.pos)
+        if a.type is TokenType.EOF:
+            break
+    assert not fast.warnings
+
+
+@given(st.lists(pdf_value, min_size=1, max_size=4))
+@settings(max_examples=60)
+def test_lexers_agree_on_object_syntax(values):
+    """Same equivalence over full ``N G obj ... endobj`` sequences,
+    which also exercises keyword and integer-pair scanning."""
+    from repro.pdf._lexer_reference import ReferenceLexer
+
+    parts = []
+    for num, value in enumerate(values, start=1):
+        parts.append(b"%d 0 obj " % num)
+        parts.append(serialize_value(value))
+        parts.append(b" endobj\n")
+    data = b"".join(parts)
+    fast, ref = Lexer(data), ReferenceLexer(data)
+    while True:
+        a = fast.next_token()
+        b = ref.next_token()
+        assert (a.type, a.value, a.pos) == (b.type, b.value, b.pos)
+        if a.type is TokenType.EOF:
+            break
