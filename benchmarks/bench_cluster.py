@@ -1,0 +1,250 @@
+"""Cluster throughput scaling and overload behaviour (``repro.cluster``).
+
+Three measurements, mirroring how a sharded deployment is operated:
+
+* **shard scaling** — the same unique corpus (cache bypassed) pushed
+  through a 1-shard and a 4-shard cluster by a matching client pool.
+  Shards are processes, so the ratio tracks available cores: the ≥3x
+  acceptance assertion only arms on a ≥4-core machine (the artifact
+  records cores and whether the gate was armed).
+* **2x overload** — open-loop arrivals paced at twice the measured
+  service rate of a deliberately small cluster.  Admission sheds the
+  surplus with structured 429/503 + Retry-After; with the aggregate
+  queue sized to absorb ~a third of the run, the shed rate must stay
+  below 40% and every request must reach a terminal status (zero
+  hangs).
+* **respawn cost** — wall-clock for a full drain + respawn of one
+  shard, the pause the supervisor inflicts when it acts on a wedge.
+
+Emits ``BENCH_cluster.json``.  ``REPRO_PAPER_SCALE`` scales the corpus.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import os
+import time
+
+from repro.analysis import format_table
+from repro.cluster import ClusterConfig, ClusterRouter
+from repro.core.pipeline import PipelineSettings
+from repro.corpus import CorpusConfig, build_dataset, dataset_items
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram
+
+SEED = 1404
+SCALE_SHARDS = 4
+OVERLOAD_FACTOR = 2
+#: Minimum cores before the >=3x scaling assertion arms.
+SCALING_GATE_CORES = 4
+SCALING_FLOOR = 3.0
+SHED_CEILING = 0.40
+
+
+def bench_corpus() -> CorpusConfig:
+    if os.environ.get("REPRO_PAPER_SCALE"):
+        return CorpusConfig(n_benign=200, n_benign_with_js=40, n_malicious=150)
+    return CorpusConfig(n_benign=12, n_benign_with_js=4, n_malicious=8)
+
+
+def _quantiles(samples, *qs):
+    histogram = Histogram(DEFAULT_BUCKETS)
+    for value in samples:
+        histogram.observe(value)
+    return tuple(histogram.quantile(q) for q in qs)
+
+
+def _build_cluster(shards: int, jobs: int = 1, **overrides) -> ClusterRouter:
+    config = ClusterConfig(
+        shards=shards,
+        shard_jobs=jobs,
+        deadline_seconds=300.0,
+        **overrides,
+    )
+    router = ClusterRouter(
+        settings=PipelineSettings(seed=SEED), config=config
+    ).start()
+    assert router.wait_all_live(timeout=60.0), "cluster failed to boot"
+    return router
+
+
+def _fire_closed(router, items, clients: int, use_cache: bool = False):
+    """Closed loop: ``clients`` threads drain the corpus; returns
+    (wall_seconds, [(status, latency_seconds, retry_after)])."""
+
+    def one(item):
+        name, data = item
+        start = time.perf_counter()
+        result = router.handle_scan(data, name, use_cache=use_cache)
+        return result.status, time.perf_counter() - start, result.retry_after
+
+    start = time.perf_counter()
+    with cf.ThreadPoolExecutor(max_workers=clients) as pool:
+        results = list(pool.map(one, items))
+    return time.perf_counter() - start, results
+
+
+def _fire_open(router, items, rate_per_second: float, bound_seconds: float):
+    """Open loop: arrivals paced at ``rate_per_second`` regardless of
+    responses — the honest overload shape (clients don't slow down just
+    because the service is melting)."""
+    interval = 1.0 / rate_per_second
+    results = []
+    lock = __import__("threading").Lock()
+
+    def one(item):
+        name, data = item
+        start = time.perf_counter()
+        result = router.handle_scan(data, name, use_cache=False)
+        with lock:
+            results.append(
+                (result.status, time.perf_counter() - start,
+                 result.retry_after)
+            )
+
+    start = time.perf_counter()
+    with cf.ThreadPoolExecutor(max_workers=len(items)) as pool:
+        futures = []
+        for i, item in enumerate(items):
+            target = start + i * interval
+            delay = target - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            futures.append(pool.submit(one, item))
+        done, not_done = cf.wait(futures, timeout=bound_seconds)
+    assert not not_done, f"{len(not_done)} request(s) never terminated"
+    return time.perf_counter() - start, results
+
+
+def test_bench_cluster(benchmark, emit, artifact):
+    cores = os.cpu_count() or 1
+    items = dataset_items(build_dataset(bench_corpus()))
+
+    # -- shard scaling: 1 vs SCALE_SHARDS, cache bypassed ----------------
+    single = _build_cluster(shards=1, jobs=1)
+    try:
+        wall_1, results_1 = _fire_closed(
+            single, items, clients=SCALE_SHARDS, use_cache=False
+        )
+    finally:
+        single.drain(timeout=60.0)
+    assert [s for s, _, _ in results_1] == [200] * len(items)
+    rate_1 = len(items) / wall_1
+
+    wide = _build_cluster(shards=SCALE_SHARDS, jobs=1)
+    try:
+        def run_wide():
+            return _fire_closed(
+                wide, items, clients=SCALE_SHARDS, use_cache=False
+            )
+
+        wall_n, results_n = benchmark.pedantic(run_wide, rounds=1, iterations=1)
+
+        # -- respawn cost while the wide cluster is still up -------------
+        respawn_start = time.perf_counter()
+        wide.respawn_shard(0, reason="bench")
+        assert wide.wait_all_live(timeout=60.0)
+        respawn_seconds = time.perf_counter() - respawn_start
+    finally:
+        wide.drain(timeout=60.0)
+    assert [s for s, _, _ in results_n] == [200] * len(items)
+    rate_n = len(items) / wall_n
+    scaling = rate_n / rate_1
+    p50, p95 = _quantiles([lat for _, lat, _ in results_n], 0.50, 0.95)
+
+    scaling_gate_armed = cores >= SCALING_GATE_CORES
+    if scaling_gate_armed:
+        assert scaling >= SCALING_FLOOR, (
+            f"{SCALE_SHARDS} shards {rate_n:.1f} req/s vs 1 shard "
+            f"{rate_1:.1f} req/s = {scaling:.2f}x on {cores} cores"
+        )
+
+    # -- 2x overload: open-loop arrivals vs a small cluster --------------
+    # Aggregate queue (2 shards x depth 5 = 10 slots) absorbs roughly a
+    # third of the surplus; everything beyond it must shed structurally.
+    overload = _build_cluster(
+        shards=2, jobs=1, max_in_flight=1, queue_depth=5,
+    )
+    try:
+        warm_wall, warm_results = _fire_closed(
+            overload, items, clients=2, use_cache=False
+        )
+        assert [s for s, _, _ in warm_results] == [200] * len(items)
+        service_rate = len(items) / warm_wall
+
+        overload_items = [
+            (f"overload-{i}-{name}", data)
+            for i, (name, data) in enumerate(items * 3)
+        ][: max(3 * len(items), 60)]
+        overload_wall, overload_results = _fire_open(
+            overload, overload_items,
+            rate_per_second=service_rate * OVERLOAD_FACTOR,
+            bound_seconds=600.0,
+        )
+    finally:
+        overload.drain(timeout=60.0)
+
+    assert len(overload_results) == len(overload_items), "hung requests"
+    statuses = [status for status, _, _ in overload_results]
+    assert all(s in (200, 429, 503) for s in statuses), sorted(set(statuses))
+    served = statuses.count(200)
+    shed = len(statuses) - served
+    shed_rate = shed / len(statuses)
+    for status, _, retry_after in overload_results:
+        if status in (429, 503):
+            assert retry_after is not None, "shed without Retry-After"
+    assert served > 0, "overload shed everything"
+    assert shed_rate < SHED_CEILING, (
+        f"shed {shed}/{len(statuses)} = {shed_rate:.0%} at "
+        f"{OVERLOAD_FACTOR}x offered load"
+    )
+
+    rows = [
+        ["1 shard", len(items), f"{rate_1:.1f}", "-", "-", "0%"],
+        [f"{SCALE_SHARDS} shards", len(items), f"{rate_n:.1f}",
+         f"{p50 * 1000:.0f}", f"{p95 * 1000:.0f}", "0%"],
+        [f"{OVERLOAD_FACTOR}x overload (2 shards)", len(overload_items),
+         f"{served / overload_wall:.1f}", "-", "-", f"{shed_rate:.0%}"],
+    ]
+    gate_note = (
+        "armed" if scaling_gate_armed
+        else f"off - needs >= {SCALING_GATE_CORES} cores"
+    )
+    emit(
+        f"Sharded cluster ({cores} core(s); scaling gate {gate_note})\n"
+        + format_table(
+            ["topology", "requests", "req/s", "p50 (ms)", "p95 (ms)",
+             "shed rate"],
+            rows,
+        )
+        + f"\nscaling {SCALE_SHARDS} shards vs 1: {scaling:.2f}x; "
+        + f"one shard respawn: {respawn_seconds:.2f}s"
+    )
+
+    artifact(
+        "BENCH_cluster.json",
+        {
+            "cores": cores,
+            "scaling": {
+                "shards": SCALE_SHARDS,
+                "requests": len(items),
+                "one_shard_rps": rate_1,
+                "n_shard_rps": rate_n,
+                "speedup": scaling,
+                "p50_seconds": p50,
+                "p95_seconds": p95,
+                "floor": SCALING_FLOOR,
+                "gate_armed": scaling_gate_armed,
+            },
+            "overload": {
+                "factor": OVERLOAD_FACTOR,
+                "requests": len(overload_items),
+                "offered_rps": service_rate * OVERLOAD_FACTOR,
+                "served": served,
+                "shed": shed,
+                "shed_rate": shed_rate,
+                "ceiling": SHED_CEILING,
+                "hung_requests": 0,
+            },
+            "respawn_seconds": respawn_seconds,
+        },
+    )

@@ -51,7 +51,7 @@ from typing import (
 
 from repro import limits as limits_mod
 from repro import obs as obs_mod
-from repro.batch.cache import VerdictCache, content_digest
+from repro.batch.cache import CacheBackend, VerdictCache, content_digest
 from repro.batch.report import (
     STATUS_ERRORED,
     STATUS_OK,
@@ -62,6 +62,15 @@ from repro.batch.report import (
 )
 from repro.core.pipeline import PipelineSettings, ProtectionPipeline
 from repro.limits import ScanLimits, cap_deadline
+
+#: Default worker backend — measured, not guessed.  ``benchmarks/
+#: bench_batch_scan.py`` re-times thread vs process on unique and
+#: duplicated corpora each run and records the winners in
+#: BENCH_batch.json ("measured" block).  Post PR 7/9 per-scan speedups
+#: the thread pool still wins both workloads on small-core hosts (no
+#: fork/pickle tax, shared verdict cache); flip this constant when a
+#: measurement says otherwise.
+DEFAULT_BACKEND = "thread"
 
 #: (name, data) pairs are the universal input shape.
 BatchItem = Tuple[str, bytes]
@@ -404,14 +413,14 @@ class BatchScanner:
     def __init__(
         self,
         jobs: int = 4,
-        backend: str = "thread",
+        backend: str = DEFAULT_BACKEND,
         timeout: Optional[float] = None,
         retries: int = 1,
         backoff: float = 0.05,
         max_backoff: float = 1.0,
         settings: Optional[PipelineSettings] = None,
         pipeline_factory: Optional[PipelineFactory] = None,
-        cache: Union[VerdictCache, None, bool] = None,
+        cache: Union[CacheBackend, None, bool] = None,
         obs: Optional[obs_mod.Observability] = None,
     ) -> None:
         if jobs < 1:
@@ -441,7 +450,7 @@ class BatchScanner:
         self.pipeline_factory = pipeline_factory
         self.obs = obs if obs is not None else obs_mod.get_default()
         if cache is False:
-            self.cache: Optional[VerdictCache] = None
+            self.cache: Optional[CacheBackend] = None
         elif cache is None or cache is True:
             self.cache = VerdictCache(fingerprint=_settings_fingerprint(self.settings))
         else:
@@ -602,8 +611,8 @@ class BatchScanner:
             self._service_worker = None
         if executor is not None:
             executor.shutdown(wait=wait)
-        if self.cache is not None and self.cache.path is not None:
-            self.cache.save()
+        if self.cache is not None:
+            self.cache.flush()
 
     # -- the batch run ----------------------------------------------------
 
@@ -628,8 +637,8 @@ class BatchScanner:
         if self.obs.enabled:
             self.obs.metrics.inc("batch_runs")
             self.obs.metrics.observe("batch_wall_seconds", report.wall_seconds)
-        if self.cache is not None and self.cache.path is not None:
-            self.cache.save()
+        if self.cache is not None:
+            self.cache.flush()
         return report
 
     def _scan_materialized(

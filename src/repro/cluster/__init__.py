@@ -1,0 +1,44 @@
+"""Sharded scan cluster (``repro.cluster``).
+
+Horizontal scale-out for the scan service: a consistent-hash front
+router (:class:`~repro.cluster.router.ClusterRouter`) over N shard
+processes, each running the standard :class:`~repro.serve.app.
+ScanService` core behind a framed-socket transport, with a pluggable
+shared verdict cache (:class:`~repro.batch.cache.CacheBackend`) and
+supervised hot drain/respawn of dead or wedged shards.
+
+Quick start::
+
+    from repro.cluster import ClusterConfig, ClusterRouter
+    from repro.serve import start_server
+
+    router = ClusterRouter(config=ClusterConfig(shards=4))
+    with start_server(router, port=8080) as handle:
+        ...  # the normal /scan, /batch, /jobs, /healthz, /metrics API
+
+or ``repro cluster --shards 4 --port 8080`` from the CLI.  See
+``docs/CLUSTER.md`` for topology, cache protocol and failure
+semantics.
+"""
+
+from repro.cluster.cache import (
+    CacheServer,
+    CacheSpec,
+    DiskCacheBackend,
+    SocketCacheBackend,
+)
+from repro.cluster.ring import HashRing
+from repro.cluster.router import ClusterConfig, ClusterRouter
+from repro.cluster.worker import ShardConfig, ShardServer
+
+__all__ = [
+    "CacheServer",
+    "CacheSpec",
+    "ClusterConfig",
+    "ClusterRouter",
+    "DiskCacheBackend",
+    "HashRing",
+    "ShardConfig",
+    "ShardServer",
+    "SocketCacheBackend",
+]

@@ -34,6 +34,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import limits as limits_mod
 from repro import obs as obs_mod
 from repro.batch.cache import VerdictCache
 from repro.batch.scanner import BatchScanner
@@ -184,6 +185,7 @@ class ScanService:
         name: str = "document.pdf",
         limits_spec: Optional[str] = None,
         use_cache: bool = True,
+        deadline_left: Optional[float] = None,
     ) -> ServeResult:
         """Full admission-controlled scan of one document.
 
@@ -191,6 +193,17 @@ class ScanService:
         a fresh scan — cache hits answer with the summarised verdict
         only (``"report": null``), so clients that need the full
         OpenReport payload opt out of the cache.
+
+        ``deadline_left`` is the transport seam for router-level
+        deadline propagation: seconds remaining in an *upstream* budget
+        (the cluster router's per-request deadline, minus time already
+        spent routing).  It tightens the admission ticket's deadline —
+        never loosens it (:func:`repro.limits.merge_deadlines`) — so a
+        shard never keeps scanning for a request whose caller has
+        already given up.  Unlike a ``limits=deadline=...`` override it
+        does *not* mark the request as custom-limits, so the verdict
+        cache stays in play (the scanner separately refuses to cache a
+        scan that aborted under a deadline-tightened budget).
         """
         limits: Optional[ScanLimits] = None
         if limits_spec:
@@ -212,6 +225,10 @@ class ScanService:
                 ticket = self.admission.admit()
             except RequestShed as shed:
                 return self._finish(self._shed_result(shed, name), span=span)
+            if deadline_left is not None:
+                ticket.deadline_at = limits_mod.merge_deadlines(
+                    ticket.deadline_at, time.monotonic() + deadline_left
+                )
             try:
                 try:
                     with self.obs.tracer.span("serve.queue_wait"):

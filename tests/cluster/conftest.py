@@ -1,0 +1,89 @@
+"""Fixtures for the sharded-cluster tests.
+
+The corpus and expected verdicts are shared with the scan-service
+suite (``tests/serve/conftest.py``): every cluster test asserts verdict
+identity against one-shot ``pipeline.scan`` runs, so routing, shard
+respawn and cache topology can never change what a document scans as.
+
+Clusters fork real shard processes, so fixtures keep fleets small
+(2-3 shards, 1-2 workers each) and module-scoped where tests don't
+mutate cluster state.  Fault tests build their own throwaway clusters
+through ``make_cluster`` so a SIGKILLed shard can't leak into the next
+test.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import pytest
+
+# Shared corpus/expectation fixtures and HTTP helpers.  Importing the
+# fixture functions registers them for this package too.
+from tests.serve.conftest import (  # noqa: F401 - re-exported fixtures
+    SEED,
+    assert_verdict_matches,
+    corpus_docs,
+    expected_verdicts,
+    http_get,
+    http_post,
+    service_settings,
+)
+
+from repro.cluster import CacheSpec, ClusterConfig, ClusterRouter
+
+
+def cluster_config(**overrides) -> ClusterConfig:
+    """Small, fast-probing cluster sized for the test machine."""
+    defaults = dict(
+        shards=2,
+        shard_jobs=1,
+        queue_depth=8,
+        deadline_seconds=30.0,
+        retry_after_seconds=1.0,
+        probe_interval=0.2,
+        probe_timeout=2.0,
+        terminate_grace=1.0,
+    )
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+@pytest.fixture()
+def make_cluster() -> Callable[..., ClusterRouter]:
+    """Factory for throwaway clusters; everything drains at teardown."""
+    routers: List[ClusterRouter] = []
+
+    def build(
+        config: Optional[ClusterConfig] = None,
+        cache: Optional[CacheSpec] = None,
+        **router_kwargs,
+    ) -> ClusterRouter:
+        router = ClusterRouter(
+            settings=service_settings(),
+            config=config if config is not None else cluster_config(),
+            cache=cache,
+            **router_kwargs,
+        ).start()
+        routers.append(router)
+        assert router.wait_all_live(timeout=30.0), "cluster failed to boot"
+        return router
+
+    yield build
+    for router in routers:
+        router.drain(timeout=30.0)
+
+
+@pytest.fixture(scope="module")
+def shared_cluster():
+    """One read-mostly 2-shard cluster for the whole module.
+
+    Tests that kill or wedge shards must NOT use this — build a private
+    cluster with ``make_cluster`` instead.
+    """
+    router = ClusterRouter(
+        settings=service_settings(), config=cluster_config()
+    ).start()
+    assert router.wait_all_live(timeout=30.0), "cluster failed to boot"
+    yield router
+    router.drain(timeout=30.0)

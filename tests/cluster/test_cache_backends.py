@@ -1,0 +1,267 @@
+"""Parametric conformance suite for every :class:`CacheBackend`.
+
+One set of semantics, three implementations: the in-memory LRU
+(:class:`VerdictCache`), the write-through on-disk backend
+(:class:`DiskCacheBackend`) and the socket-backed shared cache
+(:class:`SocketCacheBackend` against an in-process
+:class:`CacheServer`).  The protocol docstring in
+``repro.batch.cache`` is the contract; this file is its executable
+form, so a fourth backend only has to add a harness below.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Optional
+
+import pytest
+
+from repro.batch.cache import CacheBackend, VerdictCache
+from repro.batch.report import VerdictSummary
+from repro.cluster.cache import (
+    CacheServer,
+    CacheSpec,
+    DiskCacheBackend,
+    SocketCacheBackend,
+    build_backend,
+)
+
+pytestmark = pytest.mark.cluster
+
+
+def summary(score: float = 0.9, malicious: bool = True) -> VerdictSummary:
+    return VerdictSummary(
+        malicious=malicious, malscore=score, features=("heap_spray",)
+    )
+
+
+class MemoryHarness:
+    """Plain LRU: no shared store, reopening starts empty."""
+
+    shared_store = False
+
+    def __init__(self, tmp_path) -> None:
+        pass
+
+    def make(self, fingerprint: str = "fp") -> VerdictCache:
+        return VerdictCache(fingerprint=fingerprint)
+
+    def cleanup(self) -> None:
+        pass
+
+
+class DiskHarness:
+    """Write-through JSON file: reopening sees persisted entries."""
+
+    shared_store = True
+
+    def __init__(self, tmp_path) -> None:
+        self.path = tmp_path / "verdicts.json"
+
+    def make(self, fingerprint: str = "fp") -> DiskCacheBackend:
+        return DiskCacheBackend(self.path, fingerprint=fingerprint)
+
+    def cleanup(self) -> None:
+        pass
+
+
+class ServerHarness:
+    """Socket client against one in-process cache server."""
+
+    shared_store = True
+
+    def __init__(self, tmp_path) -> None:
+        self.server = CacheServer(fingerprint="fp").start()
+        self.backends = []
+
+    def make(self, fingerprint: str = "fp") -> SocketCacheBackend:
+        backend = SocketCacheBackend(
+            self.server.address, fingerprint=fingerprint
+        )
+        self.backends.append(backend)
+        return backend
+
+    def cleanup(self) -> None:
+        self.server.stop()
+
+
+HARNESSES = {
+    "memory": MemoryHarness,
+    "disk": DiskHarness,
+    "server": ServerHarness,
+}
+
+
+@pytest.fixture(params=sorted(HARNESSES))
+def harness(request, tmp_path):
+    h = HARNESSES[request.param](tmp_path)
+    yield h
+    h.cleanup()
+
+
+DIGEST = "ab" * 32
+OTHER = "cd" * 32
+
+
+class TestConformance:
+    def test_satisfies_protocol(self, harness):
+        backend = harness.make()
+        assert isinstance(backend, CacheBackend)
+        assert backend.fingerprint == "fp"
+
+    def test_put_get_roundtrip(self, harness):
+        backend = harness.make()
+        entry = summary()
+        backend.put(DIGEST, entry)
+        got = backend.get(DIGEST)
+        assert got is not None
+        assert got.malicious == entry.malicious
+        assert got.malscore == pytest.approx(entry.malscore)
+        assert tuple(got.features) == entry.features
+
+    def test_miss_returns_none_and_counts(self, harness):
+        backend = harness.make()
+        before = backend.stats["misses"]
+        assert backend.get(OTHER) is None
+        assert backend.stats["misses"] == before + 1
+
+    def test_hit_counts(self, harness):
+        backend = harness.make()
+        backend.put(DIGEST, summary())
+        before = backend.stats["hits"]
+        assert backend.get(DIGEST) is not None
+        assert backend.stats["hits"] == before + 1
+
+    def test_never_stores_errored_summaries(self, harness):
+        backend = harness.make()
+        backend.put(DIGEST, VerdictSummary(
+            malicious=False, malscore=0.0, errored=True, error="boom",
+        ))
+        assert backend.get(DIGEST) is None
+
+    def test_fingerprint_mismatch_is_a_miss(self, harness):
+        """A different detector configuration must never see a stale
+        verdict — reopening the same store under another fingerprint
+        misses."""
+        writer = harness.make(fingerprint="fp")
+        writer.put(DIGEST, summary())
+        writer.flush()
+        reader = harness.make(fingerprint="other-settings")
+        assert reader.get(DIGEST) is None
+
+    def test_same_fingerprint_shares_store(self, harness):
+        if not harness.shared_store:
+            pytest.skip("memory backend has no shared store")
+        writer = harness.make()
+        writer.put(DIGEST, summary())
+        writer.flush()
+        reader = harness.make()
+        assert reader.get(DIGEST) is not None
+
+    def test_concurrent_writers_lose_nothing(self, harness):
+        """32 threads hammering put/get: every stored digest must be
+        retrievable afterwards and no writer may corrupt the store."""
+        backend = harness.make()
+        digests = [f"{i:02x}" * 32 for i in range(32)]
+        errors = []
+
+        def work(digest: str, index: int) -> None:
+            try:
+                backend.put(digest, summary(score=index / 100.0))
+                backend.get(digest)
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=work, args=(d, i))
+            for i, d in enumerate(digests)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        for i, digest in enumerate(digests):
+            got = backend.get(digest)
+            assert got is not None, digest
+            assert got.malscore == pytest.approx(i / 100.0)
+
+    def test_flush_and_close_are_safe(self, harness):
+        backend = harness.make()
+        backend.put(DIGEST, summary())
+        backend.flush()
+        backend.close()
+
+
+class TestDiskBackend:
+    def test_file_stays_valid_json_under_writers(self, tmp_path):
+        h = DiskHarness(tmp_path)
+        backend = h.make()
+        for i in range(8):
+            backend.put(f"{i:02x}" * 32, summary())
+        payload = json.loads(h.path.read_text())
+        assert len(payload["entries"]) == 8
+
+    def test_two_processes_worth_of_backends_merge(self, tmp_path):
+        """Two backends on one path (the per-shard ``--cache disk``
+        layout degenerate case): writes interleave, nothing is lost."""
+        h = DiskHarness(tmp_path)
+        a, b = h.make(), h.make()
+        a.put(DIGEST, summary(score=0.5))
+        b.put(OTHER, summary(score=0.7))
+        assert a.get(OTHER) is not None
+        assert b.get(DIGEST) is not None
+
+
+class TestSocketBackendDegradation:
+    def test_server_crash_degrades_to_local(self, tmp_path):
+        server = CacheServer(fingerprint="fp").start()
+        backend = SocketCacheBackend(
+            server.address, fingerprint="fp", retry_seconds=60.0
+        )
+        backend.put(DIGEST, summary())
+        assert backend.get(DIGEST) is not None  # local hit
+        server.stop()
+        # Local entries still serve; unknown digests are plain misses —
+        # never an exception out of the cache layer.
+        assert backend.get(DIGEST) is not None
+        assert backend.get(OTHER) is None
+        backend.put(OTHER, summary(score=0.1))
+        assert backend.get(OTHER) is not None
+        assert backend.stats["degraded"] is True
+        assert backend.stats["remote_errors"] >= 1
+
+    def test_remote_hit_populates_local(self, tmp_path):
+        server = CacheServer(fingerprint="fp").start()
+        try:
+            writer = SocketCacheBackend(server.address, fingerprint="fp")
+            writer.put(DIGEST, summary())
+            reader = SocketCacheBackend(server.address, fingerprint="fp")
+            assert reader.get(DIGEST) is not None
+            assert reader.stats["remote_hits"] == 1
+            # Second lookup is a pure local hit.
+            assert reader.get(DIGEST) is not None
+            assert reader.stats["remote_hits"] == 1
+        finally:
+            server.stop()
+
+
+class TestCacheSpec:
+    def test_kinds_materialise(self, tmp_path):
+        assert build_backend(CacheSpec(kind="none"), "fp") is False
+        assert isinstance(
+            build_backend(CacheSpec(kind="memory"), "fp"), VerdictCache
+        )
+        disk = build_backend(
+            CacheSpec(kind="disk", path=str(tmp_path / "c.json")), "fp"
+        )
+        assert isinstance(disk, DiskCacheBackend)
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ValueError):
+            CacheSpec(kind="bogus")
+        with pytest.raises(ValueError):
+            CacheSpec(kind="disk")  # no path
+        with pytest.raises(ValueError):
+            build_backend(CacheSpec(kind="server"), "fp")  # no address

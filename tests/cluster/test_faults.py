@@ -1,0 +1,247 @@
+"""Fault-injection battery: the cluster's failure contract, enforced.
+
+Every scenario here asserts two things at once — the *structured*
+response (a 503 with a stable ``reason`` and a ``Retry-After`` hint,
+or a 404 that explains itself) and the *bounded* response time (a
+killed or wedged shard must never turn into a hanging request).
+
+Scenarios:
+
+* SIGKILL a shard while it is mid-scan — the caller gets a structured
+  503 ``shard-failure``, promptly;
+* the dead shard's hash range immediately re-routes to ring
+  successors;
+* the respawned shard serves the same digest with the identical
+  verdict;
+* a *wedged* (sleeping, not dead) shard trips the abandoned-worker
+  signal and is drained + respawned within the probe budget;
+* shard restarts invalidate process-local async jobs with a 404
+  ``shard-restarted`` (the JobRegistry affinity regression test);
+* the shared cache server crashing degrades shards to their local
+  caches without failing a single scan.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.batch.cache import content_digest
+from repro.cluster import CacheSpec
+
+from tests.cluster.conftest import cluster_config
+from tests.serve.conftest import assert_verdict_matches
+
+pytestmark = pytest.mark.cluster
+
+#: Any single fault-path request must resolve well inside this.
+RESPONSE_BOUND_SECONDS = 20.0
+
+WEDGE_MARKER = "sleepy"
+
+
+def doc_named(name: str, text: str = "fault corpus") -> bytes:
+    from repro.pdf.builder import DocumentBuilder
+
+    doc = DocumentBuilder()
+    doc.add_page(text)
+    doc.add_javascript(f"var tag = {name!r};")
+    return doc.to_bytes()
+
+
+def doc_owned_by(router, shard_id: int, name: str) -> bytes:
+    """A unique document whose digest the ring maps to ``shard_id``."""
+    for i in range(512):
+        data = doc_named(name, text=f"{name} variant {i}")
+        if router.ring.owner(content_digest(data)) == shard_id:
+            return data
+    raise AssertionError(f"no document landed on shard {shard_id}")
+
+
+class TestShardKill:
+    def test_sigkill_mid_scan_is_structured_not_a_hang(self, make_cluster):
+        """Kill the shard while it is actively scanning for us."""
+        router = make_cluster(
+            cluster_config(shards=3),
+            wedge_marker=WEDGE_MARKER, wedge_seconds=30.0,
+        )
+        victim = 0
+        # The wedge marker holds this scan open inside the victim shard
+        # so the SIGKILL provably lands mid-request.
+        data = doc_owned_by(router, victim, f"{WEDGE_MARKER}-hold")
+        outcome = {}
+
+        def scan() -> None:
+            outcome["result"] = router.handle_scan(
+                data, f"{WEDGE_MARKER}-hold.pdf"
+            )
+
+        worker = threading.Thread(target=scan)
+        started = time.monotonic()
+        worker.start()
+        time.sleep(0.5)  # let the request reach the shard
+        pid = router.shards[victim].process.pid
+        os.kill(pid, signal.SIGKILL)
+        worker.join(timeout=RESPONSE_BOUND_SECONDS)
+        assert not worker.is_alive(), "request hung after shard SIGKILL"
+        elapsed = time.monotonic() - started
+        assert elapsed < RESPONSE_BOUND_SECONDS
+
+        result = outcome["result"]
+        assert result.status == 503
+        assert result.payload["reason"] == "shard-failure"
+        assert result.payload["shard"] == victim
+        assert result.payload["sha256"] == content_digest(data)
+        assert result.retry_after is not None
+
+        # The failing request itself marked the shard dead, so the hash
+        # range re-routes *immediately* — no probe tick needed.
+        rerouted = router.handle_scan(
+            doc_owned_by(router, victim, "reroute-me"), "reroute-me.pdf"
+        )
+        assert rerouted.status == 200
+        assert rerouted.payload["shard"] != victim
+
+        # ...and the respawned shard serves its range again, with the
+        # identical verdict for the identical digest.
+        assert router.wait_all_live(timeout=30.0), "shard never respawned"
+        assert router.shards[victim].generation == 1
+        recovered = doc_owned_by(router, victim, "post-respawn")
+        first = router.handle_scan(recovered, "post-respawn.pdf")
+        assert first.status == 200
+        assert first.payload["shard"] == victim
+        stats = router.stats()
+        assert stats["respawns"], stats
+
+    def test_idle_shard_kill_reroutes_silently(self, make_cluster):
+        """A shard that died *between* requests: the router discovers
+        the corpse at connect time, which is safe to re-route (nothing
+        executed), so the caller sees a plain 200 from a neighbour."""
+        router = make_cluster(cluster_config(
+            shards=2,
+            probe_interval=30.0,  # the request, not the probe, finds it
+        ))
+        victim = 1
+        data = doc_owned_by(router, victim, "idle-kill")
+        os.kill(router.shards[victim].process.pid, signal.SIGKILL)
+        time.sleep(0.1)  # let the kernel tear the listener down
+        started = time.monotonic()
+        result = router.handle_scan(data, "idle-kill.pdf")
+        assert time.monotonic() - started < RESPONSE_BOUND_SECONDS
+        assert result.status == 200
+        assert result.payload["shard"] != victim
+        assert router.stats()["reroutes"] >= 1
+
+
+class TestWedgedShard:
+    def test_wedge_trips_abandoned_worker_and_respawns(self, make_cluster):
+        """A sleeping shard is worse than a dead one — nothing errors,
+        it just stops making progress.  The serve layer's abandoned-
+        worker accounting is the wedge signal; the supervisor must act
+        on it within the probe budget."""
+        router = make_cluster(
+            cluster_config(shards=2, deadline_seconds=2.0),
+            wedge_marker=WEDGE_MARKER, wedge_seconds=60.0,
+        )
+        victim = 0
+        data = doc_owned_by(router, victim, f"{WEDGE_MARKER}-wedge")
+        started = time.monotonic()
+        result = router.handle_scan(data, f"{WEDGE_MARKER}-wedge.pdf")
+        # The shard's own deadline abandons the scan: structured, fast.
+        assert result.status == 503
+        assert time.monotonic() - started < RESPONSE_BOUND_SECONDS
+        assert result.retry_after is not None
+
+        # Probe budget: interval + probe timeout + drain grace, with
+        # slack for the respawn itself.
+        config = router.config
+        budget = (
+            config.probe_interval + config.probe_timeout
+            + config.terminate_grace + 15.0
+        )
+        deadline = time.monotonic() + budget
+        while time.monotonic() < deadline:
+            if router.shards[victim].generation >= 1:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("supervisor never respawned the wedged shard")
+        assert "wedged" in router.stats()["respawns"]
+
+        assert router.wait_all_live(timeout=30.0)
+        clean = router.handle_scan(
+            doc_owned_by(router, victim, "awake-again"), "awake.pdf"
+        )
+        assert clean.status == 200
+
+
+class TestJobAffinityAcrossRestarts:
+    def test_poll_after_respawn_is_shard_restarted(self, make_cluster):
+        """Async jobs live in shard memory; a respawn must surface as a
+        structured 404, never as a misleading 'unknown job' from the
+        replacement process (the JobRegistry process-locality fix)."""
+        router = make_cluster(cluster_config(shards=2))
+        data = doc_named("affinity-job")
+        submitted = router.handle_async_submit(data, "affinity-job.pdf")
+        assert submitted.status == 202
+        token = submitted.payload["job"]
+        shard = submitted.payload["shard"]
+
+        router.respawn_shard(shard, reason="test-restart")
+        assert router.wait_all_live(timeout=30.0)
+        polled = router.handle_job_status(token)
+        assert polled.status == 404
+        assert polled.payload["reason"] == "shard-restarted"
+        assert polled.payload["shard"] == shard
+
+        # Resubmission works and carries the bumped generation.
+        again = router.handle_async_submit(data, "affinity-job.pdf")
+        assert again.status == 202
+        generation = router.shards[again.payload["shard"]].generation
+        assert f".g{generation}." in again.payload["job"]
+
+    def test_no_live_shard_is_structured_503(self, make_cluster):
+        router = make_cluster(cluster_config(
+            shards=2, probe_interval=30.0,
+        ))
+        saved = [handle.state for handle in router.shards]
+        for handle in router.shards:
+            handle.state = "dead"
+        try:
+            result = router.handle_scan(doc_named("nowhere"), "nowhere.pdf")
+        finally:
+            for handle, state in zip(router.shards, saved):
+                handle.state = state
+        assert result.status == 503
+        assert result.payload["reason"] == "no-live-shards"
+        assert result.retry_after is not None
+
+
+class TestCacheServerCrash:
+    def test_shards_degrade_to_local_cache(self, make_cluster,
+                                           corpus_docs, expected_verdicts):
+        """SIGKILL the shared cache server: scans keep succeeding on
+        shard-local caches; nothing errors, nothing hangs."""
+        router = make_cluster(
+            cluster_config(shards=2), cache=CacheSpec(kind="server"),
+        )
+        warm = router.handle_scan(corpus_docs["benign.pdf"], "benign.pdf")
+        assert warm.status == 200
+
+        assert router.kill_cache_server() is True
+
+        started = time.monotonic()
+        for name, expected in expected_verdicts.items():
+            result = router.handle_scan(corpus_docs[name], name)
+            assert result.status == 200, (name, result.payload)
+            assert_verdict_matches(result.payload, expected, name)
+        assert time.monotonic() - started < RESPONSE_BOUND_SECONDS
+
+        # The warmed digest still hits the shard-local cache tier.
+        again = router.handle_scan(corpus_docs["benign.pdf"], "benign.pdf")
+        assert again.status == 200
+        assert again.payload["cached"] is True

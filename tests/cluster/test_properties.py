@@ -1,0 +1,180 @@
+"""Hypothesis equivalence properties: the cluster is just a pipeline.
+
+Whatever sequence of documents you feed it — duplicates, any order,
+caching on or off, shards restarting mid-run — the multiset of
+verdicts coming out of the cluster must equal the multiset a plain
+sequential ``pipeline.scan`` produces.  Sharding is a throughput
+topology, never a semantics change.
+
+(The routing-layer properties — pure function of digest, removal
+remaps only the dead shard's keys — live in ``test_ring.py``.)
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Tuple
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import ProtectionPipeline
+from repro.pdf.builder import DocumentBuilder
+
+from tests.cluster.conftest import SEED, cluster_config
+from tests.serve.conftest import service_settings
+
+pytestmark = pytest.mark.cluster
+
+Verdict = Tuple[bool, float, bool]
+
+
+def _build_pool() -> Dict[str, bytes]:
+    """Six deterministic documents with distinct digests."""
+    from tests.conftest import spray_js
+
+    pool: Dict[str, bytes] = {}
+    for i in range(3):
+        doc = DocumentBuilder()
+        doc.add_page(f"benign document {i}")
+        doc.add_javascript(f"var serial = {i}; app.alert(serial);")
+        pool[f"benign-{i}.pdf"] = doc.to_bytes()
+    evil = DocumentBuilder()
+    evil.add_page("")
+    evil.add_javascript(spray_js())
+    pool["malicious.pdf"] = evil.to_bytes()
+    plain = DocumentBuilder()
+    plain.add_page("no scripts here")
+    pool["plain.pdf"] = plain.to_bytes()
+    pool["garbage.pdf"] = b"%PDF-1.4 not really a document"
+    return pool
+
+
+POOL = _build_pool()
+NAMES = sorted(POOL)
+
+
+@pytest.fixture(scope="module")
+def sequential_verdicts() -> Dict[str, Verdict]:
+    pipeline = ProtectionPipeline(seed=SEED)
+    out: Dict[str, Verdict] = {}
+    for name, data in POOL.items():
+        report = pipeline.scan(data, name)
+        out[name] = (
+            report.verdict.malicious,
+            round(report.verdict.malscore, 9),
+            report.errored,
+        )
+    return out
+
+
+@pytest.fixture(scope="module")
+def property_cluster():
+    from repro.cluster import ClusterRouter
+
+    router = ClusterRouter(
+        settings=service_settings(), config=cluster_config(shards=3)
+    ).start()
+    assert router.wait_all_live(timeout=30.0)
+    yield router
+    router.drain(timeout=30.0)
+
+
+def cluster_verdict(result) -> Verdict:
+    assert result.status == 200, result.payload
+    verdict = result.payload["verdict"]
+    return (
+        verdict["malicious"],
+        round(verdict["malscore"], 9),
+        verdict["errored"],
+    )
+
+
+corpora = st.lists(st.sampled_from(NAMES), min_size=1, max_size=8)
+
+
+class TestVerdictMultisetEquivalence:
+    @settings(
+        max_examples=8, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(sequence=corpora)
+    def test_cache_on(self, property_cluster, sequential_verdicts, sequence):
+        got = Counter(
+            (name, cluster_verdict(
+                property_cluster.handle_scan(POOL[name], name)
+            ))
+            for name in sequence
+        )
+        want = Counter((name, sequential_verdicts[name]) for name in sequence)
+        assert got == want
+
+    @settings(
+        max_examples=5, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(sequence=corpora)
+    def test_cache_off(self, property_cluster, sequential_verdicts, sequence):
+        got = Counter(
+            (name, cluster_verdict(
+                property_cluster.handle_scan(POOL[name], name, use_cache=False)
+            ))
+            for name in sequence
+        )
+        want = Counter((name, sequential_verdicts[name]) for name in sequence)
+        assert got == want
+
+    @settings(
+        max_examples=3, deadline=None,
+        suppress_health_check=[
+            HealthCheck.function_scoped_fixture,
+            HealthCheck.too_slow,
+        ],
+    )
+    @given(
+        sequence=st.lists(st.sampled_from(NAMES), min_size=2, max_size=6),
+        restart_shard=st.integers(min_value=0, max_value=2),
+    )
+    def test_mid_run_restart(
+        self, property_cluster, sequential_verdicts, sequence, restart_shard
+    ):
+        """Respawn a shard halfway through the run: verdicts still match
+        the sequential pipeline exactly."""
+        split = len(sequence) // 2
+        results = [
+            (name, cluster_verdict(
+                property_cluster.handle_scan(POOL[name], name)
+            ))
+            for name in sequence[:split]
+        ]
+        property_cluster.respawn_shard(restart_shard, reason="property-test")
+        assert property_cluster.wait_all_live(timeout=30.0)
+        results += [
+            (name, cluster_verdict(
+                property_cluster.handle_scan(POOL[name], name)
+            ))
+            for name in sequence[split:]
+        ]
+        want = Counter((name, sequential_verdicts[name]) for name in sequence)
+        assert Counter(results) == want
+
+    def test_batch_equals_sequential(self, property_cluster,
+                                     sequential_verdicts):
+        """The batch endpoint on the full pool, twice over: multiset
+        equality including the duplicated copies."""
+        items = [(name, POOL[name]) for name in NAMES for _ in range(2)]
+        result = property_cluster.handle_batch(items)
+        assert result.status == 200
+        got = Counter(
+            (entry["name"], (
+                entry["verdict"]["malicious"],
+                round(entry["verdict"]["malscore"], 9),
+                entry["verdict"]["errored"],
+            ))
+            for entry in result.payload["items"]
+        )
+        want = Counter(
+            (name, sequential_verdicts[name]) for name, _ in items
+        )
+        assert got == want

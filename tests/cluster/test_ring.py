@@ -1,0 +1,139 @@
+"""Consistent-hash ring unit and property tests.
+
+The two properties the cluster's cache locality and hot-respawn story
+rest on:
+
+* routing is a **pure function of the digest** (and the live set) —
+  same digest, same owner, forever;
+* taking one shard out **only remaps that shard's keys** — every key
+  owned by a surviving shard keeps its owner.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.ring import HashRing
+
+pytestmark = pytest.mark.cluster
+
+
+def digest_of(index: int) -> str:
+    return hashlib.sha256(f"document-{index}".encode()).hexdigest()
+
+
+DIGESTS = [digest_of(i) for i in range(400)]
+
+
+class TestHashRingBasics:
+    def test_owner_is_deterministic(self):
+        ring = HashRing(range(4))
+        again = HashRing(range(4))
+        for digest in DIGESTS:
+            assert ring.owner(digest) == again.owner(digest)
+
+    def test_owner_in_shard_set(self):
+        ring = HashRing(range(5))
+        for digest in DIGESTS:
+            assert ring.owner(digest) in ring.shard_ids
+
+    def test_all_shards_get_keys(self):
+        """64 vnodes keep small fleets balanced enough that 400 keys
+        touch every shard."""
+        ring = HashRing(range(4))
+        owners = {ring.owner(digest) for digest in DIGESTS}
+        assert owners == set(range(4))
+
+    def test_preference_is_a_permutation(self):
+        ring = HashRing(range(6))
+        for digest in DIGESTS[:50]:
+            order = ring.preference(digest)
+            assert sorted(order) == list(range(6))
+            assert order[0] == ring.owner(digest)
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing([0])
+        assert all(ring.owner(d) == 0 for d in DIGESTS[:20])
+
+    def test_empty_live_set_has_no_owner(self):
+        ring = HashRing(range(3))
+        assert ring.owner(DIGESTS[0], live=set()) is None
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+        with pytest.raises(ValueError):
+            HashRing([0], replicas=0)
+
+    def test_ranges_cover_all_vnodes(self):
+        ring = HashRing(range(3), replicas=16)
+        points = ring.ranges()
+        assert len(points) == 3 * 16
+        assert list(points) == sorted(points)
+
+
+class TestRemovalStability:
+    def test_removing_one_shard_only_remaps_its_keys(self):
+        ring = HashRing(range(4))
+        full = set(range(4))
+        before = {digest: ring.owner(digest) for digest in DIGESTS}
+        for dead in range(4):
+            live = full - {dead}
+            for digest, owner in before.items():
+                moved = ring.owner(digest, live=live)
+                if owner == dead:
+                    assert moved in live
+                else:
+                    assert moved == owner, (
+                        f"key owned by live shard {owner} moved when "
+                        f"shard {dead} died"
+                    )
+
+    def test_keys_snap_back_after_respawn(self):
+        ring = HashRing(range(3))
+        digest = DIGESTS[0]
+        owner = ring.owner(digest)
+        without = ring.owner(digest, live=set(range(3)) - {owner})
+        assert without != owner
+        assert ring.owner(digest, live=set(range(3))) == owner
+
+
+@st.composite
+def hex_digests(draw) -> str:
+    raw = draw(st.binary(min_size=8, max_size=64))
+    return hashlib.sha256(raw).hexdigest()
+
+
+class TestRingProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(digest=hex_digests(), shards=st.integers(min_value=1, max_value=8))
+    def test_routing_pure_function_of_digest(self, digest, shards):
+        ring = HashRing(range(shards))
+        owner = ring.owner(digest)
+        assert owner == ring.owner(digest)
+        assert owner == HashRing(range(shards)).owner(digest)
+        assert owner in range(shards)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        digest=hex_digests(),
+        shards=st.integers(min_value=2, max_value=8),
+        data=st.data(),
+    )
+    def test_removal_remaps_only_dead_keys(self, digest, shards, data):
+        ring = HashRing(range(shards))
+        dead = data.draw(st.integers(min_value=0, max_value=shards - 1))
+        owner = ring.owner(digest)
+        live = set(range(shards)) - {dead}
+        after = ring.owner(digest, live=live)
+        if owner == dead:
+            assert after in live
+            # ...and specifically the next shard in preference order.
+            preference = ring.preference(digest)
+            assert after == next(s for s in preference if s != dead)
+        else:
+            assert after == owner

@@ -1,0 +1,293 @@
+"""Router behaviour on a healthy cluster, plus ShardServer dispatch.
+
+Fault injection lives in ``test_faults.py``; this module covers the
+sunny-day contract: verdict identity with the one-shot pipeline, digest
+affinity (same document, same shard, cached repeat), the async-job
+affinity tokens that fix the process-local JobRegistry problem, and the
+introspection surface the HTTP layer mounts.
+
+:class:`ShardServer` also runs here *in-process on a thread*, so the
+frame dispatch table is covered without forking.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.batch.cache import content_digest
+from repro.cluster import ClusterRouter, ShardConfig, ShardServer
+from repro.cluster.transport import request
+from repro.cluster.worker import build_service
+from repro.serve import start_server
+
+from tests.cluster.conftest import cluster_config
+from tests.serve.conftest import (
+    assert_verdict_matches,
+    http_get,
+    http_post,
+    service_settings,
+)
+
+pytestmark = pytest.mark.cluster
+
+
+class TestRouting:
+    def test_verdicts_match_one_shot_pipeline(
+        self, shared_cluster, corpus_docs, expected_verdicts
+    ):
+        for name, expected in expected_verdicts.items():
+            result = shared_cluster.handle_scan(corpus_docs[name], name)
+            assert result.status == 200, (name, result.payload)
+            assert_verdict_matches(result.payload, expected, name)
+
+    def test_digest_affinity_and_cache_hit(self, shared_cluster, corpus_docs):
+        data = corpus_docs["benign.pdf"]
+        first = shared_cluster.handle_scan(data, "affinity.pdf")
+        second = shared_cluster.handle_scan(data, "affinity.pdf")
+        assert first.status == second.status == 200
+        assert first.payload["shard"] == second.payload["shard"]
+        assert first.payload["sha256"] == second.payload["sha256"]
+        assert second.payload["cached"] is True
+
+    def test_routing_matches_the_ring(self, shared_cluster, corpus_docs):
+        for name, data in corpus_docs.items():
+            if name == "bomb.pdf":
+                continue
+            result = shared_cluster.handle_scan(data, name)
+            assert result.status == 200
+            assert result.payload["shard"] == shared_cluster.ring.owner(
+                content_digest(data)
+            )
+
+    def test_batch_is_multi_status(self, shared_cluster, corpus_docs,
+                                   expected_verdicts):
+        items = [
+            (name, corpus_docs[name]) for name in sorted(expected_verdicts)
+        ]
+        result = shared_cluster.handle_batch(items)
+        assert result.status == 200
+        assert result.payload["counts"]["ok"] == len(items)
+        entries = result.payload["items"]
+        assert len(entries) == len(items)
+        for entry in entries:
+            assert entry["status"] == 200
+            assert_verdict_matches(
+                entry, expected_verdicts[entry["name"]], entry["name"]
+            )
+
+    def test_per_request_limits_ride_through(self, shared_cluster,
+                                             corpus_docs):
+        from tests.serve.conftest import BOMB_LIMITS_SPEC
+
+        result = shared_cluster.handle_scan(
+            corpus_docs["bomb.pdf"], "bomb.pdf", limits_spec=BOMB_LIMITS_SPEC
+        )
+        assert result.status == 200
+        assert result.payload["verdict"]["errored"] is True
+
+    def test_use_cache_false_bypasses_cache(self, shared_cluster,
+                                            corpus_docs):
+        data = corpus_docs["plain.pdf"]
+        shared_cluster.handle_scan(data, "warm.pdf")
+        result = shared_cluster.handle_scan(data, "warm.pdf", use_cache=False)
+        assert result.status == 200
+        assert result.payload["cached"] is False
+
+
+class TestAsyncJobs:
+    def test_submit_poll_roundtrip(self, shared_cluster, corpus_docs,
+                                   expected_verdicts):
+        data = corpus_docs["malicious.pdf"]
+        submitted = shared_cluster.handle_async_submit(data, "async.pdf")
+        assert submitted.status == 202
+        token = submitted.payload["job"]
+        shard = submitted.payload["shard"]
+        assert token.startswith(f"s{shard}.g")
+        assert submitted.payload["poll"] == f"/jobs/{token}"
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            polled = shared_cluster.handle_job_status(token)
+            assert polled.status in (200, 202), polled.payload
+            if polled.status == 200 and polled.payload.get("state") == "done":
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("async job never completed")
+        assert polled.payload["shard"] == shard
+        assert_verdict_matches(
+            polled.payload["result"], expected_verdicts["malicious.pdf"]
+        )
+
+    def test_malformed_job_token_is_structured_404(self, shared_cluster):
+        for bad in ("nonsense", "s0.gX.abc", "jobs-from-the-old-world"):
+            result = shared_cluster.handle_job_status(bad)
+            assert result.status == 404
+            assert result.payload["reason"] == "bad-job-id"
+
+    def test_token_naming_missing_shard_is_404(self, shared_cluster):
+        result = shared_cluster.handle_job_status("s99.g0.deadbeef")
+        assert result.status == 404
+        assert result.payload["reason"] == "bad-job-id"
+
+    def test_unknown_job_on_right_shard_is_404(self, shared_cluster):
+        generation = shared_cluster.shards[0].generation
+        result = shared_cluster.handle_job_status(
+            f"s0.g{generation}.0000000000000000"
+        )
+        assert result.status == 404
+        assert result.payload["reason"] == "unknown-job"
+
+
+class TestIntrospection:
+    def test_health_reports_all_live(self, shared_cluster):
+        result = shared_cluster.health()
+        assert result.status == 200
+        assert result.payload["status"] == "ok"
+        assert result.payload["live_shards"] == 2
+        states = {s["state"] for s in result.payload["shards"]}
+        assert states == {"live"}
+
+    def test_metrics_aggregate_router_and_shards(self, shared_cluster,
+                                                 corpus_docs):
+        shared_cluster.handle_scan(corpus_docs["plain.pdf"], "metrics.pdf")
+        result = shared_cluster.metrics()
+        assert result.status == 200
+        router = result.payload["router"]
+        assert router["requests"] >= 1
+        assert "200" in router["by_status"]
+        assert set(result.payload["shards"]) == {"0", "1"}
+
+    def test_prometheus_rendering(self, shared_cluster):
+        text = shared_cluster.metrics_prometheus()
+        assert "repro_cluster_live_shards 2" in text
+        assert 'repro_cluster_shard_up{shard="0"} 1' in text
+
+    def test_debug_slow_per_shard(self, shared_cluster):
+        result = shared_cluster.debug_slow()
+        assert result.status == 200
+        assert set(result.payload["shards"]) == {"0", "1"}
+
+    def test_stats_snapshot(self, shared_cluster):
+        stats = shared_cluster.stats()
+        assert {"requests", "by_status", "by_shard", "reroutes",
+                "respawns"} <= set(stats)
+
+
+class TestLifecycle:
+    def test_drain_is_terminal(self, make_cluster, corpus_docs):
+        router = make_cluster(cluster_config(shards=2))
+        assert router.handle_scan(corpus_docs["plain.pdf"]).status == 200
+        assert router.drain(timeout=30.0) is True
+        after = router.handle_scan(corpus_docs["plain.pdf"])
+        assert after.status == 503
+        assert after.payload["reason"] == "draining"
+        with pytest.raises(RuntimeError):
+            router.start()
+
+    def test_router_deadline_sheds_instead_of_hanging(self, corpus_docs):
+        router = ClusterRouter(
+            settings=service_settings(),
+            config=cluster_config(shards=1, deadline_seconds=0.000001),
+        ).start()
+        try:
+            assert router.wait_all_live(timeout=30.0)
+            result = router.handle_scan(corpus_docs["plain.pdf"], "late.pdf")
+            assert result.status == 503
+            assert result.payload["reason"] in (
+                "router-deadline", "queue-deadline",
+            )
+            assert result.retry_after is not None
+        finally:
+            router.drain(timeout=30.0)
+
+
+class TestHttpEndToEnd:
+    @pytest.fixture(scope="class")
+    def cluster_url(self):
+        router = ClusterRouter(
+            settings=service_settings(), config=cluster_config()
+        )
+        handle = start_server(router)
+        assert router.wait_all_live(timeout=30.0)
+        yield handle.url
+        handle.stop()
+
+    def test_scan_over_http(self, cluster_url, corpus_docs,
+                            expected_verdicts):
+        status, payload, _headers = http_post(
+            cluster_url + "/scan?name=http.pdf", corpus_docs["malicious.pdf"]
+        )
+        assert status == 200
+        assert_verdict_matches(payload, expected_verdicts["malicious.pdf"])
+        assert "shard" in payload
+
+    def test_async_over_http(self, cluster_url, corpus_docs):
+        status, payload, _headers = http_post(
+            cluster_url + "/scan?mode=async", corpus_docs["benign.pdf"]
+        )
+        assert status == 202
+        poll = cluster_url + payload["poll"]
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            status, payload, _headers = http_get(poll)
+            if status == 200 and payload.get("state") == "done":
+                return
+            time.sleep(0.05)
+        pytest.fail("async job never completed over HTTP")
+
+    def test_health_and_metrics_endpoints(self, cluster_url):
+        status, payload, _ = http_get(cluster_url + "/healthz")
+        assert status == 200 and payload["live_shards"] == 2
+        status, payload, _ = http_get(cluster_url + "/metrics")
+        assert status == 200 and "router" in payload
+
+
+class TestShardServerDispatch:
+    """The frame vocabulary, exercised in-process (no fork)."""
+
+    @pytest.fixture(scope="class")
+    def shard(self):
+        config = ShardConfig(
+            shard_id=7, settings=service_settings(), jobs=1,
+            deadline_seconds=15.0,
+        )
+        server = ShardServer(build_service(config), shard_id=7).start()
+        yield server
+        server.stop()
+
+    def test_ping(self, shard):
+        reply = request(shard.address, {"op": "ping"})
+        assert reply["ok"] is True and reply["shard"] == 7
+
+    def test_scan_frame(self, shard, corpus_docs, expected_verdicts):
+        import base64
+
+        reply = request(shard.address, {
+            "op": "scan", "name": "frame.pdf",
+            "data_b64": base64.b64encode(corpus_docs["benign.pdf"]).decode(),
+        }, timeout=60.0)
+        assert reply["status"] == 200
+        assert_verdict_matches(
+            reply["payload"], expected_verdicts["benign.pdf"]
+        )
+
+    def test_bad_base64_is_400(self, shard):
+        reply = request(shard.address, {
+            "op": "scan", "data_b64": "!!! not base64 !!!",
+        })
+        assert reply["status"] == 400
+
+    def test_unknown_op_is_400(self, shard):
+        reply = request(shard.address, {"op": "frobnicate"})
+        assert reply["ok"] is False and reply["status"] == 400
+
+    def test_health_frame_carries_identity(self, shard):
+        reply = request(shard.address, {"op": "health"})
+        assert reply["payload"]["shard"] == 7
+        assert "abandoned_workers" in reply["payload"]
+
+    def test_job_frame_unknown(self, shard):
+        reply = request(shard.address, {"op": "job", "job": "missing"})
+        assert reply["status"] == 404
